@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The profile is
+selected with the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``laptop`` (default) — down-scaled datasets, 1-2 repetitions; every figure finishes
+  in minutes and the qualitative trends match the paper;
+* ``paper``  — the full Table IV/V settings (hours of runtime);
+* ``smoke``  — tiny settings used to exercise the harness itself.
+
+Each benchmark writes the regenerated series to ``benchmarks/results/<name>.txt`` so
+the numbers that back EXPERIMENTS.md can be re-inspected after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    TrajectoryConfig,
+    laptop_config,
+    laptop_trajectory_config,
+    paper_config,
+    paper_trajectory_config,
+    smoke_config,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _profile() -> str:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "laptop").lower()
+    if profile not in ("laptop", "paper", "smoke"):
+        raise ValueError(f"unknown REPRO_BENCH_PROFILE {profile!r}")
+    return profile
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    return _profile()
+
+
+@pytest.fixture(scope="session")
+def bench_config(bench_profile) -> ExperimentConfig:
+    if bench_profile == "paper":
+        return paper_config()
+    if bench_profile == "smoke":
+        return smoke_config()
+    return laptop_config()
+
+
+@pytest.fixture(scope="session")
+def bench_trajectory_config(bench_profile) -> TrajectoryConfig:
+    if bench_profile == "paper":
+        return paper_trajectory_config()
+    if bench_profile == "smoke":
+        return laptop_trajectory_config().with_overrides(
+            n_trajectories=30, max_length=15, routing_d=30, default_d=5
+        )
+    return laptop_trajectory_config()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir, bench_profile):
+    """Write a named result blob to benchmarks/results/ and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        header = f"# profile: {bench_profile}\n"
+        path = results_dir / f"{name}.txt"
+        path.write_text(header + text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _record

@@ -1,0 +1,35 @@
+"""Figure 13 — the d and eps sweeps repeated on the Chicago Crime *full* domain.
+
+Appendix C's observation: the relative ordering of the mechanisms on the full (sparser)
+domain mirrors the per-part results — DAM still outperforms the other LDP mechanisms
+and stays competitive with SEM-Geo-I, with the gap widening at fine granularity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure13_full_domain
+from repro.experiments.reporting import format_sweep, mean_error
+
+
+def test_figure13_full_domain(benchmark, bench_config, record_result):
+    results = benchmark.pedantic(
+        lambda: figure13_full_domain(bench_config), rounds=1, iterations=1
+    )
+    text = "\n\n".join(f"[{key}]\n{format_sweep(sweep)}" for key, sweep in results.items())
+    record_result("figure13_full_domain", text)
+
+    small_d = results["small_d"]
+    assert small_d.datasets() == ["Crime"]
+    # DAM does not lose to MDSW on the full domain either.
+    assert mean_error(small_d, "Crime", "DAM") <= mean_error(small_d, "Crime", "MDSW") * 1.10 + 0.01
+
+    # Budget sweep shows (weakly) decreasing error for DAM.
+    small_eps = results["small_epsilon"]
+    series = dict(small_eps.series("Crime", "DAM"))
+    assert series[3.5] <= series[0.7] * 1.05 + 0.01
+
+    # Fine-granularity sweep: error grows with d for both remaining mechanisms.
+    large_d = results["large_d"]
+    for mechanism in ("DAM", "SEM-Geo-I"):
+        series = dict(large_d.series("Crime", mechanism))
+        assert series[20.0] >= series[5.0] * 0.7

@@ -1,0 +1,29 @@
+"""Figure 9(f)-(j) — W2 versus d up to 20: DAM versus SEM-Geo-I (Sinkhorn regime).
+
+The paper's finding: both errors grow with d, and DAM overtakes SEM-Geo-I once the
+granularity is fine enough (the discrete DAM approaches the continuous optimum while
+the categorical SEM-Geo-I keeps paying for the larger domain).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_large_d
+from repro.experiments.reporting import format_sweep
+
+
+def test_figure9_large_d(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(lambda: figure9_large_d(bench_config), rounds=1, iterations=1)
+    record_result("figure9_large_d", format_sweep(result))
+
+    fine_wins = 0
+    for dataset in result.datasets():
+        dam = dict(result.series(dataset, "DAM"))
+        sem = dict(result.series(dataset, "SEM-Geo-I"))
+        # Errors grow from the coarsest non-trivial grid to the finest for both.
+        assert dam[20.0] >= dam[5.0] * 0.7
+        assert sem[20.0] >= sem[5.0] * 0.7
+        # Count the datasets where DAM wins at the finest granularity.
+        if dam[20.0] <= sem[20.0] * 1.02:
+            fine_wins += 1
+    # DAM wins at fine granularity on the majority of datasets (the paper's crossover).
+    assert fine_wins >= len(result.datasets()) // 2 + 1

@@ -1,0 +1,27 @@
+"""Figure 9(p)-(t) — W2 versus eps in {5 .. 9}: DAM versus SEM-Geo-I at d = 15.
+
+The paper's findings: both errors shrink towards zero as the budget grows, and DAM
+outperforms SEM-Geo-I in this large-budget, fine-granularity regime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_large_epsilon
+from repro.experiments.reporting import format_sweep, mean_error
+
+
+def test_figure9_large_epsilon(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        lambda: figure9_large_epsilon(bench_config), rounds=1, iterations=1
+    )
+    record_result("figure9_large_epsilon", format_sweep(result))
+
+    dam_wins = 0
+    for dataset in result.datasets():
+        dam = dict(result.series(dataset, "DAM"))
+        # Error shrinks as the budget grows (compare the endpoints).
+        assert dam[9.0] <= dam[5.0] * 1.05 + 0.005
+        if mean_error(result, dataset, "DAM") <= mean_error(result, dataset, "SEM-Geo-I") * 1.02:
+            dam_wins += 1
+    # DAM wins on the majority of datasets in the large-budget regime.
+    assert dam_wins >= len(result.datasets()) // 2 + 1

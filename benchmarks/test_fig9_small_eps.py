@@ -1,0 +1,34 @@
+"""Figure 9(k)-(o) — W2 versus the privacy budget eps in {0.7 .. 3.5}, all mechanisms.
+
+The paper's findings: W2 decreases (weakly) as eps grows; DAM is always better than
+MDSW; SEM-Geo-I can edge out DAM at the smallest budgets (its distance-aware kernel
+wins when the LDP reports are nearly uniform).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_small_epsilon
+from repro.experiments.reporting import format_sweep, mean_error
+
+
+def test_figure9_small_epsilon(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        lambda: figure9_small_epsilon(bench_config), rounds=1, iterations=1
+    )
+    record_result("figure9_small_epsilon", format_sweep(result))
+
+    mdsw_wins = 0
+    for dataset in result.datasets():
+        dam = mean_error(result, dataset, "DAM")
+        mdsw = mean_error(result, dataset, "MDSW")
+        # DAM never loses badly to MDSW (the headline LDP-vs-LDP comparison) ...
+        assert dam <= mdsw * 1.30 + 0.01
+        if dam <= mdsw * 1.05 + 0.005:
+            mdsw_wins += 1
+
+        # Weak monotonicity in the budget: the largest budget's error does not exceed
+        # the smallest budget's error for DAM.
+        series = dict(result.series(dataset, "DAM"))
+        assert series[3.5] <= series[0.7] * 1.05 + 0.01
+    # ... and DAM wins (or ties) on the majority of datasets.
+    assert mdsw_wins >= len(result.datasets()) // 2 + 1

@@ -1,0 +1,47 @@
+"""Section VII-B — the Local Privacy calibration between DAM (LDP) and SEM-Geo-I (Geo-I).
+
+The paper makes the two privacy models comparable by matching their Local Privacy
+(Eq. 15/16) under a uniform prior: for every DAM budget eps of Table IV it derives the
+SEM-Geo-I budget eps' with equal LP.  This benchmark regenerates that calibration table
+and checks its qualitative properties (monotonicity, convergence, LP equality).
+"""
+
+from __future__ import annotations
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec
+from repro.experiments.config import EPSILON_VALUES_SMALL
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import calibrated_sem_epsilon
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.metrics.local_privacy import local_privacy_of_mechanism
+
+
+def _calibration_table(d: int):
+    grid = GridSpec.unit(d)
+    rows = []
+    for epsilon in EPSILON_VALUES_SMALL:
+        dam_lp = local_privacy_of_mechanism(DiscreteDAM(grid, epsilon))
+        sem_epsilon = calibrated_sem_epsilon(grid, epsilon)
+        sem_lp = local_privacy_of_mechanism(SEMGeoI(grid, sem_epsilon))
+        rows.append((epsilon, round(dam_lp, 4), round(sem_epsilon, 3), round(sem_lp, 4)))
+    return rows
+
+
+def test_local_privacy_calibration(benchmark, bench_config, record_result):
+    d = min(bench_config.default_d, 10)  # keep the LP matrix sizes bounded
+    rows = benchmark.pedantic(lambda: _calibration_table(d), rounds=1, iterations=1)
+    record_result(
+        "local_privacy_calibration",
+        format_table(["epsilon (DAM)", "LP(DAM)", "epsilon' (SEM-Geo-I)", "LP(SEM)"], rows),
+    )
+
+    lp_values = [row[1] for row in rows]
+    sem_epsilons = [row[2] for row in rows]
+    # More budget -> less privacy, for DAM's LP.
+    assert all(a > b for a, b in zip(lp_values, lp_values[1:]))
+    # The calibrated SEM-Geo-I budget grows with the DAM budget.
+    assert all(a <= b + 1e-9 for a, b in zip(sem_epsilons, sem_epsilons[1:]))
+    # LP values match after calibration.
+    for _, dam_lp, _, sem_lp in rows:
+        assert abs(dam_lp - sem_lp) <= 0.02 * max(dam_lp, 1e-6)

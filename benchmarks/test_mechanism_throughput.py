@@ -1,0 +1,59 @@
+"""Micro-benchmarks: per-user randomisation and estimation throughput.
+
+Not a paper figure — these are the timings a library user cares about (reports per
+second, estimation latency) and they back the complexity analysis of Section VI-B
+(randomisation is O(g) per user; estimation is dominated by the EM iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec
+from repro.core.huem import DiscreteHUEM
+from repro.mechanisms.mdsw import MDSW
+from repro.mechanisms.sem_geo_i import SEMGeoI
+
+N_USERS = 20_000
+GRID_D = 15
+EPSILON = 3.5
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridSpec:
+    return GridSpec.unit(GRID_D)
+
+
+@pytest.fixture(scope="module")
+def cells(grid) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.integers(0, grid.n_cells, N_USERS)
+
+
+@pytest.mark.parametrize(
+    "mechanism_cls", [DiscreteDAM, DiscreteHUEM, MDSW, SEMGeoI], ids=lambda c: c.__name__
+)
+def test_privatize_throughput(benchmark, grid, cells, mechanism_cls):
+    mechanism = mechanism_cls(grid, EPSILON)
+    rng = np.random.default_rng(1)
+    reports = benchmark(lambda: mechanism.privatize_cells(cells, seed=rng))
+    assert reports.shape[0] == N_USERS
+
+
+@pytest.mark.parametrize(
+    "mechanism_cls", [DiscreteDAM, DiscreteHUEM, MDSW], ids=lambda c: c.__name__
+)
+def test_estimate_latency(benchmark, grid, cells, mechanism_cls):
+    mechanism = mechanism_cls(grid, EPSILON)
+    reports = mechanism.privatize_cells(cells, seed=2)
+    counts = mechanism.aggregate(reports)
+    estimate = benchmark(lambda: mechanism.estimate(counts, N_USERS))
+    assert estimate.flat().sum() == pytest.approx(1.0)
+
+
+def test_mechanism_construction_cost(benchmark, grid):
+    """Transition-matrix construction is a one-off cost paid per (grid, epsilon)."""
+    mechanism = benchmark(lambda: DiscreteDAM(grid, EPSILON))
+    assert mechanism.output_domain_size() > grid.n_cells

@@ -1,0 +1,91 @@
+"""Extension benchmark — private range queries on top of DAM (the paper's future work).
+
+The related-work section notes DAM "can combine with the methods of HIO, HDG and AHEAD
+to further improve the accuracy in private range query".  This benchmark measures that
+combination on the Chicago surrogate: the flat engine (sum the DAM estimate) against
+the HIO-style hierarchy of DAM estimates, over short- and long-range workloads, plus an
+empirical privacy audit of the deployed mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.loader import load_dataset
+from repro.experiments.reporting import format_table
+from repro.metrics.privacy_audit import audit_mechanism, worst_case_epsilon
+from repro.queries.range_query import (
+    FlatRangeQueryEngine,
+    HierarchicalRangeQueryEngine,
+    RangeQueryWorkload,
+)
+
+EPSILON = 3.5
+FLAT_D = 16
+
+
+def _unit_crime_points(config):
+    dataset = load_dataset("Crime", scale=config.dataset_scale, seed=config.seed)
+    _, points, domain = dataset.parts[0]
+    return domain.normalise(points)
+
+
+def test_range_query_engines(benchmark, bench_config, record_result):
+    points = _unit_crime_points(bench_config)
+    domain = SpatialDomain.unit("crime-unit")
+
+    def run():
+        grid = GridSpec(domain, FLAT_D)
+        flat_estimate = DiscreteDAM(grid, EPSILON).run(points, seed=0).estimate
+        flat_engine = FlatRangeQueryEngine(flat_estimate)
+        hierarchical = HierarchicalRangeQueryEngine(
+            domain, EPSILON, levels=3, base_d=4, branching=2
+        ).fit(points, seed=1)
+
+        rows = []
+        for label, lo, hi in (("short-range", 0.05, 0.2), ("long-range", 0.4, 0.8)):
+            workload = RangeQueryWorkload.random(
+                domain, 40, min_fraction=lo, max_fraction=hi, seed=2
+            )
+            flat_mae = workload.mean_absolute_error(
+                flat_engine.answer_many(workload.queries), points
+            )
+            hier_mae = workload.mean_absolute_error(
+                hierarchical.answer_many(workload.queries), points
+            )
+            rows.append((label, round(flat_mae, 4), round(hier_mae, 4)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "range_query_engines", format_table(["workload", "flat DAM", "hierarchical DAM"], rows)
+    )
+    # Both engines answer range queries with single-digit-percent absolute error.
+    for _, flat_mae, hier_mae in rows:
+        assert flat_mae < 0.12
+        assert hier_mae < 0.15
+
+
+def test_range_query_privacy_audit(benchmark, bench_config, record_result):
+    """Empirical audit of the deployed DAM reporter (catches implementation regressions)."""
+    grid = GridSpec(SpatialDomain.unit(), 8)
+    mechanism = DiscreteDAM(grid, EPSILON)
+
+    def run():
+        results = audit_mechanism(mechanism, n_pairs=4, n_trials=15_000, seed=0)
+        rows = [
+            (i, round(r.epsilon_measured, 3), round(r.epsilon_lower_confidence, 3), r.violated)
+            for i, r in enumerate(results)
+        ]
+        return results, rows
+
+    results, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "range_query_privacy_audit",
+        format_table(["pair", "eps measured", "eps lower bound", "violated"], rows)
+        + f"\ndeclared epsilon: {EPSILON}",
+    )
+    assert not any(r.violated for r in results)
+    assert worst_case_epsilon(results) <= EPSILON + 0.5

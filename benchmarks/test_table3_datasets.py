@@ -1,0 +1,29 @@
+"""Table III — dataset part statistics (ranges and point counts).
+
+Regenerates the Table III rows from the surrogate datasets.  The paper's point counts
+are reported next to the surrogate counts (which are the paper counts multiplied by the
+profile's dataset scale), so the table documents exactly how far the laptop profile is
+from the full-size experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table3_dataset_statistics
+from repro.experiments.reporting import format_table3
+
+
+def test_table3_dataset_statistics(benchmark, bench_config, record_result):
+    rows = benchmark.pedantic(
+        lambda: table3_dataset_statistics(bench_config), rounds=1, iterations=1
+    )
+    record_result("table3_datasets", format_table3(rows))
+
+    # Structural checks: all six Table III parts present with the paper's counts.
+    assert len(rows) == 6
+    paper_counts = {row.part: row.paper_points for row in rows}
+    assert paper_counts["chicago-part-a"] == 216_595
+    assert paper_counts["nyc-part-b"] == 42_195
+    # Surrogate sizes follow the configured scale (within the minimum-size floor).
+    for row in rows:
+        expected = max(int(row.paper_points * bench_config.dataset_scale), 50)
+        assert row.surrogate_points == expected

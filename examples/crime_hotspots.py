@@ -1,0 +1,57 @@
+"""Crime hot-spot mapping under LDP — the paper's motivating Chicago scenario.
+
+The police want a city-wide picture of where incidents concentrate without publishing
+exact incident coordinates (Example 1 of the paper).  This example runs the full
+comparison on the Chicago Crime surrogate: DAM against MDSW, SEM-Geo-I and the naive
+Bucket+GRR strawman, all at the same privacy level (SEM-Geo-I's Geo-I budget is
+calibrated through the Local Privacy metric exactly as in Section VII-B).
+
+Run with:  python examples/crime_hotspots.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.loader import load_dataset
+from repro.experiments.runner import build_mechanism
+from repro.metrics import wasserstein2_auto
+
+EPSILON = 3.5
+GRID_SIDE = 10
+MECHANISMS = ("DAM", "DAM-NS", "HUEM", "MDSW", "SEM-Geo-I", "Bucket+CFO")
+
+
+def main() -> None:
+    # Surrogate for the Chicago Crimes extraction (2% of the paper's size for speed).
+    dataset = load_dataset("Crime", scale=0.02, seed=0)
+    print(f"dataset: {dataset.name}, parts: {dataset.part_names()}, "
+          f"total points: {dataset.total_points}")
+
+    print(f"\nPer-mechanism W2 (lower is better), eps = {EPSILON}, d = {GRID_SIDE}:")
+    print(f"{'mechanism':<12} " + " ".join(f"{name.split('-')[-1]:>10}" for name, _, _ in dataset.parts) + "      mean")
+
+    results: dict[str, float] = {}
+    for mechanism_name in MECHANISMS:
+        part_errors = []
+        for part_name, points, domain in dataset.parts:
+            # Work in the unit square, as in the paper's problem definition.
+            unit_points = domain.normalise(points)
+            grid = GridSpec(SpatialDomain.unit(part_name), GRID_SIDE)
+            true_distribution = grid.distribution(unit_points)
+            mechanism = build_mechanism(mechanism_name, grid, EPSILON)
+            report = mechanism.run(unit_points, seed=1)
+            part_errors.append(wasserstein2_auto(true_distribution, report.estimate))
+        results[mechanism_name] = float(np.mean(part_errors))
+        row = " ".join(f"{e:>10.4f}" for e in part_errors)
+        print(f"{mechanism_name:<12} {row}  {results[mechanism_name]:>8.4f}")
+
+    best = min(results, key=results.get)
+    print(f"\nbest mechanism on the Crime surrogate: {best} (W2 = {results[best]:.4f})")
+    print("expected from the paper: DAM wins among the LDP mechanisms and beats "
+          "SEM-Geo-I once the grid is fine enough.")
+
+
+if __name__ == "__main__":
+    main()

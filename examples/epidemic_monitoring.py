@@ -1,0 +1,74 @@
+"""Epidemic monitoring: private case-density maps with multiple outbreak centres.
+
+A health agency collects self-reported case locations under LDP and needs the spatial
+case distribution to allocate testing capacity.  Outbreaks are multi-modal (several
+simultaneous clusters), which is exactly the structure the MNormal synthetic dataset
+models.  This example shows:
+
+* how the estimate degrades gracefully as the privacy budget shrinks,
+* why keeping the cross-dimension correlation matters (DAM versus MDSW on the
+  correlated cluster), and
+* how to answer "how many cases fall inside this district?" range queries on the
+  private estimate.
+
+Run with:  python examples/epidemic_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.synthetic import mnormal_dataset
+from repro.mechanisms.mdsw import MDSW
+from repro.metrics import wasserstein2_auto
+
+GRID_SIDE = 12
+
+
+def district_mass(probabilities: np.ndarray, rows: slice, cols: slice) -> float:
+    """Fraction of cases estimated to fall inside a rectangular district."""
+    return float(probabilities[rows, cols].sum())
+
+
+def main() -> None:
+    data = mnormal_dataset(n=30_000, seed=3)
+    domain = data.domain
+    unit_points = domain.normalise(data.points)
+    unit_domain = SpatialDomain.unit("epidemic")
+    grid = GridSpec(unit_domain, GRID_SIDE)
+    true_distribution = grid.distribution(unit_points)
+
+    print(f"simulated cases: {data.size}, clusters: {len(data.parameters['centers'])}")
+
+    print("\nPrivacy/utility trade-off (DAM, d = 12):")
+    for epsilon in (0.7, 1.4, 2.8, 5.0):
+        mechanism = DiscreteDAM(grid, epsilon)
+        estimate = mechanism.run(unit_points, seed=0).estimate
+        error = wasserstein2_auto(true_distribution, estimate)
+        print(f"  eps = {epsilon:>3}: W2 = {error:.4f}  (b_hat = {mechanism.b_hat})")
+
+    print("\nKeeping the spatial correlation (eps = 2.8):")
+    for mechanism in (DiscreteDAM(grid, 2.8), MDSW(grid, 2.8)):
+        estimate = mechanism.run(unit_points, seed=1).estimate
+        error = wasserstein2_auto(true_distribution, estimate)
+        print(f"  {mechanism.name:<5}: W2 = {error:.4f}")
+
+    # District-level counts from the private estimate (post-processing is free under DP).
+    mechanism = DiscreteDAM(grid, 2.8)
+    estimate = mechanism.run(unit_points, seed=2).estimate
+    half = GRID_SIDE // 2
+    districts = {
+        "south-west": (slice(0, half), slice(0, half)),
+        "north-east": (slice(half, GRID_SIDE), slice(half, GRID_SIDE)),
+    }
+    print("\nEstimated vs true share of cases per district (eps = 2.8):")
+    for name, (rows, cols) in districts.items():
+        estimated = district_mass(estimate.probabilities, rows, cols)
+        actual = district_mass(true_distribution.probabilities, rows, cols)
+        print(f"  {name:<11}: estimated {estimated:.3f}, true {actual:.3f}")
+
+
+if __name__ == "__main__":
+    main()

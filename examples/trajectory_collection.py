@@ -1,0 +1,68 @@
+"""Private trajectory collection: point-density quality of three collection strategies.
+
+Appendix D of the paper compares DAM against two dedicated trajectory mechanisms
+(LDPTrace and PivotTrace) when the analyst only needs the *spatial density* of the
+collected trajectories (e.g. road-usage heat maps), not the sequential structure.
+This example reproduces that comparison at laptop scale on simulated NYC-style
+trajectories and prints the seven-step evaluation of the Appendix.
+
+Run with:  python examples/trajectory_collection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.loader import load_dataset
+from repro.datasets.trajectories import generate_trajectories
+from repro.trajectory.adapter import compare_all_trajectory_mechanisms
+
+EPSILON = 1.5
+GRID_SIDE = 12
+
+
+def main() -> None:
+    nyc = load_dataset("NYC", scale=0.05, seed=0, full_domain=True)
+    _, points, domain = nyc.parts[0]
+
+    # Appendix-D generation: popularity-weighted random walks on a fine routing grid.
+    dataset = generate_trajectories(
+        points,
+        domain,
+        routing_d=100,
+        n_trajectories=300,
+        min_length=2,
+        max_length=60,
+        seed=1,
+    )
+    lengths = dataset.lengths()
+    print(f"generated {dataset.size} trajectories "
+          f"(lengths {lengths.min()}..{lengths.max()}, mean {lengths.mean():.1f})")
+    print(f"total trajectory points: {dataset.all_points().shape[0]}")
+
+    results = compare_all_trajectory_mechanisms(
+        dataset.trajectories, domain, d=GRID_SIDE, epsilon=EPSILON, seed=2
+    )
+
+    print(f"\nPoint-density W2 at eps = {EPSILON}, d = {GRID_SIDE} (lower is better):")
+    for key in ("ldptrace", "pivottrace", "dam"):
+        result = results[key]
+        print(f"  {result.mechanism:<11}: W2 = {result.w2:.4f}")
+
+    ordered = sorted(results.values(), key=lambda r: r.w2)
+    print(f"\nbest strategy for density estimation: {ordered[0].mechanism}")
+    print("expected from the paper: DAM wins — the trajectory mechanisms spend their "
+          "budget on sequence structure the density query never uses.")
+
+    # Show where the budget argument bites: LDPTrace's error barely improves with eps.
+    print("\nW2 as the budget grows:")
+    for epsilon in (0.5, 1.5, 2.5):
+        row = compare_all_trajectory_mechanisms(
+            dataset.trajectories, domain, d=GRID_SIDE, epsilon=epsilon, seed=3
+        )
+        cells = ", ".join(f"{row[k].mechanism}: {row[k].w2:.4f}" for k in ("ldptrace", "pivottrace", "dam"))
+        print(f"  eps = {epsilon}: {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Numerical Estimation of Spatial Distributions under
+Differential Privacy" (ICDE 2025).
+
+The library implements the paper's Disk Area Mechanism (DAM) for private spatial
+distribution estimation under Local Differential Privacy, together with every substrate
+and baseline its evaluation depends on:
+
+* ``repro.core`` — SAM / HUEM / DAM (continuous and grid-discretised), radius selection,
+  shrinkage geometry, GridAreaResponse, EM post-processing and the end-to-end pipeline;
+* ``repro.mechanisms`` — the baselines: categorical frequency oracles, Square Wave /
+  MDSW, Geo-I, SEM-Geo-I, SR/PM and HDG;
+* ``repro.metrics`` — exact and Sinkhorn Wasserstein distances, sliced Wasserstein /
+  Radon transforms, divergences and the Local Privacy calibration;
+* ``repro.datasets`` — the synthetic datasets and surrogates for Chicago Crime / NYC
+  Taxi, plus the Appendix-D trajectory generator;
+* ``repro.trajectory`` — LDPTrace, PivotTrace and the trajectory-to-point adapter;
+* ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
+  table/figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import estimate_spatial_distribution
+
+    locations = np.random.default_rng(0).normal(0.5, 0.1, size=(10_000, 2))
+    result = estimate_spatial_distribution(locations, epsilon=2.0, d=10, seed=0)
+    print(result.estimate.probabilities)       # the privately estimated density map
+"""
+
+from repro.core import (
+    DAMPipeline,
+    DiscreteDAM,
+    DiscreteDAMNoShrink,
+    DiscreteHUEM,
+    GridDistribution,
+    GridSpec,
+    PipelineResult,
+    SpatialDomain,
+    estimate_spatial_distribution,
+    grid_radius,
+    optimal_radius,
+)
+from repro.metrics import sliced_wasserstein, wasserstein2_auto, wasserstein2_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DAMPipeline",
+    "DiscreteDAM",
+    "DiscreteDAMNoShrink",
+    "DiscreteHUEM",
+    "GridDistribution",
+    "GridSpec",
+    "PipelineResult",
+    "SpatialDomain",
+    "estimate_spatial_distribution",
+    "grid_radius",
+    "optimal_radius",
+    "sliced_wasserstein",
+    "wasserstein2_auto",
+    "wasserstein2_grid",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: quick private estimation and figure regeneration.
+
+Two subcommands cover the common workflows without writing Python:
+
+``python -m repro estimate``
+    Read ``x,y`` locations from a CSV file (or generate a synthetic dataset), run the
+    DAM pipeline at a chosen budget and grid size, and print the estimated density map
+    (optionally as an ASCII heat map) together with the Wasserstein error against the
+    non-private histogram.
+
+``python -m repro figure``
+    Regenerate one of the paper's figures (``fig8``, ``fig9-small-d``, ``fig9-large-d``,
+    ``fig9-small-eps``, ``fig9-large-eps``, ``fig13``) at laptop or smoke scale and
+    print/export the series.
+
+The CLI is intentionally thin: every subcommand delegates to the same public API the
+examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import estimate_spatial_distribution
+from repro.datasets.loader import DATASET_NAMES, load_dataset
+from repro.experiments.config import laptop_config, smoke_config
+from repro.experiments.export import sweep_to_csv, sweep_to_json, sweep_to_markdown
+from repro.experiments.figures import (
+    figure8_radius_sweep,
+    figure9_large_d,
+    figure9_large_epsilon,
+    figure9_small_d,
+    figure9_small_epsilon,
+    figure13_full_domain,
+)
+from repro.experiments.reporting import format_sweep
+from repro.metrics.wasserstein import wasserstein2_auto
+from repro.utils.visual import ascii_heatmap, side_by_side
+
+_FIGURES = {
+    "fig8": figure8_radius_sweep,
+    "fig9-small-d": figure9_small_d,
+    "fig9-large-d": figure9_large_d,
+    "fig9-small-eps": figure9_small_epsilon,
+    "fig9-large-eps": figure9_large_epsilon,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Private spatial distribution estimation (Disk Area Mechanism reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    estimate = subparsers.add_parser("estimate", help="run the DAM pipeline on a point set")
+    estimate.add_argument("--input", type=Path, default=None,
+                          help="CSV file with one 'x,y' pair per line (no header)")
+    estimate.add_argument("--dataset", choices=DATASET_NAMES, default=None,
+                          help="use a built-in dataset surrogate instead of --input")
+    estimate.add_argument("--scale", type=float, default=0.02,
+                          help="dataset scale when --dataset is used (default 0.02)")
+    estimate.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
+    estimate.add_argument("--d", type=int, default=12, help="grid side length")
+    estimate.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--heatmap", action="store_true", help="print ASCII heat maps")
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=sorted([*_FIGURES, "fig13"]))
+    figure.add_argument("--profile", choices=("laptop", "smoke"), default="smoke",
+                        help="experiment scale (default: smoke, for quick runs)")
+    figure.add_argument("--csv", type=Path, default=None, help="write the series to a CSV file")
+    figure.add_argument("--json", type=Path, default=None, help="write the series to a JSON file")
+    figure.add_argument("--markdown", action="store_true", help="print a markdown table")
+    return parser
+
+
+def _load_points(args) -> np.ndarray:
+    if args.input is not None and args.dataset is not None:
+        raise SystemExit("use either --input or --dataset, not both")
+    if args.input is not None:
+        points = np.loadtxt(args.input, delimiter=",", ndmin=2)
+        if points.shape[1] != 2:
+            raise SystemExit(f"expected two columns (x,y) in {args.input}")
+        return points
+    dataset_name = args.dataset or "Normal"
+    dataset = load_dataset(dataset_name, scale=args.scale, seed=args.seed)
+    return np.vstack([points for _, points, _ in dataset.parts])
+
+
+def _run_estimate(args) -> int:
+    points = _load_points(args)
+    result = estimate_spatial_distribution(
+        points, epsilon=args.epsilon, d=args.d, mechanism=args.mechanism, seed=args.seed
+    )
+    error = wasserstein2_auto(result.true_distribution, result.estimate)
+    print(f"users: {result.n_users}   mechanism: {result.mechanism}   "
+          f"epsilon: {args.epsilon}   d: {args.d}   b_hat: {result.b_hat}")
+    print(f"W2(true, estimate) = {error:.4f}")
+    if args.heatmap:
+        print(
+            side_by_side(
+                ascii_heatmap(result.true_distribution.probabilities, title="true"),
+                ascii_heatmap(result.estimate.probabilities, title="estimated"),
+            )
+        )
+    else:
+        np.set_printoptions(precision=4, suppress=True)
+        print(result.estimate.probabilities)
+    return 0
+
+
+def _run_figure(args) -> int:
+    config = smoke_config() if args.profile == "smoke" else laptop_config()
+    if args.name == "fig13":
+        sweeps = figure13_full_domain(config)
+        for key, sweep in sweeps.items():
+            print(f"\n[{key}]")
+            print(format_sweep(sweep))
+        return 0
+    sweep = _FIGURES[args.name](config)
+    print(format_sweep(sweep))
+    if args.markdown:
+        print()
+        print(sweep_to_markdown(sweep))
+    if args.csv is not None:
+        sweep_to_csv(sweep, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json is not None:
+        sweep_to_json(sweep, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the tests."""
+    args = build_parser().parse_args(argv)
+    if args.command == "estimate":
+        return _run_estimate(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,332 @@
+"""Spatial domains, grid specifications and grid distributions.
+
+Section VI of the paper works on a square input domain of side length ``L`` that is
+bucketised into a ``d x d`` grid of cells with side ``g = L / d``.  Three classes model
+that world:
+
+* :class:`SpatialDomain` — the continuous bounding box of the raw data.
+* :class:`GridSpec` — a bucketisation of a domain into ``d x d`` cells; it knows how to
+  map points to cell indices and cell indices back to centre coordinates.
+* :class:`GridDistribution` — a probability histogram over a :class:`GridSpec`; this is
+  the common currency exchanged between datasets, mechanisms and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.utils.histogram import (
+    counts_to_distribution,
+    flatten_grid,
+    grid_cell_centers,
+    points_to_grid_counts,
+    unflatten_grid,
+)
+from repro.utils.validation import check_bounds, check_grid_side, check_points
+
+
+@dataclass(frozen=True)
+class SpatialDomain:
+    """A rectangular region of the plane holding the raw (continuous) data.
+
+    Attributes
+    ----------
+    x_min, x_max, y_min, y_max:
+        Bounding box.  The paper uses squares; rectangles are accepted and the longer
+        side is reported as the side length ``L`` (used for radius selection).
+    name:
+        Optional human-readable label (e.g. ``"chicago-part-a"``).
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_bounds(self.x_min, self.x_max, name="x bounds")
+        check_bounds(self.y_min, self.y_max, name="y bounds")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def side_length(self) -> float:
+        """The side length ``L`` used by the paper (longest side for rectangles)."""
+        return max(self.width, self.height)
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        return (self.x_min, self.x_max, self.y_min, self.y_max)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which points fall inside (inclusive) the domain."""
+        pts = check_points(points)
+        return (
+            (pts[:, 0] >= self.x_min)
+            & (pts[:, 0] <= self.x_max)
+            & (pts[:, 1] >= self.y_min)
+            & (pts[:, 1] <= self.y_max)
+        )
+
+    def clip(self, points: np.ndarray) -> np.ndarray:
+        """Clamp points onto the domain boundary."""
+        pts = check_points(points).copy()
+        pts[:, 0] = np.clip(pts[:, 0], self.x_min, self.x_max)
+        pts[:, 1] = np.clip(pts[:, 1], self.y_min, self.y_max)
+        return pts
+
+    def filter(self, points: np.ndarray) -> np.ndarray:
+        """Return only the points lying inside the domain."""
+        pts = check_points(points)
+        return pts[self.contains(pts)]
+
+    def normalise(self, points: np.ndarray) -> np.ndarray:
+        """Map points affinely into the unit square ``[0, 1]^2``."""
+        pts = check_points(points)
+        out = np.empty_like(pts)
+        out[:, 0] = (pts[:, 0] - self.x_min) / self.width
+        out[:, 1] = (pts[:, 1] - self.y_min) / self.height
+        return out
+
+    def denormalise(self, unit_points: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalise`."""
+        pts = check_points(unit_points)
+        out = np.empty_like(pts)
+        out[:, 0] = pts[:, 0] * self.width + self.x_min
+        out[:, 1] = pts[:, 1] * self.height + self.y_min
+        return out
+
+    @staticmethod
+    def unit(name: str = "unit") -> "SpatialDomain":
+        """The unit square the paper's analysis is normalised to."""
+        return SpatialDomain(0.0, 1.0, 0.0, 1.0, name=name)
+
+    @staticmethod
+    def from_points(points: np.ndarray, *, pad: float = 0.0, name: str = "") -> "SpatialDomain":
+        """Tightest axis-aligned box around a point cloud, optionally padded."""
+        pts = check_points(points)
+        if pts.shape[0] == 0:
+            raise ValueError("cannot derive a domain from an empty point set")
+        x_min, y_min = pts.min(axis=0)
+        x_max, y_max = pts.max(axis=0)
+        if x_min == x_max:
+            x_max = x_min + 1e-9
+        if y_min == y_max:
+            y_max = y_min + 1e-9
+        return SpatialDomain(
+            x_min - pad, x_max + pad, y_min - pad, y_max + pad, name=name
+        )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A ``d x d`` bucketisation of a :class:`SpatialDomain`.
+
+    The grid index convention follows the paper's Figure 4: the cell at index
+    ``(col=0, row=0)`` is the lower-left cell and coordinates are measured in units of
+    the cell side ``g``.  Internally arrays are stored ``[row, col]`` (row = y band).
+    """
+
+    domain: SpatialDomain
+    d: int
+
+    def __post_init__(self) -> None:
+        check_grid_side(self.d)
+
+    @property
+    def n_cells(self) -> int:
+        return self.d * self.d
+
+    @property
+    def cell_width(self) -> float:
+        return self.domain.width / self.d
+
+    @property
+    def cell_height(self) -> float:
+        return self.domain.height / self.d
+
+    @property
+    def cell_side(self) -> float:
+        """The paper's ``g`` — uses the longer domain side for rectangles."""
+        return self.domain.side_length / self.d
+
+    def cell_centers(self) -> np.ndarray:
+        """``(d*d, 2)`` cell-centre coordinates, row-major (matches flatten order)."""
+        return grid_cell_centers(self.d, self.domain.bounds)
+
+    def cell_centers_grid_units(self) -> np.ndarray:
+        """Cell centres in grid units (cell side = 1), as integer indices ``(col, row)``."""
+        cols, rows = np.meshgrid(np.arange(self.d), np.arange(self.d))
+        return np.column_stack([cols.reshape(-1), rows.reshape(-1)]).astype(float)
+
+    def point_to_cell(self, points: np.ndarray) -> np.ndarray:
+        """Map each point to its flattened cell index (row-major)."""
+        pts = check_points(points)
+        x_min, x_max, y_min, y_max = self.domain.bounds
+        cols = np.clip(
+            np.floor((pts[:, 0] - x_min) / (x_max - x_min) * self.d).astype(np.int64),
+            0,
+            self.d - 1,
+        )
+        rows = np.clip(
+            np.floor((pts[:, 1] - y_min) / (y_max - y_min) * self.d).astype(np.int64),
+            0,
+            self.d - 1,
+        )
+        return rows * self.d + cols
+
+    def cell_to_rowcol(self, flat_index: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Convert flattened indices back into ``(row, col)`` pairs."""
+        idx = np.asarray(flat_index)
+        return idx // self.d, idx % self.d
+
+    def rowcol_to_cell(self, rows: np.ndarray | int, cols: np.ndarray | int) -> np.ndarray:
+        """Convert ``(row, col)`` pairs into flattened indices."""
+        return np.asarray(rows) * self.d + np.asarray(cols)
+
+    def histogram(self, points: np.ndarray) -> np.ndarray:
+        """Count grid of shape ``(d, d)`` for the given point cloud."""
+        return points_to_grid_counts(points, self.domain.bounds, self.d)
+
+    def distribution(self, points: np.ndarray) -> "GridDistribution":
+        """Empirical :class:`GridDistribution` of a point cloud on this grid."""
+        return GridDistribution(self, counts_to_distribution(self.histogram(points)))
+
+    def iter_cells(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(flat_index, row, col)`` over all cells in row-major order."""
+        for flat in range(self.n_cells):
+            yield flat, flat // self.d, flat % self.d
+
+    def with_side(self, d: int) -> "GridSpec":
+        """Return a new spec on the same domain with a different resolution."""
+        return GridSpec(self.domain, d)
+
+    @staticmethod
+    def unit(d: int) -> "GridSpec":
+        return GridSpec(SpatialDomain.unit(), d)
+
+
+@dataclass
+class GridDistribution:
+    """A probability distribution over the cells of a :class:`GridSpec`.
+
+    ``probabilities`` is stored as a ``(d, d)`` array that sums to one.  The class is
+    intentionally light-weight: it exists so mechanisms and metrics can exchange a
+    distribution without re-checking shapes and normalisation at every boundary.
+    """
+
+    grid: GridSpec
+    probabilities: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.probabilities, dtype=float)
+        if arr.shape == (self.grid.n_cells,):
+            arr = unflatten_grid(arr, self.grid.d)
+        if arr.shape != (self.grid.d, self.grid.d):
+            raise ValueError(
+                f"probabilities must have shape ({self.grid.d}, {self.grid.d}) or "
+                f"({self.grid.n_cells},), got {arr.shape}"
+            )
+        if np.any(arr < -1e-9) or not np.all(np.isfinite(arr)):
+            raise ValueError("probabilities must be finite and non-negative")
+        total = arr.sum()
+        if total <= 0:
+            raise ValueError("probabilities must have a positive sum")
+        self.probabilities = np.clip(arr, 0.0, None) / np.clip(arr, 0.0, None).sum()
+
+    @property
+    def d(self) -> int:
+        return self.grid.d
+
+    def flat(self) -> np.ndarray:
+        """Row-major flattened probability vector of length ``d*d``."""
+        return flatten_grid(self.probabilities)
+
+    def expected_counts(self, n: int) -> np.ndarray:
+        """Expected per-cell counts when ``n`` users are drawn from this distribution."""
+        return self.probabilities * float(n)
+
+    def sample_points(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points: sample a cell, then a uniform location inside it."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        flat = self.flat()
+        cells = rng.choice(self.grid.n_cells, size=n, p=flat / flat.sum())
+        rows, cols = self.grid.cell_to_rowcol(cells)
+        u = rng.random((n, 2))
+        x_min, x_max, y_min, y_max = self.grid.domain.bounds
+        xs = x_min + (cols + u[:, 0]) * (x_max - x_min) / self.grid.d
+        ys = y_min + (rows + u[:, 1]) * (y_max - y_min) / self.grid.d
+        return np.column_stack([xs, ys])
+
+    def total_variation(self, other: "GridDistribution") -> float:
+        """Total-variation distance to another distribution on the same grid."""
+        self._check_compatible(other)
+        return 0.5 * float(np.abs(self.flat() - other.flat()).sum())
+
+    def _check_compatible(self, other: "GridDistribution") -> None:
+        if other.grid.d != self.grid.d:
+            raise ValueError(
+                f"grids are incompatible: {self.grid.d}x{self.grid.d} vs "
+                f"{other.grid.d}x{other.grid.d}"
+            )
+
+    @staticmethod
+    def uniform(grid: GridSpec) -> "GridDistribution":
+        return GridDistribution(grid, np.full((grid.d, grid.d), 1.0 / grid.n_cells))
+
+    @staticmethod
+    def from_counts(grid: GridSpec, counts: np.ndarray) -> "GridDistribution":
+        return GridDistribution(grid, counts_to_distribution(counts))
+
+    @staticmethod
+    def from_points(grid: GridSpec, points: np.ndarray) -> "GridDistribution":
+        return grid.distribution(points)
+
+    @staticmethod
+    def from_flat(grid: GridSpec, flat: np.ndarray) -> "GridDistribution":
+        return GridDistribution(grid, unflatten_grid(flat, grid.d))
+
+
+def marginals(distribution: GridDistribution) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (x-marginal, y-marginal) of a grid distribution.
+
+    The x-marginal sums over rows (y bands), the y-marginal over columns.  Used by
+    MDSW, which privatises each axis independently.
+    """
+    probs = distribution.probabilities
+    return probs.sum(axis=0), probs.sum(axis=1)
+
+
+def outer_product_distribution(
+    grid: GridSpec, x_marginal: np.ndarray, y_marginal: np.ndarray
+) -> GridDistribution:
+    """Recombine independent per-axis marginals into a joint grid distribution.
+
+    This is exactly how MDSW reconstructs the 2-D density from its per-dimension
+    estimates, and is why MDSW loses the cross-dimension correlation the paper's DAM
+    retains.
+    """
+    x = np.clip(np.asarray(x_marginal, dtype=float), 0.0, None)
+    y = np.clip(np.asarray(y_marginal, dtype=float), 0.0, None)
+    if x.shape != (grid.d,) or y.shape != (grid.d,):
+        raise ValueError(
+            f"marginals must have shape ({grid.d},); got {x.shape} and {y.shape}"
+        )
+    x = x / x.sum() if x.sum() > 0 else np.full(grid.d, 1.0 / grid.d)
+    y = y / y.sum() if y.sum() > 0 else np.full(grid.d, 1.0 / grid.d)
+    return GridDistribution(grid, np.outer(y, x))

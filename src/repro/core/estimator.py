@@ -1,0 +1,183 @@
+"""Frequency-oracle protocol shared by DAM and every baseline mechanism.
+
+The paper frames every mechanism as a Frequency Oracle ``FO = <T, E>``: a randomised
+reporting function ``T`` run by each user and an estimation function ``E`` run by the
+analyst.  :class:`SpatialMechanism` captures that contract for mechanisms operating on
+a :class:`~repro.core.domain.GridSpec`:
+
+* :meth:`SpatialMechanism.privatize_cells` is ``T`` — it maps true cell indices to
+  noisy report indices in the mechanism's own output domain;
+* :meth:`SpatialMechanism.estimate` is ``E`` — it maps the histogram of noisy reports
+  back to a :class:`~repro.core.domain.GridDistribution` over the input grid.
+
+Mechanisms that perturb raw coordinates rather than cells (e.g. the continuous SAM
+samplers) can still participate through :meth:`privatize_points`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_epsilon
+
+
+@dataclass
+class MechanismReport:
+    """The output of one end-to-end mechanism run.
+
+    Attributes
+    ----------
+    estimate:
+        The reconstructed distribution over the input grid.
+    noisy_counts:
+        Histogram of noisy reports over the mechanism's output domain.
+    n_users:
+        Number of users that reported.
+    """
+
+    estimate: GridDistribution
+    noisy_counts: np.ndarray
+    n_users: int
+
+
+class SpatialMechanism(abc.ABC):
+    """Base class for ε-LDP (or ε-Geo-I) spatial distribution estimators."""
+
+    #: Short display name used by the experiment runner and benchmark tables.
+    name: str = "mechanism"
+
+    def __init__(self, grid: GridSpec, epsilon: float) -> None:
+        self.grid = grid
+        self.epsilon = check_epsilon(epsilon)
+
+    # ------------------------------------------------------------------ T
+    @abc.abstractmethod
+    def privatize_cells(self, cells: np.ndarray, seed=None) -> np.ndarray:
+        """Randomise true (flattened) input-cell indices into noisy report indices.
+
+        ``cells`` is an integer array of length ``n_users``; the return value is an
+        integer array of the same length indexing the mechanism's output domain
+        (``self.output_domain_size()`` categories).
+        """
+
+    # ------------------------------------------------------------------ E
+    @abc.abstractmethod
+    def estimate(self, noisy_counts: np.ndarray, n_users: int) -> GridDistribution:
+        """Reconstruct the input distribution from the noisy-report histogram."""
+
+    @abc.abstractmethod
+    def output_domain_size(self) -> int:
+        """Number of distinct values a noisy report can take."""
+
+    # ------------------------------------------------------- conveniences
+    def privatize_points(self, points: np.ndarray, seed=None) -> np.ndarray:
+        """Bucketise raw points onto the grid, then privatise the cell indices."""
+        cells = self.grid.point_to_cell(points)
+        return self.privatize_cells(cells, seed=seed)
+
+    def aggregate(self, reports: np.ndarray) -> np.ndarray:
+        """Histogram of noisy reports over the output domain."""
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.size and (reports.min() < 0 or reports.max() >= self.output_domain_size()):
+            raise ValueError(
+                "reports contain indices outside the output domain "
+                f"[0, {self.output_domain_size()})"
+            )
+        return np.bincount(reports, minlength=self.output_domain_size()).astype(float)
+
+    def run(self, points: np.ndarray, seed=None) -> MechanismReport:
+        """End-to-end: bucketise, privatise, aggregate and estimate.
+
+        This is Algorithm 1 of the paper specialised to the mechanism at hand.
+        """
+        rng = ensure_rng(seed)
+        pts = np.asarray(points, dtype=float)
+        reports = self.privatize_points(pts, seed=rng)
+        noisy_counts = self.aggregate(reports)
+        estimate = self.estimate(noisy_counts, n_users=pts.shape[0])
+        return MechanismReport(
+            estimate=estimate, noisy_counts=noisy_counts, n_users=pts.shape[0]
+        )
+
+    def run_cells(self, cells: np.ndarray, seed=None) -> MechanismReport:
+        """Like :meth:`run` but for callers that already bucketised their data."""
+        rng = ensure_rng(seed)
+        cells = np.asarray(cells, dtype=np.int64)
+        reports = self.privatize_cells(cells, seed=rng)
+        noisy_counts = self.aggregate(reports)
+        estimate = self.estimate(noisy_counts, n_users=cells.shape[0])
+        return MechanismReport(
+            estimate=estimate, noisy_counts=noisy_counts, n_users=cells.shape[0]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(d={self.grid.d}, epsilon={self.epsilon}, "
+            f"outputs={self.output_domain_size()})"
+        )
+
+
+class TransitionMatrixMechanism(SpatialMechanism):
+    """A mechanism fully described by a per-cell transition matrix.
+
+    Subclasses build ``transition[i, j] = Pr(report = j | true cell = i)`` once; this
+    base class then provides vectorised sampling (grouping users by their true cell so
+    each distinct cell costs one ``Generator.choice`` call) and estimation via
+    expectation maximisation over the same matrix.
+    """
+
+    def __init__(self, grid: GridSpec, epsilon: float) -> None:
+        super().__init__(grid, epsilon)
+        self._transition: np.ndarray | None = None
+
+    @property
+    def transition(self) -> np.ndarray:
+        """The ``(n_input_cells, n_output_cells)`` row-stochastic transition matrix."""
+        if self._transition is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has not built its transition matrix yet"
+            )
+        return self._transition
+
+    def _set_transition(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != self.grid.n_cells:
+            raise ValueError(
+                f"transition must have {self.grid.n_cells} rows, got shape {matrix.shape}"
+            )
+        rows = matrix.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-6):
+            raise ValueError("transition rows must sum to 1")
+        self._transition = matrix
+
+    def output_domain_size(self) -> int:
+        return self.transition.shape[1]
+
+    def privatize_cells(self, cells: np.ndarray, seed=None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size and (cells.min() < 0 or cells.max() >= self.grid.n_cells):
+            raise ValueError(f"cell indices must lie in [0, {self.grid.n_cells})")
+        reports = np.empty(cells.shape[0], dtype=np.int64)
+        n_out = self.output_domain_size()
+        for cell in np.unique(cells):
+            mask = cells == cell
+            reports[mask] = rng.choice(n_out, size=int(mask.sum()), p=self.transition[cell])
+        return reports
+
+    def ldp_ratio(self) -> float:
+        """Worst-case probability ratio between any two rows (the LDP audit value).
+
+        For a correctly built ε-LDP mechanism this is at most ``e^eps`` up to floating
+        point noise; tests assert it.
+        """
+        matrix = self.transition
+        positive = matrix[:, matrix.min(axis=0) > 0]
+        if positive.size == 0:
+            return float("inf")
+        return float((positive.max(axis=0) / positive.min(axis=0)).max())

@@ -1,0 +1,334 @@
+"""Disk-versus-grid geometry: the paper's Theorems VI.1 to VI.4.
+
+When DAM is discretised onto a ``d x d`` grid with integer high-probability radius
+``b_hat`` (in cell units), the output cells around an input cell fall into three
+classes (Figure 4 of the paper):
+
+* **pure high** (``Ap``)   — the cell centre lies inside or on the circle of radius
+  ``b_hat``;
+* **mixed** (``Am``)       — the circle crosses the cell but the centre is outside; the
+  paper splits such a cell into a high-probability *shrunken rectangle* and a
+  low-probability remainder (Theorem VI.1);
+* **pure low** (``Aq``)    — every other cell of the output domain.
+
+This module provides both the closed-form counting results of Theorems VI.2–VI.4 and a
+direct geometric enumeration (:func:`enumerate_disk_cells`), which the mechanisms use
+and which the tests cross-check against the closed forms.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class CellClass(enum.Enum):
+    """Classification of an output cell relative to the high-probability disk."""
+
+    PURE_HIGH = "pure_high"
+    MIXED = "mixed"
+    PURE_LOW = "pure_low"
+
+
+@dataclass(frozen=True)
+class DiskCell:
+    """One output cell of the disk neighbourhood of an input cell.
+
+    Attributes
+    ----------
+    dx, dy:
+        Integer offset of the cell centre from the input cell centre, in cell units.
+    cell_class:
+        Pure high, mixed, or pure low.
+    high_area:
+        Fraction of the unit cell reported with the *high* probability density.
+        1 for pure-high cells, the shrunken-rectangle area for mixed cells, 0 otherwise.
+    """
+
+    dx: int
+    dy: int
+    cell_class: CellClass
+    high_area: float
+
+
+def center_distance(dx: float, dy: float) -> float:
+    """Euclidean distance from the input cell centre to an offset cell centre."""
+    return math.hypot(dx, dy)
+
+
+def nearest_corner_distance(dx: float, dy: float) -> float:
+    """Distance from the input cell centre to the closest point of the offset cell.
+
+    The offset cell is the unit square centred at ``(dx, dy)``.
+    """
+    nx = max(abs(dx) - 0.5, 0.0)
+    ny = max(abs(dy) - 0.5, 0.0)
+    return math.hypot(nx, ny)
+
+
+def farthest_corner_distance(dx: float, dy: float) -> float:
+    """Distance from the input cell centre to the farthest point of the offset cell."""
+    return math.hypot(abs(dx) + 0.5, abs(dy) + 0.5)
+
+
+def classify_offset(dx: int, dy: int, b_hat: float) -> CellClass:
+    """Classify a cell offset relative to the circle of radius ``b_hat``.
+
+    Follows the paper's definitions in Section VI-A: the cell is *pure high* when its
+    centre is inside or on the circle, *mixed* when the circle crosses the cell but the
+    centre is outside, *pure low* otherwise.
+    """
+    b_hat = check_positive(b_hat, "b_hat")
+    if center_distance(dx, dy) <= b_hat:
+        return CellClass.PURE_HIGH
+    if nearest_corner_distance(dx, dy) < b_hat:
+        return CellClass.MIXED
+    return CellClass.PURE_LOW
+
+
+def shrunken_rectangle_area(x: int, y: int, b_hat: float) -> float:
+    """Area of the shrunken high-probability rectangle of a mixed cell (Theorem VI.1).
+
+    ``(x, y)`` is the integer index of the mixed cell relative to the input cell and
+    ``b_hat`` the high-probability radius in cell units.  The paper's closed form is
+
+    ``S = 4 (delta*x + 1/2)(delta*y + 1/2)``  with  ``delta = b_hat / sqrt(x^2+y^2) - 1``.
+
+    The value is clipped into ``[0, 1]`` — the approximation can slightly exceed the
+    unit-cell area for cells whose centre is barely outside the circle.
+    """
+    b_hat = check_positive(b_hat, "b_hat")
+    r = math.hypot(x, y)
+    if r == 0:
+        return 1.0
+    delta = b_hat / r - 1.0
+    area = 4.0 * (delta * abs(x) + 0.5) * (delta * abs(y) + 0.5)
+    return float(min(max(area, 0.0), 1.0))
+
+
+def diagonal_shrunken_area(b_hat: int) -> float:
+    """Shrunken area of the diagonal (``pi/4`` direction) border cell — Eq. (14).
+
+    With ``b' = b_hat / sqrt(2) - 1/2`` and ``b_diag = floor(b')``, the diagonal cell at
+    index ``(b_diag + 1, b_diag + 1)`` is crossed by the circle.  Its high-probability
+    part is ``4 (b' - b_diag)^2`` when ``b' - b_diag < 1/2`` and the whole cell otherwise.
+    """
+    if b_hat < 1:
+        raise ValueError(f"b_hat must be >= 1, got {b_hat}")
+    b_prime = b_hat / math.sqrt(2.0) - 0.5
+    b_diag = math.floor(b_prime)
+    frac = b_prime - b_diag
+    if frac < 0.5:
+        return float(4.0 * frac * frac)
+    return 1.0
+
+
+def circle_cell_overlap_area(dx: float, dy: float, b: float, *, resolution: int = 400) -> float:
+    """Exact (numerically integrated) overlap of the disk of radius ``b`` with a cell.
+
+    The cell is the unit square centred at ``(dx, dy)``.  This is *not* what the paper
+    uses (it uses the shrunken-rectangle approximation of Theorem VI.1); it exists so
+    tests and ablations can quantify the approximation error.
+    """
+    b = check_positive(b, "b")
+    x_lo, x_hi = dx - 0.5, dx + 0.5
+    y_lo, y_hi = dy - 0.5, dy + 0.5
+    if nearest_corner_distance(dx, dy) >= b:
+        return 0.0
+    if farthest_corner_distance(dx, dy) <= b:
+        return 1.0
+    xs = np.linspace(max(x_lo, -b), min(x_hi, b), resolution)
+    if xs.size < 2:
+        return 0.0
+    half_chord = np.sqrt(np.clip(b * b - xs * xs, 0.0, None))
+    upper = np.clip(half_chord, y_lo, y_hi)
+    lower = np.clip(-half_chord, y_lo, y_hi)
+    return float(np.trapezoid(np.clip(upper - lower, 0.0, None), xs))
+
+
+def enumerate_disk_cells(b_hat: int, *, use_shrinkage: bool = True) -> list[DiskCell]:
+    """Enumerate all cells of the disk neighbourhood of an input cell.
+
+    Returns every offset ``(dx, dy)`` whose cell is pure-high or mixed with respect to
+    the circle of radius ``b_hat`` centred at the input cell centre, together with the
+    high-probability area of each.  With ``use_shrinkage=False`` (the paper's DAM-NS
+    ablation) mixed cells carry zero high-probability area.
+    """
+    if b_hat < 1:
+        raise ValueError(f"b_hat must be a positive integer, got {b_hat}")
+    cells: list[DiskCell] = []
+    reach = int(math.ceil(b_hat)) + 1
+    for dy in range(-reach, reach + 1):
+        for dx in range(-reach, reach + 1):
+            cls = classify_offset(dx, dy, b_hat)
+            if cls is CellClass.PURE_LOW:
+                continue
+            if cls is CellClass.PURE_HIGH:
+                high = 1.0
+            elif use_shrinkage:
+                if abs(dx) == abs(dy):
+                    high = diagonal_shrunken_area(b_hat)
+                else:
+                    high = shrunken_rectangle_area(dx, dy, b_hat)
+            else:
+                high = 0.0
+            cells.append(DiskCell(dx=dx, dy=dy, cell_class=cls, high_area=high))
+    return cells
+
+
+def disk_high_low_areas(b_hat: int, *, use_shrinkage: bool = True) -> tuple[float, float]:
+    """Total high-probability area ``SH`` and in-disk low-probability area.
+
+    ``SH`` counts pure-high cells at area 1 plus mixed cells at their shrunken area; the
+    second return value is the low-probability remainder of the mixed cells (the part
+    of the disk neighbourhood reported with probability ``q_hat``).
+    """
+    cells = enumerate_disk_cells(b_hat, use_shrinkage=use_shrinkage)
+    high = sum(c.high_area for c in cells)
+    low_in_disk = sum(1.0 - c.high_area for c in cells if c.cell_class is CellClass.MIXED)
+    return float(high), float(low_in_disk)
+
+
+# ---------------------------------------------------------------------------
+# Closed-form counting results (Theorems VI.2 - VI.4)
+# ---------------------------------------------------------------------------
+
+
+def pure_low_cell_count(d: int, b_hat: int) -> int:
+    """Number of pure-low-probability cells ``|Aq|`` — Theorem VI.2.
+
+    For a square ``d x d`` input grid and integer radius ``b_hat``, the count is
+    ``d^2 + 4*b_hat*d - 4*b_hat - 1`` and is the same for every input cell.
+    """
+    if d < 1 or b_hat < 1:
+        raise ValueError(f"d and b_hat must be >= 1, got d={d}, b_hat={b_hat}")
+    return d * d + 4 * b_hat * d - 4 * b_hat - 1
+
+
+def octant_mixed_cell_count(b_hat: int) -> int:
+    """Number of strict-octant mixed cells ``|E^(m)_{b,(0, pi/4)}|`` — Theorem VI.3."""
+    if b_hat < 1:
+        raise ValueError(f"b_hat must be >= 1, got {b_hat}")
+    height = math.ceil(b_hat / math.sqrt(2.0) - 0.5)
+    r1 = math.floor(b_hat / math.sqrt(2.0) - 0.5) * math.sqrt(2.0) + 1.0 / math.sqrt(2.0)
+    r = math.sqrt(r1 * r1 + 1.0 + math.sqrt(2.0) * r1)
+    return int(height - math.floor(r / b_hat))
+
+
+def octant_mixed_cell_indices(b_hat: int) -> list[tuple[int, int]]:
+    """Indices ``(x, y)`` of the strict-octant mixed cells — Theorem VI.3.
+
+    The i-th mixed cell (``i`` starting at 1) has index
+    ``(ceil(sqrt(b^2 - (i - 1/2)^2) - 1/2), i)``.
+    """
+    count = octant_mixed_cell_count(b_hat)
+    indices = []
+    for i in range(1, count + 1):
+        x = math.ceil(math.sqrt(max(b_hat * b_hat - (i - 0.5) ** 2, 0.0)) - 0.5)
+        indices.append((int(x), int(i)))
+    return indices
+
+
+def octant_pure_high_cell_count(b_hat: int) -> int:
+    """Number of strict-octant pure-high cells ``|E^(p)_{b,(0, pi/4)}|`` — Theorem VI.4.
+
+    The formula printed in the arXiv version of the paper counts the quarter region
+    *including* the diagonal cells, which double-counts them against the explicit
+    ``4 * (b_hat + b_diag + ...)`` diagonal term of the ``S_H`` expression (it yields 17
+    instead of the 13 of the paper's own ``b_hat = 7`` worked example).  We therefore
+    subtract the ``floor(b_hat / sqrt(2))`` pure-high diagonal cells so the closed form
+    agrees with the paper's example and with the direct enumeration in
+    :func:`enumerate_disk_cells`; the correction is asserted by the geometry tests.
+    """
+    if b_hat < 1:
+        raise ValueError(f"b_hat must be >= 1, got {b_hat}")
+    height = math.ceil(b_hat / math.sqrt(2.0) - 0.5)
+    mixed = octant_mixed_cell_count(b_hat)
+    total = 0.5 * height * (height - 2 * mixed - 1)
+    for i in range(1, mixed + 1):
+        total += math.ceil(math.sqrt(max(b_hat * b_hat - (i - 0.5) ** 2, 0.0)) - 0.5)
+    diagonal_pure_high = math.floor(b_hat / math.sqrt(2.0))
+    return int(round(total)) - diagonal_pure_high
+
+
+def closed_form_high_low_areas(d: int, b_hat: int) -> tuple[float, float]:
+    """Closed-form ``(SH, SL)`` built from Theorems VI.1–VI.4 (Section VI-A).
+
+    ``SH`` is the total area reported at high probability, ``SL`` the total area
+    reported at low probability (pure-low cells plus the low remainder of mixed cells).
+    The direct enumeration in :func:`disk_high_low_areas` must agree with this; tests
+    assert the two paths match.
+    """
+    diag_area = diagonal_shrunken_area(b_hat)
+    b_prime = b_hat / math.sqrt(2.0) - 0.5
+    b_diag = math.floor(b_prime)
+    octant_indices = octant_mixed_cell_indices(b_hat)
+    octant_shrunk = [shrunken_rectangle_area(x, y, b_hat) for x, y in octant_indices]
+    pure_high_octant = octant_pure_high_cell_count(b_hat)
+
+    s_high = (
+        1.0
+        + 4.0 * (b_hat + b_diag + diag_area)
+        + 8.0 * (pure_high_octant + sum(octant_shrunk))
+    )
+    pure_low = pure_low_cell_count(d, b_hat)
+    s_low = (
+        float(pure_low)
+        + 4.0 * (1.0 - diag_area if diag_area < 1.0 else 0.0)
+        + 8.0 * sum(1.0 - s for s in octant_shrunk)
+    )
+    return float(s_high), float(s_low)
+
+
+# ---------------------------------------------------------------------------
+# Output-domain construction
+# ---------------------------------------------------------------------------
+
+
+def disk_offset_array(b_hat: int, *, use_shrinkage: bool = True) -> np.ndarray:
+    """Disk-neighbourhood offsets as a structured float array ``(n, 3)``.
+
+    Columns are ``dx``, ``dy`` and ``high_area``; used by the vectorised transition
+    matrix builder in :mod:`repro.core.dam`.
+    """
+    cells = enumerate_disk_cells(b_hat, use_shrinkage=use_shrinkage)
+    return np.array([[c.dx, c.dy, c.high_area] for c in cells], dtype=float)
+
+
+def output_domain_cells(d: int, b_hat: int) -> np.ndarray:
+    """All output-grid cells of the (extended) noisy domain.
+
+    The noisy output domain is the union, over every input cell, of that cell's disk
+    neighbourhood — a "rounded square" ``b_hat`` cells wider than the input grid on each
+    side (Section VI-A, Figure 2).  Returns an ``(m, 2)`` integer array of
+    ``(col, row)`` indices; indices may be negative or ``>= d`` for the extension ring.
+    """
+    if d < 1 or b_hat < 1:
+        raise ValueError(f"d and b_hat must be >= 1, got d={d}, b_hat={b_hat}")
+    offsets = disk_offset_array(b_hat)
+    lo, hi = -b_hat - 1, d + b_hat
+    cols, rows = np.meshgrid(np.arange(lo, hi + 1), np.arange(lo, hi + 1))
+    cols = cols.reshape(-1)
+    rows = rows.reshape(-1)
+    # A candidate cell belongs to the output domain iff it lies in the disk
+    # neighbourhood of its *nearest* input cell (the union over translates of a
+    # column/row-convex shape).
+    nearest_col = np.clip(cols, 0, d - 1)
+    nearest_row = np.clip(rows, 0, d - 1)
+    d_col = cols - nearest_col
+    d_row = rows - nearest_row
+    offset_set = {(int(o[0]), int(o[1])) for o in offsets}
+    keep = np.array(
+        [(int(dc), int(dr)) in offset_set for dc, dr in zip(d_col, d_row)], dtype=bool
+    )
+    return np.column_stack([cols[keep], rows[keep]]).astype(np.int64)
+
+
+def output_domain_cell_count(d: int, b_hat: int) -> int:
+    """Size of the noisy output domain (consistency target for Theorem VI.2)."""
+    return int(output_domain_cells(d, b_hat).shape[0])

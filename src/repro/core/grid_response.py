@@ -1,0 +1,162 @@
+"""GridAreaResponse — the paper's Algorithm 2, implemented literally.
+
+:class:`~repro.core.dam.DiscreteDAM` randomises users with one categorical draw from a
+precomputed transition row, which is the vectorised equivalent of Algorithm 2.  This
+module keeps the *literal* two-stage algorithm as well:
+
+1. split the output domain into four parts — pure-low area, low part of the mixed
+   (border) cells, high part of the mixed cells, pure-high area — and pick a part with
+   probability proportional to (area x weight), where the weight is ``1`` for low parts
+   and ``e^eps`` for high parts (Algorithm 2, line 6);
+2. inside the pure parts sample a cell uniformly; inside the mixed parts sample a cell
+   proportionally to its weighted area (lines 8, 10, 12–15).
+
+Tests verify that the per-cell response probabilities induced by this procedure match
+the DAM transition row exactly, which is the correctness argument for using the
+vectorised path in the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dam import DiskOutputDomain
+from repro.core.domain import GridSpec
+from repro.core.geometry import CellClass, enumerate_disk_cells
+from repro.core.radius import grid_radius
+from repro.utils.rng import ensure_rng, weighted_sample_index
+from repro.utils.validation import check_epsilon
+
+
+@dataclass(frozen=True)
+class ResponseParts:
+    """The four candidate sample parts of Algorithm 2 for one input cell.
+
+    ``pure_low_cells`` etc. hold output-domain indices; the ``*_areas`` entries hold
+    the corresponding (possibly fractional) area of each listed cell.
+    """
+
+    pure_low_cells: np.ndarray
+    pure_high_cells: np.ndarray
+    mixed_cells: np.ndarray
+    mixed_high_areas: np.ndarray
+    mixed_low_areas: np.ndarray
+
+
+class GridAreaResponse:
+    """Literal implementation of Algorithm 2 for the Disk Area Mechanism."""
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        epsilon: float,
+        *,
+        b_hat: int | None = None,
+        use_shrinkage: bool = True,
+    ) -> None:
+        self.grid = grid
+        self.epsilon = check_epsilon(epsilon)
+        if b_hat is None:
+            b_hat = grid_radius(epsilon, grid.d, grid.domain.side_length)
+        self.b_hat = int(b_hat)
+        if self.b_hat < 1:
+            raise ValueError(f"b_hat must be >= 1, got {b_hat}")
+        self.use_shrinkage = use_shrinkage
+        self.output_domain = DiskOutputDomain.build(grid.d, self.b_hat)
+        self._lookup = self.output_domain.index_lookup()
+        self._disk_cells = enumerate_disk_cells(self.b_hat, use_shrinkage=use_shrinkage)
+        self._parts_cache: dict[int, ResponseParts] = {}
+
+    # ------------------------------------------------------------------ parts
+    def parts(self, input_cell: int) -> ResponseParts:
+        """The four sampling parts (Algorithm 2, lines 1–3) for one input cell."""
+        if input_cell in self._parts_cache:
+            return self._parts_cache[input_cell]
+        if not 0 <= input_cell < self.grid.n_cells:
+            raise ValueError(f"input cell {input_cell} outside [0, {self.grid.n_cells})")
+        row, col = input_cell // self.grid.d, input_cell % self.grid.d
+
+        high_cells: list[int] = []
+        mixed_cells: list[int] = []
+        mixed_high: list[float] = []
+        disk_indices: set[int] = set()
+        for cell in self._disk_cells:
+            out_index = self._lookup[(col + cell.dx, row + cell.dy)]
+            disk_indices.add(out_index)
+            if cell.cell_class is CellClass.PURE_HIGH:
+                high_cells.append(out_index)
+            else:
+                mixed_cells.append(out_index)
+                mixed_high.append(cell.high_area)
+        pure_low = np.array(
+            sorted(set(range(self.output_domain.size)) - disk_indices), dtype=np.int64
+        )
+        parts = ResponseParts(
+            pure_low_cells=pure_low,
+            pure_high_cells=np.array(high_cells, dtype=np.int64),
+            mixed_cells=np.array(mixed_cells, dtype=np.int64),
+            mixed_high_areas=np.array(mixed_high, dtype=float),
+            mixed_low_areas=1.0 - np.array(mixed_high, dtype=float),
+        )
+        self._parts_cache[input_cell] = parts
+        return parts
+
+    # ---------------------------------------------------------------- sampling
+    def respond(self, input_cell: int, seed=None) -> int:
+        """Randomise one input cell into a noisy output-domain index (Algorithm 2)."""
+        rng = ensure_rng(seed)
+        parts = self.parts(input_cell)
+        e_eps = math.exp(self.epsilon)
+
+        area_low = float(parts.pure_low_cells.size)
+        area_mixed_low = float(parts.mixed_low_areas.sum())
+        area_mixed_high = float(parts.mixed_high_areas.sum())
+        area_high = float(parts.pure_high_cells.size)
+
+        values = [area_low, area_mixed_low, area_mixed_high, area_high]
+        weights = [1.0, 1.0, e_eps, e_eps]
+        part_index = weighted_sample_index(rng, [v * w for v, w in zip(values, weights)])
+
+        if part_index == 0:
+            return int(rng.choice(parts.pure_low_cells))
+        if part_index == 3:
+            return int(rng.choice(parts.pure_high_cells))
+        # Border area (Algorithm 2 lines 12-15): sample a mixed cell proportionally to
+        # its weighted area, combining its high part (weight e^eps) and low part (1).
+        cell_weights = parts.mixed_high_areas * e_eps + parts.mixed_low_areas
+        chosen = weighted_sample_index(rng, cell_weights)
+        return int(parts.mixed_cells[chosen])
+
+    def respond_many(self, input_cells: np.ndarray, seed=None) -> np.ndarray:
+        """Vector version of :meth:`respond` (still one draw per user)."""
+        rng = ensure_rng(seed)
+        cells = np.asarray(input_cells, dtype=np.int64)
+        return np.array([self.respond(int(cell), seed=rng) for cell in cells], dtype=np.int64)
+
+    # -------------------------------------------------------------- diagnostics
+    def response_probabilities(self, input_cell: int) -> np.ndarray:
+        """Exact per-output-cell response probabilities implied by Algorithm 2.
+
+        Used by tests to check the literal algorithm agrees with the DAM transition
+        matrix: both must put probability ``p_hat`` on pure-high cells, ``q_hat`` on
+        pure-low cells and the area-weighted blend on mixed cells.
+        """
+        parts = self.parts(input_cell)
+        e_eps = math.exp(self.epsilon)
+        total = (
+            float(parts.pure_low_cells.size)
+            + float(parts.mixed_low_areas.sum())
+            + e_eps * float(parts.mixed_high_areas.sum())
+            + e_eps * float(parts.pure_high_cells.size)
+        )
+        probabilities = np.zeros(self.output_domain.size, dtype=float)
+        probabilities[parts.pure_low_cells] = 1.0 / total
+        probabilities[parts.pure_high_cells] = e_eps / total
+        for idx, high, low in zip(
+            parts.mixed_cells, parts.mixed_high_areas, parts.mixed_low_areas
+        ):
+            probabilities[idx] = (high * e_eps + low) / total
+        return probabilities

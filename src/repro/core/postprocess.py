@@ -1,0 +1,222 @@
+"""Post-processing of noisy report histograms — Algorithm 1's ``PostProcess`` step.
+
+The analyst observes a histogram of noisy reports over the mechanism's output domain
+and must invert the known randomisation to recover the input distribution.  The paper
+uses the Expectation-Maximisation (EM) estimator of Li et al. (SW-EMS), optionally with
+a smoothing step between iterations that regularises the reconstruction on fine grids.
+Both variants are provided here, together with the simpler matrix-inversion estimator
+with simplex projection ("norm-sub") that is common in the LDP literature and is used
+as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability_matrix
+
+
+@dataclass(frozen=True)
+class EMResult:
+    """Outcome of an EM run: the estimate, iterations used and final log-likelihood."""
+
+    estimate: np.ndarray
+    iterations: int
+    log_likelihood: float
+    converged: bool
+
+
+def expectation_maximization(
+    transition: np.ndarray,
+    noisy_counts: np.ndarray,
+    *,
+    max_iterations: int = 1000,
+    tolerance: float = 1e-9,
+    initial: np.ndarray | None = None,
+    smoothing=None,
+) -> EMResult:
+    """Maximum-likelihood estimate of the input distribution via EM.
+
+    Parameters
+    ----------
+    transition:
+        ``(n_in, n_out)`` row-stochastic matrix with ``transition[i, j]`` the
+        probability that input cell ``i`` is reported as output ``j``.
+    noisy_counts:
+        Length ``n_out`` histogram of observed reports.
+    max_iterations, tolerance:
+        Convergence controls; iteration stops when the L1 change of the estimate drops
+        below ``tolerance``.
+    initial:
+        Optional starting distribution over input cells (defaults to uniform).
+    smoothing:
+        Optional callable applied to the estimate after each M-step (the "S" in EMS);
+        see :func:`make_grid_smoother`.
+
+    Returns
+    -------
+    EMResult
+        The estimated input distribution (length ``n_in``, sums to one) plus metadata.
+    """
+    matrix = check_probability_matrix(transition, name="transition")
+    counts = np.asarray(noisy_counts, dtype=float).reshape(-1)
+    if counts.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"noisy_counts has length {counts.shape[0]} but transition has "
+            f"{matrix.shape[1]} output columns"
+        )
+    if np.any(counts < 0):
+        raise ValueError("noisy_counts must be non-negative")
+    n_in = matrix.shape[0]
+    total = counts.sum()
+    if total <= 0:
+        uniform = np.full(n_in, 1.0 / n_in)
+        return EMResult(estimate=uniform, iterations=0, log_likelihood=0.0, converged=True)
+
+    theta = np.full(n_in, 1.0 / n_in) if initial is None else np.asarray(initial, dtype=float)
+    theta = np.clip(theta, 1e-15, None)
+    theta = theta / theta.sum()
+
+    log_likelihood = -np.inf
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # E-step: predicted probability of each output under the current estimate.
+        predicted = theta @ matrix  # length n_out
+        predicted = np.clip(predicted, 1e-300, None)
+        # M-step: redistribute observed counts back over input cells.
+        responsibility = matrix * theta[:, None] / predicted[None, :]
+        new_theta = responsibility @ counts
+        new_theta = np.clip(new_theta, 0.0, None)
+        new_theta = new_theta / new_theta.sum()
+        if smoothing is not None:
+            new_theta = smoothing(new_theta)
+            new_theta = np.clip(new_theta, 0.0, None)
+            new_theta = new_theta / new_theta.sum()
+        change = float(np.abs(new_theta - theta).sum())
+        theta = new_theta
+        log_likelihood = float(counts @ np.log(np.clip(theta @ matrix, 1e-300, None)))
+        if change < tolerance:
+            converged = True
+            break
+    return EMResult(
+        estimate=theta,
+        iterations=iterations,
+        log_likelihood=log_likelihood,
+        converged=converged,
+    )
+
+
+def adaptive_smoothing_strength(
+    n_cells: int, n_reports: float, *, cap: float = 0.5
+) -> float:
+    """Pick an EMS smoothing strength from the report density.
+
+    Smoothing trades variance for bias: it helps when the per-cell report counts are
+    sparse (fine grids, few users) and hurts when they are abundant.  The rule
+    ``min(cap, n_cells / n_reports)`` makes the smoothing vanish as data accumulates —
+    the estimator stays asymptotically unbiased — while regularising heavily-noised
+    sparse histograms, which is the regime SW-EMS introduced the smoothing step for.
+    """
+    if n_cells <= 0:
+        raise ValueError(f"n_cells must be positive, got {n_cells}")
+    if n_reports <= 0:
+        return cap
+    return float(min(cap, n_cells / n_reports))
+
+
+def make_grid_smoother(d: int, *, strength: float = 1.0):
+    """Build the 2-D smoothing operator used by the EMS variant.
+
+    The smoother convolves the ``d x d`` estimate with a 3x3 binomial kernel
+    (``[1, 2, 1]`` outer ``[1, 2, 1]``, normalised) blended with the identity according
+    to ``strength`` in ``[0, 1]``.  ``strength=0`` disables smoothing; ``strength=1``
+    applies the full kernel — the 2-D analogue of the averaging step in SW-EMS.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    kernel_1d = np.array([1.0, 2.0, 1.0]) / 4.0
+
+    def smooth(theta: np.ndarray) -> np.ndarray:
+        grid = np.asarray(theta, dtype=float).reshape(d, d)
+        # Separable convolution with edge replication so mass is not pushed outward.
+        padded = np.pad(grid, 1, mode="edge")
+        horizontal = (
+            kernel_1d[0] * padded[1:-1, :-2]
+            + kernel_1d[1] * padded[1:-1, 1:-1]
+            + kernel_1d[2] * padded[1:-1, 2:]
+        )
+        padded_h = np.pad(horizontal, ((1, 1), (0, 0)), mode="edge")
+        smoothed = (
+            kernel_1d[0] * padded_h[:-2, :]
+            + kernel_1d[1] * padded_h[1:-1, :]
+            + kernel_1d[2] * padded_h[2:, :]
+        )
+        blended = (1.0 - strength) * grid + strength * smoothed
+        return blended.reshape(-1)
+
+    return smooth
+
+
+def make_line_smoother(size: int, *, strength: float = 1.0):
+    """1-D analogue of :func:`make_grid_smoother`, used by the Square Wave baseline."""
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    kernel = np.array([1.0, 2.0, 1.0]) / 4.0
+
+    def smooth(theta: np.ndarray) -> np.ndarray:
+        vec = np.asarray(theta, dtype=float).reshape(-1)
+        if vec.shape[0] != size:
+            raise ValueError(f"expected a vector of length {size}, got {vec.shape[0]}")
+        padded = np.pad(vec, 1, mode="edge")
+        smoothed = kernel[0] * padded[:-2] + kernel[1] * padded[1:-1] + kernel[2] * padded[2:]
+        return (1.0 - strength) * vec + strength * smoothed
+
+    return smooth
+
+
+def matrix_inversion_estimate(
+    transition: np.ndarray,
+    noisy_counts: np.ndarray,
+    *,
+    ridge: float = 1e-8,
+) -> np.ndarray:
+    """Least-squares inversion of the randomisation followed by simplex projection.
+
+    The classical unbiased LDP estimator: solve ``theta @ transition ~= observed`` in
+    the least-squares sense (with a small ridge term for rank-deficient matrices) and
+    project the result onto the probability simplex.  Used as an ablation against EM.
+    """
+    matrix = check_probability_matrix(transition, name="transition")
+    counts = np.asarray(noisy_counts, dtype=float).reshape(-1)
+    if counts.shape[0] != matrix.shape[1]:
+        raise ValueError("noisy_counts length must match the transition's output size")
+    total = counts.sum()
+    if total <= 0:
+        return np.full(matrix.shape[0], 1.0 / matrix.shape[0])
+    observed = counts / total
+    check_positive(ridge, "ridge", allow_zero=True)
+    gram = matrix @ matrix.T + ridge * np.eye(matrix.shape[0])
+    rhs = matrix @ observed
+    raw = np.linalg.solve(gram, rhs)
+    return project_to_simplex(raw)
+
+
+def project_to_simplex(vector: np.ndarray) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex.
+
+    Standard sorting-based algorithm (Duchi et al. 2008); the go-to "norm-sub" style
+    consistency step for LDP frequency estimates.
+    """
+    v = np.asarray(vector, dtype=float).reshape(-1)
+    if v.size == 0:
+        raise ValueError("cannot project an empty vector")
+    sorted_v = np.sort(v)[::-1]
+    cumulative = np.cumsum(sorted_v) - 1.0
+    indices = np.arange(1, v.size + 1)
+    candidates = sorted_v - cumulative / indices
+    rho = np.nonzero(candidates > 0)[0][-1]
+    tau = cumulative[rho] / (rho + 1.0)
+    return np.clip(v - tau, 0.0, None)

@@ -1,0 +1,125 @@
+"""Choice of the high-probability radius ``b`` — Section V-C of the paper.
+
+The paper picks ``b`` independently of the (unknown) private distribution by
+maximising an upper bound on the mutual information between the mechanism's input and
+output.  For the unit square the optimiser has the closed form
+
+``b* = (2 m2 + sqrt(4 m2^2 + pi e^eps m1 m2)) / (pi e^eps m1)``
+
+with ``m1 = e^eps - 1 - eps`` and ``m2 = 1 - e^eps + eps e^eps``; for a square of side
+``L`` the optimum simply scales by ``L`` (Eq. 12).  This module provides the closed
+form, the mutual-information bound itself (Eq. 9 / Eq. 11) for validation and
+ablation, and the helper that converts the continuous optimum into the integer grid
+radius ``b_hat`` used by the discrete mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_epsilon, check_grid_side, check_positive
+
+
+def _m1(epsilon: float) -> float:
+    """``m1 = e^eps - 1 - eps`` (positive for every eps > 0)."""
+    return math.exp(epsilon) - 1.0 - epsilon
+
+
+def _m2(epsilon: float) -> float:
+    """``m2 = 1 - e^eps + eps e^eps`` (positive for every eps > 0)."""
+    return 1.0 - math.exp(epsilon) + epsilon * math.exp(epsilon)
+
+
+def optimal_radius(epsilon: float, side: float = 1.0) -> float:
+    """Closed-form optimal continuous radius ``b*`` for a square of side ``L``.
+
+    Derived by setting the derivative of the mutual-information bound (Eq. 12) to
+    zero.  Limits match the paper's observations: as ``eps -> 0`` the radius tends to
+    ``(2 + sqrt(4 + pi)) / pi * L`` and as ``eps -> inf`` it tends to ``0``.
+    """
+    epsilon = check_epsilon(epsilon)
+    side = check_positive(side, "side")
+    m1 = _m1(epsilon)
+    m2 = _m2(epsilon)
+    numerator = 2.0 * m2 + math.sqrt(4.0 * m2 * m2 + math.pi * math.exp(epsilon) * m1 * m2)
+    return numerator / (math.pi * math.exp(epsilon) * m1) * side
+
+
+def small_epsilon_limit_radius(side: float = 1.0) -> float:
+    """The ``eps -> 0`` limit of :func:`optimal_radius`: ``(2 + sqrt(4 + pi)) / pi * L``."""
+    return (2.0 + math.sqrt(4.0 + math.pi)) / math.pi * check_positive(side, "side")
+
+
+def mutual_information_bound(epsilon: float, b: float, side: float = 1.0) -> float:
+    """Upper bound ``g(b)`` on the DAM input/output mutual information (Eq. 11).
+
+    Expressed in bits.  The closed-form :func:`optimal_radius` maximises this function;
+    an ablation benchmark verifies that numerically.
+    """
+    epsilon = check_epsilon(epsilon)
+    b = check_positive(b, "b")
+    side = check_positive(side, "side")
+    e_eps = math.exp(epsilon)
+    flat_area = 4.0 * side * b + side * side
+    disk_area = math.pi * b * b
+    total_plain = disk_area + flat_area
+    total_weighted = disk_area * e_eps + flat_area
+    # log(  (pi b^2 + 4Lb + L^2) / (pi b^2 e^eps + 4Lb + L^2) ) + pi b^2 e^eps eps log e / (...)
+    return math.log2(total_plain / total_weighted) + (
+        disk_area * e_eps * epsilon * math.log2(math.e)
+    ) / total_weighted
+
+
+def mutual_information_bound_curve(
+    epsilon: float, b_values: np.ndarray, side: float = 1.0
+) -> np.ndarray:
+    """Vectorised :func:`mutual_information_bound` over an array of radii."""
+    return np.array(
+        [mutual_information_bound(epsilon, float(b), side) for b in np.asarray(b_values)]
+    )
+
+
+def numeric_optimal_radius(
+    epsilon: float, side: float = 1.0, *, resolution: int = 4000
+) -> float:
+    """Grid-search maximiser of the mutual-information bound.
+
+    Used by tests and the ablation benchmark to confirm the closed form; it is not on
+    the mechanism's hot path.
+    """
+    epsilon = check_epsilon(epsilon)
+    side = check_positive(side, "side")
+    upper = max(2.0 * side, 2.0 * optimal_radius(epsilon, side))
+    candidates = np.linspace(1e-4 * side, upper, resolution)
+    values = mutual_information_bound_curve(epsilon, candidates, side)
+    return float(candidates[int(np.argmax(values))])
+
+
+def grid_radius(epsilon: float, d: int, side: float = 1.0, *, minimum: int = 1) -> int:
+    """Integer grid radius ``b_hat`` = optimal continuous radius measured in cells.
+
+    The domain of side ``L`` is split into ``d`` cells per side (cell side ``g = L/d``),
+    so the continuous optimum ``b*`` corresponds to ``floor(b* / g)`` cells, clamped to
+    at least ``minimum`` (the discrete mechanism needs a non-empty disk).
+    """
+    epsilon = check_epsilon(epsilon)
+    d = check_grid_side(d)
+    side = check_positive(side, "side")
+    b_star = optimal_radius(epsilon, side)
+    cell = side / d
+    return max(int(math.floor(b_star / cell)), minimum)
+
+
+def scaled_grid_radius(
+    epsilon: float, d: int, scale: float, side: float = 1.0, *, minimum: int = 1
+) -> int:
+    """Grid radius scaled by a multiplier, as in the paper's Figure 8 sweep.
+
+    The sweep uses ``b in {0.33, 0.67, 1.0, 1.33, 1.67} * b_check`` where ``b_check`` is
+    the optimal grid radius; each value is floored to an integer and kept >= 1.
+    """
+    check_positive(scale, "scale")
+    base = grid_radius(epsilon, d, side, minimum=minimum)
+    return max(int(math.floor(scale * base)), minimum)

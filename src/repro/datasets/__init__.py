@@ -1,0 +1,51 @@
+"""Datasets used by the paper's evaluation: synthetic generators, real-data surrogates,
+the dataset registry and the Appendix-D trajectory generator."""
+
+from repro.datasets.geodata import (
+    CHICAGO_FULL_DOMAIN,
+    CHICAGO_PARTS,
+    NYC_FULL_DOMAIN,
+    NYC_PARTS,
+    GeoDataset,
+    GeoDatasetPart,
+    RegionSpec,
+    chicago_crime_surrogate,
+    nyc_taxi_surrogate,
+)
+from repro.datasets.loader import (
+    DATASET_NAMES,
+    EvaluationDataset,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    mnormal_dataset,
+    normal_dataset,
+    szipf_dataset,
+    uniform_dataset,
+)
+from repro.datasets.trajectories import TrajectoryDataset, generate_trajectories
+
+__all__ = [
+    "CHICAGO_FULL_DOMAIN",
+    "CHICAGO_PARTS",
+    "NYC_FULL_DOMAIN",
+    "NYC_PARTS",
+    "GeoDataset",
+    "GeoDatasetPart",
+    "RegionSpec",
+    "chicago_crime_surrogate",
+    "nyc_taxi_surrogate",
+    "DATASET_NAMES",
+    "EvaluationDataset",
+    "load_all_datasets",
+    "load_dataset",
+    "SyntheticDataset",
+    "mnormal_dataset",
+    "normal_dataset",
+    "szipf_dataset",
+    "uniform_dataset",
+    "TrajectoryDataset",
+    "generate_trajectories",
+]

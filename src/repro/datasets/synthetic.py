@@ -1,0 +1,172 @@
+"""Synthetic spatial datasets — Normal, SZipf and MNormal (Section VII-A).
+
+The paper evaluates on three synthetic point clouds:
+
+* **Normal** — 300,000 points from a correlated 2-D Gaussian
+  ``Normal(0, 0, 1, 1, 0.5)`` clipped to ``(-5, 5)^2``;
+* **SZipf** — 100,000 points whose coordinates are i.i.d. skew-Zipf distributed on
+  ``[0, 1)`` (CDF ``log2(x + 1)``, density ``1 / ((x + 1) ln 2)``);
+* **MNormal** — 300,000 points from three Gaussian clusters with correlations
+  ``0.5, 0.0, -0.2``.
+
+The generators below are deterministic given a seed and allow the point counts to be
+scaled down for laptop-sized experiment runs (the distributions — and therefore the
+relative mechanism orderings — are unchanged by the subsampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.domain import SpatialDomain
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated point cloud together with its analysis domain."""
+
+    name: str
+    points: np.ndarray
+    domain: SpatialDomain
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.points.shape[0])
+
+
+def normal_dataset(
+    n: int = 300_000,
+    *,
+    mean: tuple[float, float] = (0.0, 0.0),
+    std: tuple[float, float] = (1.0, 1.0),
+    rho: float = 0.5,
+    clip: float = 5.0,
+    seed=None,
+) -> SyntheticDataset:
+    """The paper's **Normal(0, 0, 1, 1, 0.5)** dataset.
+
+    Points are drawn from a bivariate Gaussian with the given means, standard
+    deviations and correlation ``rho``, then points outside ``(-clip, clip)^2`` are
+    redrawn (the paper reports all points fall inside ``(-5, 5)^2``).
+    """
+    if not -1.0 < rho < 1.0:
+        raise ValueError(f"rho must lie in (-1, 1), got {rho}")
+    check_positive(clip, "clip")
+    rng = ensure_rng(seed)
+    cov = np.array(
+        [
+            [std[0] ** 2, rho * std[0] * std[1]],
+            [rho * std[0] * std[1], std[1] ** 2],
+        ]
+    )
+    points = _sample_truncated_gaussian(rng, np.asarray(mean, float), cov, clip, n)
+    domain = SpatialDomain(-clip, clip, -clip, clip, name="normal")
+    return SyntheticDataset(
+        name="Normal",
+        points=points,
+        domain=domain,
+        parameters={"mean": mean, "std": std, "rho": rho, "clip": clip, "n": n},
+    )
+
+
+def _sample_truncated_gaussian(
+    rng: np.random.Generator,
+    mean: np.ndarray,
+    cov: np.ndarray,
+    clip: float,
+    n: int,
+) -> np.ndarray:
+    """Rejection-sample a bivariate Gaussian truncated to the ``(-clip, clip)`` square."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    collected: list[np.ndarray] = []
+    remaining = n
+    while remaining > 0:
+        batch = rng.multivariate_normal(mean, cov, size=max(remaining, 1024))
+        inside = batch[(np.abs(batch[:, 0]) < clip) & (np.abs(batch[:, 1]) < clip)]
+        collected.append(inside[:remaining])
+        remaining -= min(remaining, inside.shape[0])
+    return np.vstack(collected) if collected else np.empty((0, 2))
+
+
+def szipf_dataset(n: int = 100_000, *, seed=None) -> SyntheticDataset:
+    """The paper's **SZipf** dataset: coordinates i.i.d. skew-Zipf on ``[0, 1)``.
+
+    The skew-Zipf law has CDF ``F(x) = log2(x + 1)`` on ``[0, 1)`` (density
+    ``1 / ((x + 1) ln 2)``), so inverse-transform sampling gives ``x = 2^u - 1`` for
+    uniform ``u`` — heavily skewed towards the origin corner, exactly the hot-corner
+    shape visible in the paper's Figure 7(d).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = ensure_rng(seed)
+    u = rng.random((n, 2))
+    points = np.exp2(u) - 1.0
+    domain = SpatialDomain(0.0, 1.0, 0.0, 1.0, name="szipf")
+    return SyntheticDataset(
+        name="SZipf", points=points, domain=domain, parameters={"n": n}
+    )
+
+
+def mnormal_dataset(
+    n: int = 300_000,
+    *,
+    centers: tuple[tuple[float, float], ...] = ((-2.0, -2.0), (0.5, 0.5), (2.5, 2.0)),
+    rhos: tuple[float, ...] = (0.5, 0.0, -0.2),
+    std: float = 1.0,
+    clip: float = 6.5,
+    seed=None,
+) -> SyntheticDataset:
+    """The paper's **MNormal** (multi-centre normal) dataset.
+
+    Three equal-sized Gaussian clusters with correlations ``0.5, 0, -0.2``.  The paper
+    lists all three components with mean ``(0, 0)`` yet calls the dataset
+    "multi-center" and reports a wider range than a single standard Gaussian, so the
+    reproduction separates the cluster centres (configurable via ``centers``); the
+    substitution is recorded in DESIGN.md.
+    """
+    if len(centers) != len(rhos):
+        raise ValueError("centers and rhos must have the same length")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = ensure_rng(seed)
+    per_cluster = [n // len(centers)] * len(centers)
+    per_cluster[0] += n - sum(per_cluster)
+    clusters = []
+    for (cx, cy), rho, count in zip(centers, rhos, per_cluster):
+        cov = np.array([[std**2, rho * std**2], [rho * std**2, std**2]])
+        clusters.append(
+            _sample_truncated_gaussian(rng, np.array([cx, cy]), cov, clip, count)
+        )
+    points = np.vstack(clusters) if clusters else np.empty((0, 2))
+    rng.shuffle(points, axis=0)
+    domain = SpatialDomain(-clip, clip, -clip, clip, name="mnormal")
+    return SyntheticDataset(
+        name="MNormal",
+        points=points,
+        domain=domain,
+        parameters={"centers": centers, "rhos": rhos, "std": std, "clip": clip, "n": n},
+    )
+
+
+def uniform_dataset(
+    n: int = 100_000, *, domain: SpatialDomain | None = None, seed=None
+) -> SyntheticDataset:
+    """A uniform point cloud — the no-structure control used by tests and ablations."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = ensure_rng(seed)
+    domain = domain if domain is not None else SpatialDomain.unit("uniform")
+    xs = rng.uniform(domain.x_min, domain.x_max, n)
+    ys = rng.uniform(domain.y_min, domain.y_max, n)
+    return SyntheticDataset(
+        name="Uniform",
+        points=np.column_stack([xs, ys]),
+        domain=domain,
+        parameters={"n": n},
+    )

@@ -1,0 +1,156 @@
+"""Trajectory generation following the paper's Appendix D procedure.
+
+The trajectory experiment (Figure 14) generates trajectories from the NYC pickup
+points as follows: divide the domain into a fine ``300 x 300`` grid, map every point to
+its cell, sample 1,000 start cells and 1,000 lengths in ``[2, 200]``, and grow each
+trajectory by repeatedly moving to a neighbouring cell with probability proportional to
+the number of points in that neighbour; the concrete point reported for each visited
+cell is a uniformly random point from that cell.
+
+The generator below reproduces that procedure with configurable sizes so that the
+benchmark can run at laptop scale (a coarser routing grid and fewer/shorter
+trajectories) while the default parameters match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_grid_side, check_points
+
+
+@dataclass
+class TrajectoryDataset:
+    """A set of sampled trajectories plus the routing grid they were generated on."""
+
+    trajectories: list[np.ndarray]
+    routing_grid: GridSpec
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.trajectories)
+
+    def all_points(self) -> np.ndarray:
+        """Concatenate every trajectory's points into one ``(n, 2)`` array."""
+        if not self.trajectories:
+            return np.empty((0, 2))
+        return np.vstack(self.trajectories)
+
+    def lengths(self) -> np.ndarray:
+        return np.array([t.shape[0] for t in self.trajectories], dtype=np.int64)
+
+
+def _neighbour_offsets() -> np.ndarray:
+    """The 8-connected neighbourhood used by the random-walk growth step."""
+    return np.array(
+        [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)],
+        dtype=np.int64,
+    )
+
+
+def generate_trajectories(
+    points: np.ndarray,
+    domain: SpatialDomain,
+    *,
+    routing_d: int = 300,
+    n_trajectories: int = 1000,
+    min_length: int = 2,
+    max_length: int = 200,
+    seed=None,
+) -> TrajectoryDataset:
+    """Sample trajectories from a point cloud following Appendix D.
+
+    Parameters
+    ----------
+    points:
+        The underlying point cloud (e.g. NYC pickups) that defines cell popularity.
+    domain:
+        Analysis domain; points outside are ignored.
+    routing_d:
+        Side of the routing grid (the paper uses 300).
+    n_trajectories, min_length, max_length:
+        Number of trajectories and the inclusive length range (paper: 1000, 2, 200).
+    seed:
+        Randomness source.
+    """
+    rng = ensure_rng(seed)
+    routing_d = check_grid_side(routing_d)
+    if not 1 <= min_length <= max_length:
+        raise ValueError(f"invalid length range [{min_length}, {max_length}]")
+    if n_trajectories < 0:
+        raise ValueError(f"n_trajectories must be non-negative, got {n_trajectories}")
+    pts = check_points(points)
+    pts = pts[domain.contains(pts)]
+    if pts.shape[0] == 0:
+        raise ValueError("no points fall inside the domain; cannot generate trajectories")
+    grid = GridSpec(domain, routing_d)
+    counts = grid.histogram(pts).astype(float)
+
+    # Points grouped by cell so "pick a random point within the chosen cell" is O(1).
+    cell_of_point = grid.point_to_cell(pts)
+    order = np.argsort(cell_of_point)
+    sorted_cells = cell_of_point[order]
+    sorted_points = pts[order]
+    unique_cells, start_indices = np.unique(sorted_cells, return_index=True)
+    cell_slices = {
+        int(cell): (int(start), int(end))
+        for cell, start, end in zip(
+            unique_cells, start_indices, np.append(start_indices[1:], sorted_cells.size)
+        )
+    }
+
+    occupied_flat = unique_cells
+    occupied_weights = counts.reshape(-1)[occupied_flat]
+    occupied_weights = occupied_weights / occupied_weights.sum()
+    offsets = _neighbour_offsets()
+
+    def random_point_in_cell(flat_cell: int) -> np.ndarray:
+        if flat_cell in cell_slices:
+            start, end = cell_slices[flat_cell]
+            return sorted_points[rng.integers(start, end)]
+        # Empty cell: fall back to its centre (can happen when the walk wanders into a
+        # cell with weight contributed only by neighbours).
+        row, col = flat_cell // routing_d, flat_cell % routing_d
+        x = domain.x_min + (col + 0.5) * domain.width / routing_d
+        y = domain.y_min + (row + 0.5) * domain.height / routing_d
+        return np.array([x, y])
+
+    trajectories: list[np.ndarray] = []
+    start_cells = rng.choice(occupied_flat, size=n_trajectories, p=occupied_weights)
+    lengths = rng.integers(min_length, max_length + 1, size=n_trajectories)
+    for start_cell, length in zip(start_cells, lengths):
+        cells = [int(start_cell)]
+        row, col = int(start_cell) // routing_d, int(start_cell) % routing_d
+        for _ in range(int(length) - 1):
+            neighbour_rows = row + offsets[:, 0]
+            neighbour_cols = col + offsets[:, 1]
+            valid = (
+                (neighbour_rows >= 0)
+                & (neighbour_rows < routing_d)
+                & (neighbour_cols >= 0)
+                & (neighbour_cols < routing_d)
+            )
+            neighbour_rows = neighbour_rows[valid]
+            neighbour_cols = neighbour_cols[valid]
+            weights = counts[neighbour_rows, neighbour_cols] + 1e-9
+            weights = weights / weights.sum()
+            pick = rng.choice(weights.size, p=weights)
+            row, col = int(neighbour_rows[pick]), int(neighbour_cols[pick])
+            cells.append(row * routing_d + col)
+        trajectory = np.array([random_point_in_cell(cell) for cell in cells])
+        trajectories.append(trajectory)
+    return TrajectoryDataset(
+        trajectories=trajectories,
+        routing_grid=grid,
+        parameters={
+            "routing_d": routing_d,
+            "n_trajectories": n_trajectories,
+            "min_length": min_length,
+            "max_length": max_length,
+        },
+    )

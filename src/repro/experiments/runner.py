@@ -1,0 +1,290 @@
+"""Experiment runner: build mechanisms by name, run them on datasets, average errors.
+
+The runner reproduces the measurement protocol of Section VII-C:
+
+* every mechanism is run on every *part* of a dataset (the real datasets have the three
+  Table III parts, the synthetic ones a single part) and the per-part ``W2`` values are
+  averaged;
+* every configuration is repeated ``n_repeats`` times with independent randomness and
+  the mean is reported;
+* SEM-Geo-I's ε′ is calibrated so its Local Privacy matches DAM's at the same nominal
+  budget (Section VII-B), unless calibration is disabled;
+* the exact LP Wasserstein solver is used for coarse grids and Sinkhorn for fine ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.core.huem import DiscreteHUEM
+from repro.core.radius import grid_radius
+from repro.datasets.loader import EvaluationDataset, load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.mechanisms.cfo import BucketCFOMechanism
+from repro.mechanisms.geo_i import DiscreteGeoIMechanism
+from repro.mechanisms.hdg import HDG
+from repro.mechanisms.mdsw import MDSW
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.metrics.local_privacy import calibrate_epsilon, local_privacy_of_mechanism
+from repro.metrics.wasserstein import wasserstein2_auto
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+#: Mechanism names accepted by :func:`build_mechanism`.
+MECHANISM_NAMES: tuple[str, ...] = (
+    "DAM",
+    "DAM-NS",
+    "HUEM",
+    "MDSW",
+    "SEM-Geo-I",
+    "Geo-I",
+    "Bucket+CFO",
+    "HDG",
+)
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """One averaged measurement: a (dataset, mechanism, parameter) triple's error."""
+
+    dataset: str
+    mechanism: str
+    parameter_name: str
+    parameter_value: float
+    w2_mean: float
+    w2_std: float
+    n_repeats: int
+    details: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass
+class SweepResult:
+    """All measurement points of one parameter sweep (one paper figure panel row)."""
+
+    name: str
+    points: list[MeasurementPoint] = field(default_factory=list)
+
+    def series(self, dataset: str, mechanism: str) -> list[tuple[float, float]]:
+        """The (parameter, W2) series of one mechanism on one dataset, sorted."""
+        selected = [
+            (p.parameter_value, p.w2_mean)
+            for p in self.points
+            if p.dataset == dataset and p.mechanism == mechanism
+        ]
+        return sorted(selected)
+
+    def datasets(self) -> list[str]:
+        return sorted({p.dataset for p in self.points})
+
+    def mechanisms(self) -> list[str]:
+        seen: list[str] = []
+        for p in self.points:
+            if p.mechanism not in seen:
+                seen.append(p.mechanism)
+        return seen
+
+
+def calibrated_sem_epsilon(grid: GridSpec, epsilon: float, b_hat: int | None = None) -> float:
+    """ε′ for SEM-Geo-I whose Local Privacy matches DAM's at the given ε (Section VII-B)."""
+    return _calibrated_sem_epsilon_cached(grid.d, grid.domain.bounds, float(epsilon), b_hat)
+
+
+@lru_cache(maxsize=256)
+def _calibrated_sem_epsilon_cached(
+    d: int, bounds: tuple[float, float, float, float], epsilon: float, b_hat: int | None
+) -> float:
+    domain = SpatialDomain(*bounds)
+    grid = GridSpec(domain, d)
+    if d == 1:
+        # A single cell carries no location signal; calibration is meaningless.
+        return epsilon
+    dam = DiscreteDAM(grid, epsilon, b_hat=b_hat) if b_hat else DiscreteDAM(grid, epsilon)
+    target = local_privacy_of_mechanism(dam)
+    result = calibrate_epsilon(lambda e: SEMGeoI(grid, e), target)
+    return float(result.epsilon)
+
+
+def build_mechanism(
+    name: str,
+    grid: GridSpec,
+    epsilon: float,
+    *,
+    b_hat: int | None = None,
+    calibrate_sem: bool = True,
+):
+    """Instantiate a mechanism by its paper name on the given grid and budget."""
+    key = name.strip().lower()
+    if key == "dam":
+        return DiscreteDAM(grid, epsilon, b_hat=b_hat) if b_hat else DiscreteDAM(grid, epsilon)
+    if key in ("dam-ns", "damns"):
+        if b_hat:
+            return DiscreteDAM(grid, epsilon, b_hat=b_hat, use_shrinkage=False)
+        return DiscreteDAM(grid, epsilon, use_shrinkage=False)
+    if key == "huem":
+        return DiscreteHUEM(grid, epsilon, b_hat=b_hat) if b_hat else DiscreteHUEM(grid, epsilon)
+    if key == "mdsw":
+        return MDSW(grid, epsilon)
+    if key in ("sem-geo-i", "sem_geo_i", "semgeoi"):
+        sem_epsilon = (
+            calibrated_sem_epsilon(grid, epsilon, b_hat) if calibrate_sem else epsilon
+        )
+        return SEMGeoI(grid, sem_epsilon)
+    if key == "geo-i":
+        return DiscreteGeoIMechanism(grid, epsilon)
+    if key in ("bucket+cfo", "cfo", "bucket"):
+        return BucketCFOMechanism(grid, epsilon)
+    if key == "hdg":
+        return HDG(grid, epsilon)
+    raise ValueError(f"unknown mechanism {name!r}; expected one of {MECHANISM_NAMES}")
+
+
+def evaluate_on_part(
+    mechanism_name: str,
+    points: np.ndarray,
+    domain: SpatialDomain,
+    d: int,
+    epsilon: float,
+    *,
+    b_hat: int | None = None,
+    seed=None,
+    exact_cell_limit: int = 144,
+    calibrate_sem: bool = True,
+    max_users: int | None = None,
+    normalise_domain: bool = True,
+) -> float:
+    """Run one mechanism on one dataset part and return the ``W2`` error.
+
+    Following the problem definition (Section IV: the input domain is the unit square),
+    the part's coordinates are affinely mapped into ``[0, 1]^2`` before bucketisation by
+    default, so W2 values are comparable across datasets of different physical extent —
+    this matches the scale of the paper's figures.
+    """
+    rng = ensure_rng(seed)
+    pts = np.asarray(points, dtype=float)
+    pts = pts[domain.contains(pts)]
+    if max_users is not None and pts.shape[0] > max_users:
+        chosen = rng.choice(pts.shape[0], size=max_users, replace=False)
+        pts = pts[chosen]
+    if normalise_domain:
+        pts = domain.normalise(pts)
+        domain = SpatialDomain.unit(domain.name or "unit")
+    grid = GridSpec(domain, d)
+    true_distribution = grid.distribution(pts)
+    mechanism = build_mechanism(
+        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem
+    )
+    report = mechanism.run(pts, seed=rng)
+    return wasserstein2_auto(
+        true_distribution, report.estimate, exact_cell_limit=exact_cell_limit
+    )
+
+
+def evaluate_on_dataset(
+    mechanism_name: str,
+    dataset: EvaluationDataset,
+    d: int,
+    epsilon: float,
+    config: ExperimentConfig,
+    *,
+    b_hat: int | None = None,
+    seed=None,
+) -> tuple[float, float]:
+    """Mean and standard deviation of ``W2`` over repetitions and dataset parts."""
+    repeat_rngs = spawn_rngs(seed if seed is not None else config.seed, config.n_repeats)
+    repeat_means = []
+    for rng in repeat_rngs:
+        part_errors = [
+            evaluate_on_part(
+                mechanism_name,
+                points,
+                domain,
+                d,
+                epsilon,
+                b_hat=b_hat,
+                seed=rng,
+                exact_cell_limit=config.exact_cell_limit,
+                calibrate_sem=config.calibrate_sem,
+                max_users=config.max_users_per_part,
+            )
+            for _, points, domain in dataset.parts
+        ]
+        repeat_means.append(float(np.mean(part_errors)))
+    return float(np.mean(repeat_means)), float(np.std(repeat_means))
+
+
+def sweep_parameter(
+    sweep_name: str,
+    parameter_name: str,
+    parameter_values: tuple,
+    mechanisms: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    full_domain: bool = False,
+    datasets: tuple[str, ...] | None = None,
+) -> SweepResult:
+    """Run a full sweep: every (dataset, mechanism, parameter value) combination.
+
+    ``parameter_name`` is ``"d"``, ``"epsilon"`` or ``"b_scale"``; the non-swept
+    parameters take the config defaults.  This is the workhorse every figure bench
+    calls.
+    """
+    if parameter_name not in ("d", "epsilon", "b_scale"):
+        raise ValueError(f"unknown swept parameter {parameter_name!r}")
+    dataset_names = datasets if datasets is not None else config.datasets
+    result = SweepResult(name=sweep_name)
+    for dataset_name in dataset_names:
+        dataset = load_dataset(
+            dataset_name,
+            scale=config.dataset_scale,
+            seed=config.seed,
+            full_domain=full_domain,
+        )
+        for value in parameter_values:
+            d, epsilon, b_hat = _resolve_parameters(parameter_name, value, config, dataset)
+            for mechanism_name in mechanisms:
+                # Derive a per-(dataset, mechanism) seed with a *stable* hash so sweep
+                # results are reproducible across processes (Python's built-in hash of
+                # strings is salted per interpreter run).
+                stable = zlib.crc32(f"{dataset_name}/{mechanism_name}".encode()) % 100_000
+                mean, std = evaluate_on_dataset(
+                    mechanism_name,
+                    dataset,
+                    d,
+                    epsilon,
+                    config,
+                    b_hat=b_hat,
+                    seed=config.seed + stable,
+                )
+                result.points.append(
+                    MeasurementPoint(
+                        dataset=dataset_name,
+                        mechanism=mechanism_name,
+                        parameter_name=parameter_name,
+                        parameter_value=float(value),
+                        w2_mean=mean,
+                        w2_std=std,
+                        n_repeats=config.n_repeats,
+                        details={"d": d, "epsilon": epsilon, "b_hat": b_hat},
+                    )
+                )
+    return result
+
+
+def _resolve_parameters(
+    parameter_name: str, value, config: ExperimentConfig, dataset: EvaluationDataset
+) -> tuple[int, float, int | None]:
+    """Map a swept value onto the concrete (d, epsilon, b_hat) triple."""
+    if parameter_name == "d":
+        return int(value), config.default_epsilon, None
+    if parameter_name == "epsilon":
+        return config.default_d, float(value), None
+    # b_scale sweep: fix d and epsilon, scale the optimal radius.
+    side = dataset.parts[0][2].side_length if dataset.parts else 1.0
+    optimal = grid_radius(config.default_epsilon, config.default_d, side)
+    b_hat = max(int(np.floor(float(value) * optimal)), 1)
+    return config.default_d, config.default_epsilon, b_hat

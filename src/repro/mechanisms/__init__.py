@@ -1,0 +1,52 @@
+"""Baseline mechanisms the paper compares DAM against (and their substrates).
+
+* Categorical frequency oracles — GRR, OUE, OLH and the Bucket+CFO spatial strawman.
+* Square Wave (SW-EMS) and its multi-dimensional extension MDSW, the main LDP baseline.
+* Geo-Indistinguishability (planar Laplace and the discrete exponential kernel) and the
+  SEM-Geo-I subset mechanism, the main Geo-I baseline.
+* SR / PM mean estimators (related work, Table I).
+* HDG hybrid-dimensional grids (range-query extension / future-work combination).
+"""
+
+from repro.mechanisms.cfo import (
+    BucketCFOMechanism,
+    CategoricalFrequencyOracle,
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+)
+from repro.mechanisms.geo_i import DiscreteGeoIMechanism, PlanarLaplaceMechanism
+from repro.mechanisms.hdg import HDG
+from repro.mechanisms.mdsw import MDSW
+from repro.mechanisms.piecewise import (
+    PiecewiseMechanism,
+    StochasticRounding,
+    hybrid_mean_estimator,
+)
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.mechanisms.sw import (
+    DiscreteSquareWave,
+    SquareWaveMechanism,
+    square_wave_probabilities,
+    square_wave_radius,
+)
+
+__all__ = [
+    "BucketCFOMechanism",
+    "CategoricalFrequencyOracle",
+    "GeneralizedRandomizedResponse",
+    "OptimizedLocalHashing",
+    "OptimizedUnaryEncoding",
+    "DiscreteGeoIMechanism",
+    "PlanarLaplaceMechanism",
+    "HDG",
+    "MDSW",
+    "PiecewiseMechanism",
+    "StochasticRounding",
+    "hybrid_mean_estimator",
+    "SEMGeoI",
+    "DiscreteSquareWave",
+    "SquareWaveMechanism",
+    "square_wave_probabilities",
+    "square_wave_radius",
+]

@@ -1,0 +1,132 @@
+"""1-D numerical LDP mechanisms for mean estimation: SR and PM.
+
+These are the related-work mechanisms of Table I ("catch numeric, 1-Dim") — Duchi et
+al.'s Stochastic Rounding (SR) and Wang et al.'s Piecewise Mechanism (PM).  Both target
+*mean* estimation on ``[-1, 1]`` rather than distribution estimation, which is why the
+paper contrasts them with SW-EMS; they are included here so the library covers the full
+baseline landscape and so the examples can show the difference between mean-only and
+distribution-level estimation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_epsilon
+
+
+def _check_unit_interval(values: np.ndarray) -> np.ndarray:
+    v = np.asarray(values, dtype=float).reshape(-1)
+    if np.any(v < -1.0 - 1e-9) or np.any(v > 1.0 + 1e-9):
+        raise ValueError("inputs must lie in [-1, 1]")
+    return np.clip(v, -1.0, 1.0)
+
+
+class StochasticRounding:
+    """Duchi et al.'s minimax mechanism: report ±1 with value-dependent probabilities.
+
+    A value ``v`` in ``[-1, 1]`` is reported as ``+c`` with probability
+    ``1/2 + v (e^eps - 1) / (2 (e^eps + 1))`` and ``-c`` otherwise, where
+    ``c = (e^eps + 1) / (e^eps - 1)`` makes the report an unbiased estimate of ``v``.
+    """
+
+    name = "SR"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        e_eps = math.exp(self.epsilon)
+        self.scale = (e_eps + 1.0) / (e_eps - 1.0)
+
+    def privatize(self, values: np.ndarray, seed=None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        v = _check_unit_interval(values)
+        e_eps = math.exp(self.epsilon)
+        prob_positive = 0.5 + v * (e_eps - 1.0) / (2.0 * (e_eps + 1.0))
+        positive = rng.random(v.shape[0]) < prob_positive
+        return np.where(positive, self.scale, -self.scale)
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        """The sample mean of the reports is already unbiased for the true mean."""
+        reports = np.asarray(reports, dtype=float)
+        if reports.size == 0:
+            raise ValueError("cannot estimate a mean from zero reports")
+        return float(reports.mean())
+
+
+class PiecewiseMechanism:
+    """Wang et al.'s Piecewise Mechanism (PM) for mean estimation on ``[-1, 1]``.
+
+    The output domain is ``[-s, s]`` with ``s = (e^{eps/2} + 1) / (e^{eps/2} - 1)``.
+    A value ``v`` is reported uniformly from a high-probability subinterval
+    ``[l(v), r(v)]`` of width ``s - 1`` with total probability ``e^{eps/2} (e^{eps/2}-1)
+    / (e^{eps/2}+1) * ...`` (density ratio ``e^eps`` against the complement), producing
+    an unbiased report with lower variance than SR for moderate budgets.
+    """
+
+    name = "PM"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        half = math.exp(self.epsilon / 2.0)
+        self.s = (half + 1.0) / (half - 1.0)
+        # Density inside the favoured band and outside it (ratio e^eps).
+        self.high_density = half * (half - 1.0) / (2.0 * (half + 1.0))
+        self.low_density = self.high_density / math.exp(self.epsilon)
+
+    def _band(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        half = math.exp(self.epsilon / 2.0)
+        left = (half * v - 1.0) / (half - 1.0)
+        right = (half * v + 1.0) / (half - 1.0)
+        return left, right
+
+    def privatize(self, values: np.ndarray, seed=None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        v = _check_unit_interval(values)
+        n = v.shape[0]
+        left, right = self._band(v)
+        band_mass = self.high_density * (right - left)
+        in_band = rng.random(n) < band_mass
+        high_reports = rng.uniform(left, right)
+        # Complement: two flanking segments [-s, left) and (right, s].
+        left_len = left - (-self.s)
+        right_len = self.s - right
+        u = rng.random(n) * (left_len + right_len)
+        low_reports = np.where(u < left_len, -self.s + u, right + (u - left_len))
+        return np.where(in_band, high_reports, low_reports)
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        """The PM report is unbiased, so the sample mean estimates the true mean."""
+        reports = np.asarray(reports, dtype=float)
+        if reports.size == 0:
+            raise ValueError("cannot estimate a mean from zero reports")
+        return float(reports.mean())
+
+
+def hybrid_mean_estimator(
+    values: np.ndarray, epsilon: float, *, seed=None, threshold: float = 0.61
+) -> float:
+    """The PM/SR hybrid of Wang et al.: use PM with probability ``alpha``, SR otherwise.
+
+    For ``eps > ~0.61`` the hybrid mixes the two mechanisms to minimise worst-case
+    variance; below the threshold it reduces to SR.  Returns the estimated mean of
+    ``values`` (which must lie in ``[-1, 1]``).
+    """
+    epsilon = check_epsilon(epsilon)
+    rng = ensure_rng(seed)
+    v = _check_unit_interval(values)
+    if epsilon <= threshold:
+        sr = StochasticRounding(epsilon)
+        return sr.estimate_mean(sr.privatize(v, seed=rng))
+    alpha = 1.0 - math.exp(-epsilon / 2.0)
+    use_pm = rng.random(v.shape[0]) < alpha
+    pm = PiecewiseMechanism(epsilon)
+    sr = StochasticRounding(epsilon)
+    reports = np.empty_like(v)
+    if use_pm.any():
+        reports[use_pm] = pm.privatize(v[use_pm], seed=rng)
+    if (~use_pm).any():
+        reports[~use_pm] = sr.privatize(v[~use_pm], seed=rng)
+    return float(reports.mean())

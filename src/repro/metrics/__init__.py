@@ -1,0 +1,79 @@
+"""Distance metrics and privacy yardsticks used by the paper's evaluation.
+
+* Exact Wasserstein distances (1-D closed form, 2-D linear program — Eq. 17).
+* Sinkhorn approximation for fine grids (Cuturi 2013).
+* Radon transform and sliced Wasserstein distance (Definitions 6 and 7).
+* Classical divergences (KL, JS, TV, MAE, MSE) for comparison.
+* Local Privacy (Eq. 15/16) and the ε-calibration that makes LDP and Geo-I mechanisms
+  comparable.
+"""
+
+from repro.metrics.divergence import (
+    chi_square_statistic,
+    js_divergence,
+    kl_divergence,
+    mean_absolute_error,
+    mean_squared_error,
+    total_variation,
+)
+from repro.metrics.local_privacy import (
+    CalibrationResult,
+    calibrate_epsilon,
+    local_privacy,
+    local_privacy_of_mechanism,
+)
+from repro.metrics.privacy_audit import (
+    PrivacyAuditResult,
+    audit_mechanism,
+    audit_pairwise_privacy,
+    worst_case_epsilon,
+)
+from repro.metrics.sinkhorn import (
+    SinkhornResult,
+    sinkhorn_distance,
+    sinkhorn_plan,
+    sinkhorn_wasserstein,
+)
+from repro.metrics.sliced import (
+    RadonProjection,
+    projected_wasserstein,
+    radon_projection,
+    sliced_wasserstein,
+)
+from repro.metrics.wasserstein import (
+    wasserstein2_auto,
+    wasserstein2_grid,
+    wasserstein_1d,
+    wasserstein_1d_general,
+    wasserstein_exact,
+)
+
+__all__ = [
+    "chi_square_statistic",
+    "js_divergence",
+    "kl_divergence",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "total_variation",
+    "CalibrationResult",
+    "calibrate_epsilon",
+    "local_privacy",
+    "local_privacy_of_mechanism",
+    "PrivacyAuditResult",
+    "audit_mechanism",
+    "audit_pairwise_privacy",
+    "worst_case_epsilon",
+    "SinkhornResult",
+    "sinkhorn_distance",
+    "sinkhorn_plan",
+    "sinkhorn_wasserstein",
+    "RadonProjection",
+    "projected_wasserstein",
+    "radon_projection",
+    "sliced_wasserstein",
+    "wasserstein2_auto",
+    "wasserstein2_grid",
+    "wasserstein_1d",
+    "wasserstein_1d_general",
+    "wasserstein_exact",
+]

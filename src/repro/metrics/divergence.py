@@ -1,0 +1,95 @@
+"""Classical distribution-comparison metrics: KL, JS, total variation, MAE, MSE.
+
+Section I of the paper argues that these metrics ignore the spatial ordinal
+relationship between cells, which is why the evaluation uses the Wasserstein distance
+instead.  They are still implemented here because (a) downstream users routinely want
+them, and (b) the ablation benchmarks use them to demonstrate the paper's point — two
+estimates can have identical total variation but very different ``W2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domain import GridDistribution
+from repro.utils.validation import check_probability_vector
+
+
+def _flatten_pair(
+    dist_a: GridDistribution | np.ndarray, dist_b: GridDistribution | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    a = dist_a.flat() if isinstance(dist_a, GridDistribution) else np.asarray(dist_a, float).ravel()
+    b = dist_b.flat() if isinstance(dist_b, GridDistribution) else np.asarray(dist_b, float).ravel()
+    a = check_probability_vector(a, name="first distribution")
+    b = check_probability_vector(b, name="second distribution")
+    if a.shape != b.shape:
+        raise ValueError(f"distributions must have equal size, got {a.shape} vs {b.shape}")
+    return a, b
+
+
+def kl_divergence(
+    dist_a: GridDistribution | np.ndarray,
+    dist_b: GridDistribution | np.ndarray,
+    *,
+    epsilon: float = 1e-12,
+) -> float:
+    """Kullback-Leibler divergence ``KL(A || B)`` in nats, with additive smoothing.
+
+    Cells where ``B`` is zero but ``A`` is not would make the divergence infinite;
+    ``epsilon`` smoothing keeps the value finite, which is the standard practice when
+    comparing empirical histograms.
+    """
+    a, b = _flatten_pair(dist_a, dist_b)
+    a = (a + epsilon) / (a + epsilon).sum()
+    b = (b + epsilon) / (b + epsilon).sum()
+    return float(np.sum(a * np.log(a / b)))
+
+
+def js_divergence(
+    dist_a: GridDistribution | np.ndarray, dist_b: GridDistribution | np.ndarray
+) -> float:
+    """Jensen-Shannon divergence (symmetric, bounded by ``ln 2``)."""
+    a, b = _flatten_pair(dist_a, dist_b)
+    mid = (a + b) / 2.0
+    return 0.5 * kl_divergence(a, mid) + 0.5 * kl_divergence(b, mid)
+
+
+def total_variation(
+    dist_a: GridDistribution | np.ndarray, dist_b: GridDistribution | np.ndarray
+) -> float:
+    """Total-variation distance ``0.5 * ||A - B||_1``."""
+    a, b = _flatten_pair(dist_a, dist_b)
+    return 0.5 * float(np.abs(a - b).sum())
+
+
+def mean_absolute_error(
+    dist_a: GridDistribution | np.ndarray, dist_b: GridDistribution | np.ndarray
+) -> float:
+    """Per-cell mean absolute error between two distributions."""
+    a, b = _flatten_pair(dist_a, dist_b)
+    return float(np.abs(a - b).mean())
+
+
+def mean_squared_error(
+    dist_a: GridDistribution | np.ndarray, dist_b: GridDistribution | np.ndarray
+) -> float:
+    """Per-cell mean squared error between two distributions."""
+    a, b = _flatten_pair(dist_a, dist_b)
+    return float(((a - b) ** 2).mean())
+
+
+def chi_square_statistic(
+    observed_counts: np.ndarray, expected_counts: np.ndarray, *, epsilon: float = 1e-12
+) -> float:
+    """Pearson chi-square statistic between observed and expected cell counts.
+
+    Used by tests to check that a mechanism's sampled reports match the probabilities
+    declared by its transition matrix.
+    """
+    observed = np.asarray(observed_counts, dtype=float).ravel()
+    expected = np.asarray(expected_counts, dtype=float).ravel()
+    if observed.shape != expected.shape:
+        raise ValueError("observed and expected must have equal size")
+    if np.any(expected < 0) or np.any(observed < 0):
+        raise ValueError("counts must be non-negative")
+    return float(np.sum((observed - expected) ** 2 / np.clip(expected, epsilon, None)))

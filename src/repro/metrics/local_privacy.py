@@ -1,0 +1,151 @@
+"""Local Privacy (LP) — Section VII-B's common yardstick for LDP and Geo-I mechanisms.
+
+DAM satisfies ε-LDP while SEM-Geo-I satisfies ε-Geo-I, so their ε values are not
+directly comparable.  The paper follows Shokri et al. and measures both through the
+*Local Privacy* of Eq. (15)/(16): the expected distance between a user's true location
+and a Bayes-adversary's estimate of it after observing the mechanism's output, under a
+uniform prior over locations.
+
+``LP = sum_{i'} 1/(n * sum_j Pr(i'|j)) * sum_{i, i_hat} Pr(i'|i) Pr(i'|i_hat) d(i_hat, i)``
+
+Given the transition matrix of any mechanism over the same cell grid this is a pure
+matrix computation; :func:`calibrate_epsilon` then finds, by bisection, the budget a
+second mechanism needs to match a reference mechanism's LP — exactly how the paper sets
+SEM-Geo-I's ε′ for each DAM ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.histogram import pairwise_cell_distances
+from repro.utils.validation import check_probability_matrix
+
+
+def local_privacy(
+    transition: np.ndarray,
+    distances: np.ndarray,
+    *,
+    prior: np.ndarray | None = None,
+) -> float:
+    """Local Privacy of a mechanism given its transition matrix (Eq. 16).
+
+    Parameters
+    ----------
+    transition:
+        ``(n, m)`` row-stochastic matrix ``Pr(output | input cell)``.  The output domain
+        may be larger than the input domain (e.g. DAM's extended grid); the adversary's
+        estimate is always an *input* cell, matching the paper's ``I_hat = I``.
+    distances:
+        ``(n, n)`` matrix of distances ``d_p(i_hat, i)`` between input cells (2-norm
+        between cell centres in the paper).
+    prior:
+        Prior over input cells ``Pr(i)``; defaults to uniform, as in the paper.
+
+    Returns
+    -------
+    float
+        The expected adversary-to-truth distance.  Larger values mean more privacy.
+    """
+    matrix = check_probability_matrix(transition, name="transition")
+    n = matrix.shape[0]
+    dist = np.asarray(distances, dtype=float)
+    if dist.shape != (n, n):
+        raise ValueError(f"distances must have shape ({n}, {n}), got {dist.shape}")
+    if prior is None:
+        prior = np.full(n, 1.0 / n)
+    prior = np.asarray(prior, dtype=float)
+    if prior.shape != (n,):
+        raise ValueError(f"prior must have shape ({n},), got {prior.shape}")
+    prior = prior / prior.sum()
+
+    total = 0.0
+    # Column j of `matrix` is Pr(output=j | input=i) over inputs i.
+    column_mass = matrix.sum(axis=0)  # sum_j Pr(i'|j) under the paper's uniform prior
+    for output in range(matrix.shape[1]):
+        column = matrix[:, output]
+        mass = column_mass[output]
+        if mass <= 0:
+            continue
+        # sum_{i, i_hat} Pr(i'|i) Pr(i'|i_hat) d(i_hat, i) = column^T D column
+        pairwise = float(column @ dist @ column)
+        total += pairwise / (n * mass)
+    return total
+
+
+def local_privacy_of_mechanism(mechanism, *, prior: np.ndarray | None = None) -> float:
+    """Local Privacy of a :class:`~repro.core.estimator.TransitionMatrixMechanism`.
+
+    Distances are Euclidean between input-cell centres in domain coordinates.
+    """
+    grid = mechanism.grid
+    distances = pairwise_cell_distances(grid.d, grid.domain.bounds)
+    return local_privacy(mechanism.transition, distances, prior=prior)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of matching one mechanism's Local Privacy to a reference value."""
+
+    epsilon: float
+    local_privacy: float
+    target_local_privacy: float
+    iterations: int
+    converged: bool
+
+
+def calibrate_epsilon(
+    build_mechanism: Callable[[float], "object"],
+    target_lp: float,
+    *,
+    epsilon_low: float = 0.05,
+    epsilon_high: float = 50.0,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> CalibrationResult:
+    """Find the budget at which ``build_mechanism(eps)`` attains a target Local Privacy.
+
+    Local Privacy decreases monotonically in the budget (more budget, less privacy), so
+    a simple bisection suffices.  ``build_mechanism`` must return an object accepted by
+    :func:`local_privacy_of_mechanism`.
+
+    Typical use — match SEM-Geo-I to DAM as in Section VII-B::
+
+        dam = DiscreteDAM(grid, epsilon)
+        target = local_privacy_of_mechanism(dam)
+        result = calibrate_epsilon(lambda e: SEMGeoI(grid, e), target)
+        sem = SEMGeoI(grid, result.epsilon)
+    """
+    if target_lp <= 0:
+        raise ValueError(f"target_lp must be positive, got {target_lp}")
+
+    def lp_at(eps: float) -> float:
+        return local_privacy_of_mechanism(build_mechanism(eps))
+
+    low, high = epsilon_low, epsilon_high
+    lp_low = lp_at(low)  # most privacy
+    lp_high = lp_at(high)  # least privacy
+    # Clamp to the achievable range rather than failing: very small/large targets are
+    # matched as closely as the mechanism family allows.
+    if target_lp >= lp_low:
+        return CalibrationResult(low, lp_low, target_lp, 0, converged=False)
+    if target_lp <= lp_high:
+        return CalibrationResult(high, lp_high, target_lp, 0, converged=False)
+
+    iterations = 0
+    mid = (low + high) / 2.0
+    lp_mid = lp_at(mid)
+    for iterations in range(1, max_iterations + 1):
+        mid = (low + high) / 2.0
+        lp_mid = lp_at(mid)
+        if abs(lp_mid - target_lp) <= tolerance * max(target_lp, 1e-12):
+            return CalibrationResult(mid, lp_mid, target_lp, iterations, converged=True)
+        if lp_mid > target_lp:
+            # Too much privacy — increase the budget.
+            low = mid
+        else:
+            high = mid
+    return CalibrationResult(mid, lp_mid, target_lp, iterations, converged=False)

@@ -1,0 +1,126 @@
+"""Empirical privacy auditing of LDP mechanisms.
+
+The analytical guarantee (Theorem IV.1) bounds the probability ratio of any two inputs
+producing the same output by ``e^eps``.  This module audits that bound *empirically*,
+the way a privacy red-team would: run the mechanism many times on a pair of inputs,
+estimate the per-output report probabilities, and compute confidence-aware bounds on
+the realised privacy loss.  The audit catches implementation bugs (a mis-normalised
+transition row, an off-by-one in the disk geometry) that unit tests on the closed forms
+can miss, and it is exercised by both the test suite and an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PrivacyAuditResult:
+    """Outcome of an empirical LDP audit on one pair of inputs.
+
+    Attributes
+    ----------
+    epsilon_declared:
+        The budget the mechanism claims.
+    epsilon_measured:
+        The largest empirical log-probability ratio observed over outputs (a point
+        estimate of the realised privacy loss for this input pair).
+    epsilon_lower_confidence:
+        A conservative lower confidence bound on the realised loss (Clopper-Pearson
+        style, via a normal approximation with continuity floor).  A *violation* is
+        only flagged when this bound exceeds the declared budget.
+    n_trials:
+        Number of mechanism invocations per input.
+    violated:
+        Whether the audit found statistically significant evidence that the mechanism
+        exceeds its declared budget.
+    """
+
+    epsilon_declared: float
+    epsilon_measured: float
+    epsilon_lower_confidence: float
+    n_trials: int
+    violated: bool
+
+
+def audit_pairwise_privacy(
+    mechanism,
+    cell_a: int,
+    cell_b: int,
+    *,
+    n_trials: int = 20_000,
+    confidence_z: float = 3.0,
+    seed=None,
+) -> PrivacyAuditResult:
+    """Empirically audit the ε-LDP bound for one pair of input cells.
+
+    The mechanism must follow the :class:`~repro.core.estimator.SpatialMechanism`
+    protocol (``privatize_cells`` + ``output_domain_size``).  Outputs that were never
+    observed for one of the two inputs are smoothed with a +1 pseudo-count, which keeps
+    the estimate finite and biases it *against* finding false violations.
+    """
+    check_positive(n_trials, "n_trials")
+    rng = ensure_rng(seed)
+    n_outputs = mechanism.output_domain_size()
+    reports_a = mechanism.privatize_cells(np.full(n_trials, cell_a, dtype=np.int64), seed=rng)
+    reports_b = mechanism.privatize_cells(np.full(n_trials, cell_b, dtype=np.int64), seed=rng)
+    counts_a = np.bincount(np.asarray(reports_a, dtype=np.int64), minlength=n_outputs) + 1.0
+    counts_b = np.bincount(np.asarray(reports_b, dtype=np.int64), minlength=n_outputs) + 1.0
+    prob_a = counts_a / counts_a.sum()
+    prob_b = counts_b / counts_b.sum()
+
+    log_ratio = np.log(prob_a) - np.log(prob_b)
+    worst_index = int(np.argmax(np.abs(log_ratio)))
+    measured = float(np.abs(log_ratio[worst_index]))
+
+    # Normal-approximation standard error of the log ratio at the worst output.
+    se = float(
+        np.sqrt(
+            (1.0 - prob_a[worst_index]) / counts_a[worst_index]
+            + (1.0 - prob_b[worst_index]) / counts_b[worst_index]
+        )
+    )
+    lower = max(measured - confidence_z * se, 0.0)
+    declared = float(mechanism.epsilon)
+    return PrivacyAuditResult(
+        epsilon_declared=declared,
+        epsilon_measured=measured,
+        epsilon_lower_confidence=lower,
+        n_trials=int(n_trials),
+        violated=lower > declared * (1.0 + 1e-9),
+    )
+
+
+def audit_mechanism(
+    mechanism,
+    *,
+    n_pairs: int = 5,
+    n_trials: int = 20_000,
+    seed=None,
+) -> list[PrivacyAuditResult]:
+    """Audit several randomly chosen input pairs, always including the two far corners.
+
+    The far-corner pair maximises the distance between the two inputs' high-probability
+    disks and is where a broken disk mechanism is most likely to overshoot its budget.
+    """
+    rng = ensure_rng(seed)
+    n_cells = mechanism.grid.n_cells
+    pairs = [(0, n_cells - 1)]
+    for _ in range(max(n_pairs - 1, 0)):
+        a, b = rng.choice(n_cells, size=2, replace=False)
+        pairs.append((int(a), int(b)))
+    return [
+        audit_pairwise_privacy(mechanism, a, b, n_trials=n_trials, seed=rng) for a, b in pairs
+    ]
+
+
+def worst_case_epsilon(results: list[PrivacyAuditResult]) -> float:
+    """The largest measured privacy loss across audited pairs."""
+    if not results:
+        raise ValueError("no audit results supplied")
+    return max(result.epsilon_measured for result in results)

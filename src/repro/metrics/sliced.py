@@ -1,0 +1,143 @@
+"""Radon transforms and the sliced Wasserstein distance (Definitions 6 and 7).
+
+The paper sidesteps the lack of a closed form for the 2-D Wasserstein distance by
+projecting both distributions onto lines (the Radon transform) and integrating the 1-D
+Wasserstein distance of the projections over all directions — the *sliced* Wasserstein
+distance.  DAM's optimality proof (Theorem V.2) maximises exactly this quantity between
+the output distributions of any two inputs.
+
+For discrete grid distributions the Radon transform of a direction ``theta`` is simply
+the 1-D distribution of the cell centres projected onto the unit vector
+``(cos theta, sin theta)`` with the cell masses as weights.  The sliced distance is then
+a (uniform or fixed-grid) average of 1-D Wasserstein distances over directions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domain import GridDistribution
+from repro.metrics.wasserstein import wasserstein_1d_general
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RadonProjection:
+    """A 1-D projected distribution: support positions and their weights."""
+
+    positions: np.ndarray
+    weights: np.ndarray
+    theta: float
+
+
+def radon_projection(distribution: GridDistribution, theta: float) -> RadonProjection:
+    """Radon transform of a grid distribution along direction ``theta``.
+
+    Each cell's mass is placed at the signed projection of its centre onto the unit
+    vector ``(cos theta, sin theta)``.  Cells that project to (numerically) the same
+    coordinate are merged so downstream 1-D solvers see a clean support.
+    """
+    direction = np.array([math.cos(theta), math.sin(theta)])
+    centers = distribution.grid.cell_centers()
+    projected = centers @ direction
+    weights = distribution.flat()
+    # Merge duplicate projected positions (within a tolerance tied to the cell size).
+    resolution = distribution.grid.cell_side * 1e-9 + 1e-12
+    keys = np.round(projected / resolution).astype(np.int64)
+    order = np.argsort(keys)
+    keys = keys[order]
+    projected = projected[order]
+    weights = weights[order]
+    unique_keys, start_indices = np.unique(keys, return_index=True)
+    merged_positions = np.add.reduceat(projected * weights, start_indices)
+    merged_weights = np.add.reduceat(weights, start_indices)
+    safe = merged_weights > 0
+    positions = np.where(
+        safe, merged_positions / np.clip(merged_weights, 1e-300, None), projected[start_indices]
+    )
+    return RadonProjection(positions=positions, weights=merged_weights, theta=float(theta))
+
+
+def projected_wasserstein(
+    dist_a: GridDistribution,
+    dist_b: GridDistribution,
+    theta: float,
+    *,
+    p: float = 1.0,
+) -> float:
+    """1-D ``W_p`` between the Radon projections of two grid distributions."""
+    proj_a = radon_projection(dist_a, theta)
+    proj_b = radon_projection(dist_b, theta)
+    weights_a = proj_a.weights / proj_a.weights.sum()
+    weights_b = proj_b.weights / proj_b.weights.sum()
+    return wasserstein_1d_general(
+        proj_a.positions, weights_a, proj_b.positions, weights_b, p=p
+    )
+
+
+def sliced_wasserstein(
+    dist_a: GridDistribution,
+    dist_b: GridDistribution,
+    *,
+    p: float = 1.0,
+    n_projections: int = 32,
+    random_directions: bool = False,
+    seed=None,
+) -> float:
+    """Sliced ``L^p`` Wasserstein distance between two grid distributions.
+
+    Parameters
+    ----------
+    p:
+        The norm of the 1-D transport cost (the paper's optimality analysis uses
+        ``p = 1``, i.e. ``SW^1_2``).
+    n_projections:
+        Number of directions used to approximate the integral over the unit circle.
+    random_directions:
+        ``False`` (default) integrates over an evenly spaced grid of angles in
+        ``[0, pi)``, which is deterministic and the natural quadrature for the circle
+        integral; ``True`` samples directions uniformly (Monte-Carlo slicing).
+    seed:
+        Randomness source when ``random_directions=True``.
+
+    Returns
+    -------
+    float
+        ``( (1/K) * sum_k W_p(proj_k A, proj_k B)^p )^(1/p)`` — the normalised sliced
+        distance.  Normalising by the number of directions (instead of multiplying by
+        ``2 pi``) keeps values comparable across ``n_projections``.
+    """
+    if dist_a.grid.d != dist_b.grid.d:
+        raise ValueError("grid distributions must live on grids of equal side")
+    check_positive(p, "p")
+    if n_projections < 1:
+        raise ValueError(f"n_projections must be >= 1, got {n_projections}")
+    if random_directions:
+        rng = ensure_rng(seed)
+        thetas = rng.uniform(0.0, math.pi, n_projections)
+    else:
+        thetas = np.linspace(0.0, math.pi, n_projections, endpoint=False)
+    total = 0.0
+    for theta in thetas:
+        total += projected_wasserstein(dist_a, dist_b, float(theta), p=p) ** p
+    return (total / n_projections) ** (1.0 / p)
+
+
+def sliced_wasserstein_lower_bounds_w2(
+    dist_a: GridDistribution, dist_b: GridDistribution, *, n_projections: int = 64
+) -> tuple[float, float]:
+    """Return ``(SW_2, W2-style scale)`` — a helper for tests of the SW/W relationship.
+
+    Each 1-D projection is a 1-Lipschitz map, so the per-direction transport cost never
+    exceeds the full 2-D cost; averaging preserves the inequality.  Tests use this to
+    check ``SW_2 <= W_2`` numerically, which validates both implementations at once.
+    """
+    sw2 = sliced_wasserstein(dist_a, dist_b, p=2.0, n_projections=n_projections)
+    from repro.metrics.wasserstein import wasserstein2_auto  # local import, no cycle
+
+    w2 = wasserstein2_auto(dist_a, dist_b, p=2.0)
+    return sw2, w2

@@ -1,0 +1,22 @@
+"""Private spatial range queries built on the distribution estimators.
+
+The paper's stated extension: combining DAM with hierarchical range-query methods
+(HIO / HDG / AHEAD).  :class:`FlatRangeQueryEngine` answers queries from a single
+estimate; :class:`HierarchicalRangeQueryEngine` spreads users over a coarse-to-fine
+hierarchy of DAM estimates; :class:`RangeQueryWorkload` generates workloads and scores
+answers.
+"""
+
+from repro.queries.range_query import (
+    FlatRangeQueryEngine,
+    HierarchicalRangeQueryEngine,
+    RangeQuery,
+    RangeQueryWorkload,
+)
+
+__all__ = [
+    "FlatRangeQueryEngine",
+    "HierarchicalRangeQueryEngine",
+    "RangeQuery",
+    "RangeQueryWorkload",
+]

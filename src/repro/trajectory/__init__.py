@@ -1,0 +1,21 @@
+"""Trajectory mechanisms and the Appendix-D trajectory-to-point comparison harness."""
+
+from repro.trajectory.adapter import (
+    TrajectoryComparisonResult,
+    compare_all_trajectory_mechanisms,
+    compare_trajectory_mechanism,
+    trajectory_point_distribution,
+)
+from repro.trajectory.ldptrace import DIRECTIONS, LDPTrace, LDPTraceModel
+from repro.trajectory.pivottrace import PivotTrace
+
+__all__ = [
+    "TrajectoryComparisonResult",
+    "compare_all_trajectory_mechanisms",
+    "compare_trajectory_mechanism",
+    "trajectory_point_distribution",
+    "DIRECTIONS",
+    "LDPTrace",
+    "LDPTraceModel",
+    "PivotTrace",
+]

@@ -1,0 +1,113 @@
+"""PivotTrace — trajectory collection with LDP via pivot points (Zhang et al., VLDB 2023).
+
+Simplified re-implementation of the second Appendix-D baseline.  Instead of learning a
+generative model, each user selects a small number of *pivot* points of their
+trajectory (first, middle(s) and last), perturbs each pivot's grid cell independently
+under its share of the budget, and reports the perturbed pivots together with the
+(bucketised) trajectory length.  The analyst reconstructs each trajectory by connecting
+consecutive reported pivots with straight-line interpolation across the grid.
+
+Pivot perturbation uses the exponential Geo-I-style kernel over cells (distance-aware,
+like the original paper's optimised perturbation), and the per-pivot budget is the
+total budget divided by the number of pivots so sequential composition holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domain import GridSpec
+from repro.mechanisms.cfo import GeneralizedRandomizedResponse
+from repro.utils.histogram import pairwise_cell_distances
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_epsilon
+
+
+class PivotTrace:
+    """Simplified PivotTrace: report perturbed pivot cells, reconstruct by interpolation.
+
+    Parameters
+    ----------
+    grid:
+        Analysis grid.
+    epsilon:
+        Total per-user budget, split evenly over the pivot reports and the length
+        report.
+    n_pivots:
+        Number of pivot points per trajectory (>= 2: start and end are always pivots).
+    """
+
+    name = "PivotTrace"
+
+    def __init__(self, grid: GridSpec, epsilon: float, *, n_pivots: int = 3) -> None:
+        self.grid = grid
+        self.epsilon = check_epsilon(epsilon)
+        if n_pivots < 2:
+            raise ValueError(f"n_pivots must be >= 2, got {n_pivots}")
+        self.n_pivots = n_pivots
+        # One budget share per pivot plus one for the length report.
+        self.share = epsilon / (n_pivots + 1)
+        self.length_oracle = GeneralizedRandomizedResponse(32, self.share)
+        distances = pairwise_cell_distances(grid.d, grid.domain.bounds) / grid.cell_side
+        kernel = np.exp(-self.share * distances / 2.0)
+        self._pivot_kernel = kernel / kernel.sum(axis=1, keepdims=True)
+        self._length_buckets = np.linspace(2, 200, 33)
+
+    # ------------------------------------------------------------------ reporting
+    def _pivot_indices(self, length: int) -> np.ndarray:
+        return np.unique(np.linspace(0, length - 1, self.n_pivots).round().astype(int))
+
+    def _perturb_cells(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noisy = np.empty_like(cells)
+        for i, cell in enumerate(cells):
+            noisy[i] = rng.choice(self.grid.n_cells, p=self._pivot_kernel[cell])
+        return noisy
+
+    def _length_bucket(self, length: int) -> int:
+        idx = int(np.searchsorted(self._length_buckets[1:-1], length, side="right"))
+        return min(idx, self.length_oracle.domain_size - 1)
+
+    def _bucket_length(self, bucket: int, rng: np.random.Generator) -> int:
+        lo = self._length_buckets[bucket]
+        hi = self._length_buckets[bucket + 1]
+        return int(max(2, round(rng.uniform(lo, hi))))
+
+    # ------------------------------------------------------------- reconstruction
+    def collect(self, trajectories: list[np.ndarray], seed=None) -> list[np.ndarray]:
+        """Report pivots for every trajectory and reconstruct the noisy trajectories."""
+        rng = ensure_rng(seed)
+        if not trajectories:
+            raise ValueError("cannot collect an empty trajectory set")
+        reconstructed: list[np.ndarray] = []
+        for trajectory in trajectories:
+            cells = self.grid.point_to_cell(trajectory)
+            pivots = cells[self._pivot_indices(cells.shape[0])]
+            noisy_pivots = self._perturb_cells(pivots, rng)
+            noisy_length_bucket = int(
+                self.length_oracle.privatize(
+                    np.array([self._length_bucket(cells.shape[0])]), seed=rng
+                )[0]
+            )
+            target_length = self._bucket_length(noisy_length_bucket, rng)
+            reconstructed.append(self._interpolate(noisy_pivots, target_length, rng))
+        return reconstructed
+
+    def _interpolate(
+        self, pivot_cells: np.ndarray, target_length: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Connect consecutive pivots with straight segments resampled to the length."""
+        d = self.grid.d
+        rows, cols = pivot_cells // d, pivot_cells % d
+        # Parametrise the pivot polyline and resample it at `target_length` points.
+        if pivot_cells.shape[0] == 1:
+            rows = np.repeat(rows, 2)
+            cols = np.repeat(cols, 2)
+        t_pivots = np.linspace(0.0, 1.0, rows.shape[0])
+        t_samples = np.linspace(0.0, 1.0, max(target_length, 2))
+        sample_rows = np.interp(t_samples, t_pivots, rows.astype(float))
+        sample_cols = np.interp(t_samples, t_pivots, cols.astype(float))
+        u = rng.random((t_samples.shape[0], 2))
+        x_min, x_max, y_min, y_max = self.grid.domain.bounds
+        xs = x_min + (sample_cols + u[:, 0]) * (x_max - x_min) / d
+        ys = y_min + (sample_rows + u[:, 1]) * (y_max - y_min) / d
+        return np.column_stack([xs, ys])

@@ -1,0 +1,48 @@
+"""Shared utilities: RNG handling, argument validation and histogram helpers.
+
+These helpers keep the rest of the library free of repetitive bookkeeping:
+every stochastic component accepts either a seed or a :class:`numpy.random.Generator`
+and converts it through :func:`ensure_rng`, every user-facing parameter is checked
+through the validators in :mod:`repro.utils.validation`, and the 2-D histogram
+plumbing shared by datasets, mechanisms and metrics lives in
+:mod:`repro.utils.histogram`.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_epsilon,
+    check_grid_side,
+    check_positive,
+    check_probability_matrix,
+    check_probability_vector,
+    check_radius,
+)
+from repro.utils.visual import ascii_heatmap, side_by_side, sparkline
+from repro.utils.histogram import (
+    counts_to_distribution,
+    distribution_to_counts,
+    flatten_grid,
+    grid_cell_centers,
+    points_to_grid_counts,
+    unflatten_grid,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_epsilon",
+    "check_grid_side",
+    "check_positive",
+    "check_probability_matrix",
+    "check_probability_vector",
+    "check_radius",
+    "ascii_heatmap",
+    "side_by_side",
+    "sparkline",
+    "counts_to_distribution",
+    "distribution_to_counts",
+    "flatten_grid",
+    "grid_cell_centers",
+    "points_to_grid_counts",
+    "unflatten_grid",
+]

@@ -1,0 +1,133 @@
+"""2-D histogram helpers shared by datasets, mechanisms and metrics.
+
+The library's common currency is a ``d x d`` grid of cell probabilities (row index =
+y/"row" cell, column index = x/"column" cell).  These helpers convert between point
+clouds, count grids, probability grids and the flattened vectors used by the linear
+algebra in the estimators and the optimal-transport solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_grid_side, check_points
+
+
+def points_to_grid_counts(
+    points: np.ndarray,
+    bounds: tuple[float, float, float, float],
+    d: int,
+) -> np.ndarray:
+    """Histogram 2-D points into a ``d x d`` integer count grid.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of ``(x, y)`` coordinates.
+    bounds:
+        ``(x_min, x_max, y_min, y_max)`` of the domain.  Points outside are clipped
+        onto the boundary (the paper extracts rectangular parts first, so boundary
+        points are legitimate data, not errors).
+    d:
+        Grid side length.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, d)`` array of counts with ``counts[row, col]`` covering the cell whose
+        x-range is ``col`` and y-range is ``row``.
+    """
+    d = check_grid_side(d)
+    pts = check_points(points)
+    x_min, x_max, y_min, y_max = bounds
+    if x_min >= x_max or y_min >= y_max:
+        raise ValueError(f"invalid bounds {bounds}: expected x_min < x_max and y_min < y_max")
+    cols = cell_index(pts[:, 0], x_min, x_max, d)
+    rows = cell_index(pts[:, 1], y_min, y_max, d)
+    counts = np.zeros((d, d), dtype=np.int64)
+    np.add.at(counts, (rows, cols), 1)
+    return counts
+
+
+def cell_index(values: np.ndarray, low: float, high: float, d: int) -> np.ndarray:
+    """Map coordinates to cell indices in ``[0, d)``, clipping out-of-range values."""
+    span = high - low
+    idx = np.floor((np.asarray(values, dtype=float) - low) / span * d).astype(np.int64)
+    return np.clip(idx, 0, d - 1)
+
+
+def counts_to_distribution(counts: np.ndarray) -> np.ndarray:
+    """Normalise a count grid into a probability grid.
+
+    An all-zero grid maps to the uniform distribution, which is the conventional
+    non-informative fallback used by the estimators.
+    """
+    arr = np.asarray(counts, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        return np.full(arr.shape, 1.0 / arr.size)
+    return arr / total
+
+
+def distribution_to_counts(distribution: np.ndarray, n: int) -> np.ndarray:
+    """Scale a probability grid back into expected counts for ``n`` users."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return np.asarray(distribution, dtype=float) * float(n)
+
+
+def flatten_grid(grid: np.ndarray) -> np.ndarray:
+    """Flatten a ``(d, d)`` grid into a length ``d*d`` vector in row-major order."""
+    arr = np.asarray(grid, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"grid must be square 2-D, got shape {arr.shape}")
+    return arr.reshape(-1)
+
+
+def unflatten_grid(vector: np.ndarray, d: int | None = None) -> np.ndarray:
+    """Reshape a flat vector back into a square ``(d, d)`` grid."""
+    arr = np.asarray(vector, dtype=float).reshape(-1)
+    if d is None:
+        d = int(round(np.sqrt(arr.size)))
+    if d * d != arr.size:
+        raise ValueError(f"vector of size {arr.size} is not a {d}x{d} grid")
+    return arr.reshape(d, d)
+
+
+def grid_cell_centers(
+    d: int,
+    bounds: tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+) -> np.ndarray:
+    """Return the ``(d*d, 2)`` array of cell-centre coordinates in row-major order.
+
+    Row-major means the first ``d`` rows of the result are the cells of grid row 0
+    (lowest y band), scanning x from left to right — matching :func:`flatten_grid`.
+    """
+    d = check_grid_side(d)
+    x_min, x_max, y_min, y_max = bounds
+    xs = x_min + (np.arange(d) + 0.5) * (x_max - x_min) / d
+    ys = y_min + (np.arange(d) + 0.5) * (y_max - y_min) / d
+    grid_x, grid_y = np.meshgrid(xs, ys)  # shape (d, d): rows vary y, cols vary x
+    return np.column_stack([grid_x.reshape(-1), grid_y.reshape(-1)])
+
+
+def pairwise_cell_distances(
+    d: int,
+    bounds: tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+    *,
+    ord: float = 2.0,
+) -> np.ndarray:
+    """Pairwise distances between cell centres of a ``d x d`` grid.
+
+    Returns an ``(d*d, d*d)`` matrix; used both by the optimal-transport metrics and
+    by the Geo-I style mechanisms whose privacy loss scales with distance.
+    """
+    centers = grid_cell_centers(d, bounds)
+    diff = centers[:, None, :] - centers[None, :, :]
+    if ord == 2.0:
+        return np.sqrt((diff**2).sum(axis=-1))
+    if ord == 1.0:
+        return np.abs(diff).sum(axis=-1)
+    return np.linalg.norm(diff, ord=ord, axis=-1)

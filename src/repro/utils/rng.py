@@ -1,0 +1,125 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library takes a ``seed`` argument that may be
+
+* ``None`` — fresh OS entropy,
+* an ``int`` — deterministic seed,
+* an existing :class:`numpy.random.Generator` — used as-is (shared state), or
+* a :class:`numpy.random.SeedSequence`.
+
+:func:`ensure_rng` normalises all four into a :class:`numpy.random.Generator` so the
+rest of the code never branches on the seed type.  :func:`spawn_rngs` derives
+statistically independent child generators, which the experiment runner uses to give
+each repetition of an experiment its own stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None``, an integer, a ``Generator`` or a ``SeedSequence``.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator.  If ``seed`` is already a generator it is returned unchanged,
+        so callers can deliberately share one stream across components.
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is of an unsupported type (e.g. a float or a legacy
+        ``RandomState``).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        "seed must be None, an int, a numpy Generator or a SeedSequence; "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    The child streams are produced with :meth:`numpy.random.SeedSequence.spawn`, so
+    they are statistically independent regardless of ``count``.  When ``seed`` is a
+    ``Generator``, children are derived from fresh entropy drawn from it, which keeps
+    the call deterministic for a seeded parent.
+
+    Parameters
+    ----------
+    seed:
+        Any accepted seed form (see :func:`ensure_rng`).
+    count:
+        Number of child generators, must be positive.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence deterministically from the parent generator.
+        entropy = int(seed.integers(0, 2**63 - 1))
+        sequence = np.random.SeedSequence(entropy)
+    elif isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    elif seed is None:
+        sequence = np.random.SeedSequence()
+    else:
+        sequence = np.random.SeedSequence(int(seed))
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def sample_categorical(
+    rng: np.random.Generator,
+    probabilities: np.ndarray,
+    size: Optional[int] = None,
+) -> Union[int, np.ndarray]:
+    """Draw indices from a categorical distribution given by ``probabilities``.
+
+    A thin wrapper over ``rng.choice`` that first re-normalises the vector to guard
+    against tiny floating-point drift (sums such as 0.999999999 would otherwise raise
+    inside NumPy).
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    probabilities:
+        1-D non-negative array.  Must have a strictly positive sum.
+    size:
+        ``None`` for a single integer draw, otherwise the number of i.i.d. draws.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1:
+        raise ValueError(f"probabilities must be 1-D, got shape {probs.shape}")
+    if np.any(probs < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError("probabilities must have a positive finite sum")
+    probs = probs / total
+    return rng.choice(len(probs), size=size, p=probs)
+
+
+def weighted_sample_index(rng: np.random.Generator, weights: Sequence[float]) -> int:
+    """Sample one index proportionally to ``weights`` (Algorithm 2, lines 6 and 14)."""
+    return int(sample_categorical(rng, np.asarray(list(weights), dtype=float)))

@@ -1,0 +1,139 @@
+"""Argument validation helpers shared across the library.
+
+Each helper raises ``ValueError`` (or ``TypeError``) with an actionable message and
+returns the validated, possibly coerced, value so call sites can write
+
+``epsilon = check_epsilon(epsilon)``
+
+in one line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a finite positive (or non-negative) number."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate a privacy budget.
+
+    The paper's mechanisms are defined for ``epsilon > 0``; extremely large budgets
+    (> 100) almost always indicate a unit mistake (e.g. passing ``e^eps``) and
+    overflow ``exp``, so they are rejected too.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    if epsilon > 100:
+        raise ValueError(
+            f"epsilon={epsilon} is implausibly large; budgets in the paper range "
+            "from 0.5 to 9 — did you pass exp(epsilon) by mistake?"
+        )
+    return epsilon
+
+
+def check_grid_side(d: int) -> int:
+    """Validate a grid side length ``d`` (number of cells along one axis)."""
+    if isinstance(d, bool) or not isinstance(d, (int, np.integer)):
+        raise TypeError(f"grid side d must be an integer, got {type(d).__name__}")
+    d = int(d)
+    if d < 1:
+        raise ValueError(f"grid side d must be >= 1, got {d}")
+    if d > 4096:
+        raise ValueError(f"grid side d={d} is too large; the estimator is O(d^4) in memory")
+    return d
+
+
+def check_radius(b: float, *, name: str = "b", allow_zero: bool = False) -> float:
+    """Validate a (continuous or discrete) high-probability radius."""
+    return check_positive(b, name, allow_zero=allow_zero)
+
+
+def check_probability_vector(
+    vector: np.ndarray,
+    *,
+    name: str = "distribution",
+    atol: float = 1e-6,
+    require_normalised: bool = True,
+) -> np.ndarray:
+    """Validate (and return as float array) a 1-D probability vector."""
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} contains negative entries")
+    if require_normalised and not math.isclose(float(arr.sum()), 1.0, abs_tol=1e-4):
+        raise ValueError(f"{name} must sum to 1, got sum={arr.sum():.6f}")
+    return np.clip(arr, 0.0, None)
+
+
+def check_probability_matrix(
+    matrix: np.ndarray,
+    *,
+    name: str = "transition matrix",
+    axis: int = 1,
+    atol: float = 1e-6,
+) -> np.ndarray:
+    """Validate a stochastic matrix whose rows (``axis=1``) sum to one."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} contains negative entries")
+    sums = arr.sum(axis=axis)
+    if not np.allclose(sums, 1.0, atol=1e-4):
+        worst = float(np.abs(sums - 1.0).max())
+        raise ValueError(f"{name} rows must sum to 1 (worst deviation {worst:.2e})")
+    return np.clip(arr, 0.0, None)
+
+
+def check_bounds(
+    low: float,
+    high: float,
+    *,
+    name: str = "bounds",
+) -> tuple[float, float]:
+    """Validate an interval ``(low, high)`` with ``low < high``."""
+    low = float(low)
+    high = float(high)
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise ValueError(f"{name} must be finite, got ({low}, {high})")
+    if low >= high:
+        raise ValueError(f"{name} must satisfy low < high, got ({low}, {high})")
+    return low, high
+
+
+def check_points(points: np.ndarray, *, name: str = "points", dims: Optional[int] = 2) -> np.ndarray:
+    """Validate an ``(n, dims)`` array of coordinates and return it as float."""
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim == 1 and dims == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array of shape (n, {dims}), got shape {arr.shape}")
+    if dims is not None and arr.shape[1] != dims:
+        raise ValueError(f"{name} must have {dims} columns, got {arr.shape[1]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite coordinates")
+    return arr

@@ -1,0 +1,82 @@
+"""Terminal visualisation helpers: ASCII heat maps and sparklines.
+
+The examples and the benchmark reports need a dependency-free way to show a density
+map; these helpers render a :class:`~repro.core.domain.GridDistribution` (or a raw
+probability grid) as an ASCII heat map, and short numeric series as unicode sparklines
+for the experiment summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    *,
+    title: str | None = None,
+    shades: str = _SHADES,
+    flip_vertical: bool = True,
+) -> str:
+    """Render a 2-D non-negative array as an ASCII heat map string.
+
+    ``flip_vertical`` puts the highest row (largest y) on top, matching the usual map
+    orientation of the grid convention used throughout the library.
+    """
+    if hasattr(grid, "probabilities"):
+        values = np.asarray(grid.probabilities, dtype=float)
+    else:
+        values = np.asarray(grid, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {values.shape}")
+    if np.any(values < 0):
+        raise ValueError("heat map values must be non-negative")
+    if len(shades) < 2:
+        raise ValueError("need at least two shade characters")
+    scale = values.max()
+    lines = []
+    if title:
+        lines.append(title)
+    rows = values[::-1] if flip_vertical else values
+    for row in rows:
+        if scale > 0:
+            indices = np.minimum((row / scale * (len(shades) - 1)).astype(int), len(shades) - 1)
+        else:
+            indices = np.zeros(row.shape, dtype=int)
+        lines.append("".join(shades[i] for i in indices))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float] | Iterable[float]) -> str:
+    """Render a numeric series as a unicode sparkline (e.g. for W2-versus-eps trends)."""
+    series = np.asarray(list(values), dtype=float)
+    if series.size == 0:
+        return ""
+    if not np.all(np.isfinite(series)):
+        raise ValueError("sparkline values must be finite")
+    low, high = float(series.min()), float(series.max())
+    if high == low:
+        return _SPARK_BARS[0] * series.size
+    normalised = (series - low) / (high - low)
+    indices = np.minimum((normalised * (len(_SPARK_BARS) - 1)).round().astype(int), len(_SPARK_BARS) - 1)
+    return "".join(_SPARK_BARS[i] for i in indices)
+
+
+def side_by_side(left: str, right: str, *, gap: int = 4) -> str:
+    """Place two multi-line blocks next to each other (true map vs estimated map)."""
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    left_lines = left.splitlines() or [""]
+    right_lines = right.splitlines() or [""]
+    height = max(len(left_lines), len(right_lines))
+    width = max((len(line) for line in left_lines), default=0)
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        f"{l.ljust(width)}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+    )

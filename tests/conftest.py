@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tiny grids, a few thousand points at most) so the full
+suite stays in the tens of seconds; statistical assertions use generous tolerances and
+fixed seeds so they are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_domain() -> SpatialDomain:
+    return SpatialDomain.unit()
+
+
+@pytest.fixture
+def unit_grid5(unit_domain) -> GridSpec:
+    """A 5x5 grid over the unit square (exact-LP Wasserstein territory)."""
+    return GridSpec(unit_domain, 5)
+
+
+@pytest.fixture
+def unit_grid8(unit_domain) -> GridSpec:
+    """An 8x8 grid over the unit square."""
+    return GridSpec(unit_domain, 8)
+
+
+@pytest.fixture
+def clustered_points(rng) -> np.ndarray:
+    """A skewed two-cluster point cloud inside the unit square (3,000 points)."""
+    cluster_a = rng.normal([0.25, 0.3], 0.07, size=(2000, 2))
+    cluster_b = rng.normal([0.75, 0.7], 0.05, size=(1000, 2))
+    return np.clip(np.vstack([cluster_a, cluster_b]), 0.0, 1.0)
+
+
+@pytest.fixture
+def clustered_distribution(unit_grid5, clustered_points) -> GridDistribution:
+    return unit_grid5.distribution(clustered_points)
+
+
+@pytest.fixture
+def uniform_distribution(unit_grid5) -> GridDistribution:
+    return GridDistribution.uniform(unit_grid5)
+
+
+@pytest.fixture
+def corner_distribution(unit_grid5) -> GridDistribution:
+    """All mass in the lower-left cell — the most concentrated distribution possible."""
+    grid = np.zeros((5, 5))
+    grid[0, 0] = 1.0
+    return GridDistribution(unit_grid5, grid)

@@ -1,0 +1,228 @@
+"""Tests for repro.core.dam — the discrete Disk Area Mechanism and DAM-NS."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dam import DiscreteDAM, DiscreteDAMNoShrink, DiskOutputDomain, build_disk_transition
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.core.geometry import disk_offset_array
+from repro.metrics.divergence import chi_square_statistic
+from repro.metrics.wasserstein import wasserstein2_grid
+
+
+@pytest.fixture(scope="module")
+def grid6() -> GridSpec:
+    return GridSpec.unit(6)
+
+
+@pytest.fixture(scope="module")
+def dam(grid6) -> DiscreteDAM:
+    return DiscreteDAM(grid6, epsilon=3.5, b_hat=2)
+
+
+class TestDiskOutputDomain:
+    def test_contains_input_grid(self):
+        domain = DiskOutputDomain.build(5, 2)
+        assert domain.contains_input_grid()
+
+    def test_lookup_consistent(self):
+        domain = DiskOutputDomain.build(4, 1)
+        lookup = domain.index_lookup()
+        for index, (col, row) in enumerate(domain.cells):
+            assert lookup[(col, row)] == index
+
+    def test_size_grows_with_radius(self):
+        assert DiskOutputDomain.build(5, 3).size > DiskOutputDomain.build(5, 1).size
+
+
+class TestBuildDiskTransition:
+    def test_rows_sum_to_one(self, grid6):
+        masses = disk_offset_array(2)
+        e = math.exp(2.0)
+        masses[:, 2] = masses[:, 2] * e + (1 - masses[:, 2])
+        transition, _, _ = build_disk_transition(grid6, 2, masses)
+        np.testing.assert_allclose(transition.sum(axis=1), 1.0)
+
+    def test_shape(self, grid6):
+        masses = disk_offset_array(2)
+        transition, domain, _ = build_disk_transition(grid6, 2, masses)
+        assert transition.shape == (grid6.n_cells, domain.size)
+
+    def test_invalid_mass_shape_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            build_disk_transition(grid6, 2, np.zeros((3, 2)))
+
+
+class TestDamProbabilities:
+    def test_p_q_ratio_is_exp_eps(self, dam):
+        assert dam.p_hat / dam.q_hat == pytest.approx(math.exp(3.5))
+
+    def test_normalisation_identity(self, dam):
+        """S_H * p + S_L * q = 1 (the discrete analogue of Definition 4's condition 2)."""
+        assert dam.s_high * dam.p_hat + dam.s_low * dam.q_hat == pytest.approx(1.0)
+
+    def test_transition_max_is_p_hat(self, dam):
+        assert dam.transition.max() == pytest.approx(dam.p_hat)
+
+    def test_transition_min_is_q_hat(self, dam):
+        assert dam.transition.min() == pytest.approx(dam.q_hat)
+
+    def test_mixed_cells_between_q_and_p(self, dam):
+        values = np.unique(np.round(dam.transition, 12))
+        assert np.all(values >= dam.q_hat - 1e-12)
+        assert np.all(values <= dam.p_hat + 1e-12)
+
+    def test_default_b_hat_uses_radius_rule(self):
+        grid = GridSpec.unit(15)
+        mech = DiscreteDAM(grid, 3.5)
+        from repro.core.radius import grid_radius
+
+        assert mech.b_hat == grid_radius(3.5, 15, 1.0)
+
+    def test_explicit_b_hat_respected(self, grid6):
+        assert DiscreteDAM(grid6, 2.0, b_hat=3).b_hat == 3
+
+    def test_invalid_b_hat_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            DiscreteDAM(grid6, 2.0, b_hat=0)
+
+    def test_invalid_postprocess_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            DiscreteDAM(grid6, 2.0, postprocess="magic")
+
+
+class TestLocalDifferentialPrivacy:
+    """The core privacy guarantee: the transition probabilities are e^eps-bounded."""
+
+    @pytest.mark.parametrize("epsilon", [0.7, 1.4, 3.5, 5.0])
+    def test_ldp_ratio_bounded(self, epsilon):
+        grid = GridSpec.unit(5)
+        mech = DiscreteDAM(grid, epsilon)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.7, 3.5])
+    def test_ldp_ratio_bounded_without_shrinkage(self, epsilon):
+        grid = GridSpec.unit(5)
+        mech = DiscreteDAM(grid, epsilon, use_shrinkage=False)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from([0.7, 1.4, 2.1, 3.5, 5.0]),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ldp_property(self, d, epsilon, b_hat):
+        """Property: every (d, eps, b_hat) combination yields an e^eps-bounded mechanism."""
+        mech = DiscreteDAM(GridSpec.unit(d), epsilon, b_hat=b_hat)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    def test_rows_share_normalisation(self):
+        """Every row must use the same S_H/S_L split, otherwise LDP would break."""
+        mech = DiscreteDAM(GridSpec.unit(6), 2.0, b_hat=2)
+        row_max = mech.transition.max(axis=1)
+        np.testing.assert_allclose(row_max, row_max[0])
+
+
+class TestSampling:
+    def test_reports_within_output_domain(self, dam):
+        rng = np.random.default_rng(0)
+        cells = rng.integers(0, dam.grid.n_cells, 500)
+        reports = dam.privatize_cells(cells, seed=rng)
+        assert reports.min() >= 0
+        assert reports.max() < dam.output_domain_size()
+
+    def test_sampling_matches_transition_row(self, dam):
+        """Chi-square check: empirical report frequencies track the declared row."""
+        rng = np.random.default_rng(1)
+        cell = 14
+        n = 30_000
+        reports = dam.privatize_cells(np.full(n, cell), seed=rng)
+        observed = np.bincount(reports, minlength=dam.output_domain_size())
+        expected = dam.transition[cell] * n
+        statistic = chi_square_statistic(observed, expected)
+        # dof = number of outputs - 1; allow a generous 1.5x margin.
+        assert statistic < 1.5 * dam.output_domain_size()
+
+    def test_invalid_cell_rejected(self, dam):
+        with pytest.raises(ValueError):
+            dam.privatize_cells(np.array([dam.grid.n_cells]), seed=0)
+
+    def test_deterministic_given_seed(self, dam):
+        cells = np.arange(dam.grid.n_cells)
+        a = dam.privatize_cells(cells, seed=7)
+        b = dam.privatize_cells(cells, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("postprocess", ["ems", "em", "ls"])
+    def test_estimate_is_distribution(self, grid6, postprocess):
+        mech = DiscreteDAM(grid6, 3.5, b_hat=1, postprocess=postprocess)
+        rng = np.random.default_rng(0)
+        pts = np.clip(rng.normal(0.4, 0.15, size=(3000, 2)), 0, 1)
+        estimate = mech.run(pts, seed=1).estimate
+        assert estimate.flat().sum() == pytest.approx(1.0)
+        assert np.all(estimate.flat() >= 0)
+
+    def test_estimate_recovers_concentrated_distribution(self):
+        """With a large budget the estimate should concentrate where the data is."""
+        grid = GridSpec.unit(5)
+        mech = DiscreteDAM(grid, 8.0, b_hat=1)
+        rng = np.random.default_rng(2)
+        pts = np.clip(rng.normal([0.15, 0.15], 0.05, size=(8000, 2)), 0, 1)
+        true = grid.distribution(pts)
+        estimate = mech.run(pts, seed=3).estimate
+        assert wasserstein2_grid(true, estimate) < 0.08
+
+    def test_more_budget_means_less_error(self):
+        grid = GridSpec.unit(5)
+        rng = np.random.default_rng(4)
+        pts = np.clip(rng.normal([0.3, 0.7], 0.1, size=(6000, 2)), 0, 1)
+        true = grid.distribution(pts)
+        errors = []
+        for eps in (0.7, 2.0, 6.0):
+            mech = DiscreteDAM(grid, eps)
+            errors.append(wasserstein2_grid(true, mech.run(pts, seed=5).estimate))
+        assert errors[0] > errors[2]
+
+    def test_empty_input_gives_uniform(self, dam):
+        report = dam.run(np.empty((0, 2)), seed=0)
+        np.testing.assert_allclose(report.estimate.flat(), 1.0 / dam.grid.n_cells)
+
+    def test_rectangular_domain_supported(self):
+        domain = SpatialDomain(0.0, 2.0, 0.0, 1.0)
+        grid = GridSpec(domain, 4)
+        mech = DiscreteDAM(grid, 3.0, b_hat=1)
+        rng = np.random.default_rng(6)
+        pts = np.column_stack([rng.uniform(0, 2, 1000), rng.uniform(0, 1, 1000)])
+        estimate = mech.run(pts, seed=7).estimate
+        assert estimate.flat().sum() == pytest.approx(1.0)
+
+
+class TestDamNoShrink:
+    def test_name(self):
+        mech = DiscreteDAMNoShrink(GridSpec.unit(4), 2.0, b_hat=1)
+        assert mech.name == "DAM-NS"
+
+    def test_equivalent_to_flag(self):
+        grid = GridSpec.unit(5)
+        a = DiscreteDAMNoShrink(grid, 2.0, b_hat=2)
+        b = DiscreteDAM(grid, 2.0, b_hat=2, use_shrinkage=False)
+        np.testing.assert_allclose(a.transition, b.transition)
+
+    def test_smaller_high_area_than_dam(self):
+        grid = GridSpec.unit(5)
+        with_shrink = DiscreteDAM(grid, 2.0, b_hat=2)
+        without = DiscreteDAM(grid, 2.0, b_hat=2, use_shrinkage=False)
+        assert without.s_high < with_shrink.s_high
+
+    def test_ns_flag_rejected_as_kwarg(self):
+        # The subclass owns use_shrinkage; passing it again must not crash.
+        mech = DiscreteDAMNoShrink(GridSpec.unit(4), 2.0, b_hat=1, use_shrinkage=True)
+        assert mech.use_shrinkage is False

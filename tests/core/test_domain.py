@@ -1,0 +1,227 @@
+"""Tests for repro.core.domain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domain import (
+    GridDistribution,
+    GridSpec,
+    SpatialDomain,
+    marginals,
+    outer_product_distribution,
+)
+
+
+class TestSpatialDomain:
+    def test_unit_square(self):
+        dom = SpatialDomain.unit()
+        assert dom.width == 1.0
+        assert dom.height == 1.0
+        assert dom.side_length == 1.0
+        assert dom.area == 1.0
+
+    def test_rectangle_side_length_is_longest(self):
+        dom = SpatialDomain(0, 2, 0, 1)
+        assert dom.side_length == 2.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDomain(1.0, 0.0, 0.0, 1.0)
+
+    def test_contains(self):
+        dom = SpatialDomain(0, 1, 0, 1)
+        mask = dom.contains(np.array([[0.5, 0.5], [1.5, 0.5], [0.0, 1.0]]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_clip(self):
+        dom = SpatialDomain(0, 1, 0, 1)
+        clipped = dom.clip(np.array([[2.0, -1.0]]))
+        np.testing.assert_allclose(clipped, [[1.0, 0.0]])
+
+    def test_filter(self):
+        dom = SpatialDomain(0, 1, 0, 1)
+        pts = dom.filter(np.array([[0.5, 0.5], [2.0, 2.0]]))
+        assert pts.shape == (1, 2)
+
+    def test_normalise_denormalise_roundtrip(self):
+        dom = SpatialDomain(-87.9, -87.5, 41.6, 42.0)
+        pts = np.array([[-87.7, 41.8], [-87.9, 41.6]])
+        np.testing.assert_allclose(dom.denormalise(dom.normalise(pts)), pts, atol=1e-12)
+
+    def test_normalise_maps_into_unit_square(self):
+        dom = SpatialDomain(-5, 5, -5, 5)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-5, 5, size=(100, 2))
+        unit = dom.normalise(pts)
+        assert unit.min() >= 0.0 and unit.max() <= 1.0
+
+    def test_from_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, 3.0]])
+        dom = SpatialDomain.from_points(pts)
+        assert dom.bounds == (0.0, 2.0, 1.0, 3.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDomain.from_points(np.empty((0, 2)))
+
+    def test_from_points_degenerate_gets_width(self):
+        dom = SpatialDomain.from_points(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        assert dom.width > 0 and dom.height > 0
+
+    def test_from_points_padding(self):
+        dom = SpatialDomain.from_points(np.array([[0.0, 0.0], [1.0, 1.0]]), pad=0.5)
+        assert dom.bounds == (-0.5, 1.5, -0.5, 1.5)
+
+
+class TestGridSpec:
+    def test_n_cells(self):
+        assert GridSpec.unit(4).n_cells == 16
+
+    def test_cell_side(self):
+        grid = GridSpec(SpatialDomain(0, 2, 0, 2), 4)
+        assert grid.cell_side == pytest.approx(0.5)
+
+    def test_point_to_cell_corners(self):
+        grid = GridSpec.unit(2)
+        cells = grid.point_to_cell(np.array([[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]]))
+        np.testing.assert_array_equal(cells, [0, 1, 2, 3])
+
+    def test_rowcol_roundtrip(self):
+        grid = GridSpec.unit(7)
+        flat = np.arange(grid.n_cells)
+        rows, cols = grid.cell_to_rowcol(flat)
+        np.testing.assert_array_equal(grid.rowcol_to_cell(rows, cols), flat)
+
+    def test_histogram_matches_point_to_cell(self):
+        grid = GridSpec.unit(3)
+        rng = np.random.default_rng(1)
+        pts = rng.random((200, 2))
+        counts = grid.histogram(pts)
+        cells = grid.point_to_cell(pts)
+        np.testing.assert_array_equal(
+            counts.reshape(-1), np.bincount(cells, minlength=grid.n_cells)
+        )
+
+    def test_iter_cells_row_major(self):
+        grid = GridSpec.unit(2)
+        cells = list(grid.iter_cells())
+        assert cells == [(0, 0, 0), (1, 0, 1), (2, 1, 0), (3, 1, 1)]
+
+    def test_with_side(self):
+        grid = GridSpec.unit(3)
+        assert grid.with_side(10).d == 10
+        assert grid.with_side(10).domain == grid.domain
+
+    def test_cell_centers_match_histogram_layout(self):
+        grid = GridSpec.unit(3)
+        centers = grid.cell_centers()
+        cells = grid.point_to_cell(centers)
+        np.testing.assert_array_equal(cells, np.arange(9))
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(SpatialDomain.unit(), 0)
+
+
+class TestGridDistribution:
+    def test_normalisation_enforced(self, unit_grid5):
+        dist = GridDistribution(unit_grid5, np.full((5, 5), 2.0))
+        assert dist.flat().sum() == pytest.approx(1.0)
+
+    def test_flat_vector_accepted(self, unit_grid5):
+        dist = GridDistribution(unit_grid5, np.full(25, 1.0 / 25))
+        assert dist.probabilities.shape == (5, 5)
+
+    def test_wrong_shape_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            GridDistribution(unit_grid5, np.full((4, 4), 1.0 / 16))
+
+    def test_negative_rejected(self, unit_grid5):
+        probs = np.full((5, 5), 1.0 / 25)
+        probs[0, 0] = -0.1
+        with pytest.raises(ValueError):
+            GridDistribution(unit_grid5, probs)
+
+    def test_zero_sum_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            GridDistribution(unit_grid5, np.zeros((5, 5)))
+
+    def test_uniform(self, unit_grid5):
+        dist = GridDistribution.uniform(unit_grid5)
+        np.testing.assert_allclose(dist.probabilities, 1.0 / 25)
+
+    def test_from_counts(self, unit_grid5):
+        counts = np.zeros((5, 5))
+        counts[2, 3] = 10
+        dist = GridDistribution.from_counts(unit_grid5, counts)
+        assert dist.probabilities[2, 3] == pytest.approx(1.0)
+
+    def test_expected_counts(self, unit_grid5):
+        dist = GridDistribution.uniform(unit_grid5)
+        np.testing.assert_allclose(dist.expected_counts(250), 10.0)
+
+    def test_sample_points_land_in_right_cells(self, unit_grid5, corner_distribution):
+        rng = np.random.default_rng(0)
+        pts = corner_distribution.sample_points(200, rng)
+        cells = unit_grid5.point_to_cell(pts)
+        assert np.all(cells == 0)
+
+    def test_sample_points_count(self, unit_grid5):
+        rng = np.random.default_rng(0)
+        assert GridDistribution.uniform(unit_grid5).sample_points(37, rng).shape == (37, 2)
+
+    def test_total_variation_identity(self, clustered_distribution):
+        assert clustered_distribution.total_variation(clustered_distribution) == 0.0
+
+    def test_total_variation_bounds(self, clustered_distribution, uniform_distribution):
+        tv = clustered_distribution.total_variation(uniform_distribution)
+        assert 0.0 < tv <= 1.0
+
+    def test_incompatible_grids_rejected(self, clustered_distribution):
+        other = GridDistribution.uniform(GridSpec.unit(4))
+        with pytest.raises(ValueError):
+            clustered_distribution.total_variation(other)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_empirical_distribution_always_normalised(self, d, seed):
+        rng = np.random.default_rng(seed)
+        grid = GridSpec.unit(d)
+        pts = rng.random((rng.integers(1, 200), 2))
+        dist = grid.distribution(pts)
+        assert dist.flat().sum() == pytest.approx(1.0)
+        assert np.all(dist.flat() >= 0)
+
+
+class TestMarginals:
+    def test_marginals_sum_to_one(self, clustered_distribution):
+        x_marg, y_marg = marginals(clustered_distribution)
+        assert x_marg.sum() == pytest.approx(1.0)
+        assert y_marg.sum() == pytest.approx(1.0)
+
+    def test_outer_product_reconstruction(self, unit_grid5):
+        x = np.array([0.1, 0.2, 0.3, 0.2, 0.2])
+        y = np.array([0.5, 0.1, 0.1, 0.2, 0.1])
+        joint = outer_product_distribution(unit_grid5, x, y)
+        x_back, y_back = marginals(joint)
+        np.testing.assert_allclose(x_back, x, atol=1e-12)
+        np.testing.assert_allclose(y_back, y, atol=1e-12)
+
+    def test_outer_product_independent_distribution_exact(self, unit_grid5):
+        rng = np.random.default_rng(0)
+        x = rng.dirichlet(np.ones(5))
+        y = rng.dirichlet(np.ones(5))
+        joint = outer_product_distribution(unit_grid5, x, y)
+        assert joint.probabilities[2, 3] == pytest.approx(y[2] * x[3])
+
+    def test_outer_product_wrong_shape_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            outer_product_distribution(unit_grid5, np.ones(4) / 4, np.ones(5) / 5)
+
+    def test_outer_product_zero_marginal_falls_back_to_uniform(self, unit_grid5):
+        joint = outer_product_distribution(unit_grid5, np.zeros(5), np.ones(5) / 5)
+        x_back, _ = marginals(joint)
+        np.testing.assert_allclose(x_back, 0.2)

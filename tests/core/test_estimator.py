@@ -1,0 +1,122 @@
+"""Tests for repro.core.estimator — the SpatialMechanism protocol plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec
+from repro.core.estimator import SpatialMechanism, TransitionMatrixMechanism
+
+
+class IdentityMechanism(TransitionMatrixMechanism):
+    """A trivial mechanism that reports the true cell — useful for protocol tests."""
+
+    name = "Identity"
+
+    def __init__(self, grid: GridSpec) -> None:
+        super().__init__(grid, epsilon=1.0)
+        self._set_transition(np.eye(grid.n_cells))
+
+    def estimate(self, noisy_counts: np.ndarray, n_users: int) -> GridDistribution:
+        counts = np.asarray(noisy_counts, dtype=float)
+        if counts.sum() == 0:
+            return GridDistribution.uniform(self.grid)
+        return GridDistribution.from_flat(self.grid, counts / counts.sum())
+
+
+@pytest.fixture
+def identity(unit_grid5) -> IdentityMechanism:
+    return IdentityMechanism(unit_grid5)
+
+
+class TestProtocol:
+    def test_run_round_trip(self, identity, clustered_points, unit_grid5):
+        report = identity.run(clustered_points, seed=0)
+        true = unit_grid5.distribution(clustered_points)
+        np.testing.assert_allclose(report.estimate.flat(), true.flat(), atol=1e-12)
+
+    def test_run_cells(self, identity):
+        cells = np.array([0, 0, 1, 24])
+        report = identity.run_cells(cells, seed=0)
+        assert report.n_users == 4
+        assert report.noisy_counts[0] == 2
+
+    def test_aggregate_counts(self, identity):
+        counts = identity.aggregate(np.array([0, 0, 3]))
+        assert counts[0] == 2 and counts[3] == 1
+
+    def test_aggregate_rejects_out_of_range(self, identity):
+        with pytest.raises(ValueError):
+            identity.aggregate(np.array([identity.output_domain_size()]))
+
+    def test_privatize_points_buckets_first(self, identity, unit_grid5):
+        points = np.array([[0.05, 0.05], [0.95, 0.95]])
+        reports = identity.privatize_cells(unit_grid5.point_to_cell(points), seed=0)
+        np.testing.assert_array_equal(reports, [0, 24])
+
+    def test_repr_contains_name(self, identity):
+        assert "IdentityMechanism" in repr(identity)
+
+    def test_abstract_class_cannot_instantiate(self, unit_grid5):
+        with pytest.raises(TypeError):
+            SpatialMechanism(unit_grid5, 1.0)  # type: ignore[abstract]
+
+
+class TestTransitionMatrixMechanism:
+    def test_transition_not_built_raises(self, unit_grid5):
+        class Incomplete(TransitionMatrixMechanism):
+            def estimate(self, noisy_counts, n_users):  # pragma: no cover
+                raise NotImplementedError
+
+        mech = Incomplete(unit_grid5, 1.0)
+        with pytest.raises(RuntimeError):
+            _ = mech.transition
+
+    def test_set_transition_validates_rows(self, unit_grid5):
+        class Broken(TransitionMatrixMechanism):
+            def __init__(self, grid):
+                super().__init__(grid, 1.0)
+                bad = np.full((grid.n_cells, 4), 0.3)
+                self._set_transition(bad)
+
+            def estimate(self, noisy_counts, n_users):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            Broken(unit_grid5)
+
+    def test_set_transition_validates_row_count(self, unit_grid5):
+        class WrongRows(TransitionMatrixMechanism):
+            def __init__(self, grid):
+                super().__init__(grid, 1.0)
+                self._set_transition(np.eye(grid.n_cells - 1))
+
+            def estimate(self, noisy_counts, n_users):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            WrongRows(unit_grid5)
+
+    def test_privatize_rejects_out_of_range_cell(self, identity):
+        with pytest.raises(ValueError):
+            identity.privatize_cells(np.array([-1]), seed=0)
+
+    def test_ldp_ratio_identity_is_infinite(self, identity):
+        # The identity "mechanism" offers no privacy at all.
+        assert identity.ldp_ratio() == float("inf")
+
+    def test_ldp_ratio_of_dam_finite(self, unit_grid5):
+        assert np.isfinite(DiscreteDAM(unit_grid5, 2.0).ldp_ratio())
+
+    def test_grouped_sampling_matches_per_user(self, unit_grid5):
+        """Sampling users grouped by cell must be distributionally identical to the row."""
+        mech = DiscreteDAM(unit_grid5, 5.0, b_hat=1)
+        cells = np.array([3] * 2000 + [17] * 2000)
+        reports = mech.privatize_cells(cells, seed=0)
+        assert reports.shape == (4000,)
+        # Reports for the two groups must differ in distribution (different rows).
+        first = np.bincount(reports[:2000], minlength=mech.output_domain_size())
+        second = np.bincount(reports[2000:], minlength=mech.output_domain_size())
+        assert np.argmax(first) != np.argmax(second)

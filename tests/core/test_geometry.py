@@ -1,0 +1,376 @@
+"""Tests for repro.core.geometry — the shrinkage geometry and Theorems VI.1–VI.4."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import (
+    CellClass,
+    circle_cell_overlap_area,
+    classify_offset,
+    closed_form_high_low_areas,
+    diagonal_shrunken_area,
+    disk_high_low_areas,
+    disk_offset_array,
+    enumerate_disk_cells,
+    nearest_corner_distance,
+    octant_mixed_cell_count,
+    octant_mixed_cell_indices,
+    octant_pure_high_cell_count,
+    output_domain_cell_count,
+    output_domain_cells,
+    pure_low_cell_count,
+    shrunken_rectangle_area,
+)
+
+B_VALUES = list(range(1, 16))
+
+
+class TestClassifyOffset:
+    def test_center_is_pure_high(self):
+        assert classify_offset(0, 0, 3) is CellClass.PURE_HIGH
+
+    def test_cell_on_circle_is_pure_high(self):
+        # centre distance exactly equals the radius
+        assert classify_offset(3, 0, 3) is CellClass.PURE_HIGH
+
+    def test_cell_far_away_is_pure_low(self):
+        assert classify_offset(10, 10, 3) is CellClass.PURE_LOW
+
+    def test_border_cell_is_mixed(self):
+        # (2, 1) with b=2: centre sqrt(5) > 2, nearest corner ~1.58 < 2
+        assert classify_offset(2, 1, 2) is CellClass.MIXED
+
+    def test_axis_cells_never_mixed_for_integer_radius(self):
+        for b in B_VALUES:
+            for x in range(1, b + 3):
+                assert classify_offset(x, 0, b) is not CellClass.MIXED
+
+    def test_symmetry_under_reflection(self):
+        for b in (2, 5, 7):
+            for dx in range(-b - 1, b + 2):
+                for dy in range(-b - 1, b + 2):
+                    assert classify_offset(dx, dy, b) is classify_offset(abs(dx), abs(dy), b)
+                    assert classify_offset(dx, dy, b) is classify_offset(dy, dx, b)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            classify_offset(0, 0, 0)
+
+
+class TestNearestCornerDistance:
+    def test_origin_cell(self):
+        assert nearest_corner_distance(0, 0) == 0.0
+
+    def test_adjacent_cell(self):
+        assert nearest_corner_distance(1, 0) == pytest.approx(0.5)
+
+    def test_diagonal_cell(self):
+        assert nearest_corner_distance(1, 1) == pytest.approx(math.sqrt(0.5))
+
+
+class TestShrunkenRectangleArea:
+    def test_matches_paper_b2_cell(self):
+        # b=2, cell (2, 1): delta = 2/sqrt(5) - 1, S = 4(2*delta+0.5)(delta+0.5)
+        delta = 2.0 / math.sqrt(5.0) - 1.0
+        expected = 4.0 * (2 * delta + 0.5) * (delta + 0.5)
+        assert shrunken_rectangle_area(2, 1, 2) == pytest.approx(expected)
+
+    def test_clipped_to_unit_cell(self):
+        for b in B_VALUES:
+            for cell in enumerate_disk_cells(b):
+                assert 0.0 <= cell.high_area <= 1.0
+
+    def test_value_between_zero_and_one_for_mixed_cells(self):
+        # The Theorem VI.1 approximation can reach 0 for cells the circle barely clips,
+        # so the valid range is the closed interval.
+        for b in (2, 3, 5, 8, 13):
+            for cell in enumerate_disk_cells(b):
+                if cell.cell_class is CellClass.MIXED:
+                    assert 0.0 <= cell.high_area <= 1.0
+
+    def test_origin_returns_full_cell(self):
+        assert shrunken_rectangle_area(0, 0, 3) == 1.0
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            shrunken_rectangle_area(1, 1, 0)
+
+    def test_approximates_exact_overlap(self):
+        """The shrunken rectangle approximates the true circle-cell overlap area."""
+        for b in (3, 5, 8):
+            for cell in enumerate_disk_cells(b):
+                if cell.cell_class is not CellClass.MIXED:
+                    continue
+                exact = circle_cell_overlap_area(cell.dx, cell.dy, b)
+                assert abs(cell.high_area - exact) < 0.45  # coarse but bounded approximation
+
+
+class TestDiagonalShrunkenArea:
+    def test_b7_matches_theorem(self):
+        # b=7: b' = 7/sqrt(2) - 0.5 ~ 4.4497, fractional part 0.4497 < 0.5
+        b_prime = 7 / math.sqrt(2) - 0.5
+        frac = b_prime - math.floor(b_prime)
+        assert diagonal_shrunken_area(7) == pytest.approx(4 * frac * frac)
+
+    def test_full_cell_when_fraction_large(self):
+        # b=3: b' = 1.621, fraction 0.621 >= 0.5 -> whole cell
+        assert diagonal_shrunken_area(3) == 1.0
+
+    def test_bounded(self):
+        for b in B_VALUES:
+            assert 0.0 <= diagonal_shrunken_area(b) <= 1.0
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            diagonal_shrunken_area(0)
+
+
+class TestCircleCellOverlap:
+    def test_fully_inside(self):
+        assert circle_cell_overlap_area(0, 0, 5) == 1.0
+
+    def test_fully_outside(self):
+        assert circle_cell_overlap_area(10, 10, 2) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        area = circle_cell_overlap_area(2, 1, 2)
+        assert 0.0 < area < 1.0
+
+    def test_whole_disk_area_recovered(self):
+        """Summing overlaps over all cells recovers pi b^2 (within discretisation error)."""
+        b = 4
+        total = 0.0
+        for dx in range(-b - 1, b + 2):
+            for dy in range(-b - 1, b + 2):
+                total += circle_cell_overlap_area(dx, dy, b)
+        assert total == pytest.approx(math.pi * b * b, rel=0.01)
+
+
+class TestEnumerateDiskCells:
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_contains_center(self, b):
+        offsets = {(c.dx, c.dy) for c in enumerate_disk_cells(b)}
+        assert (0, 0) in offsets
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_no_duplicates(self, b):
+        cells = enumerate_disk_cells(b)
+        assert len({(c.dx, c.dy) for c in cells}) == len(cells)
+
+    @pytest.mark.parametrize("b", [1, 2, 5, 9])
+    def test_all_within_bounding_box(self, b):
+        for cell in enumerate_disk_cells(b):
+            assert abs(cell.dx) <= b and abs(cell.dy) <= b
+
+    def test_b1_shape(self):
+        """b=1: centre + 4 axis neighbours pure high, 4 diagonal cells mixed."""
+        cells = enumerate_disk_cells(1)
+        pure = [c for c in cells if c.cell_class is CellClass.PURE_HIGH]
+        mixed = [c for c in cells if c.cell_class is CellClass.MIXED]
+        assert len(pure) == 5
+        assert len(mixed) == 4
+
+    def test_b2_counts_match_manual_enumeration(self):
+        """b=2: 13 pure-high cells and 8 mixed cells (worked out by hand)."""
+        cells = enumerate_disk_cells(2)
+        assert sum(c.cell_class is CellClass.PURE_HIGH for c in cells) == 13
+        assert sum(c.cell_class is CellClass.MIXED for c in cells) == 8
+
+    def test_no_shrinkage_zeroes_mixed_areas(self):
+        for cell in enumerate_disk_cells(4, use_shrinkage=False):
+            if cell.cell_class is CellClass.MIXED:
+                assert cell.high_area == 0.0
+            else:
+                assert cell.high_area == 1.0
+
+    def test_shrinkage_only_affects_mixed_cells(self):
+        with_s = {(c.dx, c.dy): c for c in enumerate_disk_cells(5, use_shrinkage=True)}
+        without = {(c.dx, c.dy): c for c in enumerate_disk_cells(5, use_shrinkage=False)}
+        assert set(with_s) == set(without)
+        for key, cell in with_s.items():
+            if cell.cell_class is CellClass.PURE_HIGH:
+                assert without[key].high_area == cell.high_area == 1.0
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_disk_cells(0)
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_disk_cell_count_grows_like_area(self, b):
+        count = len(enumerate_disk_cells(b))
+        assert math.pi * b * b * 0.8 <= count <= math.pi * (b + 1.5) ** 2
+
+
+class TestTheoremVI2:
+    """Pure-low cell count: closed form versus direct output-domain construction."""
+
+    @pytest.mark.parametrize("b", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("d", [2, 3, 5, 10])
+    def test_matches_output_domain(self, d, b):
+        total = output_domain_cell_count(d, b)
+        disk = len(enumerate_disk_cells(b))
+        assert total - disk == pure_low_cell_count(d, b)
+
+    def test_formula_value(self):
+        assert pure_low_cell_count(10, 3) == 100 + 120 - 12 - 1
+
+    def test_d1_gives_zero_extra(self):
+        # With a single input cell the whole output domain is the disk neighbourhood.
+        assert pure_low_cell_count(1, 4) == 1 + 16 - 16 - 1 == 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            pure_low_cell_count(0, 1)
+        with pytest.raises(ValueError):
+            pure_low_cell_count(3, 0)
+
+
+def _strict_octant_cells(b: int, cell_class: CellClass) -> set[tuple[int, int]]:
+    return {
+        (c.dx, c.dy)
+        for c in enumerate_disk_cells(b)
+        if c.cell_class is cell_class and 0 < c.dy < c.dx
+    }
+
+
+class TestTheoremVI3:
+    """The theorem enumerates, per horizontal row, the cell where the circle crosses the
+    row's bottom border.  That cell is *usually* the row's strict-octant mixed cell; for
+    a handful of radii (e.g. Pythagorean ones like b = 5) the crossed cell's centre lies
+    on or inside the circle, so the theorem's set differs from the strict Am set by at
+    most one cell per row — the shrunken area of such a cell clips to the full cell, so
+    the S_H/S_L totals (checked in TestHighLowAreas) are unaffected."""
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_count_close_to_strict_enumeration(self, b):
+        enumerated = len(_strict_octant_cells(b, CellClass.MIXED))
+        assert abs(octant_mixed_cell_count(b) - enumerated) <= 2
+
+    def test_paper_example_b7(self):
+        """The paper's Figure 6 worked example: |E^(m)_{7,(0,pi/4)}| = 4."""
+        assert octant_mixed_cell_count(7) == 4
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_indices_lie_in_strict_octant_and_touch_the_circle(self, b):
+        for x, y in octant_mixed_cell_indices(b):
+            assert 0 < y < x
+            # The indexed cell is genuinely crossed by (or touches) the circle.
+            assert nearest_corner_distance(x, y) <= b <= math.hypot(x + 0.5, y + 0.5)
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_indices_cover_all_strict_mixed_cells(self, b):
+        """Every strict-octant mixed cell appears among the theorem's indices."""
+        assert _strict_octant_cells(b, CellClass.MIXED) <= set(octant_mixed_cell_indices(b))
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            octant_mixed_cell_count(0)
+
+
+class TestTheoremVI4:
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_count_close_to_strict_enumeration(self, b):
+        """Theorem VI.4's count differs from the strict Ap set only by the border cells
+        Theorem VI.3 re-classifies (see TestTheoremVI3); the area totals still agree."""
+        enumerated = len(_strict_octant_cells(b, CellClass.PURE_HIGH))
+        assert abs(octant_pure_high_cell_count(b) - enumerated) <= 2
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_partition_of_octant_cells(self, b):
+        """Mixed + pure-high counts cover all strict-octant disk cells."""
+        total_strict = len(_strict_octant_cells(b, CellClass.MIXED)) + len(
+            _strict_octant_cells(b, CellClass.PURE_HIGH)
+        )
+        assert octant_mixed_cell_count(b) + octant_pure_high_cell_count(b) == total_strict
+
+    def test_paper_example_b7(self):
+        """The paper's Figure 6 worked example: |E^(p)_{7,(0,pi/4)}| = 13."""
+        assert octant_pure_high_cell_count(7) == 13
+
+
+class TestHighLowAreas:
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_closed_form_matches_enumeration(self, b):
+        sh_enum, _ = disk_high_low_areas(b)
+        sh_closed, _ = closed_form_high_low_areas(10, b)
+        assert sh_enum == pytest.approx(sh_closed, abs=1e-9)
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    @pytest.mark.parametrize("d", [3, 7])
+    def test_total_area_equals_output_domain_size(self, d, b):
+        """S_H + S_L must cover the whole output domain exactly once."""
+        sh, low_in_disk = disk_high_low_areas(b)
+        total_cells = output_domain_cell_count(d, b)
+        s_low = pure_low_cell_count(d, b) + low_in_disk
+        assert sh + s_low == pytest.approx(total_cells, abs=1e-9)
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_no_shrink_high_area_is_pure_high_count(self, b):
+        sh, low_in_disk = disk_high_low_areas(b, use_shrinkage=False)
+        pure_high = sum(
+            1 for c in enumerate_disk_cells(b) if c.cell_class is CellClass.PURE_HIGH
+        )
+        mixed = sum(1 for c in enumerate_disk_cells(b) if c.cell_class is CellClass.MIXED)
+        assert sh == pure_high
+        assert low_in_disk == mixed
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_shrinkage_increases_high_area(self, b):
+        sh_with, _ = disk_high_low_areas(b, use_shrinkage=True)
+        sh_without, _ = disk_high_low_areas(b, use_shrinkage=False)
+        assert sh_with >= sh_without
+
+    @pytest.mark.parametrize("b", B_VALUES)
+    def test_high_area_close_to_disk_area(self, b):
+        """S_H approximates pi b^2 (the continuous disk) within the border-cell error."""
+        sh, _ = disk_high_low_areas(b)
+        assert abs(sh - math.pi * b * b) < 4.5 * b  # border error grows with perimeter
+
+
+class TestOutputDomain:
+    @pytest.mark.parametrize("b", [1, 2, 4])
+    @pytest.mark.parametrize("d", [1, 3, 6])
+    def test_contains_input_grid(self, d, b):
+        cells = {tuple(c) for c in output_domain_cells(d, b)}
+        for col in range(d):
+            for row in range(d):
+                assert (col, row) in cells
+
+    def test_extension_ring_width(self):
+        cells = output_domain_cells(4, 2)
+        assert cells[:, 0].min() == -2
+        assert cells[:, 0].max() == 5
+
+    def test_no_duplicates(self):
+        cells = output_domain_cells(5, 3)
+        assert len({tuple(c) for c in cells}) == cells.shape[0]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            output_domain_cells(0, 1)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_size_consistent_with_theorem(self, d, b):
+        assert output_domain_cell_count(d, b) == pure_low_cell_count(d, b) + len(
+            enumerate_disk_cells(b)
+        )
+
+
+class TestDiskOffsetArray:
+    def test_columns(self):
+        arr = disk_offset_array(3)
+        assert arr.shape[1] == 3
+
+    def test_matches_enumeration(self):
+        arr = disk_offset_array(4)
+        cells = enumerate_disk_cells(4)
+        assert arr.shape[0] == len(cells)
+        by_offset = {(c.dx, c.dy): c.high_area for c in cells}
+        for dx, dy, area in arr:
+            assert by_offset[(int(dx), int(dy))] == pytest.approx(area)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.grid_response — the literal Algorithm 2 implementation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec
+from repro.core.grid_response import GridAreaResponse
+from repro.metrics.divergence import chi_square_statistic
+
+
+@pytest.fixture(scope="module")
+def grid5() -> GridSpec:
+    return GridSpec.unit(5)
+
+
+@pytest.fixture(scope="module")
+def response(grid5) -> GridAreaResponse:
+    return GridAreaResponse(grid5, epsilon=2.5, b_hat=2)
+
+
+class TestParts:
+    def test_partition_covers_output_domain(self, response):
+        parts = response.parts(12)
+        covered = (
+            set(parts.pure_low_cells.tolist())
+            | set(parts.pure_high_cells.tolist())
+            | set(parts.mixed_cells.tolist())
+        )
+        assert covered == set(range(response.output_domain.size))
+
+    def test_partition_is_disjoint(self, response):
+        parts = response.parts(12)
+        assert not set(parts.pure_low_cells.tolist()) & set(parts.pure_high_cells.tolist())
+        assert not set(parts.pure_low_cells.tolist()) & set(parts.mixed_cells.tolist())
+        assert not set(parts.pure_high_cells.tolist()) & set(parts.mixed_cells.tolist())
+
+    def test_mixed_areas_in_unit_interval(self, response):
+        parts = response.parts(0)
+        assert np.all(parts.mixed_high_areas >= 0)
+        assert np.all(parts.mixed_high_areas <= 1)
+        np.testing.assert_allclose(
+            parts.mixed_high_areas + parts.mixed_low_areas, 1.0
+        )
+
+    def test_invalid_cell_rejected(self, response):
+        with pytest.raises(ValueError):
+            response.parts(response.grid.n_cells)
+
+    def test_parts_cached(self, response):
+        assert response.parts(3) is response.parts(3)
+
+
+class TestAlgorithm2MatchesTransitionMatrix:
+    """The headline correctness check: Algorithm 2's induced probabilities equal the
+    vectorised DAM transition row for every input cell."""
+
+    @pytest.mark.parametrize("epsilon", [0.7, 2.5, 5.0])
+    def test_probabilities_match_dam(self, grid5, epsilon):
+        response = GridAreaResponse(grid5, epsilon=epsilon, b_hat=2)
+        dam = DiscreteDAM(grid5, epsilon, b_hat=2)
+        for cell in range(grid5.n_cells):
+            np.testing.assert_allclose(
+                response.response_probabilities(cell), dam.transition[cell], atol=1e-12
+            )
+
+    def test_probabilities_match_dam_ns(self, grid5):
+        response = GridAreaResponse(grid5, epsilon=2.0, b_hat=2, use_shrinkage=False)
+        dam_ns = DiscreteDAM(grid5, 2.0, b_hat=2, use_shrinkage=False)
+        for cell in (0, 7, 24):
+            np.testing.assert_allclose(
+                response.response_probabilities(cell), dam_ns.transition[cell], atol=1e-12
+            )
+
+    def test_probabilities_sum_to_one(self, response):
+        for cell in range(response.grid.n_cells):
+            assert response.response_probabilities(cell).sum() == pytest.approx(1.0)
+
+    def test_ldp_bound_on_probabilities(self, response):
+        probs = np.vstack(
+            [response.response_probabilities(c) for c in range(response.grid.n_cells)]
+        )
+        ratio = (probs.max(axis=0) / probs.min(axis=0)).max()
+        assert ratio <= math.exp(response.epsilon) * (1 + 1e-9)
+
+
+class TestSampling:
+    def test_respond_returns_valid_index(self, response):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            report = response.respond(7, seed=rng)
+            assert 0 <= report < response.output_domain.size
+
+    def test_respond_many_shape(self, response):
+        reports = response.respond_many(np.array([0, 1, 2, 3]), seed=1)
+        assert reports.shape == (4,)
+
+    def test_empirical_frequencies_match_declared(self, response):
+        rng = np.random.default_rng(3)
+        cell = 18
+        n = 20_000
+        reports = np.array([response.respond(cell, seed=rng) for _ in range(n)])
+        observed = np.bincount(reports, minlength=response.output_domain.size)
+        expected = response.response_probabilities(cell) * n
+        assert chi_square_statistic(observed, expected) < 1.5 * response.output_domain.size
+
+    def test_default_b_hat(self, grid5):
+        response = GridAreaResponse(grid5, epsilon=3.5)
+        assert response.b_hat >= 1
+
+    def test_invalid_b_hat_rejected(self, grid5):
+        with pytest.raises(ValueError):
+            GridAreaResponse(grid5, epsilon=2.0, b_hat=0)

@@ -1,0 +1,141 @@
+"""Tests for repro.core.huem — the discrete Hybrid Uniform-Exponential Mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec
+from repro.core.huem import DiscreteHUEM, huem_cell_masses
+from repro.metrics.wasserstein import wasserstein2_grid
+
+
+@pytest.fixture(scope="module")
+def grid6() -> GridSpec:
+    return GridSpec.unit(6)
+
+
+class TestHuemCellMasses:
+    def test_masses_within_ldp_range(self):
+        for eps in (0.7, 2.1, 3.5):
+            masses = huem_cell_masses(3, eps)
+            assert masses[:, 2].min() >= 1.0 - 1e-9
+            assert masses[:, 2].max() <= math.exp(eps) + 1e-9
+
+    def test_center_cell_has_largest_mass(self):
+        masses = huem_cell_masses(3, 2.0)
+        center = masses[(masses[:, 0] == 0) & (masses[:, 1] == 0), 2][0]
+        assert center == masses[:, 2].max()
+
+    def test_mass_decreases_with_distance(self):
+        """Cells farther from the centre get (weakly) smaller masses — the wave decays."""
+        masses = huem_cell_masses(4, 3.0)
+        radii = np.hypot(masses[:, 0], masses[:, 1])
+        order = np.argsort(radii)
+        sorted_masses = masses[order, 2]
+        # Allow small non-monotonicity from the sub-sample integration of border cells.
+        assert np.all(np.diff(sorted_masses) <= 0.05)
+
+    def test_subsamples_converge(self):
+        mid = huem_cell_masses(3, 2.0, subsamples=9)
+        fine = huem_cell_masses(3, 2.0, subsamples=21)
+        assert mid.shape == fine.shape
+        # Once the integration is reasonably fine, further refinement barely moves the
+        # masses (the single-midpoint rule, by contrast, overestimates the peak).
+        np.testing.assert_allclose(mid[:, 2], fine[:, 2], rtol=0.03)
+        coarse_center = huem_cell_masses(3, 2.0, subsamples=1)
+        center_mask = (coarse_center[:, 0] == 0) & (coarse_center[:, 1] == 0)
+        assert coarse_center[center_mask, 2][0] >= fine[center_mask, 2][0]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            huem_cell_masses(0, 2.0)
+        with pytest.raises(ValueError):
+            huem_cell_masses(2, 2.0, subsamples=0)
+
+
+class TestHuemPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.7, 2.1, 3.5, 5.0])
+    def test_ldp_ratio_bounded(self, grid6, epsilon):
+        mech = DiscreteHUEM(grid6, epsilon, b_hat=2)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    def test_rows_sum_to_one(self, grid6):
+        mech = DiscreteHUEM(grid6, 2.0, b_hat=2)
+        np.testing.assert_allclose(mech.transition.sum(axis=1), 1.0)
+
+    def test_rows_share_normalisation(self, grid6):
+        mech = DiscreteHUEM(grid6, 2.0, b_hat=2)
+        row_max = mech.transition.max(axis=1)
+        np.testing.assert_allclose(row_max, row_max[0])
+
+
+class TestHuemBehaviour:
+    def test_output_domain_matches_dam(self, grid6):
+        huem = DiscreteHUEM(grid6, 3.5, b_hat=2)
+        dam = DiscreteDAM(grid6, 3.5, b_hat=2)
+        assert huem.output_domain_size() == dam.output_domain_size()
+
+    def test_probability_peaks_at_true_cell(self, grid6):
+        mech = DiscreteHUEM(grid6, 3.5, b_hat=2)
+        # For an interior input cell the most likely report is the cell itself.
+        cell = grid6.rowcol_to_cell(3, 3)
+        row = mech.transition[cell]
+        lookup = mech.output_domain.index_lookup()
+        assert int(np.argmax(row)) == lookup[(3, 3)]
+
+    def test_estimation_recovers_hotspot(self):
+        grid = GridSpec.unit(5)
+        mech = DiscreteHUEM(grid, 7.0, b_hat=1)
+        rng = np.random.default_rng(0)
+        pts = np.clip(rng.normal([0.8, 0.2], 0.06, size=(6000, 2)), 0, 1)
+        true = grid.distribution(pts)
+        estimate = mech.run(pts, seed=1).estimate
+        assert wasserstein2_grid(true, estimate) < 0.1
+
+    def test_default_radius_matches_dam_default(self):
+        grid = GridSpec.unit(10)
+        assert DiscreteHUEM(grid, 3.5).b_hat == DiscreteDAM(grid, 3.5).b_hat
+
+    @pytest.mark.parametrize("postprocess", ["ems", "em", "ls"])
+    def test_postprocess_modes(self, grid6, postprocess):
+        mech = DiscreteHUEM(grid6, 3.5, b_hat=1, postprocess=postprocess)
+        rng = np.random.default_rng(2)
+        pts = rng.random((1500, 2))
+        estimate = mech.run(pts, seed=3).estimate
+        assert estimate.flat().sum() == pytest.approx(1.0)
+
+    def test_invalid_postprocess_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            DiscreteHUEM(grid6, 2.0, postprocess="bogus")
+
+    def test_invalid_b_hat_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            DiscreteHUEM(grid6, 2.0, b_hat=0)
+
+    def test_huem_is_less_concentrated_than_dam(self, grid6):
+        """DAM puts strictly more probability on the true cell than HUEM at equal eps/b.
+
+        DAM is the SAM that maximises the report probability gap (Theorem V.2); HUEM
+        spreads the in-disk mass exponentially so its peak at the true cell is lower
+        than DAM's p_hat... actually HUEM's peak equals q*e^eps which exceeds DAM's
+        p_hat; what distinguishes DAM is the *total* high-probability mass near the
+        truth.  We check the disk-mass comparison instead.
+        """
+        huem = DiscreteHUEM(grid6, 3.5, b_hat=2)
+        dam = DiscreteDAM(grid6, 3.5, b_hat=2)
+        cell = grid6.rowcol_to_cell(3, 3)
+        lookup_dam = dam.output_domain.index_lookup()
+        lookup_huem = huem.output_domain.index_lookup()
+        # Probability of reporting within the b_hat disk around the truth.
+        def disk_mass(mech, lookup):
+            total = 0.0
+            for (col, row), idx in lookup.items():
+                if (col - 3) ** 2 + (row - 3) ** 2 <= 4:
+                    total += mech.transition[cell, idx]
+            return total
+
+        assert disk_mass(dam, lookup_dam) >= disk_mass(huem, lookup_huem) - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the Appendix-A fan-ring discretisation of HUEM."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.core.huem import DiscreteHUEM, huem_cell_masses, huem_cell_masses_fan_rings
+
+
+class TestFanRingMasses:
+    @pytest.mark.parametrize("b_hat", [1, 2, 3, 5])
+    @pytest.mark.parametrize("epsilon", [0.7, 2.0, 3.5])
+    def test_masses_within_ldp_range(self, b_hat, epsilon):
+        masses = huem_cell_masses_fan_rings(b_hat, epsilon)
+        assert masses[:, 2].min() >= 1.0 - 1e-9
+        assert masses[:, 2].max() <= math.exp(epsilon) + 1e-9
+
+    def test_center_cell_has_full_mass(self):
+        masses = huem_cell_masses_fan_rings(3, 2.0)
+        center = masses[(masses[:, 0] == 0) & (masses[:, 1] == 0), 2][0]
+        assert center == pytest.approx(math.exp(2.0))
+
+    def test_same_cells_as_integral_discretisation(self):
+        rings = huem_cell_masses_fan_rings(4, 2.0)
+        integral = huem_cell_masses(4, 2.0)
+        assert {(int(r[0]), int(r[1])) for r in rings} == {
+            (int(r[0]), int(r[1])) for r in integral
+        }
+
+    def test_roughly_agrees_with_integral_discretisation(self):
+        """The two Appendix-A-compatible discretisations assign similar masses."""
+        rings = {(int(r[0]), int(r[1])): r[2] for r in huem_cell_masses_fan_rings(4, 2.0)}
+        integral = {(int(r[0]), int(r[1])): r[2] for r in huem_cell_masses(4, 2.0)}
+        differences = [abs(rings[key] - integral[key]) for key in rings]
+        # The fan-ring scheme holds the wave value of the ring's inner radius constant
+        # across the whole ring, so it sits above the cell-averaged integral; the two
+        # stay within about one ring step of each other (masses span [1, e^2] here).
+        assert np.mean(differences) < 1.2
+
+    def test_mass_weakly_decreases_with_ring(self):
+        masses = huem_cell_masses_fan_rings(5, 3.0)
+        radii = np.hypot(masses[:, 0], masses[:, 1])
+        # Compare the mean mass of the innermost ring with the outermost one.
+        inner = masses[radii <= 1.0, 2].mean()
+        outer = masses[radii >= 4.0, 2].mean()
+        assert inner > outer
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            huem_cell_masses_fan_rings(0, 1.0)
+
+
+class TestFanRingMechanism:
+    @pytest.mark.parametrize("epsilon", [0.7, 2.1, 3.5])
+    def test_ldp_ratio_bounded(self, epsilon):
+        mech = DiscreteHUEM(GridSpec.unit(6), epsilon, b_hat=2, discretisation="fan-rings")
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    def test_rows_sum_to_one(self):
+        mech = DiscreteHUEM(GridSpec.unit(5), 2.0, b_hat=2, discretisation="fan-rings")
+        np.testing.assert_allclose(mech.transition.sum(axis=1), 1.0)
+
+    def test_estimation_works(self, clustered_points, unit_grid5):
+        mech = DiscreteHUEM(unit_grid5, 4.0, b_hat=1, discretisation="fan-rings")
+        estimate = mech.run(clustered_points, seed=0).estimate
+        assert estimate.flat().sum() == pytest.approx(1.0)
+
+    def test_similar_utility_to_integral_variant(self, clustered_points, unit_grid5):
+        from repro.metrics.wasserstein import wasserstein2_grid
+
+        true = unit_grid5.distribution(clustered_points)
+        ring_mech = DiscreteHUEM(unit_grid5, 3.5, b_hat=2, discretisation="fan-rings")
+        integral_mech = DiscreteHUEM(unit_grid5, 3.5, b_hat=2, discretisation="integral")
+        ring_error = wasserstein2_grid(true, ring_mech.run(clustered_points, seed=1).estimate)
+        integral_error = wasserstein2_grid(
+            true, integral_mech.run(clustered_points, seed=1).estimate
+        )
+        assert ring_error == pytest.approx(integral_error, abs=0.08)
+
+    def test_unknown_discretisation_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            DiscreteHUEM(unit_grid5, 2.0, discretisation="polar")

@@ -1,0 +1,122 @@
+"""Tests for repro.core.radius — Section V-C's choice of the high-probability radius."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.radius import (
+    grid_radius,
+    mutual_information_bound,
+    mutual_information_bound_curve,
+    numeric_optimal_radius,
+    optimal_radius,
+    scaled_grid_radius,
+    small_epsilon_limit_radius,
+)
+
+
+class TestOptimalRadius:
+    def test_positive(self):
+        assert optimal_radius(3.5) > 0
+
+    def test_decreases_with_epsilon(self):
+        """More budget means a smaller disk (the paper's eps -> inf limit is b -> 0)."""
+        values = [optimal_radius(eps) for eps in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_small_epsilon_limit(self):
+        """As eps -> 0, b -> (2 + sqrt(4 + pi)) / pi (convergence from below)."""
+        limit = small_epsilon_limit_radius()
+        assert optimal_radius(0.05) == pytest.approx(limit, rel=0.05)
+        assert optimal_radius(0.01) == pytest.approx(limit, rel=0.01)
+        assert optimal_radius(0.05) <= limit
+
+    def test_large_epsilon_goes_to_zero(self):
+        assert optimal_radius(50.0) < 0.01
+
+    def test_scales_linearly_with_side(self):
+        assert optimal_radius(2.0, side=3.0) == pytest.approx(3.0 * optimal_radius(2.0))
+
+    def test_small_epsilon_limit_value(self):
+        assert small_epsilon_limit_radius() == pytest.approx((2 + math.sqrt(4 + math.pi)) / math.pi)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_radius(-1.0)
+
+    @given(st.floats(min_value=0.3, max_value=9.0))
+    @settings(max_examples=40, deadline=None)
+    def test_always_within_unit_scale(self, eps):
+        """For the unit square the optimum stays below the eps->0 limit."""
+        assert 0 < optimal_radius(eps) <= small_epsilon_limit_radius() + 1e-9
+
+
+class TestMutualInformationBound:
+    @pytest.mark.parametrize("eps", [0.7, 2.1, 3.5, 5.0])
+    def test_closed_form_maximises_bound(self, eps):
+        """The closed-form optimum beats (or ties) a dense grid of alternatives."""
+        b_star = optimal_radius(eps)
+        best_value = mutual_information_bound(eps, b_star)
+        candidates = np.linspace(0.01, 1.5, 300)
+        values = mutual_information_bound_curve(eps, candidates)
+        assert best_value >= values.max() - 1e-6
+
+    @pytest.mark.parametrize("eps", [1.4, 3.5])
+    def test_numeric_optimum_matches_closed_form(self, eps):
+        assert numeric_optimal_radius(eps) == pytest.approx(optimal_radius(eps), rel=0.02)
+
+    def test_bound_positive_at_optimum(self):
+        assert mutual_information_bound(3.5, optimal_radius(3.5)) > 0
+
+    def test_bound_increases_with_epsilon_at_optimum(self):
+        """More budget means more achievable information."""
+        values = [mutual_information_bound(eps, optimal_radius(eps)) for eps in (1.0, 2.0, 4.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_general_side_optimum(self):
+        """For side L the optimum is L times the unit optimum and maximises the L-bound."""
+        eps, side = 2.8, 4.0
+        b_star = optimal_radius(eps, side=side)
+        candidates = np.linspace(0.01, 2.0 * side, 300)
+        values = mutual_information_bound_curve(eps, candidates, side=side)
+        assert mutual_information_bound(eps, b_star, side=side) >= values.max() - 1e-6
+
+
+class TestGridRadius:
+    def test_integer_and_at_least_one(self):
+        for eps in (0.7, 3.5, 9.0):
+            for d in (1, 5, 15, 20):
+                b_hat = grid_radius(eps, d, 1.0)
+                assert isinstance(b_hat, int)
+                assert b_hat >= 1
+
+    def test_matches_paper_default_setting(self):
+        """The paper reports b_check ~ 3 for d = 15, eps = 3.5."""
+        assert grid_radius(3.5, 15, 1.0) in (2, 3, 4)
+
+    def test_scales_with_d(self):
+        assert grid_radius(2.0, 30, 1.0) >= grid_radius(2.0, 10, 1.0)
+
+    def test_side_length_cancels(self):
+        """b_hat counts cells, so scaling the domain and the cell size together is a no-op."""
+        assert grid_radius(2.5, 12, 1.0) == grid_radius(2.5, 12, 50.0)
+
+    def test_scaled_grid_radius_floor(self):
+        base = grid_radius(3.5, 15, 1.0)
+        assert scaled_grid_radius(3.5, 15, 1.0, 1.0) == base
+        assert scaled_grid_radius(3.5, 15, 0.33, 1.0) == max(int(0.33 * base), 1)
+
+    def test_scaled_grid_radius_minimum_one(self):
+        assert scaled_grid_radius(9.0, 2, 0.33, 1.0) >= 1
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scaled_grid_radius(3.5, 15, 0.0, 1.0)
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ValueError):
+            grid_radius(3.5, 0, 1.0)

@@ -1,0 +1,193 @@
+"""Tests for repro.core.sam — the SAM framework, DAM/HUEM waves and ε-LDP auditing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domain import SpatialDomain
+from repro.core.sam import (
+    ContinuousSAM,
+    DiskWave,
+    ExponentialWave,
+    audit_sam_conditions,
+    dam_probabilities,
+    huem_base_density,
+    rounded_square_area,
+)
+
+EPSILONS = [0.7, 1.4, 3.5, 5.0]
+RADII = [0.1, 0.25, 0.5]
+
+
+class TestRoundedSquareArea:
+    def test_unit_square_formula(self):
+        assert rounded_square_area(0.2) == pytest.approx(1 + 0.8 + math.pi * 0.04)
+
+    def test_zero_radius(self):
+        assert rounded_square_area(0.0) == 1.0
+
+    def test_general_side(self):
+        assert rounded_square_area(0.5, side=2.0) == pytest.approx(4 + 4 + math.pi * 0.25)
+
+
+class TestDamProbabilities:
+    @pytest.mark.parametrize("eps", EPSILONS)
+    @pytest.mark.parametrize("b", RADII)
+    def test_ratio_is_exactly_exp_eps(self, eps, b):
+        probs = dam_probabilities(eps, b)
+        assert probs.ratio == pytest.approx(math.exp(eps))
+
+    @pytest.mark.parametrize("eps", EPSILONS)
+    @pytest.mark.parametrize("b", RADII)
+    def test_total_mass_is_one(self, eps, b):
+        """p * (disk area) + q * (flat area) = 1."""
+        probs = dam_probabilities(eps, b)
+        disk = math.pi * b * b
+        flat = 4 * b + 1
+        assert probs.p * disk + probs.q * flat == pytest.approx(1.0)
+
+    def test_matches_paper_definition8(self):
+        eps, b = 2.0, 0.3
+        probs = dam_probabilities(eps, b)
+        denom = math.pi * b * b * math.exp(eps) + 4 * b + 1
+        assert probs.p == pytest.approx(math.exp(eps) / denom)
+        assert probs.q == pytest.approx(1.0 / denom)
+
+    def test_general_side_mass_is_one(self):
+        probs = dam_probabilities(2.0, 0.5, side=3.0)
+        disk = math.pi * 0.25
+        flat = 4 * 3.0 * 0.5 + 9.0
+        assert probs.p * disk + probs.q * flat == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.2, max_value=9.0),
+        st.floats(min_value=0.01, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_probabilities_always_valid(self, eps, b):
+        probs = dam_probabilities(eps, b)
+        assert 0 < probs.q < probs.p
+        assert probs.ratio == pytest.approx(math.exp(eps), rel=1e-9)
+
+
+class TestHuemBaseDensity:
+    @pytest.mark.parametrize("eps", EPSILONS)
+    @pytest.mark.parametrize("b", RADII)
+    def test_positive(self, eps, b):
+        assert huem_base_density(eps, b) > 0
+
+    def test_matches_paper_definition5(self):
+        eps, b = 2.0, 0.3
+        expected = eps**2 / (
+            2 * math.pi * (math.exp(eps) - 1 - eps) * b * b + 4 * eps**2 * b + eps**2
+        )
+        assert huem_base_density(eps, b) == pytest.approx(expected)
+
+    def test_small_epsilon_limit_is_uniform(self):
+        """As eps -> 0 HUEM degenerates to the uniform mechanism: q -> 1/(pi b^2 + 4b + 1)."""
+        b = 0.4
+        q = huem_base_density(0.2, b)
+        uniform = 1.0 / (math.pi * b * b + 4 * b + 1)
+        assert q == pytest.approx(uniform, rel=0.05)
+
+
+class TestWaves:
+    @pytest.mark.parametrize("wave_cls", [DiskWave, ExponentialWave])
+    @pytest.mark.parametrize("eps", [0.7, 3.5])
+    def test_density_ratio_bounded_by_exp_eps(self, wave_cls, eps):
+        wave = wave_cls(eps, 0.3)
+        rng = np.random.default_rng(0)
+        offsets = rng.uniform(-1.5, 1.5, size=(5000, 2))
+        density = wave.density(offsets)
+        assert density.max() / density.min() <= math.exp(eps) * (1 + 1e-9)
+
+    @pytest.mark.parametrize("wave_cls", [DiskWave, ExponentialWave])
+    def test_flat_outside_disk(self, wave_cls):
+        wave = wave_cls(2.0, 0.25)
+        far = np.array([[0.5, 0.5], [1.0, 0.0], [-0.7, 0.9]])
+        np.testing.assert_allclose(wave.density(far), wave.q)
+
+    def test_disk_wave_constant_inside(self):
+        wave = DiskWave(2.0, 0.3)
+        inside = np.array([[0.0, 0.0], [0.1, 0.1], [0.0, 0.29]])
+        np.testing.assert_allclose(wave.density(inside), wave.p)
+
+    def test_exponential_wave_decreases_with_distance(self):
+        wave = ExponentialWave(3.0, 0.4)
+        radii = np.linspace(0.0, 0.4, 20)
+        values = wave.density_at_radius(radii)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_exponential_wave_peak_is_q_exp_eps(self):
+        wave = ExponentialWave(2.5, 0.3)
+        assert wave.max_density() == pytest.approx(wave.q * math.exp(2.5))
+
+    def test_disk_wave_max_density_is_p(self):
+        wave = DiskWave(2.5, 0.3)
+        assert wave.max_density() == pytest.approx(wave.p)
+
+    @pytest.mark.parametrize("wave_cls", [DiskWave, ExponentialWave])
+    def test_sam_condition_2_disk_mass(self, wave_cls):
+        """The integral of W over the disk equals 1 - (4b + 1) q (Definition 4)."""
+        wave = wave_cls(2.0, 0.3)
+        audit = audit_sam_conditions(wave)
+        assert audit["disk_mass"] == pytest.approx(audit["target_disk_mass"], rel=2e-2)
+
+    @pytest.mark.parametrize("wave_cls", [DiskWave, ExponentialWave])
+    def test_sam_condition_ratio_audit(self, wave_cls):
+        wave = wave_cls(1.4, 0.5)
+        audit = audit_sam_conditions(wave)
+        assert audit["max_over_min_ratio"] <= audit["epsilon_bound"] * (1 + 1e-9)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            DiskWave(0.0, 0.3)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialWave(1.0, 0.0)
+
+
+class TestContinuousSAM:
+    def test_reports_stay_in_output_domain(self):
+        sam = ContinuousSAM(DiskWave(3.0, 0.2))
+        rng = np.random.default_rng(1)
+        points = rng.random((50, 2))
+        reports = sam.privatize(points, seed=rng)
+        assert np.all(sam.in_output_domain(reports, points))
+
+    def test_single_point_input(self):
+        sam = ContinuousSAM(ExponentialWave(2.0, 0.3))
+        report = sam.privatize(np.array([0.5, 0.5]), seed=0)
+        assert report.shape == (1, 2)
+
+    def test_output_bounds_extend_by_b(self):
+        sam = ContinuousSAM(DiskWave(2.0, 0.25))
+        assert sam.output_bounds() == (-0.25, 1.25, -0.25, 1.25)
+
+    def test_high_probability_mass_concentrates_near_truth(self):
+        """Most reports (p * pi b^2 of the mass) should land inside the b-disk."""
+        eps, b = 4.0, 0.3
+        sam = ContinuousSAM(DiskWave(eps, b))
+        rng = np.random.default_rng(2)
+        point = np.array([[0.5, 0.5]])
+        reports = sam.privatize(np.repeat(point, 400, axis=0), seed=rng)
+        distances = np.linalg.norm(reports - point, axis=1)
+        expected_fraction = dam_probabilities(eps, b).p * math.pi * b * b
+        assert abs((distances <= b).mean() - expected_fraction) < 0.08
+
+    def test_in_output_domain_rounded_corners(self):
+        sam = ContinuousSAM(DiskWave(2.0, 0.2))
+        # The corner of the bounding box is farther than b from the square -> outside.
+        corner = np.array([[1.19, 1.19]])
+        assert not sam.in_output_domain(corner, np.array([1.0, 1.0]))
+
+    def test_custom_domain(self):
+        domain = SpatialDomain(0.0, 2.0, 0.0, 2.0)
+        sam = ContinuousSAM(DiskWave(2.0, 0.5, side=2.0), domain)
+        reports = sam.privatize(np.array([[1.0, 1.0]]), seed=0)
+        assert sam.in_output_domain(reports, np.array([1.0, 1.0]))[0]

@@ -1,0 +1,88 @@
+"""Tests for repro.datasets.geodata — the Chicago / NYC surrogate generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.geodata import (
+    CHICAGO_PARTS,
+    NYC_PARTS,
+    chicago_crime_surrogate,
+    nyc_taxi_surrogate,
+)
+
+
+class TestRegionSpecs:
+    def test_table3_chicago_counts(self):
+        assert [spec.paper_point_count for spec in CHICAGO_PARTS] == [216_595, 173_552, 69_068]
+
+    def test_table3_nyc_counts(self):
+        assert [spec.paper_point_count for spec in NYC_PARTS] == [10_561, 42_195, 9_186]
+
+    def test_part_domains_valid(self):
+        for spec in CHICAGO_PARTS + NYC_PARTS:
+            domain = spec.domain()
+            assert domain.width > 0 and domain.height > 0
+
+    def test_parts_inside_full_domain(self):
+        from repro.datasets.geodata import CHICAGO_FULL_DOMAIN, NYC_FULL_DOMAIN
+
+        for spec in CHICAGO_PARTS:
+            d = spec.domain()
+            assert d.x_min >= CHICAGO_FULL_DOMAIN.x_min and d.x_max <= CHICAGO_FULL_DOMAIN.x_max
+            assert d.y_min >= CHICAGO_FULL_DOMAIN.y_min and d.y_max <= CHICAGO_FULL_DOMAIN.y_max
+        for spec in NYC_PARTS:
+            d = spec.domain()
+            assert d.x_min >= NYC_FULL_DOMAIN.x_min and d.x_max <= NYC_FULL_DOMAIN.x_max
+
+
+@pytest.mark.parametrize(
+    "factory,parts",
+    [(chicago_crime_surrogate, CHICAGO_PARTS), (nyc_taxi_surrogate, NYC_PARTS)],
+    ids=["chicago", "nyc"],
+)
+class TestSurrogates:
+    def test_part_sizes_scale(self, factory, parts):
+        data = factory(scale=0.01, seed=0)
+        for spec in parts:
+            part = data.parts[spec.name]
+            expected = max(int(spec.paper_point_count * 0.01), 50)
+            assert part.size == expected
+
+    def test_part_points_inside_their_boxes(self, factory, parts):
+        data = factory(scale=0.01, seed=1)
+        for spec in parts:
+            part = data.parts[spec.name]
+            assert part.domain.contains(part.points).all()
+
+    def test_full_points_inside_full_domain(self, factory, parts):
+        data = factory(scale=0.01, seed=2)
+        assert data.domain.contains(data.points).all()
+
+    def test_deterministic_given_seed(self, factory, parts):
+        a = factory(scale=0.005, seed=3).points
+        b = factory(scale=0.005, seed=3).points
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, factory, parts):
+        a = factory(scale=0.005, seed=4).points
+        b = factory(scale=0.005, seed=5).points
+        assert a.shape != b.shape or not np.allclose(a, b)
+
+    def test_density_is_clustered_not_uniform(self, factory, parts):
+        """Surrogates must preserve the hot-spot structure the paper's data has."""
+        from repro.core.domain import GridSpec
+
+        data = factory(scale=0.02, seed=6)
+        first_part = data.parts[parts[0].name]
+        grid = GridSpec(first_part.domain, 8)
+        probs = grid.distribution(first_part.points).flat()
+        # A clustered distribution concentrates far more mass in its top cells than the
+        # uniform distribution would (top 10% of cells >> 10% of mass).
+        top = np.sort(probs)[::-1][: max(1, probs.size // 10)].sum()
+        assert top > 0.25
+
+    def test_invalid_scale_rejected(self, factory, parts):
+        with pytest.raises(ValueError):
+            factory(scale=0.0)

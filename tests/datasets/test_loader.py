@@ -1,0 +1,62 @@
+"""Tests for repro.datasets.loader — the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import DATASET_NAMES, load_all_datasets, load_dataset
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_names_load(self, name):
+        dataset = load_dataset(name, scale=0.005, seed=0)
+        assert dataset.total_points > 0
+        for _, points, domain in dataset.parts:
+            assert domain.contains(points).all()
+
+    def test_case_insensitive(self):
+        assert load_dataset("crime", scale=0.005).name == "Crime"
+
+    def test_real_datasets_have_three_parts(self):
+        assert len(load_dataset("Crime", scale=0.005).parts) == 3
+        assert len(load_dataset("NYC", scale=0.005).parts) == 3
+
+    def test_synthetic_datasets_have_one_part(self):
+        assert len(load_dataset("Normal", scale=0.005).parts) == 1
+        assert len(load_dataset("SZipf", scale=0.005).parts) == 1
+        assert len(load_dataset("MNormal", scale=0.005).parts) == 1
+
+    def test_full_domain_mode(self):
+        dataset = load_dataset("Crime", scale=0.005, full_domain=True)
+        assert len(dataset.parts) == 1
+        assert dataset.name == "Crime-full"
+
+    def test_scale_changes_size(self):
+        small = load_dataset("Normal", scale=0.005).total_points
+        big = load_dataset("Normal", scale=0.01).total_points
+        assert big > small
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("Berlin")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("Crime", scale=2.0)
+
+    def test_deterministic(self):
+        a = load_dataset("SZipf", scale=0.005, seed=3)
+        b = load_dataset("SZipf", scale=0.005, seed=3)
+        np.testing.assert_array_equal(a.parts[0][1], b.parts[0][1])
+
+    def test_part_names(self):
+        names = load_dataset("NYC", scale=0.005).part_names()
+        assert names == ["nyc-part-a", "nyc-part-b", "nyc-part-c"]
+
+
+class TestLoadAll:
+    def test_loads_all_five(self):
+        datasets = load_all_datasets(scale=0.005)
+        assert set(datasets) == set(DATASET_NAMES)

@@ -1,0 +1,117 @@
+"""Tests for repro.datasets.synthetic — Normal, SZipf, MNormal and the uniform control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    mnormal_dataset,
+    normal_dataset,
+    szipf_dataset,
+    uniform_dataset,
+)
+
+
+class TestNormalDataset:
+    def test_size_and_shape(self):
+        data = normal_dataset(n=5000, seed=0)
+        assert data.points.shape == (5000, 2)
+        assert data.size == 5000
+
+    def test_all_points_within_clip(self):
+        data = normal_dataset(n=3000, clip=5.0, seed=1)
+        assert np.abs(data.points).max() < 5.0
+
+    def test_correlation_sign(self):
+        data = normal_dataset(n=50_000, rho=0.5, seed=2)
+        measured = np.corrcoef(data.points[:, 0], data.points[:, 1])[0, 1]
+        assert measured == pytest.approx(0.5, abs=0.03)
+
+    def test_negative_correlation(self):
+        data = normal_dataset(n=50_000, rho=-0.4, seed=3)
+        assert np.corrcoef(data.points[:, 0], data.points[:, 1])[0, 1] < -0.3
+
+    def test_deterministic_given_seed(self):
+        a = normal_dataset(n=1000, seed=7).points
+        b = normal_dataset(n=1000, seed=7).points
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            normal_dataset(n=10, rho=1.0)
+
+    def test_zero_points(self):
+        assert normal_dataset(n=0, seed=0).points.shape == (0, 2)
+
+    def test_domain_covers_points(self):
+        data = normal_dataset(n=2000, seed=4)
+        assert data.domain.contains(data.points).all()
+
+
+class TestSZipfDataset:
+    def test_points_in_unit_square(self):
+        data = szipf_dataset(n=5000, seed=0)
+        assert data.points.min() >= 0.0
+        assert data.points.max() < 1.0
+
+    def test_skew_towards_origin(self):
+        """The skew-Zipf density is decreasing, so the lower half holds most of the mass."""
+        data = szipf_dataset(n=50_000, seed=1)
+        fraction_low = (data.points[:, 0] < 0.5).mean()
+        # P(X < 0.5) = log2(1.5) ~ 0.585
+        assert fraction_low == pytest.approx(np.log2(1.5), abs=0.01)
+
+    def test_coordinates_independent(self):
+        data = szipf_dataset(n=50_000, seed=2)
+        corr = np.corrcoef(data.points[:, 0], data.points[:, 1])[0, 1]
+        assert abs(corr) < 0.02
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            szipf_dataset(n=500, seed=9).points, szipf_dataset(n=500, seed=9).points
+        )
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            szipf_dataset(n=-1)
+
+
+class TestMNormalDataset:
+    def test_size(self):
+        assert mnormal_dataset(n=9000, seed=0).size == 9000
+
+    def test_three_visible_clusters(self):
+        data = mnormal_dataset(n=30_000, seed=1)
+        # Cluster centres are separated, so the marginal std must exceed a single
+        # cluster's std of 1.
+        assert data.points[:, 0].std() > 1.5
+
+    def test_uneven_split_handled(self):
+        assert mnormal_dataset(n=10_001, seed=2).size == 10_001
+
+    def test_centers_and_rhos_must_match(self):
+        with pytest.raises(ValueError):
+            mnormal_dataset(n=10, centers=((0, 0),), rhos=(0.1, 0.2))
+
+    def test_points_within_domain(self):
+        data = mnormal_dataset(n=5000, seed=3)
+        assert data.domain.contains(data.points).all()
+
+
+class TestUniformDataset:
+    def test_covers_domain_evenly(self):
+        data = uniform_dataset(n=40_000, seed=0)
+        assert abs(data.points[:, 0].mean() - 0.5) < 0.01
+        assert abs(data.points[:, 1].mean() - 0.5) < 0.01
+
+    def test_custom_domain(self):
+        from repro.core.domain import SpatialDomain
+
+        domain = SpatialDomain(-1, 1, 10, 12)
+        data = uniform_dataset(n=100, domain=domain, seed=1)
+        assert domain.contains(data.points).all()
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(n=-5)

@@ -1,0 +1,95 @@
+"""Tests for repro.datasets.trajectories — the Appendix-D trajectory generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import SpatialDomain
+from repro.datasets.trajectories import generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def source_points() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    hub_a = rng.normal([0.3, 0.3], 0.05, size=(3000, 2))
+    hub_b = rng.normal([0.7, 0.6], 0.08, size=(2000, 2))
+    return np.clip(np.vstack([hub_a, hub_b]), 0, 1)
+
+
+@pytest.fixture(scope="module")
+def domain() -> SpatialDomain:
+    return SpatialDomain.unit("traj")
+
+
+@pytest.fixture(scope="module")
+def dataset(source_points, domain):
+    return generate_trajectories(
+        source_points,
+        domain,
+        routing_d=40,
+        n_trajectories=60,
+        min_length=2,
+        max_length=30,
+        seed=1,
+    )
+
+
+class TestGeneration:
+    def test_count(self, dataset):
+        assert dataset.size == 60
+
+    def test_lengths_within_bounds(self, dataset):
+        lengths = dataset.lengths()
+        assert lengths.min() >= 2
+        assert lengths.max() <= 30
+
+    def test_points_inside_domain(self, dataset, domain):
+        assert domain.contains(dataset.all_points()).all()
+
+    def test_consecutive_steps_are_neighbours(self, dataset):
+        """Each move goes to one of the 8 neighbouring routing cells."""
+        grid = dataset.routing_grid
+        for trajectory in dataset.trajectories[:10]:
+            cells = grid.point_to_cell(trajectory)
+            rows, cols = grid.cell_to_rowcol(cells)
+            assert np.all(np.abs(np.diff(rows)) <= 1)
+            assert np.all(np.abs(np.diff(cols)) <= 1)
+
+    def test_trajectories_follow_density(self, dataset, source_points, domain):
+        """Trajectory points concentrate where the source points are dense."""
+        from repro.core.domain import GridSpec
+
+        grid = GridSpec(domain, 5)
+        source = grid.distribution(source_points)
+        generated = grid.distribution(dataset.all_points())
+        # The densest source cell must also carry high generated mass.
+        top_cell = int(np.argmax(source.flat()))
+        assert generated.flat()[top_cell] > 1.0 / 25
+
+    def test_deterministic_given_seed(self, source_points, domain):
+        a = generate_trajectories(
+            source_points, domain, routing_d=20, n_trajectories=10, max_length=10, seed=5
+        )
+        b = generate_trajectories(
+            source_points, domain, routing_d=20, n_trajectories=10, max_length=10, seed=5
+        )
+        for t_a, t_b in zip(a.trajectories, b.trajectories):
+            np.testing.assert_array_equal(t_a, t_b)
+
+    def test_empty_domain_rejected(self, domain):
+        with pytest.raises(ValueError):
+            generate_trajectories(np.array([[5.0, 5.0]]), domain, routing_d=10)
+
+    def test_invalid_length_range_rejected(self, source_points, domain):
+        with pytest.raises(ValueError):
+            generate_trajectories(
+                source_points, domain, routing_d=10, min_length=5, max_length=2
+            )
+
+    def test_zero_trajectories(self, source_points, domain):
+        data = generate_trajectories(
+            source_points, domain, routing_d=10, n_trajectories=0, seed=0
+        )
+        assert data.size == 0
+        assert data.all_points().shape == (0, 2)

@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.config — the Table IV / Table V parameter grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    B_SCALE_VALUES,
+    D_VALUES_ALL,
+    D_VALUES_LARGE,
+    D_VALUES_SMALL,
+    DEFAULT_D,
+    DEFAULT_EPSILON,
+    EPSILON_VALUES_ALL,
+    EPSILON_VALUES_LARGE,
+    EPSILON_VALUES_SMALL,
+    MAIN_MECHANISMS,
+    TRAJECTORY_D_VALUES,
+    TRAJECTORY_EPSILON_VALUES,
+    ExperimentConfig,
+    laptop_config,
+    laptop_trajectory_config,
+    paper_config,
+    paper_trajectory_config,
+    smoke_config,
+)
+
+
+class TestTableIV:
+    def test_b_scales_match_paper(self):
+        assert B_SCALE_VALUES == (0.33, 0.67, 1.0, 1.33, 1.67)
+
+    def test_d_values_match_paper(self):
+        assert D_VALUES_ALL == (1, 2, 3, 4, 5, 10, 15, 20)
+        assert D_VALUES_SMALL == (1, 2, 3, 4, 5)
+        assert D_VALUES_LARGE == (1, 5, 10, 15, 20)
+
+    def test_epsilon_values_match_paper(self):
+        assert EPSILON_VALUES_ALL == (0.7, 1.4, 2.1, 2.8, 3.5, 5.0, 6.0, 7.0, 8.0, 9.0)
+        assert EPSILON_VALUES_SMALL == (0.7, 1.4, 2.1, 2.8, 3.5)
+        assert EPSILON_VALUES_LARGE == (5.0, 6.0, 7.0, 8.0, 9.0)
+
+    def test_defaults_match_paper(self):
+        assert DEFAULT_D == 15
+        assert DEFAULT_EPSILON == 3.5
+
+    def test_main_mechanism_list(self):
+        assert set(MAIN_MECHANISMS) == {"SEM-Geo-I", "MDSW", "HUEM", "DAM-NS", "DAM"}
+
+
+class TestTableV:
+    def test_trajectory_grids_match_paper(self):
+        assert TRAJECTORY_D_VALUES == (1, 5, 10, 15, 20)
+        assert TRAJECTORY_EPSILON_VALUES == (0.5, 1.0, 1.5, 2.0, 2.5)
+
+    def test_paper_trajectory_defaults(self):
+        config = paper_trajectory_config()
+        assert config.n_trajectories == 1000
+        assert config.min_length == 2
+        assert config.max_length == 200
+        assert config.routing_d == 300
+        assert config.default_d == 15
+        assert config.default_epsilon == 1.5
+
+
+class TestPresets:
+    def test_paper_config_full_scale(self):
+        config = paper_config()
+        assert config.dataset_scale == 1.0
+        assert config.n_repeats == 10
+
+    def test_laptop_config_is_smaller(self):
+        laptop, paper = laptop_config(), paper_config()
+        assert laptop.dataset_scale < paper.dataset_scale
+        assert laptop.n_repeats < paper.n_repeats
+
+    def test_smoke_config_is_smallest(self):
+        assert smoke_config().dataset_scale <= laptop_config().dataset_scale
+
+    def test_laptop_trajectory_config_is_smaller(self):
+        laptop, paper = laptop_trajectory_config(), paper_trajectory_config()
+        assert laptop.n_trajectories < paper.n_trajectories
+        assert laptop.routing_d < paper.routing_d
+
+    def test_with_overrides(self):
+        config = laptop_config().with_overrides(default_d=7, n_repeats=1)
+        assert config.default_d == 7
+        assert config.n_repeats == 1
+        # The original is unchanged (frozen dataclass semantics).
+        assert laptop_config().default_d == 15
+
+    def test_config_is_hashable_and_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.default_d = 3  # type: ignore[misc]

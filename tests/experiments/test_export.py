@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.export — CSV / JSON / markdown serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    sweep_from_json,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_markdown,
+    sweep_to_records,
+    write_all,
+)
+from repro.experiments.runner import MeasurementPoint, SweepResult
+
+
+@pytest.fixture
+def sweep() -> SweepResult:
+    points = [
+        MeasurementPoint(
+            dataset="Crime",
+            mechanism=mechanism,
+            parameter_name="d",
+            parameter_value=float(d),
+            w2_mean=0.1 * d + offset,
+            w2_std=0.02,
+            n_repeats=2,
+            details={"d": d, "epsilon": 3.5},
+        )
+        for mechanism, offset in (("DAM", 0.0), ("MDSW", 0.05))
+        for d in (2, 4)
+    ]
+    return SweepResult(name="unit-sweep", points=points)
+
+
+class TestRecords:
+    def test_one_record_per_point(self, sweep):
+        assert len(sweep_to_records(sweep)) == 4
+
+    def test_details_flattened(self, sweep):
+        record = sweep_to_records(sweep)[0]
+        assert record["detail_epsilon"] == 3.5
+        assert record["sweep"] == "unit-sweep"
+
+
+class TestCsv:
+    def test_header_and_rows(self, sweep):
+        text = sweep_to_csv(sweep)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("sweep,dataset,mechanism")
+        assert len(lines) == 5
+
+    def test_written_to_file(self, sweep, tmp_path):
+        path = tmp_path / "out.csv"
+        sweep_to_csv(sweep, path)
+        assert path.read_text().startswith("sweep,")
+
+
+class TestJsonRoundTrip:
+    def test_valid_json(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        assert payload["sweep"] == "unit-sweep"
+        assert len(payload["points"]) == 4
+
+    def test_round_trip_preserves_series(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert restored.name == sweep.name
+        assert restored.series("Crime", "DAM") == sweep.series("Crime", "DAM")
+        assert restored.points[0].details["epsilon"] == 3.5
+
+    def test_written_to_file(self, sweep, tmp_path):
+        path = tmp_path / "out.json"
+        sweep_to_json(sweep, path)
+        assert json.loads(path.read_text())["sweep"] == "unit-sweep"
+
+
+class TestMarkdown:
+    def test_table_structure(self, sweep):
+        text = sweep_to_markdown(sweep)
+        lines = text.splitlines()
+        assert lines[0].startswith("| dataset | d |")
+        assert len(lines) == 2 + 2  # header + divider + 2 parameter values
+
+    def test_values_present(self, sweep):
+        assert "0.2000" in sweep_to_markdown(sweep)
+
+
+class TestWriteAll:
+    def test_creates_files(self, sweep, tmp_path):
+        created = write_all([sweep], tmp_path)
+        assert len(created) == 2
+        assert all(path.exists() for path in created)

@@ -1,0 +1,93 @@
+"""Tests for repro.experiments.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import DatasetPartStatistics
+from repro.experiments.reporting import (
+    format_series,
+    format_sweep,
+    format_table,
+    format_table3,
+    mean_error,
+    summarize_winner,
+)
+from repro.experiments.runner import MeasurementPoint, SweepResult
+
+
+@pytest.fixture
+def sweep() -> SweepResult:
+    points = []
+    for dataset in ("Crime", "SZipf"):
+        for mechanism, offset in (("DAM", 0.0), ("MDSW", 0.1)):
+            for d in (2, 4):
+                points.append(
+                    MeasurementPoint(
+                        dataset=dataset,
+                        mechanism=mechanism,
+                        parameter_name="d",
+                        parameter_value=float(d),
+                        w2_mean=0.1 * d + offset,
+                        w2_std=0.01,
+                        n_repeats=2,
+                    )
+                )
+    return SweepResult(name="demo", points=points)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "3" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestFormatSweep:
+    def test_contains_all_mechanisms(self, sweep):
+        text = format_sweep(sweep)
+        assert "DAM" in text and "MDSW" in text
+
+    def test_row_per_dataset_and_value(self, sweep):
+        text = format_sweep(sweep)
+        body_rows = text.splitlines()[2:]
+        assert len(body_rows) == 4  # 2 datasets x 2 d values
+
+    def test_format_series(self, sweep):
+        series = format_series(sweep, "Crime", "DAM")
+        assert series == "2: 0.2000, 4: 0.4000"
+
+
+class TestSummaries:
+    def test_winner_is_dam(self, sweep):
+        winners = summarize_winner(sweep)
+        assert winners == {"Crime": "DAM", "SZipf": "DAM"}
+
+    def test_mean_error(self, sweep):
+        assert mean_error(sweep, "Crime", "MDSW") == pytest.approx(0.4)
+
+    def test_mean_error_missing_rejected(self, sweep):
+        with pytest.raises(ValueError):
+            mean_error(sweep, "Crime", "HUEM")
+
+
+class TestFormatTable3:
+    def test_renders_rows(self):
+        rows = [
+            DatasetPartStatistics(
+                dataset="Crime",
+                part="chicago-part-a",
+                lat_range=(41.72, 41.81),
+                lon_range=(-87.68, -87.59),
+                paper_points=216_595,
+                surrogate_points=1000,
+            )
+        ]
+        text = format_table3(rows)
+        assert "chicago-part-a" in text
+        assert "216595" in text

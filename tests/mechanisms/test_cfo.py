@@ -1,0 +1,179 @@
+"""Tests for repro.mechanisms.cfo — GRR, OUE, OLH and the Bucket+CFO strawman."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.mechanisms.cfo import (
+    BucketCFOMechanism,
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+)
+
+
+def _frequency_recovery_error(oracle, truth: np.ndarray, n: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    values = rng.choice(truth.size, size=n, p=truth)
+    reports = oracle.privatize(values, seed=rng)
+    estimate = oracle.estimate_frequencies(reports, n)
+    return float(np.abs(estimate - truth).max())
+
+
+class TestGRR:
+    def test_probabilities(self):
+        grr = GeneralizedRandomizedResponse(10, 2.0)
+        assert grr.p == pytest.approx(math.exp(2.0) / (math.exp(2.0) + 9))
+        assert grr.p + 9 * grr.q == pytest.approx(1.0)
+
+    def test_reports_in_domain(self):
+        grr = GeneralizedRandomizedResponse(6, 1.0)
+        rng = np.random.default_rng(0)
+        reports = grr.privatize(rng.integers(0, 6, 500), seed=rng)
+        assert reports.min() >= 0 and reports.max() < 6
+
+    def test_keep_probability_empirical(self):
+        grr = GeneralizedRandomizedResponse(4, 3.0)
+        rng = np.random.default_rng(1)
+        values = np.zeros(20_000, dtype=int)
+        reports = grr.privatize(values, seed=rng)
+        assert abs((reports == 0).mean() - grr.p) < 0.01
+
+    def test_other_values_uniform(self):
+        grr = GeneralizedRandomizedResponse(4, 1.0)
+        rng = np.random.default_rng(2)
+        reports = grr.privatize(np.zeros(30_000, dtype=int), seed=rng)
+        other_counts = np.bincount(reports, minlength=4)[1:]
+        assert other_counts.std() / other_counts.mean() < 0.1
+
+    def test_frequency_recovery(self):
+        truth = np.array([0.5, 0.25, 0.15, 0.1])
+        grr = GeneralizedRandomizedResponse(4, 3.0)
+        assert _frequency_recovery_error(grr, truth, 40_000, seed=3) < 0.03
+
+    def test_estimate_is_distribution(self):
+        grr = GeneralizedRandomizedResponse(5, 1.0)
+        rng = np.random.default_rng(4)
+        reports = grr.privatize(rng.integers(0, 5, 200), seed=rng)
+        estimate = grr.estimate_frequencies(reports, 200)
+        assert estimate.sum() == pytest.approx(1.0)
+        assert np.all(estimate >= 0)
+
+    def test_out_of_domain_value_rejected(self):
+        grr = GeneralizedRandomizedResponse(4, 1.0)
+        with pytest.raises(ValueError):
+            grr.privatize(np.array([4]))
+
+    def test_small_domain_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedRandomizedResponse(1, 1.0)
+
+    def test_zero_users_gives_uniform(self):
+        grr = GeneralizedRandomizedResponse(4, 1.0)
+        np.testing.assert_allclose(grr.estimate_frequencies(np.array([], dtype=int), 0), 0.25)
+
+
+class TestOUE:
+    def test_report_shape(self):
+        oue = OptimizedUnaryEncoding(8, 1.5)
+        reports = oue.privatize(np.array([0, 3, 7]), seed=0)
+        assert reports.shape == (3, 8)
+        assert reports.dtype == bool
+
+    def test_true_bit_probability(self):
+        oue = OptimizedUnaryEncoding(5, 2.0)
+        rng = np.random.default_rng(0)
+        reports = oue.privatize(np.zeros(20_000, dtype=int), seed=rng)
+        assert abs(reports[:, 0].mean() - 0.5) < 0.01
+
+    def test_false_bit_probability(self):
+        oue = OptimizedUnaryEncoding(5, 2.0)
+        rng = np.random.default_rng(1)
+        reports = oue.privatize(np.zeros(20_000, dtype=int), seed=rng)
+        expected_q = 1.0 / (math.exp(2.0) + 1.0)
+        assert abs(reports[:, 3].mean() - expected_q) < 0.01
+
+    def test_frequency_recovery(self):
+        truth = np.array([0.4, 0.3, 0.2, 0.05, 0.05])
+        oue = OptimizedUnaryEncoding(5, 2.0)
+        assert _frequency_recovery_error(oue, truth, 30_000, seed=2) < 0.03
+
+    def test_recovery_beats_grr_for_large_domain(self):
+        """OUE's variance advantage over GRR on large domains (the reason it exists)."""
+        k = 64
+        rng = np.random.default_rng(5)
+        truth = rng.dirichlet(np.ones(k))
+        oue_err = _frequency_recovery_error(OptimizedUnaryEncoding(k, 1.0), truth, 20_000, 6)
+        grr_err = _frequency_recovery_error(
+            GeneralizedRandomizedResponse(k, 1.0), truth, 20_000, 6
+        )
+        assert oue_err < grr_err
+
+    def test_wrong_report_shape_rejected(self):
+        oue = OptimizedUnaryEncoding(5, 1.0)
+        with pytest.raises(ValueError):
+            oue.estimate_frequencies(np.zeros((3, 4), dtype=bool), 3)
+
+
+class TestOLH:
+    def test_hash_range(self):
+        olh = OptimizedLocalHashing(50, 1.0)
+        assert olh.g >= 2
+        reports = olh.privatize(np.arange(50), seed=0)
+        assert reports.shape == (50, 2)
+        assert reports[:, 1].min() >= 0
+        assert reports[:, 1].max() < olh.g
+
+    def test_hash_deterministic(self):
+        olh = OptimizedLocalHashing(20, 1.0)
+        seeds = np.array([7, 7, 7])
+        values = np.array([3, 3, 3])
+        hashed = olh._hash(seeds, values)
+        assert len(set(hashed.tolist())) == 1
+
+    def test_frequency_recovery(self):
+        truth = np.array([0.5, 0.2, 0.1, 0.1, 0.05, 0.05])
+        olh = OptimizedLocalHashing(6, 2.0)
+        assert _frequency_recovery_error(olh, truth, 8_000, seed=7) < 0.06
+
+    def test_estimate_is_distribution(self):
+        olh = OptimizedLocalHashing(10, 1.0)
+        rng = np.random.default_rng(8)
+        reports = olh.privatize(rng.integers(0, 10, 500), seed=rng)
+        estimate = olh.estimate_frequencies(reports, 500)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_wrong_report_shape_rejected(self):
+        olh = OptimizedLocalHashing(10, 1.0)
+        with pytest.raises(ValueError):
+            olh.estimate_frequencies(np.zeros((5, 3), dtype=int), 5)
+
+
+class TestBucketCFO:
+    @pytest.mark.parametrize("oracle", ["grr", "oue", "olh"])
+    def test_run_produces_distribution(self, unit_grid5, clustered_points, oracle):
+        mech = BucketCFOMechanism(unit_grid5, 3.0, oracle=oracle)
+        report = mech.run(clustered_points[:1500], seed=0)
+        assert report.estimate.flat().sum() == pytest.approx(1.0)
+
+    def test_name_reflects_oracle(self, unit_grid5):
+        assert BucketCFOMechanism(unit_grid5, 1.0, oracle="oue").name == "Bucket+OUE"
+
+    def test_unknown_oracle_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            BucketCFOMechanism(unit_grid5, 1.0, oracle="rr")
+
+    def test_estimate_before_privatize_rejected(self, unit_grid5):
+        mech = BucketCFOMechanism(unit_grid5, 1.0)
+        with pytest.raises(RuntimeError):
+            mech.estimate(np.zeros(unit_grid5.n_cells), 10)
+
+    def test_grr_recovery_quality(self, unit_grid5, clustered_points):
+        mech = BucketCFOMechanism(unit_grid5, 5.0, oracle="grr")
+        true = unit_grid5.distribution(clustered_points)
+        report = mech.run(clustered_points, seed=1)
+        assert report.estimate.total_variation(true) < 0.1

@@ -1,0 +1,98 @@
+"""Tests for repro.mechanisms.geo_i — planar Laplace and the discrete Geo-I kernel."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.mechanisms.geo_i import DiscreteGeoIMechanism, PlanarLaplaceMechanism
+
+
+class TestPlanarLaplace:
+    def test_noise_is_unbiased(self):
+        mech = PlanarLaplaceMechanism(2.0)
+        rng = np.random.default_rng(0)
+        point = np.array([[0.3, 0.7]])
+        reports = mech.privatize(np.repeat(point, 30_000, axis=0), seed=rng)
+        np.testing.assert_allclose(reports.mean(axis=0), point[0], atol=0.02)
+
+    def test_expected_radius_is_2_over_eps(self):
+        """The planar Laplace radius is Gamma(2, 1/eps), so its mean is 2/eps."""
+        eps = 4.0
+        mech = PlanarLaplaceMechanism(eps)
+        rng = np.random.default_rng(1)
+        point = np.zeros((20_000, 2))
+        reports = mech.privatize(point, seed=rng)
+        radii = np.linalg.norm(reports, axis=1)
+        assert radii.mean() == pytest.approx(2.0 / eps, rel=0.05)
+
+    def test_larger_epsilon_means_less_noise(self):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        point = np.zeros((5_000, 2))
+        noisy_low = PlanarLaplaceMechanism(1.0).privatize(point, seed=rng_a)
+        noisy_high = PlanarLaplaceMechanism(8.0).privatize(point, seed=rng_b)
+        assert np.linalg.norm(noisy_high, axis=1).mean() < np.linalg.norm(noisy_low, axis=1).mean()
+
+    def test_privacy_loss_scales_with_distance(self):
+        mech = PlanarLaplaceMechanism(1.5)
+        assert mech.privacy_loss(2.0) == pytest.approx(3.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(0.0)
+
+
+class TestDiscreteGeoI:
+    def test_rows_sum_to_one(self, unit_grid5):
+        mech = DiscreteGeoIMechanism(unit_grid5, 2.0)
+        np.testing.assert_allclose(mech.transition.sum(axis=1), 1.0)
+
+    def test_self_report_most_likely(self, unit_grid5):
+        mech = DiscreteGeoIMechanism(unit_grid5, 2.0)
+        for cell in range(unit_grid5.n_cells):
+            assert int(np.argmax(mech.transition[cell])) == cell
+
+    def test_probability_decays_with_distance(self, unit_grid5):
+        mech = DiscreteGeoIMechanism(unit_grid5, 2.0)
+        center = unit_grid5.rowcol_to_cell(2, 2)
+        near = unit_grid5.rowcol_to_cell(2, 3)
+        far = unit_grid5.rowcol_to_cell(0, 0)
+        row = mech.transition[center]
+        assert row[near] > row[far]
+
+    def test_geo_indistinguishability_audit(self, unit_grid5):
+        """The measured per-distance log ratio never exceeds the declared epsilon."""
+        for eps in (0.7, 2.0, 5.0):
+            mech = DiscreteGeoIMechanism(unit_grid5, eps)
+            assert mech.geo_indistinguishability_audit() <= eps + 1e-9
+
+    def test_run_produces_distribution(self, unit_grid5, clustered_points):
+        mech = DiscreteGeoIMechanism(unit_grid5, 3.0)
+        report = mech.run(clustered_points[:2000], seed=0)
+        assert report.estimate.flat().sum() == pytest.approx(1.0)
+
+    def test_distance_unit_domain(self):
+        grid = GridSpec.unit(4)
+        cells = DiscreteGeoIMechanism(grid, 2.0, distance_unit="cells")
+        domain = DiscreteGeoIMechanism(grid, 2.0, distance_unit="domain")
+        # With domain units the distances are 4x smaller, so the kernel is flatter.
+        assert domain.transition.max() < cells.transition.max()
+
+    def test_invalid_distance_unit_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            DiscreteGeoIMechanism(unit_grid5, 1.0, distance_unit="miles")
+
+    def test_geo_i_is_not_ldp(self, unit_grid5):
+        """Geo-I gives distance-dependent protection, so the flat LDP ratio exceeds e^eps.
+
+        This is exactly the paper's argument for why the two mechanism families need
+        the Local Privacy calibration before they can be compared.
+        """
+        eps = 1.0
+        mech = DiscreteGeoIMechanism(unit_grid5, eps)
+        max_distance = mech.cell_distances.max()
+        assert mech.ldp_ratio() > math.exp(eps)
+        assert mech.ldp_ratio() <= math.exp(eps * max_distance) * (1 + 1e-9)

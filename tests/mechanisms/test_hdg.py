@@ -1,0 +1,73 @@
+"""Tests for repro.mechanisms.hdg — the Hybrid-Dimensional Grids extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.mechanisms.hdg import HDG
+
+
+@pytest.fixture
+def grid6() -> GridSpec:
+    return GridSpec.unit(6)
+
+
+class TestConstruction:
+    def test_default_coarse_grid(self, grid6):
+        assert HDG(grid6, 2.0).coarse_d == 2
+
+    def test_coarse_never_exceeds_fine(self, grid6):
+        assert HDG(grid6, 2.0, coarse_d=10).coarse_d == 6
+
+    def test_invalid_fraction_rejected(self, grid6):
+        with pytest.raises(ValueError):
+            HDG(grid6, 2.0, joint_fraction=0.0)
+
+
+class TestEstimation:
+    def test_run_produces_distribution(self, grid6, clustered_points):
+        mech = HDG(grid6, 3.0)
+        report = mech.run(clustered_points, seed=0)
+        assert report.estimate.flat().sum() == pytest.approx(1.0)
+        assert np.all(report.estimate.flat() >= 0)
+
+    def test_estimate_before_privatize_rejected(self, grid6):
+        with pytest.raises(RuntimeError):
+            HDG(grid6, 2.0).estimate(np.zeros(4), 10)
+
+    def test_coarse_consistency(self, grid6, clustered_points):
+        """After reconciliation, the estimate's coarse-block masses match the coarse grid."""
+        mech = HDG(grid6, 4.0, coarse_d=2)
+        report = mech.run(clustered_points, seed=1)
+        estimate = report.estimate.probabilities
+        block = estimate[:3, :3].sum()
+        # The lower-left block holds the dominant cluster (centred at 0.25, 0.3).
+        assert block > 0.3
+
+    def test_recovers_hotspot_roughly(self, grid6, rng):
+        pts = np.clip(rng.normal([0.2, 0.2], 0.08, size=(20_000, 2)), 0, 1)
+        mech = HDG(grid6, 5.0)
+        estimate = mech.run(pts, seed=2).estimate
+        # Most recovered mass must sit in the lower-left quadrant.
+        assert estimate.probabilities[:3, :3].sum() > 0.6
+
+
+class TestRangeQuery:
+    def test_full_range_is_one(self, grid6, clustered_points):
+        mech = HDG(grid6, 3.0)
+        estimate = mech.run(clustered_points, seed=0).estimate
+        assert mech.range_query(estimate, (0, 5), (0, 5)) == pytest.approx(1.0)
+
+    def test_sub_range(self, grid6, clustered_points):
+        mech = HDG(grid6, 3.0)
+        estimate = mech.run(clustered_points, seed=0).estimate
+        value = mech.range_query(estimate, (0, 2), (0, 2))
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_range_rejected(self, grid6, clustered_points):
+        mech = HDG(grid6, 3.0)
+        estimate = mech.run(clustered_points, seed=0).estimate
+        with pytest.raises(ValueError):
+            mech.range_query(estimate, (0, 6), (0, 5))

@@ -1,0 +1,101 @@
+"""Tests for repro.mechanisms.piecewise — SR, PM and the hybrid mean estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.piecewise import (
+    PiecewiseMechanism,
+    StochasticRounding,
+    hybrid_mean_estimator,
+)
+
+
+class TestStochasticRounding:
+    def test_reports_are_plus_minus_scale(self):
+        sr = StochasticRounding(1.0)
+        reports = sr.privatize(np.random.default_rng(0).uniform(-1, 1, 100), seed=1)
+        assert set(np.round(np.abs(reports), 10)) == {round(sr.scale, 10)}
+
+    def test_unbiased_mean(self):
+        sr = StochasticRounding(2.0)
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1, 1, 50_000)
+        estimate = sr.estimate_mean(sr.privatize(values, seed=rng))
+        assert estimate == pytest.approx(values.mean(), abs=0.03)
+
+    def test_extreme_value_probabilities(self):
+        sr = StochasticRounding(1.5)
+        rng = np.random.default_rng(2)
+        reports = sr.privatize(np.ones(20_000), seed=rng)
+        expected_p = 0.5 + (math.exp(1.5) - 1) / (2 * (math.exp(1.5) + 1))
+        assert abs((reports > 0).mean() - expected_p) < 0.01
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticRounding(1.0).privatize(np.array([1.2]))
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticRounding(1.0).estimate_mean(np.array([]))
+
+
+class TestPiecewiseMechanism:
+    def test_reports_in_output_interval(self):
+        pm = PiecewiseMechanism(2.0)
+        rng = np.random.default_rng(0)
+        reports = pm.privatize(rng.uniform(-1, 1, 5000), seed=rng)
+        assert reports.min() >= -pm.s - 1e-9
+        assert reports.max() <= pm.s + 1e-9
+
+    def test_unbiased_mean(self):
+        pm = PiecewiseMechanism(2.0)
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-0.8, 0.8, 50_000)
+        estimate = pm.estimate_mean(pm.privatize(values, seed=rng))
+        assert estimate == pytest.approx(values.mean(), abs=0.02)
+
+    def test_pm_beats_sr_variance_for_moderate_budget(self):
+        """PM's whole point: lower variance than SR once eps is not tiny."""
+        eps = 3.0
+        rng = np.random.default_rng(2)
+        values = np.zeros(30_000)
+        pm_reports = PiecewiseMechanism(eps).privatize(values, seed=rng)
+        sr_reports = StochasticRounding(eps).privatize(values, seed=rng)
+        assert pm_reports.var() < sr_reports.var()
+
+    def test_band_is_centered_on_value(self):
+        pm = PiecewiseMechanism(4.0)
+        left, right = pm._band(np.array([0.0]))
+        assert left[0] == pytest.approx(-right[0])
+
+    def test_s_formula(self):
+        eps = 2.0
+        pm = PiecewiseMechanism(eps)
+        half = math.exp(eps / 2)
+        assert pm.s == pytest.approx((half + 1) / (half - 1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseMechanism(1.0).privatize(np.array([-1.5]))
+
+
+class TestHybridEstimator:
+    def test_small_budget_uses_sr(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1, 1, 20_000)
+        estimate = hybrid_mean_estimator(values, 0.4, seed=1)
+        assert abs(estimate - values.mean()) < 0.15
+
+    def test_large_budget_accuracy(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1, 1, 20_000)
+        estimate = hybrid_mean_estimator(values, 4.0, seed=2)
+        assert abs(estimate - values.mean()) < 0.02
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_mean_estimator(np.array([0.0]), -1.0)

@@ -1,0 +1,118 @@
+"""Tests for repro.mechanisms.sem_geo_i — the Subset Exponential Mechanism baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.metrics.wasserstein import wasserstein2_grid
+
+
+class TestConstruction:
+    def test_default_subset_size(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        expected = max(1, round(25 / math.exp(2.0)))
+        assert mech.subset_size == expected
+
+    def test_subset_size_grows_as_budget_shrinks(self, unit_grid5):
+        assert SEMGeoI(unit_grid5, 0.7).subset_size > SEMGeoI(unit_grid5, 3.5).subset_size
+
+    def test_explicit_subset_size(self, unit_grid5):
+        assert SEMGeoI(unit_grid5, 1.0, subset_size=5).subset_size == 5
+
+    def test_invalid_subset_size_rejected(self, unit_grid5):
+        with pytest.raises(ValueError):
+            SEMGeoI(unit_grid5, 1.0, subset_size=0)
+        with pytest.raises(ValueError):
+            SEMGeoI(unit_grid5, 1.0, subset_size=26)
+
+    def test_anchor_probabilities_row_stochastic(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        np.testing.assert_allclose(mech.anchor_probabilities.sum(axis=1), 1.0)
+
+    def test_inclusion_probabilities_bounds(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        inc = mech.inclusion_probabilities
+        assert np.all(inc >= 0) and np.all(inc <= 1.0 + 1e-12)
+
+    def test_inclusion_rows_sum_to_subset_size(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        np.testing.assert_allclose(
+            mech.inclusion_probabilities.sum(axis=1), mech.subset_size, rtol=1e-9
+        )
+
+
+class TestReporting:
+    def test_anchor_reports_in_domain(self, unit_grid5, clustered_points):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        reports = mech.privatize_points(clustered_points[:300], seed=0)
+        assert reports.min() >= 0 and reports.max() < unit_grid5.n_cells
+
+    def test_subsets_have_exact_size(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 1.5)
+        cells = np.random.default_rng(0).integers(0, 25, 200)
+        inclusion = mech.privatize_subsets(cells, seed=1)
+        np.testing.assert_array_equal(inclusion.sum(axis=1), mech.subset_size)
+
+    def test_empty_input(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 1.5)
+        inclusion = mech.privatize_subsets(np.array([], dtype=int), seed=0)
+        assert inclusion.shape == (0, 25)
+
+    def test_anchor_near_truth_more_often_than_far(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 3.0)
+        rng = np.random.default_rng(2)
+        cell = unit_grid5.rowcol_to_cell(2, 2)
+        reports = mech.privatize_cells(np.full(20_000, cell), seed=rng)
+        counts = np.bincount(reports, minlength=25)
+        assert counts[cell] > counts[unit_grid5.rowcol_to_cell(0, 4)]
+
+    def test_empirical_inclusion_matches_closed_form(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        rng = np.random.default_rng(3)
+        cell = 12
+        n = 20_000
+        inclusion = mech.privatize_subsets(np.full(n, cell), seed=rng)
+        empirical = inclusion.mean(axis=0)
+        np.testing.assert_allclose(empirical, mech.inclusion_probabilities[cell], atol=0.02)
+
+    def test_aggregate_subsets_shape_check(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        with pytest.raises(ValueError):
+            mech.aggregate_subsets(np.zeros((3, 10), dtype=bool))
+
+
+class TestEstimation:
+    def test_run_produces_distribution(self, unit_grid5, clustered_points):
+        mech = SEMGeoI(unit_grid5, 2.5)
+        report = mech.run(clustered_points, seed=0)
+        assert report.estimate.flat().sum() == pytest.approx(1.0)
+
+    def test_recovers_hotspot_with_large_budget(self, unit_grid5, rng):
+        pts = np.clip(rng.normal([0.2, 0.8], 0.06, size=(8000, 2)), 0, 1)
+        true = unit_grid5.distribution(pts)
+        mech = SEMGeoI(unit_grid5, 6.0)
+        estimate = mech.run(pts, seed=1).estimate
+        assert wasserstein2_grid(true, estimate) < 0.12
+
+    def test_transition_property_is_anchor_kernel(self, unit_grid5):
+        mech = SEMGeoI(unit_grid5, 2.0)
+        np.testing.assert_allclose(mech.transition, mech.anchor_probabilities)
+
+    def test_more_budget_less_error(self, unit_grid5, clustered_points):
+        true = unit_grid5.distribution(clustered_points)
+        errors = []
+        for eps in (0.7, 6.0):
+            mech = SEMGeoI(unit_grid5, eps)
+            errors.append(wasserstein2_grid(true, mech.run(clustered_points, seed=2).estimate))
+        assert errors[1] < errors[0]
+
+    def test_single_cell_grid(self):
+        grid = GridSpec.unit(1)
+        mech = SEMGeoI(grid, 1.0)
+        report = mech.run(np.random.default_rng(0).random((50, 2)), seed=0)
+        np.testing.assert_allclose(report.estimate.flat(), [1.0])

@@ -1,0 +1,131 @@
+"""Tests for repro.metrics.divergence."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.metrics.divergence import (
+    chi_square_statistic,
+    js_divergence,
+    kl_divergence,
+    mean_absolute_error,
+    mean_squared_error,
+    total_variation,
+)
+
+
+@pytest.fixture
+def pair(rng):
+    grid = GridSpec.unit(4)
+    a = GridDistribution(grid, rng.dirichlet(np.ones(16)).reshape(4, 4))
+    b = GridDistribution(grid, rng.dirichlet(np.ones(16)).reshape(4, 4))
+    return a, b
+
+
+class TestKL:
+    def test_zero_for_identical(self, pair):
+        a, _ = pair
+        assert kl_divergence(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_negative(self, pair):
+        a, b = pair
+        assert kl_divergence(a, b) >= 0
+
+    def test_asymmetric_in_general(self, pair):
+        a, b = pair
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a), rel=1e-3)
+
+    def test_accepts_plain_arrays(self):
+        assert kl_divergence(np.array([0.5, 0.5]), np.array([0.9, 0.1])) > 0
+
+    def test_smoothing_keeps_finite(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert np.isfinite(kl_divergence(a, b))
+
+
+class TestJS:
+    def test_symmetric(self, pair):
+        a, b = pair
+        assert js_divergence(a, b) == pytest.approx(js_divergence(b, a), rel=1e-9)
+
+    def test_bounded_by_ln2(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert js_divergence(a, b) <= math.log(2) + 1e-6
+
+    def test_zero_for_identical(self, pair):
+        a, _ = pair
+        assert js_divergence(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTotalVariationAndErrors:
+    def test_tv_range(self, pair):
+        a, b = pair
+        assert 0 <= total_variation(a, b) <= 1
+
+    def test_tv_matches_griddistribution_method(self, pair):
+        a, b = pair
+        assert total_variation(a, b) == pytest.approx(a.total_variation(b))
+
+    def test_mae_and_mse_zero_for_identical(self, pair):
+        a, _ = pair
+        assert mean_absolute_error(a, a) == 0
+        assert mean_squared_error(a, a) == 0
+
+    def test_mse_smaller_than_mae_for_small_errors(self, pair):
+        a, b = pair
+        assert mean_squared_error(a, b) <= mean_absolute_error(a, b)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation(np.array([0.5, 0.5]), np.array([0.25, 0.25, 0.5]))
+
+    def test_metrics_ignore_spatial_structure(self, unit_grid5):
+        """The paper's motivating observation: TV cannot tell near from far misplacement."""
+        from repro.metrics.wasserstein import wasserstein2_grid
+
+        truth = np.zeros((5, 5))
+        truth[2, 2] = 1.0
+        near = np.zeros((5, 5))
+        near[2, 3] = 1.0
+        far = np.zeros((5, 5))
+        far[4, 4] = 1.0
+        t = GridDistribution(unit_grid5, truth)
+        n = GridDistribution(unit_grid5, near)
+        f = GridDistribution(unit_grid5, far)
+        assert total_variation(t, n) == pytest.approx(total_variation(t, f))
+        assert wasserstein2_grid(t, n) < wasserstein2_grid(t, f)
+
+
+class TestChiSquare:
+    def test_zero_for_exact_match(self):
+        counts = np.array([10.0, 20.0, 30.0])
+        assert chi_square_statistic(counts, counts) == 0.0
+
+    def test_positive_for_mismatch(self):
+        assert chi_square_statistic(np.array([10.0, 20.0]), np.array([15.0, 15.0])) > 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.array([-1.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.array([1.0, 2.0]), np.array([1.0]))
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_statistic_reasonable_for_true_model(self, k, seed):
+        """Property: sampling from the expected distribution keeps chi-square moderate."""
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(k) * 5)
+        n = 5000
+        observed = np.bincount(rng.choice(k, size=n, p=probs), minlength=k)
+        statistic = chi_square_statistic(observed, probs * n)
+        assert statistic < 10 * k  # extremely generous bound, catches gross errors only

@@ -1,0 +1,88 @@
+"""Tests for repro.metrics.local_privacy — Eq. 15/16 and the ε calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.metrics.local_privacy import (
+    calibrate_epsilon,
+    local_privacy,
+    local_privacy_of_mechanism,
+)
+from repro.utils.histogram import pairwise_cell_distances
+
+
+@pytest.fixture(scope="module")
+def grid4() -> GridSpec:
+    return GridSpec.unit(4)
+
+
+@pytest.fixture(scope="module")
+def distances4() -> np.ndarray:
+    return pairwise_cell_distances(4)
+
+
+class TestLocalPrivacy:
+    def test_identity_mechanism_has_zero_privacy(self, distances4):
+        """Reporting the true cell lets the adversary recover it exactly: LP = 0."""
+        assert local_privacy(np.eye(16), distances4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_mechanism_has_maximal_privacy(self, distances4):
+        """A report independent of the input gives the adversary nothing."""
+        uniform = np.full((16, 16), 1.0 / 16)
+        value = local_privacy(uniform, distances4)
+        # The adversary's best guess is unrelated to the truth: LP equals the mean
+        # pairwise distance between cells.
+        assert value == pytest.approx(distances4.mean(), rel=1e-9)
+
+    def test_monotone_in_budget(self, grid4):
+        """More budget -> sharper reports -> less privacy."""
+        values = [local_privacy_of_mechanism(DiscreteDAM(grid4, eps, b_hat=1)) for eps in (0.5, 2.0, 6.0)]
+        assert values[0] > values[1] > values[2]
+
+    def test_positive_for_dam(self, grid4):
+        assert local_privacy_of_mechanism(DiscreteDAM(grid4, 3.5, b_hat=1)) > 0
+
+    def test_shape_mismatch_rejected(self, distances4):
+        with pytest.raises(ValueError):
+            local_privacy(np.eye(9), distances4)
+
+    def test_prior_shape_checked(self, distances4):
+        with pytest.raises(ValueError):
+            local_privacy(np.eye(16), distances4, prior=np.ones(4))
+
+    def test_extended_output_domain_supported(self, grid4):
+        """DAM's output domain is larger than the input grid; LP must still work."""
+        mech = DiscreteDAM(grid4, 2.0, b_hat=2)
+        assert mech.output_domain_size() > grid4.n_cells
+        assert local_privacy_of_mechanism(mech) > 0
+
+
+class TestCalibration:
+    def test_sem_matches_dam_local_privacy(self, grid4):
+        """The Section VII-B procedure: find eps' with LP_SEM(eps') = LP_DAM(eps)."""
+        dam = DiscreteDAM(grid4, 3.5, b_hat=1)
+        target = local_privacy_of_mechanism(dam)
+        result = calibrate_epsilon(lambda e: SEMGeoI(grid4, e), target)
+        assert result.converged
+        assert result.local_privacy == pytest.approx(target, rel=5e-3)
+
+    def test_higher_dam_budget_needs_higher_sem_budget(self, grid4):
+        results = []
+        for eps in (1.4, 3.5):
+            target = local_privacy_of_mechanism(DiscreteDAM(grid4, eps, b_hat=1))
+            results.append(calibrate_epsilon(lambda e: SEMGeoI(grid4, e), target).epsilon)
+        assert results[1] > results[0]
+
+    def test_unreachable_target_clamps(self, grid4):
+        result = calibrate_epsilon(lambda e: SEMGeoI(grid4, e), 1e9)
+        assert not result.converged
+        assert result.epsilon == pytest.approx(0.05)
+
+    def test_invalid_target_rejected(self, grid4):
+        with pytest.raises(ValueError):
+            calibrate_epsilon(lambda e: SEMGeoI(grid4, e), 0.0)

@@ -1,0 +1,93 @@
+"""Tests for repro.metrics.privacy_audit — empirical LDP auditing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec
+from repro.core.estimator import TransitionMatrixMechanism
+from repro.core.huem import DiscreteHUEM
+from repro.metrics.privacy_audit import (
+    audit_mechanism,
+    audit_pairwise_privacy,
+    worst_case_epsilon,
+)
+
+
+class LeakyMechanism(TransitionMatrixMechanism):
+    """A deliberately broken 'LDP' mechanism that reports the truth with high probability.
+
+    It claims a small epsilon but behaves like a much larger one; the audit must flag it.
+    """
+
+    name = "Leaky"
+
+    def __init__(self, grid: GridSpec, claimed_epsilon: float = 0.5) -> None:
+        super().__init__(grid, claimed_epsilon)
+        n = grid.n_cells
+        matrix = np.full((n, n), 0.02 / (n - 1))
+        np.fill_diagonal(matrix, 0.98)
+        self._set_transition(matrix)
+
+    def estimate(self, noisy_counts, n_users):  # pragma: no cover - not needed
+        return GridDistribution.uniform(self.grid)
+
+
+@pytest.fixture(scope="module")
+def grid4() -> GridSpec:
+    return GridSpec.unit(4)
+
+
+class TestPairwiseAudit:
+    def test_dam_passes_audit(self, grid4):
+        mech = DiscreteDAM(grid4, 2.0, b_hat=1)
+        result = audit_pairwise_privacy(mech, 0, grid4.n_cells - 1, n_trials=15_000, seed=0)
+        assert not result.violated
+        assert result.epsilon_lower_confidence <= result.epsilon_declared + 1e-9
+
+    def test_huem_passes_audit(self, grid4):
+        mech = DiscreteHUEM(grid4, 2.0, b_hat=1)
+        result = audit_pairwise_privacy(mech, 0, 5, n_trials=15_000, seed=1)
+        assert not result.violated
+
+    def test_measured_loss_close_to_declared_for_adjacent_disks(self, grid4):
+        """For far-apart cells the realised loss approaches the declared e^eps bound."""
+        mech = DiscreteDAM(grid4, 1.5, b_hat=1)
+        result = audit_pairwise_privacy(mech, 0, grid4.n_cells - 1, n_trials=40_000, seed=2)
+        assert result.epsilon_measured == pytest.approx(1.5, abs=0.4)
+
+    def test_leaky_mechanism_flagged(self, grid4):
+        mech = LeakyMechanism(grid4, claimed_epsilon=0.5)
+        result = audit_pairwise_privacy(mech, 0, 15, n_trials=20_000, seed=3)
+        assert result.violated
+        assert result.epsilon_measured > 2.0
+
+    def test_result_fields(self, grid4):
+        mech = DiscreteDAM(grid4, 2.0, b_hat=1)
+        result = audit_pairwise_privacy(mech, 1, 2, n_trials=2_000, seed=4)
+        assert result.n_trials == 2_000
+        assert result.epsilon_declared == 2.0
+        assert result.epsilon_lower_confidence <= result.epsilon_measured
+
+    def test_invalid_trials_rejected(self, grid4):
+        with pytest.raises(ValueError):
+            audit_pairwise_privacy(DiscreteDAM(grid4, 2.0, b_hat=1), 0, 1, n_trials=0)
+
+
+class TestMechanismAudit:
+    def test_audits_multiple_pairs(self, grid4):
+        mech = DiscreteDAM(grid4, 2.5, b_hat=1)
+        results = audit_mechanism(mech, n_pairs=3, n_trials=5_000, seed=0)
+        assert len(results) == 3
+        assert not any(result.violated for result in results)
+
+    def test_worst_case_epsilon(self, grid4):
+        mech = DiscreteDAM(grid4, 2.5, b_hat=1)
+        results = audit_mechanism(mech, n_pairs=3, n_trials=5_000, seed=1)
+        assert worst_case_epsilon(results) == max(r.epsilon_measured for r in results)
+
+    def test_worst_case_requires_results(self):
+        with pytest.raises(ValueError):
+            worst_case_epsilon([])

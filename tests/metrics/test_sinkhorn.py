@@ -1,0 +1,102 @@
+"""Tests for repro.metrics.sinkhorn — entropic optimal transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.metrics.sinkhorn import sinkhorn_distance, sinkhorn_plan, sinkhorn_wasserstein
+from repro.metrics.wasserstein import wasserstein2_grid, wasserstein_exact
+
+
+@pytest.fixture
+def simple_cost() -> np.ndarray:
+    positions = np.arange(4, dtype=float)
+    return np.abs(positions[:, None] - positions[None, :])
+
+
+class TestSinkhornPlan:
+    def test_plan_marginals(self, simple_cost):
+        a = np.array([0.4, 0.3, 0.2, 0.1])
+        b = np.array([0.1, 0.2, 0.3, 0.4])
+        plan, result = sinkhorn_plan(a, b, simple_cost, reg=0.05)
+        np.testing.assert_allclose(plan.sum(axis=1), a, atol=1e-5)
+        np.testing.assert_allclose(plan.sum(axis=0), b, atol=1e-5)
+        assert result.cost >= 0
+
+    def test_identical_distributions_near_zero_cost(self, simple_cost):
+        a = np.array([0.25, 0.25, 0.25, 0.25])
+        cost = sinkhorn_distance(a, a, simple_cost, reg=0.01)
+        assert cost == pytest.approx(0.0, abs=0.02)
+
+    def test_zero_mass_bins_handled(self, simple_cost):
+        a = np.array([0.5, 0.0, 0.5, 0.0])
+        b = np.array([0.0, 0.5, 0.0, 0.5])
+        plan, _ = sinkhorn_plan(a, b, simple_cost, reg=0.05)
+        np.testing.assert_allclose(plan.sum(axis=1), a, atol=1e-3)
+        np.testing.assert_allclose(plan.sum(axis=0), b, atol=1e-3)
+        # Rows with zero mass stay exactly empty.
+        assert plan[1].sum() == 0.0 and plan[3].sum() == 0.0
+
+    def test_cost_approaches_exact_as_reg_shrinks(self, simple_cost):
+        rng = np.random.default_rng(0)
+        a = rng.dirichlet(np.ones(4))
+        b = rng.dirichlet(np.ones(4))
+        exact = wasserstein_exact(a, b, simple_cost)
+        loose = sinkhorn_distance(a, b, simple_cost, reg=0.5)
+        tight = sinkhorn_distance(a, b, simple_cost, reg=0.01)
+        assert abs(tight - exact) <= abs(loose - exact) + 1e-9
+        assert tight == pytest.approx(exact, abs=0.05)
+
+    def test_wrong_cost_shape_rejected(self):
+        with pytest.raises(ValueError):
+            sinkhorn_plan(np.array([1.0]), np.array([0.5, 0.5]), np.zeros((2, 2)))
+
+    def test_invalid_reg_rejected(self, simple_cost):
+        a = np.array([0.25, 0.25, 0.25, 0.25])
+        with pytest.raises(ValueError):
+            sinkhorn_plan(a, a, simple_cost, reg=0.0)
+
+
+class TestSinkhornWasserstein:
+    def test_matches_exact_on_small_grid(self, rng):
+        grid = GridSpec.unit(4)
+        a = GridDistribution(grid, rng.dirichlet(np.ones(16) * 3).reshape(4, 4))
+        b = GridDistribution(grid, rng.dirichlet(np.ones(16) * 3).reshape(4, 4))
+        exact = wasserstein2_grid(a, b)
+        approx = sinkhorn_wasserstein(a, b, reg=0.005)
+        assert approx == pytest.approx(exact, rel=0.2, abs=0.02)
+
+    def test_symmetric(self, clustered_distribution, uniform_distribution):
+        ab = sinkhorn_wasserstein(clustered_distribution, uniform_distribution)
+        ba = sinkhorn_wasserstein(uniform_distribution, clustered_distribution)
+        assert ab == pytest.approx(ba, rel=1e-3)
+
+    def test_corner_to_corner_distance(self, unit_grid5):
+        a = np.zeros((5, 5))
+        a[0, 0] = 1.0
+        b = np.zeros((5, 5))
+        b[4, 4] = 1.0
+        value = sinkhorn_wasserstein(
+            GridDistribution(unit_grid5, a), GridDistribution(unit_grid5, b), reg=0.01
+        )
+        assert value == pytest.approx(np.hypot(0.8, 0.8), rel=0.05)
+
+    def test_incompatible_grids_rejected(self, clustered_distribution):
+        other = GridDistribution.uniform(GridSpec.unit(4))
+        with pytest.raises(ValueError):
+            sinkhorn_wasserstein(clustered_distribution, other)
+
+    def test_monotone_in_separation(self, unit_grid5):
+        """Moving the target mass farther increases the Sinkhorn distance."""
+        source = np.zeros((5, 5))
+        source[0, 0] = 1.0
+        near = np.zeros((5, 5))
+        near[0, 1] = 1.0
+        far = np.zeros((5, 5))
+        far[0, 4] = 1.0
+        src = GridDistribution(unit_grid5, source)
+        assert sinkhorn_wasserstein(src, GridDistribution(unit_grid5, near)) < sinkhorn_wasserstein(
+            src, GridDistribution(unit_grid5, far)
+        )

@@ -1,0 +1,138 @@
+"""Tests for repro.metrics.sliced — Radon projections and the sliced Wasserstein distance."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.metrics.sliced import projected_wasserstein, radon_projection, sliced_wasserstein
+from repro.metrics.wasserstein import wasserstein2_grid
+
+
+class TestRadonProjection:
+    def test_weights_preserved(self, clustered_distribution):
+        projection = radon_projection(clustered_distribution, 0.3)
+        assert projection.weights.sum() == pytest.approx(1.0)
+
+    def test_axis_aligned_projection_is_marginal(self, clustered_distribution):
+        """Projecting onto theta=0 gives the x-marginal of the grid distribution."""
+        projection = radon_projection(clustered_distribution, 0.0)
+        x_marginal = clustered_distribution.probabilities.sum(axis=0)
+        np.testing.assert_allclose(np.sort(projection.weights), np.sort(x_marginal), atol=1e-12)
+
+    def test_vertical_projection_is_y_marginal(self, clustered_distribution):
+        projection = radon_projection(clustered_distribution, math.pi / 2)
+        y_marginal = clustered_distribution.probabilities.sum(axis=1)
+        np.testing.assert_allclose(np.sort(projection.weights), np.sort(y_marginal), atol=1e-12)
+
+    def test_diagonal_projection_merges_antidiagonal_cells(self, unit_grid5):
+        uniform = GridDistribution.uniform(unit_grid5)
+        projection = radon_projection(uniform, math.pi / 4)
+        # A 5x5 grid projected on the diagonal has 9 distinct positions.
+        assert projection.positions.shape[0] == 9
+
+    def test_positions_sorted(self, clustered_distribution):
+        projection = radon_projection(clustered_distribution, 1.1)
+        assert np.all(np.diff(projection.positions) >= 0)
+
+
+class TestProjectedWasserstein:
+    def test_identical_distributions(self, clustered_distribution):
+        assert projected_wasserstein(
+            clustered_distribution, clustered_distribution, 0.7
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_horizontal_shift_detected_by_x_projection(self, unit_grid5):
+        a = np.zeros((5, 5))
+        a[2, 0] = 1.0
+        b = np.zeros((5, 5))
+        b[2, 4] = 1.0
+        dist_a, dist_b = GridDistribution(unit_grid5, a), GridDistribution(unit_grid5, b)
+        assert projected_wasserstein(dist_a, dist_b, 0.0) == pytest.approx(0.8, abs=1e-9)
+        # The same shift is invisible to the vertical projection.
+        assert projected_wasserstein(dist_a, dist_b, math.pi / 2) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSlicedWasserstein:
+    def test_zero_for_identical(self, clustered_distribution):
+        assert sliced_wasserstein(
+            clustered_distribution, clustered_distribution
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_different(self, clustered_distribution, uniform_distribution):
+        assert sliced_wasserstein(clustered_distribution, uniform_distribution) > 0
+
+    def test_symmetry(self, clustered_distribution, uniform_distribution):
+        ab = sliced_wasserstein(clustered_distribution, uniform_distribution)
+        ba = sliced_wasserstein(uniform_distribution, clustered_distribution)
+        assert ab == pytest.approx(ba, rel=1e-9)
+
+    def test_sliced_lower_bounds_full_wasserstein(self, clustered_distribution, uniform_distribution):
+        """Each 1-D projection is a contraction, so SW_p <= W_p."""
+        sw2 = sliced_wasserstein(
+            clustered_distribution, uniform_distribution, p=2.0, n_projections=64
+        )
+        w2 = wasserstein2_grid(clustered_distribution, uniform_distribution)
+        assert sw2 <= w2 + 1e-9
+
+    def test_monte_carlo_close_to_deterministic(self, clustered_distribution, uniform_distribution):
+        deterministic = sliced_wasserstein(
+            clustered_distribution, uniform_distribution, n_projections=128
+        )
+        monte_carlo = sliced_wasserstein(
+            clustered_distribution,
+            uniform_distribution,
+            n_projections=128,
+            random_directions=True,
+            seed=0,
+        )
+        assert monte_carlo == pytest.approx(deterministic, rel=0.15)
+
+    def test_more_projections_stabilise(self, clustered_distribution, corner_distribution):
+        coarse = sliced_wasserstein(clustered_distribution, corner_distribution, n_projections=8)
+        fine = sliced_wasserstein(clustered_distribution, corner_distribution, n_projections=64)
+        finer = sliced_wasserstein(clustered_distribution, corner_distribution, n_projections=128)
+        assert abs(fine - finer) <= abs(coarse - finer) + 1e-9
+
+    def test_incompatible_grids_rejected(self, clustered_distribution):
+        other = GridDistribution.uniform(GridSpec.unit(4))
+        with pytest.raises(ValueError):
+            sliced_wasserstein(clustered_distribution, other)
+
+    def test_invalid_projections_rejected(self, clustered_distribution, uniform_distribution):
+        with pytest.raises(ValueError):
+            sliced_wasserstein(clustered_distribution, uniform_distribution, n_projections=0)
+
+    def test_dam_optimality_objective(self, unit_grid5):
+        """Theorem V.2's intuition: DAM separates two inputs' output distributions more
+        than HUEM does, measured by the sliced Wasserstein distance."""
+        from repro.core.dam import DiscreteDAM
+        from repro.core.huem import DiscreteHUEM
+
+        eps, b_hat = 2.0, 2
+        dam = DiscreteDAM(unit_grid5, eps, b_hat=b_hat)
+        huem = DiscreteHUEM(unit_grid5, eps, b_hat=b_hat)
+        cell_a, cell_b = unit_grid5.rowcol_to_cell(0, 0), unit_grid5.rowcol_to_cell(4, 4)
+
+        def output_separation(mechanism):
+            # Embed each output row on the output-domain grid and compare.
+            domain_cells = mechanism.output_domain.cells
+            side = int(domain_cells[:, 0].max() - domain_cells[:, 0].min() + 1)
+            offset = domain_cells.min(axis=0)
+            grid = GridSpec.unit(side)
+            def to_grid(row):
+                table = np.zeros((side, side))
+                for (col, r), prob in zip(domain_cells, row):
+                    table[r - offset[1], col - offset[0]] = prob
+                return GridDistribution(grid, table)
+            return sliced_wasserstein(
+                to_grid(mechanism.transition[cell_a]),
+                to_grid(mechanism.transition[cell_b]),
+                p=1.0,
+                n_projections=32,
+            )
+
+        assert output_separation(dam) >= output_separation(huem) - 1e-6

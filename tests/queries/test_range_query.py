@@ -1,0 +1,163 @@
+"""Tests for repro.queries.range_query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.range_query import (
+    FlatRangeQueryEngine,
+    HierarchicalRangeQueryEngine,
+    RangeQuery,
+    RangeQueryWorkload,
+)
+
+
+@pytest.fixture(scope="module")
+def domain() -> SpatialDomain:
+    return SpatialDomain.unit("rq")
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    cluster = rng.normal([0.3, 0.3], 0.08, size=(6000, 2))
+    background = rng.random((2000, 2))
+    return np.clip(np.vstack([cluster, background]), 0, 1)
+
+
+class TestRangeQuery:
+    def test_true_answer_full_domain(self, points):
+        assert RangeQuery(0, 1, 0, 1).true_answer(points) == pytest.approx(1.0)
+
+    def test_true_answer_empty_region(self, points):
+        assert RangeQuery(0.9, 0.99, 0.9, 0.99).true_answer(points) < 0.05
+
+    def test_true_answer_no_points(self):
+        assert RangeQuery(0, 1, 0, 1).true_answer(np.empty((0, 2))) == 0.0
+
+    def test_degenerate_query_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(0.5, 0.5, 0.0, 1.0)
+
+    def test_area_fraction(self, domain):
+        assert RangeQuery(0.0, 0.5, 0.0, 0.5).area_fraction(domain) == pytest.approx(0.25)
+
+    def test_area_fraction_clipped_to_domain(self, domain):
+        assert RangeQuery(-1.0, 2.0, -1.0, 2.0).area_fraction(domain) == pytest.approx(1.0)
+
+
+class TestFlatEngine:
+    def test_full_domain_query_sums_to_one(self, domain, points):
+        grid = GridSpec(domain, 8)
+        engine = FlatRangeQueryEngine(grid.distribution(points))
+        assert engine.answer(RangeQuery(0, 1, 0, 1)) == pytest.approx(1.0)
+
+    def test_exact_on_true_distribution_cell_aligned(self, domain, points):
+        grid = GridSpec(domain, 4)
+        engine = FlatRangeQueryEngine(grid.distribution(points))
+        query = RangeQuery(0.0, 0.5, 0.0, 0.5)
+        assert engine.answer(query) == pytest.approx(query.true_answer(points), abs=1e-9)
+
+    def test_partial_cell_overlap_proportional(self, domain):
+        grid = GridSpec(domain, 2)
+        uniform = GridDistribution.uniform(grid)
+        engine = FlatRangeQueryEngine(uniform)
+        assert engine.answer(RangeQuery(0.0, 0.25, 0.0, 1.0)) == pytest.approx(0.25)
+
+    def test_answer_many_shape(self, domain, points):
+        grid = GridSpec(domain, 4)
+        engine = FlatRangeQueryEngine(grid.distribution(points))
+        workload = RangeQueryWorkload.random(domain, 7, seed=0)
+        assert engine.answer_many(workload.queries).shape == (7,)
+
+    def test_private_estimate_answers_track_truth(self, domain, points):
+        grid = GridSpec(domain, 8)
+        estimate = DiscreteDAM(grid, 5.0).run(points, seed=1).estimate
+        engine = FlatRangeQueryEngine(estimate)
+        workload = RangeQueryWorkload.random(domain, 15, seed=2)
+        mae = workload.mean_absolute_error(engine.answer_many(workload.queries), points)
+        assert mae < 0.08
+
+
+class TestHierarchicalEngine:
+    def test_requires_fit(self, domain):
+        engine = HierarchicalRangeQueryEngine(domain, 2.0)
+        with pytest.raises(RuntimeError):
+            engine.answer(RangeQuery(0, 1, 0, 1))
+
+    def test_levels_get_finer(self, domain, points):
+        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=3, base_d=2).fit(points, seed=0)
+        sides = [level.grid.d for level in engine.levels]
+        assert sides == [2, 4, 8]
+
+    def test_users_split_across_levels(self, domain, points):
+        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=3).fit(points, seed=1)
+        counts = [level.n_users for level in engine.levels]
+        assert sum(counts) == points.shape[0]
+        assert min(counts) > 0
+
+    def test_full_domain_query_close_to_one(self, domain, points):
+        engine = HierarchicalRangeQueryEngine(domain, 3.0, levels=3).fit(points, seed=2)
+        assert engine.answer(RangeQuery(0, 1, 0, 1)) == pytest.approx(1.0, abs=0.05)
+
+    def test_answers_bounded(self, domain, points):
+        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=3).fit(points, seed=3)
+        workload = RangeQueryWorkload.random(domain, 10, seed=4)
+        answers = engine.answer_many(workload.queries)
+        assert np.all(answers >= 0.0) and np.all(answers <= 1.0)
+
+    def test_reasonable_accuracy(self, domain, points):
+        engine = HierarchicalRangeQueryEngine(domain, 5.0, levels=3).fit(points, seed=5)
+        workload = RangeQueryWorkload.random(
+            domain, 12, min_fraction=0.3, max_fraction=0.7, seed=6
+        )
+        mae = workload.mean_absolute_error(engine.answer_many(workload.queries), points)
+        assert mae < 0.15
+
+    def test_invalid_parameters_rejected(self, domain):
+        with pytest.raises(ValueError):
+            HierarchicalRangeQueryEngine(domain, 2.0, levels=0)
+        with pytest.raises(ValueError):
+            HierarchicalRangeQueryEngine(domain, 2.0, branching=1)
+
+    def test_empty_points_gives_uniform_levels(self, domain):
+        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=2).fit(
+            np.empty((0, 2)), seed=0
+        )
+        assert engine.answer(RangeQuery(0, 0.5, 0, 1.0)) == pytest.approx(0.5, abs=0.1)
+
+
+class TestWorkload:
+    def test_random_workload_within_domain(self, domain):
+        workload = RangeQueryWorkload.random(domain, 25, seed=0)
+        assert len(workload.queries) == 25
+        for query in workload.queries:
+            assert domain.x_min <= query.x_lo < query.x_hi <= domain.x_max
+            assert domain.y_min <= query.y_lo < query.y_hi <= domain.y_max
+
+    def test_fraction_bounds_respected(self, domain):
+        workload = RangeQueryWorkload.random(
+            domain, 30, min_fraction=0.2, max_fraction=0.3, seed=1
+        )
+        for query in workload.queries:
+            assert 0.19 <= (query.x_hi - query.x_lo) <= 0.31
+
+    def test_invalid_parameters_rejected(self, domain):
+        with pytest.raises(ValueError):
+            RangeQueryWorkload.random(domain, -1)
+        with pytest.raises(ValueError):
+            RangeQueryWorkload.random(domain, 5, min_fraction=0.0)
+
+    def test_error_metrics(self, domain, points):
+        workload = RangeQueryWorkload.random(domain, 10, seed=2)
+        truth = workload.true_answers(points)
+        assert workload.mean_absolute_error(truth, points) == pytest.approx(0.0)
+        assert workload.mean_relative_error(truth, points) == pytest.approx(0.0)
+
+    def test_error_metric_shape_check(self, domain, points):
+        workload = RangeQueryWorkload.random(domain, 10, seed=3)
+        with pytest.raises(ValueError):
+            workload.mean_absolute_error(np.zeros(5), points)

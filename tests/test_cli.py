@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def csv_points(tmp_path):
+    rng = np.random.default_rng(0)
+    points = np.clip(rng.normal(0.5, 0.15, size=(800, 2)), 0, 1)
+    path = tmp_path / "points.csv"
+    np.savetxt(path, points, delimiter=",")
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.epsilon == 3.5
+        assert args.d == 12
+        assert args.mechanism == "dam"
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig8"])
+        assert args.name == "fig8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestEstimateCommand:
+    def test_estimate_from_csv(self, csv_points, capsys):
+        code = main(["estimate", "--input", str(csv_points), "--d", "6", "--epsilon", "3.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "W2(true, estimate)" in out
+        assert "users: 800" in out
+
+    def test_estimate_with_heatmap(self, csv_points, capsys):
+        code = main(["estimate", "--input", str(csv_points), "--d", "5", "--heatmap"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "true" in out and "estimated" in out
+
+    def test_estimate_builtin_dataset(self, capsys):
+        code = main(
+            ["estimate", "--dataset", "SZipf", "--scale", "0.005", "--d", "5", "--seed", "1"]
+        )
+        assert code == 0
+        assert "mechanism: DAM" in capsys.readouterr().out
+
+    def test_estimate_rejects_both_sources(self, csv_points):
+        with pytest.raises(SystemExit):
+            main(["estimate", "--input", str(csv_points), "--dataset", "Normal"])
+
+    def test_estimate_rejects_bad_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        np.savetxt(path, np.zeros((5, 3)), delimiter=",")
+        with pytest.raises(SystemExit):
+            main(["estimate", "--input", str(path)])
+
+    def test_huem_mechanism_selected(self, csv_points, capsys):
+        code = main(["estimate", "--input", str(csv_points), "--d", "5", "--mechanism", "huem"])
+        assert code == 0
+        assert "mechanism: HUEM" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_fig8_smoke_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig8.csv"
+        json_path = tmp_path / "fig8.json"
+        code = main(
+            [
+                "figure", "fig8", "--profile", "smoke",
+                "--csv", str(csv_path), "--json", str(json_path), "--markdown",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DAM" in out
+        assert "| dataset |" in out
+        assert csv_path.exists() and json_path.exists()

@@ -1,0 +1,132 @@
+"""Cross-module integration tests.
+
+These exercise the same paths the benchmarks use, at smoke size: datasets feed
+mechanisms through the experiment runner, results are compared with the optimal
+transport metrics, and the paper's qualitative findings are asserted (DAM beats MDSW,
+error shrinks with budget, the optimal radius is a sensible choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DiscreteDAM, DiscreteHUEM, GridSpec, SpatialDomain, estimate_spatial_distribution
+from repro.datasets.loader import load_dataset
+from repro.experiments.config import smoke_config
+from repro.experiments.runner import evaluate_on_part, sweep_parameter
+from repro.experiments.reporting import mean_error
+from repro.mechanisms import MDSW, SEMGeoI
+from repro.metrics import local_privacy_of_mechanism, wasserstein2_grid
+
+
+@pytest.fixture(scope="module")
+def crime_part():
+    dataset = load_dataset("Crime", scale=0.02, seed=0)
+    name, points, domain = dataset.parts[0]
+    return points, domain
+
+
+class TestEndToEndQuickstart:
+    def test_quickstart_flow(self):
+        rng = np.random.default_rng(0)
+        locations = np.clip(rng.normal([0.3, 0.6], 0.1, size=(5000, 2)), 0, 1)
+        result = estimate_spatial_distribution(locations, epsilon=3.5, d=8, seed=1)
+        w2 = wasserstein2_grid(result.true_distribution, result.estimate)
+        assert w2 < 0.25
+
+    def test_real_surrogate_flow(self, crime_part):
+        points, domain = crime_part
+        pipeline_error = evaluate_on_part("DAM", points, domain, d=5, epsilon=3.5, seed=0)
+        assert 0 < pipeline_error < 0.5
+
+
+class TestPaperHeadlineClaims:
+    """Smoke-sized checks of the orderings the paper reports (full-size in benchmarks)."""
+
+    def test_dam_beats_mdsw_on_average(self):
+        config = smoke_config().with_overrides(datasets=("Crime",), n_repeats=2)
+        result = sweep_parameter(
+            "headline", "d", (3, 5), ("DAM", "MDSW"), config, datasets=("Crime",)
+        )
+        assert mean_error(result, "Crime", "DAM") <= mean_error(result, "Crime", "MDSW")
+
+    def test_error_decreases_with_budget(self, crime_part):
+        points, domain = crime_part
+        low = evaluate_on_part("DAM", points, domain, d=5, epsilon=0.7, seed=1)
+        high = evaluate_on_part("DAM", points, domain, d=5, epsilon=7.0, seed=1)
+        assert high < low
+
+    def test_shrinkage_does_not_hurt(self, crime_part):
+        """DAM with shrinkage tracks or beats DAM-NS on road-network-like data."""
+        points, domain = crime_part
+        errors = {}
+        for name in ("DAM", "DAM-NS"):
+            errors[name] = np.mean(
+                [
+                    evaluate_on_part(name, points, domain, d=5, epsilon=2.1, seed=seed)
+                    for seed in range(3)
+                ]
+            )
+        assert errors["DAM"] <= errors["DAM-NS"] * 1.15
+
+    def test_optimal_radius_is_competitive(self, crime_part):
+        """The closed-form b_check is within noise of the best swept radius (Figure 8)."""
+        from repro.core.radius import grid_radius
+
+        points, domain = crime_part
+        d, epsilon = 8, 3.5
+        best_b = grid_radius(epsilon, d, 1.0)
+        errors = {}
+        for b_hat in {1, best_b, best_b + 2}:
+            errors[b_hat] = np.mean(
+                [
+                    evaluate_on_part(
+                        "DAM", points, domain, d=d, epsilon=epsilon, b_hat=b_hat, seed=seed
+                    )
+                    for seed in range(2)
+                ]
+            )
+        assert errors[best_b] <= min(errors.values()) * 1.3
+
+
+class TestPrivacyAccounting:
+    def test_all_ldp_mechanisms_bounded(self):
+        grid = GridSpec.unit(5)
+        epsilon = 2.1
+        for mechanism in (
+            DiscreteDAM(grid, epsilon),
+            DiscreteHUEM(grid, epsilon),
+        ):
+            assert mechanism.ldp_ratio() <= np.exp(epsilon) * (1 + 1e-9)
+        mdsw = MDSW(grid, epsilon)
+        assert mdsw.oracle_x.ldp_ratio() <= np.exp(epsilon / 2) * (1 + 1e-6)
+        assert mdsw.oracle_y.ldp_ratio() <= np.exp(epsilon / 2) * (1 + 1e-6)
+
+    def test_lp_calibration_is_consistent_across_mechanism_families(self):
+        """After calibration DAM and SEM-Geo-I offer the same Local Privacy."""
+        from repro.experiments.runner import calibrated_sem_epsilon
+
+        grid = GridSpec.unit(4)
+        epsilon = 3.5
+        dam_lp = local_privacy_of_mechanism(DiscreteDAM(grid, epsilon))
+        sem_lp = local_privacy_of_mechanism(SEMGeoI(grid, calibrated_sem_epsilon(grid, epsilon)))
+        assert sem_lp == pytest.approx(dam_lp, rel=0.02)
+
+
+class TestDomainHandling:
+    def test_rectangular_geographic_domain(self):
+        domain = SpatialDomain(-74.05, -73.73, 40.55, 40.88)
+        rng = np.random.default_rng(5)
+        points = np.column_stack(
+            [rng.uniform(-74.0, -73.8, 3000), rng.uniform(40.6, 40.8, 3000)]
+        )
+        error = evaluate_on_part("DAM", points, domain, d=6, epsilon=3.5, seed=0)
+        assert 0 <= error < 0.5
+
+    def test_no_points_in_domain(self):
+        domain = SpatialDomain.unit()
+        far_points = np.full((100, 2), 10.0)
+        error = evaluate_on_part("DAM", far_points, domain, d=4, epsilon=2.0, seed=0)
+        # With no data both the truth and the estimate fall back to uniform.
+        assert error == pytest.approx(0.0, abs=0.35)

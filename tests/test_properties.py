@@ -1,0 +1,138 @@
+"""Cross-cutting property-based tests (hypothesis) on the library's core invariants.
+
+Module-specific property tests live next to their modules; this file holds the
+invariants that span several components:
+
+* every mechanism's transition matrix is row-stochastic and e^eps-bounded,
+* estimation always returns a valid probability distribution,
+* the Wasserstein metrics satisfy the metric axioms on random inputs,
+* the disk geometry is consistent between its closed forms and the enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec
+from repro.core.geometry import disk_high_low_areas, enumerate_disk_cells, pure_low_cell_count
+from repro.core.huem import DiscreteHUEM
+from repro.core.radius import grid_radius, optimal_radius
+from repro.mechanisms.mdsw import MDSW
+from repro.mechanisms.sem_geo_i import SEMGeoI
+from repro.metrics.sliced import sliced_wasserstein
+from repro.metrics.wasserstein import wasserstein2_grid
+
+SLOW_SETTINGS = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+epsilon_strategy = st.sampled_from([0.7, 1.4, 2.1, 3.5, 5.0, 8.0])
+small_grid_strategy = st.integers(min_value=2, max_value=7)
+
+
+class TestMechanismInvariants:
+    @given(small_grid_strategy, epsilon_strategy, st.integers(min_value=1, max_value=3))
+    @SLOW_SETTINGS
+    def test_dam_transition_invariants(self, d, epsilon, b_hat):
+        mech = DiscreteDAM(GridSpec.unit(d), epsilon, b_hat=b_hat)
+        matrix = mech.transition
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+        assert matrix.min() > 0
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(small_grid_strategy, epsilon_strategy)
+    @SLOW_SETTINGS
+    def test_huem_transition_invariants(self, d, epsilon):
+        mech = DiscreteHUEM(GridSpec.unit(d), epsilon, b_hat=1)
+        np.testing.assert_allclose(mech.transition.sum(axis=1), 1.0, atol=1e-9)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(small_grid_strategy, epsilon_strategy, st.integers(min_value=0, max_value=10**6))
+    @SLOW_SETTINGS
+    def test_estimation_always_returns_distribution(self, d, epsilon, seed):
+        rng = np.random.default_rng(seed)
+        grid = GridSpec.unit(d)
+        points = rng.random((200, 2))
+        for mechanism in (DiscreteDAM(grid, epsilon, b_hat=1), MDSW(grid, epsilon)):
+            estimate = mechanism.run(points, seed=rng).estimate
+            assert estimate.flat().sum() == pytest.approx(1.0)
+            assert np.all(estimate.flat() >= 0)
+
+    @given(small_grid_strategy, epsilon_strategy)
+    @SLOW_SETTINGS
+    def test_sem_inclusion_invariants(self, d, epsilon):
+        mech = SEMGeoI(GridSpec.unit(d), epsilon)
+        inclusion = mech.inclusion_probabilities
+        assert np.all(inclusion > 0)
+        assert np.all(inclusion <= 1 + 1e-12)
+        np.testing.assert_allclose(inclusion.sum(axis=1), mech.subset_size, rtol=1e-9)
+
+
+class TestMetricAxioms:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SLOW_SETTINGS
+    def test_wasserstein_metric_axioms(self, d, seed):
+        rng = np.random.default_rng(seed)
+        grid = GridSpec.unit(d)
+        a = GridDistribution(grid, rng.dirichlet(np.ones(d * d)).reshape(d, d))
+        b = GridDistribution(grid, rng.dirichlet(np.ones(d * d)).reshape(d, d))
+        d_ab = wasserstein2_grid(a, b)
+        assert d_ab >= 0
+        assert wasserstein2_grid(a, a) == pytest.approx(0.0, abs=1e-6)
+        assert d_ab == pytest.approx(wasserstein2_grid(b, a), rel=1e-6, abs=1e-9)
+        assert d_ab <= math.sqrt(2.0) + 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SLOW_SETTINGS
+    def test_sliced_wasserstein_lower_bounds_wasserstein(self, d, seed):
+        rng = np.random.default_rng(seed)
+        grid = GridSpec.unit(d)
+        a = GridDistribution(grid, rng.dirichlet(np.ones(d * d)).reshape(d, d))
+        b = GridDistribution(grid, rng.dirichlet(np.ones(d * d)).reshape(d, d))
+        sw = sliced_wasserstein(a, b, p=2.0, n_projections=48)
+        w2 = wasserstein2_grid(a, b)
+        assert sw <= w2 + 1e-6
+
+
+class TestGeometryInvariants:
+    @given(st.integers(min_value=1, max_value=20))
+    @SLOW_SETTINGS
+    def test_disk_area_between_inscribed_and_circumscribed(self, b_hat):
+        count = len(enumerate_disk_cells(b_hat))
+        assert math.pi * b_hat**2 <= count + 4 * b_hat + 4
+        assert count <= math.pi * (b_hat + 1.5) ** 2
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=10))
+    @SLOW_SETTINGS
+    def test_theorem_vi2_nonnegative_and_monotone(self, b_hat, d):
+        value = pure_low_cell_count(d, b_hat)
+        assert value >= 0
+        assert pure_low_cell_count(d + 1, b_hat) > value
+
+    @given(st.integers(min_value=1, max_value=20))
+    @SLOW_SETTINGS
+    def test_shrinkage_bounded_by_cell_count(self, b_hat):
+        s_high, low_in_disk = disk_high_low_areas(b_hat)
+        assert 0 < s_high <= len(enumerate_disk_cells(b_hat))
+        assert low_in_disk >= 0
+
+
+class TestRadiusInvariants:
+    @given(st.floats(min_value=0.3, max_value=9.0), st.integers(min_value=1, max_value=30))
+    @SLOW_SETTINGS
+    def test_grid_radius_consistent_with_continuous(self, epsilon, d):
+        b_star = optimal_radius(epsilon)
+        b_hat = grid_radius(epsilon, d, 1.0)
+        assert b_hat >= 1
+        assert b_hat <= max(math.floor(b_star * d), 1)

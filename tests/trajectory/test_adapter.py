@@ -1,0 +1,87 @@
+"""Tests for repro.trajectory.adapter — the Appendix-D seven-step comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.trajectories import generate_trajectories
+from repro.trajectory.adapter import (
+    compare_all_trajectory_mechanisms,
+    compare_trajectory_mechanism,
+    trajectory_point_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def domain() -> SpatialDomain:
+    return SpatialDomain(0.0, 2.0, 0.0, 2.0, name="traj-domain")
+
+
+@pytest.fixture(scope="module")
+def trajectories(domain):
+    rng = np.random.default_rng(0)
+    points = np.clip(rng.normal([0.6, 0.7], 0.2, size=(5000, 2)), 0.01, 1.99)
+    dataset = generate_trajectories(
+        points, domain, routing_d=30, n_trajectories=60, max_length=25, seed=1
+    )
+    return dataset.trajectories
+
+
+class TestTrajectoryPointDistribution:
+    def test_is_distribution(self, trajectories, domain):
+        grid = GridSpec(domain, 6)
+        dist = trajectory_point_distribution(trajectories, grid)
+        assert dist.flat().sum() == pytest.approx(1.0)
+
+    def test_empty_gives_uniform(self, domain):
+        grid = GridSpec(domain, 4)
+        dist = trajectory_point_distribution([], grid)
+        np.testing.assert_allclose(dist.flat(), 1.0 / 16)
+
+
+class TestCompare:
+    @pytest.mark.parametrize("mechanism", ["ldptrace", "pivottrace", "dam"])
+    def test_each_mechanism_runs(self, trajectories, domain, mechanism):
+        result = compare_trajectory_mechanism(
+            mechanism, trajectories, domain, d=6, epsilon=1.5, seed=0
+        )
+        assert result.w2 >= 0
+        assert result.n_trajectories == len(trajectories)
+        assert result.estimated_distribution.flat().sum() == pytest.approx(1.0)
+
+    def test_normalised_domain_default(self, trajectories, domain):
+        """With normalisation the W2 is on the unit-square scale (bounded by sqrt(2))."""
+        result = compare_trajectory_mechanism(
+            "dam", trajectories, domain, d=6, epsilon=1.5, seed=0
+        )
+        assert result.w2 <= np.sqrt(2)
+
+    def test_unnormalised_domain_scales_w2(self, trajectories, domain):
+        normalised = compare_trajectory_mechanism(
+            "dam", trajectories, domain, d=6, epsilon=1.5, seed=0
+        )
+        raw = compare_trajectory_mechanism(
+            "dam", trajectories, domain, d=6, epsilon=1.5, seed=0, normalise_domain=False
+        )
+        # The domain is 2x2, so unnormalised distances are about twice as large.
+        assert raw.w2 == pytest.approx(2.0 * normalised.w2, rel=0.35)
+
+    def test_unknown_mechanism_rejected(self, trajectories, domain):
+        with pytest.raises(ValueError):
+            compare_trajectory_mechanism("foo", trajectories, domain, 5, 1.0)
+
+    def test_compare_all_returns_three(self, trajectories, domain):
+        results = compare_all_trajectory_mechanisms(
+            trajectories, domain, d=5, epsilon=1.5, seed=0
+        )
+        assert set(results) == {"ldptrace", "pivottrace", "dam"}
+
+    def test_dam_is_competitive(self, trajectories, domain):
+        """Figure 14's qualitative claim: DAM's point-density error does not exceed the
+        trajectory mechanisms' (it usually beats them)."""
+        results = compare_all_trajectory_mechanisms(
+            trajectories, domain, d=6, epsilon=1.5, seed=3
+        )
+        assert results["dam"].w2 <= results["ldptrace"].w2 + 0.05

@@ -1,0 +1,93 @@
+"""Tests for repro.trajectory.ldptrace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.trajectories import generate_trajectories
+from repro.trajectory.ldptrace import DIRECTIONS, LDPTrace
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    rng = np.random.default_rng(0)
+    points = np.clip(rng.normal([0.4, 0.4], 0.1, size=(4000, 2)), 0, 1)
+    dataset = generate_trajectories(
+        points,
+        SpatialDomain.unit(),
+        routing_d=30,
+        n_trajectories=80,
+        max_length=25,
+        seed=1,
+    )
+    return dataset.trajectories
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridSpec:
+    return GridSpec.unit(8)
+
+
+class TestFitting:
+    def test_model_components_are_distributions(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        model = mechanism.fit(trajectories, seed=0)
+        assert model.length_distribution.sum() == pytest.approx(1.0)
+        assert model.start_distribution.sum() == pytest.approx(1.0)
+        assert model.direction_distribution.sum() == pytest.approx(1.0)
+
+    def test_budget_split_across_three_reports(self, grid):
+        mechanism = LDPTrace(grid, epsilon=3.0)
+        assert mechanism.length_oracle.epsilon == pytest.approx(1.0)
+        assert mechanism.start_oracle.epsilon == pytest.approx(1.0)
+        assert mechanism.direction_oracle.epsilon == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self, grid):
+        with pytest.raises(ValueError):
+            LDPTrace(grid, 1.0).fit([])
+
+    def test_direction_domain_size(self, grid):
+        assert LDPTrace(grid, 1.0).direction_oracle.domain_size == len(DIRECTIONS)
+
+    def test_invalid_parameters_rejected(self, grid):
+        with pytest.raises(ValueError):
+            LDPTrace(grid, 1.0, n_length_buckets=0)
+        with pytest.raises(ValueError):
+            LDPTrace(grid, 1.0, max_length=1)
+
+
+class TestSynthesis:
+    def test_output_count(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        synthetic = mechanism.fit_synthesize(trajectories, seed=0)
+        assert len(synthetic) == len(trajectories)
+
+    def test_custom_output_count(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        synthetic = mechanism.fit_synthesize(trajectories, seed=0, n_output=10)
+        assert len(synthetic) == 10
+
+    def test_synthetic_points_inside_domain(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        synthetic = mechanism.fit_synthesize(trajectories, seed=1)
+        points = np.vstack(synthetic)
+        assert grid.domain.contains(points).all()
+
+    def test_synthetic_lengths_at_least_two(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        synthetic = mechanism.fit_synthesize(trajectories, seed=2)
+        assert min(t.shape[0] for t in synthetic) >= 2
+
+    def test_zero_output(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        model = mechanism.fit(trajectories, seed=0)
+        assert mechanism.synthesize(model, 0, seed=0) == []
+
+    def test_deterministic_given_seed(self, trajectories, grid):
+        mechanism = LDPTrace(grid, epsilon=2.0)
+        a = mechanism.fit_synthesize(trajectories, seed=9, n_output=5)
+        b = mechanism.fit_synthesize(trajectories, seed=9, n_output=5)
+        for t_a, t_b in zip(a, b):
+            np.testing.assert_array_equal(t_a, t_b)

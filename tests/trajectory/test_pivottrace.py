@@ -1,0 +1,83 @@
+"""Tests for repro.trajectory.pivottrace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.datasets.trajectories import generate_trajectories
+from repro.trajectory.pivottrace import PivotTrace
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    rng = np.random.default_rng(3)
+    points = np.clip(rng.normal([0.6, 0.5], 0.12, size=(4000, 2)), 0, 1)
+    dataset = generate_trajectories(
+        points,
+        SpatialDomain.unit(),
+        routing_d=30,
+        n_trajectories=50,
+        max_length=30,
+        seed=4,
+    )
+    return dataset.trajectories
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridSpec:
+    return GridSpec.unit(8)
+
+
+class TestPivotTrace:
+    def test_reconstruction_count(self, trajectories, grid):
+        mechanism = PivotTrace(grid, epsilon=2.0)
+        reconstructed = mechanism.collect(trajectories, seed=0)
+        assert len(reconstructed) == len(trajectories)
+
+    def test_reconstructed_points_inside_domain(self, trajectories, grid):
+        mechanism = PivotTrace(grid, epsilon=2.0)
+        reconstructed = mechanism.collect(trajectories, seed=1)
+        points = np.vstack(reconstructed)
+        assert grid.domain.contains(points).all()
+
+    def test_reconstructed_lengths_at_least_two(self, trajectories, grid):
+        mechanism = PivotTrace(grid, epsilon=1.5)
+        reconstructed = mechanism.collect(trajectories, seed=2)
+        assert min(t.shape[0] for t in reconstructed) >= 2
+
+    def test_budget_split(self, grid):
+        mechanism = PivotTrace(grid, epsilon=2.0, n_pivots=3)
+        assert mechanism.share == pytest.approx(0.5)
+
+    def test_pivot_indices_include_endpoints(self, grid):
+        mechanism = PivotTrace(grid, epsilon=1.0, n_pivots=3)
+        indices = mechanism._pivot_indices(10)
+        assert indices[0] == 0 and indices[-1] == 9
+
+    def test_short_trajectory_handled(self, grid):
+        mechanism = PivotTrace(grid, epsilon=1.0, n_pivots=4)
+        short = [np.array([[0.1, 0.1], [0.2, 0.2]])]
+        reconstructed = mechanism.collect(short, seed=0)
+        assert len(reconstructed) == 1
+
+    def test_empty_input_rejected(self, grid):
+        with pytest.raises(ValueError):
+            PivotTrace(grid, 1.0).collect([])
+
+    def test_invalid_pivot_count_rejected(self, grid):
+        with pytest.raises(ValueError):
+            PivotTrace(grid, 1.0, n_pivots=1)
+
+    def test_pivot_perturbation_prefers_nearby_cells(self, grid):
+        mechanism = PivotTrace(grid, epsilon=3.0)
+        rng = np.random.default_rng(5)
+        cell = grid.rowcol_to_cell(4, 4)
+        noisy = mechanism._perturb_cells(np.full(5000, cell), rng)
+        rows, cols = grid.cell_to_rowcol(noisy)
+        distances = np.hypot(rows - 4, cols - 4)
+        # The distance-aware kernel must beat a uniform perturbation on average.
+        all_rows, all_cols = grid.cell_to_rowcol(np.arange(grid.n_cells))
+        uniform_mean = np.hypot(all_rows - 4, all_cols - 4).mean()
+        assert distances.mean() < uniform_mean * 0.9

@@ -1,0 +1,154 @@
+"""Tests for repro.utils.histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.histogram import (
+    cell_index,
+    counts_to_distribution,
+    distribution_to_counts,
+    flatten_grid,
+    grid_cell_centers,
+    pairwise_cell_distances,
+    points_to_grid_counts,
+    unflatten_grid,
+)
+
+UNIT_BOUNDS = (0.0, 1.0, 0.0, 1.0)
+
+
+class TestPointsToGridCounts:
+    def test_total_count_preserved(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((500, 2))
+        counts = points_to_grid_counts(pts, UNIT_BOUNDS, 4)
+        assert counts.sum() == 500
+
+    def test_single_point_lands_in_right_cell(self):
+        counts = points_to_grid_counts(np.array([[0.9, 0.1]]), UNIT_BOUNDS, 2)
+        # x=0.9 -> col 1, y=0.1 -> row 0
+        assert counts[0, 1] == 1
+        assert counts.sum() == 1
+
+    def test_boundary_points_clipped_into_last_cell(self):
+        counts = points_to_grid_counts(np.array([[1.0, 1.0]]), UNIT_BOUNDS, 3)
+        assert counts[2, 2] == 1
+
+    def test_out_of_range_points_clipped(self):
+        counts = points_to_grid_counts(np.array([[2.0, -1.0]]), UNIT_BOUNDS, 3)
+        assert counts[0, 2] == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            points_to_grid_counts(np.zeros((1, 2)), (1.0, 0.0, 0.0, 1.0), 3)
+
+    def test_shape(self):
+        counts = points_to_grid_counts(np.random.default_rng(1).random((50, 2)), UNIT_BOUNDS, 7)
+        assert counts.shape == (7, 7)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_always_sum_to_n(self, d, n):
+        rng = np.random.default_rng(n + d)
+        pts = rng.random((n, 2))
+        assert points_to_grid_counts(pts, UNIT_BOUNDS, d).sum() == n
+
+
+class TestCellIndex:
+    def test_midpoints(self):
+        idx = cell_index(np.array([0.1, 0.5, 0.9]), 0.0, 1.0, 10)
+        np.testing.assert_array_equal(idx, [1, 5, 9])
+
+    def test_upper_bound_clipped(self):
+        assert cell_index(np.array([1.0]), 0.0, 1.0, 4)[0] == 3
+
+
+class TestCountsToDistribution:
+    def test_normalises(self):
+        dist = counts_to_distribution(np.array([[1, 3], [0, 0]]))
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[0, 1] == pytest.approx(0.75)
+
+    def test_all_zero_gives_uniform(self):
+        dist = counts_to_distribution(np.zeros((3, 3)))
+        np.testing.assert_allclose(dist, 1.0 / 9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_distribution(np.array([[-1, 2]]))
+
+
+class TestDistributionToCounts:
+    def test_scales(self):
+        counts = distribution_to_counts(np.array([0.25, 0.75]), 100)
+        np.testing.assert_allclose(counts, [25.0, 75.0])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_to_counts(np.array([1.0]), -5)
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip(self):
+        grid = np.arange(9.0).reshape(3, 3)
+        np.testing.assert_array_equal(unflatten_grid(flatten_grid(grid), 3), grid)
+
+    def test_unflatten_infers_side(self):
+        vec = np.arange(16.0)
+        assert unflatten_grid(vec).shape == (4, 4)
+
+    def test_flatten_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            flatten_grid(np.zeros((2, 3)))
+
+    def test_unflatten_rejects_non_square_length(self):
+        with pytest.raises(ValueError):
+            unflatten_grid(np.zeros(10))
+
+    def test_row_major_order(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(flatten_grid(grid), [1.0, 2.0, 3.0, 4.0])
+
+
+class TestGridCellCenters:
+    def test_unit_square_centres(self):
+        centers = grid_cell_centers(2)
+        expected = np.array([[0.25, 0.25], [0.75, 0.25], [0.25, 0.75], [0.75, 0.75]])
+        np.testing.assert_allclose(centers, expected)
+
+    def test_count(self):
+        assert grid_cell_centers(6).shape == (36, 2)
+
+    def test_custom_bounds(self):
+        centers = grid_cell_centers(1, bounds=(-2.0, 2.0, 0.0, 10.0))
+        np.testing.assert_allclose(centers, [[0.0, 5.0]])
+
+
+class TestPairwiseCellDistances:
+    def test_diagonal_zero(self):
+        dist = pairwise_cell_distances(3)
+        np.testing.assert_allclose(np.diag(dist), 0.0)
+
+    def test_symmetry(self):
+        dist = pairwise_cell_distances(4)
+        np.testing.assert_allclose(dist, dist.T)
+
+    def test_adjacent_cell_distance(self):
+        dist = pairwise_cell_distances(2)
+        # cells 0 and 1 are horizontally adjacent: centre distance = 0.5
+        assert dist[0, 1] == pytest.approx(0.5)
+
+    def test_l1_metric(self):
+        dist = pairwise_cell_distances(2, ord=1.0)
+        # cells 0 (0.25,0.25) and 3 (0.75,0.75): L1 distance 1.0
+        assert dist[0, 3] == pytest.approx(1.0)
+
+    def test_triangle_inequality_l2(self):
+        dist = pairwise_cell_distances(3)
+        n = dist.shape[0]
+        for i in range(n):
+            for j in range(n):
+                assert np.all(dist[i, j] <= dist[i, :] + dist[:, j] + 1e-12)

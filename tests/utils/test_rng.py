@@ -1,0 +1,109 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, sample_categorical, spawn_rngs, weighted_sample_index
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_float_seed_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+    def test_legacy_randomstate_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(np.random.RandomState(0))
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_deterministic_for_int_seed(self):
+        a = [g.random() for g in spawn_rngs(5, 3)]
+        b = [g.random() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_deterministic_for_generator_seed(self):
+        a = [g.random() for g in spawn_rngs(np.random.default_rng(5), 3)]
+        b = [g.random() for g in spawn_rngs(np.random.default_rng(5), 3)]
+        assert a == b
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+    def test_none_seed_accepted(self):
+        assert len(spawn_rngs(None, 2)) == 2
+
+
+class TestSampleCategorical:
+    def test_single_draw_is_int(self):
+        value = sample_categorical(np.random.default_rng(0), np.array([0.2, 0.8]))
+        assert value in (0, 1)
+
+    def test_multiple_draws_shape(self):
+        values = sample_categorical(np.random.default_rng(0), np.array([0.5, 0.5]), size=100)
+        assert values.shape == (100,)
+
+    def test_degenerate_distribution(self):
+        values = sample_categorical(
+            np.random.default_rng(0), np.array([0.0, 1.0, 0.0]), size=50
+        )
+        assert np.all(values == 1)
+
+    def test_unnormalised_weights_accepted(self):
+        values = sample_categorical(np.random.default_rng(0), np.array([2.0, 6.0]), size=2000)
+        assert abs((values == 1).mean() - 0.75) < 0.05
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            sample_categorical(np.random.default_rng(0), np.array([0.5, -0.1]))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            sample_categorical(np.random.default_rng(0), np.array([0.0, 0.0]))
+
+    def test_matrix_weights_rejected(self):
+        with pytest.raises(ValueError):
+            sample_categorical(np.random.default_rng(0), np.eye(2))
+
+
+class TestWeightedSampleIndex:
+    def test_respects_weights(self):
+        rng = np.random.default_rng(3)
+        draws = [weighted_sample_index(rng, [1.0, 9.0]) for _ in range(2000)]
+        assert abs(np.mean(draws) - 0.9) < 0.05
+
+    def test_returns_python_int(self):
+        assert isinstance(weighted_sample_index(np.random.default_rng(0), [1.0, 1.0]), int)

@@ -1,0 +1,197 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.validation import (
+    check_bounds,
+    check_epsilon,
+    check_grid_side,
+    check_points,
+    check_positive,
+    check_probability_matrix,
+    check_probability_vector,
+    check_radius,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_allows_zero_when_requested(self):
+        assert check_positive(0.0, "x", allow_zero=True) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive("abc", "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive(-1, "my_param")
+
+
+class TestCheckEpsilon:
+    @pytest.mark.parametrize("eps", [0.1, 0.7, 3.5, 9.0, 50.0])
+    def test_accepts_paper_range(self, eps):
+        assert check_epsilon(eps) == eps
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_epsilon(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_epsilon(-1.0)
+
+    def test_rejects_implausibly_large(self):
+        with pytest.raises(ValueError, match="implausibly large"):
+            check_epsilon(1000.0)
+
+
+class TestCheckGridSide:
+    @pytest.mark.parametrize("d", [1, 2, 15, 20, 300])
+    def test_accepts_valid_sides(self, d):
+        assert check_grid_side(d) == d
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_grid_side(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_grid_side(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_grid_side(2.5)
+
+    def test_rejects_huge(self):
+        with pytest.raises(ValueError):
+            check_grid_side(10_000)
+
+    def test_accepts_numpy_integer(self):
+        assert check_grid_side(np.int64(7)) == 7
+
+
+class TestCheckRadius:
+    def test_accepts_positive(self):
+        assert check_radius(0.3) == 0.3
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_radius(0.0)
+
+    def test_custom_name_in_error(self):
+        with pytest.raises(ValueError, match="b_hat"):
+            check_radius(-1, name="b_hat")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        out = check_probability_vector(np.array([0.25, 0.75]))
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+
+    def test_rejects_not_normalised(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.4, 0.4]))
+
+    def test_allows_unnormalised_when_requested(self):
+        out = check_probability_vector(np.array([0.4, 0.4]), require_normalised=False)
+        np.testing.assert_allclose(out, [0.4, 0.4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.eye(2))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([np.nan, 1.0]))
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+    def test_normalised_random_vectors_pass(self, size, seed):
+        rng = np.random.default_rng(seed)
+        vec = rng.random(size)
+        vec = vec / vec.sum()
+        out = check_probability_vector(vec)
+        assert out.shape == (size,)
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_row_stochastic(self):
+        matrix = np.array([[0.5, 0.5], [0.9, 0.1]])
+        np.testing.assert_allclose(check_probability_matrix(matrix), matrix)
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[0.5, 0.4], [0.9, 0.1]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([0.5, 0.5]))
+
+
+class TestCheckBounds:
+    def test_accepts_valid(self):
+        assert check_bounds(0.0, 1.0) == (0.0, 1.0)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            check_bounds(1.0, 0.0)
+
+    def test_rejects_equal(self):
+        with pytest.raises(ValueError):
+            check_bounds(0.5, 0.5)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            check_bounds(0.0, float("inf"))
+
+
+class TestCheckPoints:
+    def test_accepts_n_by_2(self):
+        pts = check_points(np.zeros((10, 2)))
+        assert pts.shape == (10, 2)
+
+    def test_rejects_wrong_columns(self):
+        with pytest.raises(ValueError):
+            check_points(np.zeros((10, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_points(np.array([[0.0, np.nan]]))
+
+    def test_1d_accepted_for_dims_1(self):
+        pts = check_points(np.array([1.0, 2.0, 3.0]), dims=1)
+        assert pts.shape == (3, 1)

@@ -1,0 +1,85 @@
+"""Tests for repro.utils.visual — ASCII heat maps and sparklines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.utils.visual import ascii_heatmap, side_by_side, sparkline
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        text = ascii_heatmap(np.ones((3, 5)))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+    def test_title_included(self):
+        assert ascii_heatmap(np.ones((2, 2)), title="density").splitlines()[0] == "density"
+
+    def test_peak_gets_darkest_shade(self):
+        grid = np.zeros((2, 2))
+        grid[0, 0] = 1.0
+        text = ascii_heatmap(grid, flip_vertical=False)
+        assert text.splitlines()[0][0] == "@"
+
+    def test_vertical_flip(self):
+        grid = np.zeros((2, 2))
+        grid[1, 1] = 1.0  # top-right in grid coordinates
+        flipped = ascii_heatmap(grid, flip_vertical=True)
+        assert flipped.splitlines()[0][1] == "@"
+
+    def test_accepts_grid_distribution(self, unit_grid5):
+        text = ascii_heatmap(GridDistribution.uniform(unit_grid5))
+        assert len(text.splitlines()) == 5
+
+    def test_all_zero_grid(self):
+        text = ascii_heatmap(np.zeros((2, 2)))
+        assert set("".join(text.splitlines())) == {" "}
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.array([[-1.0, 0.0]]))
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(4))
+
+    def test_too_few_shades_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones((2, 2)), shades="#")
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series(self):
+        bars = sparkline([0, 1, 2, 3])
+        assert bars[0] == "▁" and bars[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("nan")])
+
+
+class TestSideBySide:
+    def test_combines_blocks(self):
+        combined = side_by_side("ab\ncd", "xy\nzw", gap=2)
+        assert combined.splitlines() == ["ab  xy", "cd  zw"]
+
+    def test_uneven_heights_padded(self):
+        combined = side_by_side("a", "x\ny")
+        assert len(combined.splitlines()) == 2
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            side_by_side("a", "b", gap=-1)
