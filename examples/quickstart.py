@@ -46,6 +46,15 @@ def main() -> None:
     ascii_heatmap(result.true_distribution.probabilities, "true density (never leaves the users)")
     ascii_heatmap(result.estimate.probabilities, "privately estimated density")
 
+    # The pipeline runs on the structured transition-operator engine by default, so
+    # randomisation and EM never materialise the dense (d^2, m) transition matrix.
+    # For datasets too large to hold in memory, stream shards instead — with a fixed
+    # seed the result is identical to the one-batch call above:
+    #
+    #   from repro import DAMPipeline, SpatialDomain
+    #   pipeline = DAMPipeline(SpatialDomain.unit(), d=12, epsilon=2.0)
+    #   result = pipeline.run_stream(shard_iterator(), seed=0)
+
 
 if __name__ == "__main__":
     main()

@@ -6,7 +6,9 @@ Two subcommands cover the common workflows without writing Python:
     Read ``x,y`` locations from a CSV file (or generate a synthetic dataset), run the
     DAM pipeline at a chosen budget and grid size, and print the estimated density map
     (optionally as an ASCII heat map) together with the Wasserstein error against the
-    non-private histogram.
+    non-private histogram.  ``--backend`` switches between the structured
+    transition-operator engine and the dense matrix; ``--chunk-size`` streams the
+    points through the pipeline in bounded-memory shards.
 
 ``python -m repro figure``
     Regenerate one of the paper's figures (``fig8``, ``fig9-small-d``, ``fig9-large-d``,
@@ -25,7 +27,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.pipeline import estimate_spatial_distribution
+from repro.core.domain import SpatialDomain
+from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
 from repro.datasets.loader import DATASET_NAMES, load_dataset
 from repro.experiments.config import laptop_config, smoke_config
 from repro.experiments.export import sweep_to_csv, sweep_to_json, sweep_to_markdown
@@ -67,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     estimate.add_argument("--d", type=int, default=12, help="grid side length")
     estimate.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
+    estimate.add_argument("--backend", choices=("operator", "dense"), default="operator",
+                          help="transition backend: structured operator engine (default) "
+                               "or the dense matrix")
+    estimate.add_argument("--chunk-size", type=int, default=None,
+                          help="stream the points through the pipeline in shards of this "
+                               "size (bounded memory; same result as one batch)")
     estimate.add_argument("--seed", type=int, default=0)
     estimate.add_argument("--heatmap", action="store_true", help="print ASCII heat maps")
 
@@ -95,9 +104,20 @@ def _load_points(args) -> np.ndarray:
 
 def _run_estimate(args) -> int:
     points = _load_points(args)
-    result = estimate_spatial_distribution(
-        points, epsilon=args.epsilon, d=args.d, mechanism=args.mechanism, seed=args.seed
-    )
+    if args.chunk_size is not None:
+        if args.chunk_size < 1:
+            raise SystemExit("--chunk-size must be a positive integer")
+        domain = SpatialDomain.from_points(points, relative_pad=1e-9)
+        pipeline = DAMPipeline(
+            domain, args.d, args.epsilon, mechanism=args.mechanism, backend=args.backend
+        )
+        n_chunks = max(1, -(-points.shape[0] // args.chunk_size))
+        result = pipeline.run_stream(np.array_split(points, n_chunks), seed=args.seed)
+    else:
+        result = estimate_spatial_distribution(
+            points, epsilon=args.epsilon, d=args.d, mechanism=args.mechanism,
+            backend=args.backend, seed=args.seed,
+        )
     error = wasserstein2_auto(result.true_distribution, result.estimate)
     print(f"users: {result.n_users}   mechanism: {result.mechanism}   "
           f"epsilon: {args.epsilon}   d: {args.d}   b_hat: {result.b_hat}")

@@ -7,6 +7,8 @@ Public surface:
   :class:`ContinuousSAM`;
 * discrete mechanisms — :class:`DiscreteDAM`, :class:`DiscreteDAMNoShrink`,
   :class:`DiscreteHUEM`, :class:`GridAreaResponse`;
+* structured engine — :class:`DiskTransitionOperator`, :func:`build_disk_operator`,
+  :class:`StreamingAggregator`;
 * radius selection — :func:`optimal_radius`, :func:`grid_radius`;
 * post-processing — :func:`expectation_maximization`, :func:`matrix_inversion_estimate`;
 * end-to-end pipeline — :class:`DAMPipeline`, :func:`estimate_spatial_distribution`.
@@ -20,9 +22,19 @@ from repro.core.domain import (
     marginals,
     outer_product_distribution,
 )
-from repro.core.estimator import MechanismReport, SpatialMechanism, TransitionMatrixMechanism
+from repro.core.estimator import (
+    MechanismReport,
+    SpatialMechanism,
+    StreamingAggregator,
+    TransitionMatrixMechanism,
+)
 from repro.core.grid_response import GridAreaResponse
 from repro.core.huem import DiscreteHUEM, huem_cell_masses, huem_cell_masses_fan_rings
+from repro.core.operator import (
+    DenseTransitionOperator,
+    DiskTransitionOperator,
+    build_disk_operator,
+)
 from repro.core.pipeline import DAMPipeline, PipelineResult, estimate_spatial_distribution
 from repro.core.postprocess import (
     EMResult,
@@ -64,7 +76,11 @@ __all__ = [
     "outer_product_distribution",
     "MechanismReport",
     "SpatialMechanism",
+    "StreamingAggregator",
     "TransitionMatrixMechanism",
+    "DenseTransitionOperator",
+    "DiskTransitionOperator",
+    "build_disk_operator",
     "GridAreaResponse",
     "DiscreteHUEM",
     "huem_cell_masses",

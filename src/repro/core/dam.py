@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.domain import GridDistribution, GridSpec
 from repro.core.estimator import TransitionMatrixMechanism
 from repro.core.geometry import disk_offset_array, output_domain_cells
+from repro.core.operator import build_disk_operator
 from repro.core.postprocess import (
     adaptive_smoothing_strength,
     expectation_maximization,
@@ -34,6 +35,7 @@ from repro.core.radius import grid_radius
 from repro.utils.validation import check_epsilon
 
 PostProcess = Literal["ems", "em", "ls"]
+Backend = Literal["operator", "dense"]
 
 
 @dataclass(frozen=True)
@@ -105,23 +107,15 @@ def build_disk_transition(
     cell, all rows share one normalisation constant; this is exactly why the discrete
     mechanism keeps the ``e^eps`` probability ratio of the continuous one and therefore
     satisfies ε-LDP.
-    """
-    domain = DiskOutputDomain.build(grid.d, b_hat)
-    lookup = domain.index_lookup()
-    masses = np.asarray(offset_masses, dtype=float)
-    if masses.ndim != 2 or masses.shape[1] != 3:
-        raise ValueError(f"offset_masses must have shape (k, 3), got {masses.shape}")
-    total_offsets_mass = float(masses[:, 2].sum())
-    normaliser = total_offsets_mass + low_mass * (domain.size - masses.shape[0])
 
-    transition = np.full((grid.n_cells, domain.size), low_mass / normaliser)
-    for flat, row, col in grid.iter_cells():
-        for dx, dy, mass in masses:
-            out_col = col + int(dx)
-            out_row = row + int(dy)
-            out_index = lookup[(out_col, out_row)]
-            transition[flat, out_index] = mass / normaliser
-    return transition, domain, normaliser
+    This is the dense materialisation of the structured
+    :class:`~repro.core.operator.DiskTransitionOperator`, kept for callers (ablation
+    code, tests) that genuinely want the matrix; the mechanisms themselves default to
+    the operator backend and never build it on the hot path.
+    """
+    operator = build_disk_operator(grid, b_hat, offset_masses, low_mass=low_mass)
+    domain = DiskOutputDomain(d=grid.d, b_hat=b_hat, cells=operator.output_cells)
+    return operator.to_dense(), domain, operator.normaliser
 
 
 class DiscreteDAM(TransitionMatrixMechanism):
@@ -147,6 +141,11 @@ class DiscreteDAM(TransitionMatrixMechanism):
         EMS smoothing strength in ``[0, 1]``; ``None`` (default) picks it adaptively
         from the report density (see
         :func:`repro.core.postprocess.adaptive_smoothing_strength`).
+    backend:
+        ``"operator"`` (default) keeps the randomisation as a structured
+        :class:`~repro.core.operator.DiskTransitionOperator` — ``O(d^2 * k)``
+        sampling and EM, no dense matrix on the hot path; ``"dense"`` materialises
+        the classical ``(d^2, m)`` matrix up front (ablations, diagnostics).
     """
 
     name = "DAM"
@@ -161,14 +160,18 @@ class DiscreteDAM(TransitionMatrixMechanism):
         postprocess: PostProcess = "ems",
         em_iterations: int = 200,
         smoothing_strength: float | None = None,
+        backend: Backend = "operator",
     ) -> None:
         super().__init__(grid, epsilon)
         if postprocess not in ("ems", "em", "ls"):
             raise ValueError(f"unknown postprocess mode {postprocess!r}")
+        if backend not in ("operator", "dense"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.use_shrinkage = use_shrinkage
         self.postprocess = postprocess
         self.em_iterations = em_iterations
         self.smoothing_strength = smoothing_strength
+        self.backend = backend
         if not use_shrinkage:
             self.name = "DAM-NS"
         if b_hat is None:
@@ -182,8 +185,13 @@ class DiscreteDAM(TransitionMatrixMechanism):
         # Relative mass of each disk cell: high fraction at e^eps, remainder at 1.
         masses = offsets.copy()
         masses[:, 2] = offsets[:, 2] * e_eps + (1.0 - offsets[:, 2])
-        transition, domain, normaliser = build_disk_transition(grid, self.b_hat, masses)
-        self._set_transition(transition)
+        operator = build_disk_operator(grid, self.b_hat, masses)
+        domain = DiskOutputDomain(d=grid.d, b_hat=self.b_hat, cells=operator.output_cells)
+        normaliser = operator.normaliser
+        if backend == "dense":
+            self._set_transition(operator.to_dense())
+        else:
+            self._set_operator(operator)
         self.output_domain = domain
         #: high/low report probabilities of Eq. (13)
         self.p_hat = float(e_eps / normaliser)
@@ -208,7 +216,7 @@ class DiscreteDAM(TransitionMatrixMechanism):
                 else None
             )
             result = expectation_maximization(
-                self.transition,
+                self._estimation_transition(),
                 counts,
                 max_iterations=self.em_iterations,
                 smoothing=smoother,

@@ -116,20 +116,44 @@ class SpatialDomain:
         return SpatialDomain(0.0, 1.0, 0.0, 1.0, name=name)
 
     @staticmethod
-    def from_points(points: np.ndarray, *, pad: float = 0.0, name: str = "") -> "SpatialDomain":
-        """Tightest axis-aligned box around a point cloud, optionally padded."""
+    def from_points(
+        points: np.ndarray,
+        *,
+        pad: float = 0.0,
+        relative_pad: float = 0.0,
+        name: str = "",
+    ) -> "SpatialDomain":
+        """Tightest axis-aligned box around a point cloud, optionally padded.
+
+        ``pad`` is an absolute margin added on every side.  ``relative_pad`` is a
+        fraction of the (longest) extent — prefer it over a tiny absolute pad: an
+        absolute ``1e-9`` underflows for projected coordinates (around ``1e6`` m,
+        ``x_max + 1e-9 == x_max`` in float64), silently producing a degenerate or
+        unpadded box.  Degenerate axes are widened relative to the coordinate
+        magnitude for the same reason, and the result is guaranteed to have strictly
+        positive width and height.
+        """
         pts = check_points(points)
         if pts.shape[0] == 0:
             raise ValueError("cannot derive a domain from an empty point set")
+        if pad < 0 or relative_pad < 0:
+            raise ValueError("pad and relative_pad must be non-negative")
         x_min, y_min = pts.min(axis=0)
         x_max, y_max = pts.max(axis=0)
+        scale = max(abs(x_min), abs(x_max), abs(y_min), abs(y_max), 1.0)
         if x_min == x_max:
-            x_max = x_min + 1e-9
+            x_max = x_min + max(1e-9, scale * 1e-9)
         if y_min == y_max:
-            y_max = y_min + 1e-9
-        return SpatialDomain(
-            x_min - pad, x_max + pad, y_min - pad, y_max + pad, name=name
-        )
+            y_max = y_min + max(1e-9, scale * 1e-9)
+        grow = pad + relative_pad * max(x_max - x_min, y_max - y_min)
+        x_min, x_max = x_min - grow, x_max + grow
+        y_min, y_max = y_min - grow, y_max + grow
+        # Guard against float rounding swallowing the expansion entirely.
+        if x_max <= x_min:
+            x_max = float(np.nextafter(x_min, np.inf))
+        if y_max <= y_min:
+            y_max = float(np.nextafter(y_min, np.inf))
+        return SpatialDomain(x_min, x_max, y_min, y_max, name=name)
 
 
 @dataclass(frozen=True)
@@ -174,7 +198,12 @@ class GridSpec:
         return np.column_stack([cols.reshape(-1), rows.reshape(-1)]).astype(float)
 
     def point_to_cell(self, points: np.ndarray) -> np.ndarray:
-        """Map each point to its flattened cell index (row-major)."""
+        """Map each point to its flattened cell index (row-major).
+
+        Results are clamped into ``[0, d)`` per axis: a point exactly on the upper
+        domain boundary (``x == x_max``) floors to column ``d`` and must land in the
+        last cell, not outside the grid.
+        """
         pts = check_points(points)
         x_min, x_max, y_min, y_max = self.domain.bounds
         cols = np.clip(

@@ -12,6 +12,15 @@ a :class:`~repro.core.domain.GridSpec`:
 
 Mechanisms that perturb raw coordinates rather than cells (e.g. the continuous SAM
 samplers) can still participate through :meth:`privatize_points`.
+
+Two throughput facilities live here as well:
+
+* :class:`TransitionMatrixMechanism` privatizes whole user batches with per-row
+  cumulative distributions and a single ``searchsorted`` over one uniform draw batch
+  (or delegates to a structured :class:`~repro.core.operator.DiskTransitionOperator`
+  when one is installed), instead of one ``Generator.choice`` call per distinct cell;
+* :class:`StreamingAggregator` ingests reports in shards so callers never have to
+  hold all points in memory — see :meth:`SpatialMechanism.run_stream`.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.domain import GridDistribution, GridSpec
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, sample_grouped_inverse_cdf
 from repro.utils.validation import check_epsilon
 
 
@@ -115,6 +124,23 @@ class SpatialMechanism(abc.ABC):
             estimate=estimate, noisy_counts=noisy_counts, n_users=cells.shape[0]
         )
 
+    def streaming_aggregator(self, seed=None) -> "StreamingAggregator":
+        """A chunked-ingestion aggregator bound to this mechanism."""
+        return StreamingAggregator(self, seed=seed)
+
+    def run_stream(self, chunks, seed=None) -> MechanismReport:
+        """Like :meth:`run` but over an iterable of point-array shards.
+
+        Each shard is privatized and histogrammed as it arrives, so memory stays
+        bounded by the shard size plus the output-domain histogram regardless of the
+        total number of users.  With a fixed seed the result is identical to one
+        :meth:`run` call over the concatenated shards.
+        """
+        aggregator = self.streaming_aggregator(seed=seed)
+        for chunk in chunks:
+            aggregator.add_points(chunk)
+        return aggregator.finalize()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"{type(self).__name__}(d={self.grid.d}, epsilon={self.epsilon}, "
@@ -125,24 +151,42 @@ class SpatialMechanism(abc.ABC):
 class TransitionMatrixMechanism(SpatialMechanism):
     """A mechanism fully described by a per-cell transition matrix.
 
-    Subclasses build ``transition[i, j] = Pr(report = j | true cell = i)`` once; this
-    base class then provides vectorised sampling (grouping users by their true cell so
-    each distinct cell costs one ``Generator.choice`` call) and estimation via
-    expectation maximisation over the same matrix.
+    Subclasses install the randomisation either as a dense matrix
+    (``transition[i, j] = Pr(report = j | true cell = i)``, via
+    :meth:`_set_transition`) or as a structured
+    :class:`~repro.core.operator.DiskTransitionOperator` (via :meth:`_set_operator`),
+    in which case the dense matrix is only materialised on demand.  Either way this
+    base class provides batch sampling — per-row cumulative distributions answered
+    with one ``searchsorted`` over a single uniform draw batch — and estimation via
+    expectation maximisation.
     """
 
     def __init__(self, grid: GridSpec, epsilon: float) -> None:
         super().__init__(grid, epsilon)
         self._transition: np.ndarray | None = None
+        self._operator = None
+        self._row_cdf: np.ndarray | None = None
 
     @property
     def transition(self) -> np.ndarray:
-        """The ``(n_input_cells, n_output_cells)`` row-stochastic transition matrix."""
+        """The ``(n_input_cells, n_output_cells)`` row-stochastic transition matrix.
+
+        For operator-backed mechanisms the dense matrix is materialised lazily on
+        first access and cached; the hot paths (sampling, EM) never require it.
+        """
         if self._transition is None:
-            raise RuntimeError(
-                f"{type(self).__name__} has not built its transition matrix yet"
-            )
+            if self._operator is not None:
+                self._transition = self._operator.to_dense()
+            else:
+                raise RuntimeError(
+                    f"{type(self).__name__} has not built its transition matrix yet"
+                )
         return self._transition
+
+    @property
+    def operator(self):
+        """The structured transition operator, or ``None`` for dense mechanisms."""
+        return self._operator
 
     def _set_transition(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=float)
@@ -154,8 +198,25 @@ class TransitionMatrixMechanism(SpatialMechanism):
         if not np.allclose(rows, 1.0, atol=1e-6):
             raise ValueError("transition rows must sum to 1")
         self._transition = matrix
+        self._operator = None
+        self._row_cdf = None
+
+    def _set_operator(self, operator) -> None:
+        if operator.shape[0] != self.grid.n_cells:
+            raise ValueError(
+                f"operator must have {self.grid.n_cells} rows, got shape {operator.shape}"
+            )
+        self._operator = operator
+        self._transition = None
+        self._row_cdf = None
+
+    def _estimation_transition(self):
+        """What :func:`expectation_maximization` should consume: operator if present."""
+        return self._operator if self._operator is not None else self.transition
 
     def output_domain_size(self) -> int:
+        if self._operator is not None:
+            return self._operator.shape[1]
         return self.transition.shape[1]
 
     def privatize_cells(self, cells: np.ndarray, seed=None) -> np.ndarray:
@@ -163,21 +224,92 @@ class TransitionMatrixMechanism(SpatialMechanism):
         cells = np.asarray(cells, dtype=np.int64)
         if cells.size and (cells.min() < 0 or cells.max() >= self.grid.n_cells):
             raise ValueError(f"cell indices must lie in [0, {self.grid.n_cells})")
-        reports = np.empty(cells.shape[0], dtype=np.int64)
-        n_out = self.output_domain_size()
-        for cell in np.unique(cells):
-            mask = cells == cell
-            reports[mask] = rng.choice(n_out, size=int(mask.sum()), p=self.transition[cell])
-        return reports
+        if self._operator is not None:
+            return self._operator.sample(cells, rng)
+        return self._sample_from_rows(cells, rng)
+
+    def _sample_from_rows(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF sampling over the cached per-row cumulative distributions."""
+        if self._row_cdf is None:
+            self._row_cdf = np.cumsum(self.transition, axis=1)
+        return sample_grouped_inverse_cdf(
+            rng, cells, self._row_cdf.__getitem__, self._row_cdf.shape[1]
+        )
 
     def ldp_ratio(self) -> float:
         """Worst-case probability ratio between any two rows (the LDP audit value).
 
         For a correctly built ε-LDP mechanism this is at most ``e^eps`` up to floating
-        point noise; tests assert it.
+        point noise; tests assert it.  A column that mixes zero and positive entries
+        means some output is possible from one cell and impossible from another — an
+        *infinite* ratio, i.e. a hard ε-LDP violation — and audits as ``inf`` (columns
+        that are zero everywhere carry no information and are ignored).
         """
+        if self._operator is not None and self._transition is None:
+            return self._operator.ldp_ratio()
         matrix = self.transition
-        positive = matrix[:, matrix.min(axis=0) > 0]
-        if positive.size == 0:
+        col_min = matrix.min(axis=0)
+        col_max = matrix.max(axis=0)
+        if np.any((col_min <= 0.0) & (col_max > 0.0)):
             return float("inf")
-        return float((positive.max(axis=0) / positive.min(axis=0)).max())
+        active = col_min > 0.0
+        if not active.any():
+            return float("inf")
+        return float((col_max[active] / col_min[active]).max())
+
+
+class StreamingAggregator:
+    """Chunked report ingestion — Algorithm 1's aggregate step without the memory.
+
+    The aggregator holds only the running noisy-report histogram, the running true
+    cell histogram (for utility evaluation) and a user counter, so arbitrarily many
+    reports can be ingested in shards.  All shards share one generator: with a fixed
+    seed the accumulated histogram is identical to a single batch run over the
+    concatenated shards.
+
+    Examples
+    --------
+    >>> aggregator = mechanism.streaming_aggregator(seed=0)      # doctest: +SKIP
+    >>> for shard in shards:                                     # doctest: +SKIP
+    ...     aggregator.add_points(shard)
+    >>> report = aggregator.finalize()                           # doctest: +SKIP
+    """
+
+    def __init__(self, mechanism: SpatialMechanism, seed=None) -> None:
+        self.mechanism = mechanism
+        self._rng = ensure_rng(seed)
+        self.noisy_counts = np.zeros(mechanism.output_domain_size(), dtype=float)
+        self.true_cell_counts = np.zeros(mechanism.grid.n_cells, dtype=float)
+        self.n_users = 0
+
+    def add_points(self, points: np.ndarray) -> "StreamingAggregator":
+        """Bucketise one shard of raw points and ingest the resulting cells."""
+        pts = np.asarray(points, dtype=float)
+        return self.add_cells(self.mechanism.grid.point_to_cell(pts))
+
+    def add_cells(self, cells: np.ndarray) -> "StreamingAggregator":
+        """Privatize one shard of true cell indices and fold it into the histogram."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return self
+        reports = self.mechanism.privatize_cells(cells, seed=self._rng)
+        self.noisy_counts += np.bincount(
+            reports, minlength=self.noisy_counts.shape[0]
+        ).astype(float)
+        self.true_cell_counts += np.bincount(
+            cells, minlength=self.true_cell_counts.shape[0]
+        ).astype(float)
+        self.n_users += int(cells.shape[0])
+        return self
+
+    def finalize(self) -> MechanismReport:
+        """Post-process the accumulated histogram into a distribution estimate.
+
+        The report gets a snapshot of the histogram, so checkpointing mid-stream and
+        then ingesting further shards leaves earlier reports untouched.
+        """
+        noisy_counts = self.noisy_counts.copy()
+        estimate = self.mechanism.estimate(noisy_counts, n_users=self.n_users)
+        return MechanismReport(
+            estimate=estimate, noisy_counts=noisy_counts, n_users=self.n_users
+        )

@@ -27,7 +27,7 @@ from repro.core.dam import DiskOutputDomain
 from repro.core.domain import GridSpec
 from repro.core.geometry import CellClass, enumerate_disk_cells
 from repro.core.radius import grid_radius
-from repro.utils.rng import ensure_rng, weighted_sample_index
+from repro.utils.rng import ensure_rng, sample_grouped_inverse_cdf, weighted_sample_index
 from repro.utils.validation import check_epsilon
 
 
@@ -69,6 +69,7 @@ class GridAreaResponse:
         self._lookup = self.output_domain.index_lookup()
         self._disk_cells = enumerate_disk_cells(self.b_hat, use_shrinkage=use_shrinkage)
         self._parts_cache: dict[int, ResponseParts] = {}
+        self._cdf_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ parts
     def parts(self, input_cell: int) -> ResponseParts:
@@ -118,7 +119,14 @@ class GridAreaResponse:
 
         values = [area_low, area_mixed_low, area_mixed_high, area_high]
         weights = [1.0, 1.0, e_eps, e_eps]
-        part_index = weighted_sample_index(rng, [v * w for v, w in zip(values, weights)])
+        weighted_areas = [v * w for v, w in zip(values, weights)]
+        # A part can have zero area — at extreme b_hat no pure-low cell remains, and
+        # with shrinkage disabled the mixed-high part vanishes.  Drop empty parts
+        # before sampling so we never `rng.choice` from an empty cell array.
+        available = [i for i, area in enumerate(weighted_areas) if area > 0.0]
+        part_index = available[
+            weighted_sample_index(rng, [weighted_areas[i] for i in available])
+        ]
 
         if part_index == 0:
             return int(rng.choice(parts.pure_low_cells))
@@ -131,10 +139,26 @@ class GridAreaResponse:
         return int(parts.mixed_cells[chosen])
 
     def respond_many(self, input_cells: np.ndarray, seed=None) -> np.ndarray:
-        """Vector version of :meth:`respond` (still one draw per user)."""
+        """Batch version of :meth:`respond`: one uniform draw and one searchsorted.
+
+        Samples every user from the exact per-cell response distribution that
+        Algorithm 2 induces (:meth:`response_probabilities`, cached as a cumulative
+        distribution per distinct input cell) instead of replaying the two-stage
+        procedure per user — the tests that pin ``response_probabilities`` to the DAM
+        transition row are the correctness argument for this equivalence.
+        """
         rng = ensure_rng(seed)
         cells = np.asarray(input_cells, dtype=np.int64)
-        return np.array([self.respond(int(cell), seed=rng) for cell in cells], dtype=np.int64)
+        return sample_grouped_inverse_cdf(
+            rng, cells, self._response_cdf, self.output_domain.size
+        )
+
+    def _response_cdf(self, input_cell: int) -> np.ndarray:
+        cdf = self._cdf_cache.get(input_cell)
+        if cdf is None:
+            cdf = np.cumsum(self.response_probabilities(input_cell))
+            self._cdf_cache[input_cell] = cdf
+        return cdf
 
     # -------------------------------------------------------------- diagnostics
     def response_probabilities(self, input_cell: int) -> np.ndarray:

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dam import PostProcess, build_disk_transition
+from repro.core.dam import Backend, DiskOutputDomain, PostProcess
 from repro.core.domain import GridDistribution, GridSpec
 from repro.core.estimator import TransitionMatrixMechanism
+from repro.core.operator import build_disk_operator
 from repro.core.geometry import (
     enumerate_disk_cells,
     farthest_corner_distance,
@@ -135,6 +136,7 @@ class DiscreteHUEM(TransitionMatrixMechanism):
         smoothing_strength: float | None = None,
         subsamples: int = 7,
         discretisation: str = "integral",
+        backend: Backend = "operator",
     ) -> None:
         super().__init__(grid, epsilon)
         if postprocess not in ("ems", "em", "ls"):
@@ -143,10 +145,13 @@ class DiscreteHUEM(TransitionMatrixMechanism):
             raise ValueError(
                 f"discretisation must be 'integral' or 'fan-rings', got {discretisation!r}"
             )
+        if backend not in ("operator", "dense"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.postprocess = postprocess
         self.em_iterations = em_iterations
         self.smoothing_strength = smoothing_strength
         self.discretisation = discretisation
+        self.backend = backend
         if b_hat is None:
             b_hat = grid_radius(epsilon, grid.d, grid.domain.side_length)
         if b_hat < 1:
@@ -157,11 +162,16 @@ class DiscreteHUEM(TransitionMatrixMechanism):
             masses = huem_cell_masses_fan_rings(self.b_hat, self.epsilon)
         else:
             masses = huem_cell_masses(self.b_hat, self.epsilon, subsamples=subsamples)
-        transition, domain, normaliser = build_disk_transition(grid, self.b_hat, masses)
-        self._set_transition(transition)
-        self.output_domain = domain
-        self.q_hat = float(1.0 / normaliser)
-        self.max_probability = float(masses[:, 2].max() / normaliser)
+        operator = build_disk_operator(grid, self.b_hat, masses)
+        if backend == "dense":
+            self._set_transition(operator.to_dense())
+        else:
+            self._set_operator(operator)
+        self.output_domain = DiskOutputDomain(
+            d=grid.d, b_hat=self.b_hat, cells=operator.output_cells
+        )
+        self.q_hat = float(1.0 / operator.normaliser)
+        self.max_probability = float(masses[:, 2].max() / operator.normaliser)
 
     def estimate(self, noisy_counts: np.ndarray, n_users: int) -> GridDistribution:
         counts = np.asarray(noisy_counts, dtype=float)
@@ -179,7 +189,7 @@ class DiscreteHUEM(TransitionMatrixMechanism):
                 else None
             )
             result = expectation_maximization(
-                self.transition,
+                self._estimation_transition(),
                 counts,
                 max_iterations=self.em_iterations,
                 smoothing=smoother,

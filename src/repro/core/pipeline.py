@@ -6,6 +6,10 @@ cell with ``GridAreaResponse``, accumulates the noisy map and post-processes it 
 distribution estimate.  :class:`DAMPipeline` packages those steps behind a small API so
 applications (the examples in ``examples/``) never have to touch transition matrices,
 while :func:`estimate_spatial_distribution` is the one-call convenience entry point.
+
+For datasets too large to hold in memory, :meth:`DAMPipeline.run_stream` ingests the
+points in shards through a :class:`~repro.core.estimator.StreamingAggregator`; with a
+fixed seed the result is identical to the batch :meth:`DAMPipeline.run`.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Literal
 
 import numpy as np
 
-from repro.core.dam import DiscreteDAM, PostProcess
+from repro.core.dam import Backend, DiscreteDAM, PostProcess
 from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
 from repro.core.huem import DiscreteHUEM
 from repro.core.radius import grid_radius
@@ -64,6 +68,9 @@ class DAMPipeline:
     postprocess:
         Post-processing mode passed through to the mechanism (``"ems"``, ``"em"`` or
         ``"ls"``).
+    backend:
+        ``"operator"`` (default) for the structured transition-operator engine,
+        ``"dense"`` to materialise the classical transition matrix.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class DAMPipeline:
         mechanism: MechanismName = "dam",
         b_hat: int | None = None,
         postprocess: PostProcess = "ems",
+        backend: Backend = "operator",
     ) -> None:
         self.domain = domain
         self.d = check_grid_side(d)
@@ -85,7 +93,11 @@ class DAMPipeline:
         self.b_hat = int(b_hat)
         if mechanism == "dam":
             self.mechanism = DiscreteDAM(
-                self.grid, self.epsilon, b_hat=self.b_hat, postprocess=postprocess
+                self.grid,
+                self.epsilon,
+                b_hat=self.b_hat,
+                postprocess=postprocess,
+                backend=backend,
             )
         elif mechanism == "dam-ns":
             self.mechanism = DiscreteDAM(
@@ -94,10 +106,15 @@ class DAMPipeline:
                 b_hat=self.b_hat,
                 use_shrinkage=False,
                 postprocess=postprocess,
+                backend=backend,
             )
         elif mechanism == "huem":
             self.mechanism = DiscreteHUEM(
-                self.grid, self.epsilon, b_hat=self.b_hat, postprocess=postprocess
+                self.grid,
+                self.epsilon,
+                b_hat=self.b_hat,
+                postprocess=postprocess,
+                backend=backend,
             )
         else:
             raise ValueError(
@@ -127,6 +144,43 @@ class DAMPipeline:
             },
         )
 
+    def run_stream(self, chunks, seed=None) -> PipelineResult:
+        """Execute Algorithm 1 over an iterable of point-array shards.
+
+        Memory stays bounded by the shard size plus two histograms, so millions of
+        users can be processed without ever holding all points at once.  With a fixed
+        seed the result is identical to :meth:`run` on the concatenated shards.
+        """
+        rng = ensure_rng(seed)
+        aggregator = self.mechanism.streaming_aggregator(seed=rng)
+        dropped = 0
+        for chunk in chunks:
+            pts = np.asarray(chunk, dtype=float)
+            if pts.ndim != 2 or pts.shape[1] != 2:
+                raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+            inside = self.domain.contains(pts)
+            dropped += int((~inside).sum())
+            aggregator.add_points(pts[inside])
+        if aggregator.n_users == 0:
+            raise ValueError("no points inside the domain were ingested")
+        report = aggregator.finalize()
+        return PipelineResult(
+            estimate=report.estimate,
+            true_distribution=GridDistribution.from_flat(
+                self.grid, aggregator.true_cell_counts / aggregator.true_cell_counts.sum()
+            ),
+            noisy_counts=report.noisy_counts,
+            n_users=report.n_users,
+            b_hat=self.b_hat,
+            mechanism=self.mechanism.name,
+            info={
+                "epsilon": self.epsilon,
+                "d": self.d,
+                "dropped_points": dropped,
+                "streamed": True,
+            },
+        )
+
 
 def estimate_spatial_distribution(
     points: np.ndarray,
@@ -135,6 +189,7 @@ def estimate_spatial_distribution(
     d: int = 15,
     domain: SpatialDomain | None = None,
     mechanism: MechanismName = "dam",
+    backend: Backend = "operator",
     seed=None,
 ) -> PipelineResult:
     """One-call private spatial distribution estimation.
@@ -148,6 +203,8 @@ def estimate_spatial_distribution(
     """
     pts = np.asarray(points, dtype=float)
     if domain is None:
-        domain = SpatialDomain.from_points(pts, pad=1e-9)
-    pipeline = DAMPipeline(domain, d, epsilon, mechanism=mechanism)
+        # Relative pad: an absolute epsilon underflows for projected coordinates
+        # (~1e6 m), leaving boundary points on the box edge.
+        domain = SpatialDomain.from_points(pts, relative_pad=1e-9)
+    pipeline = DAMPipeline(domain, d, epsilon, mechanism=mechanism, backend=backend)
     return pipeline.run(pts, seed=seed)

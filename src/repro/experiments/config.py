@@ -67,6 +67,10 @@ class ExperimentConfig:
     max_users_per_part:
         Hard cap on the number of reports per dataset part (keeps EM costs bounded on
         laptop runs); ``None`` disables the cap.
+    backend:
+        Transition backend for the disk mechanisms: ``"operator"`` (default) uses the
+        structured :class:`~repro.core.operator.DiskTransitionOperator` engine,
+        ``"dense"`` the materialised matrix (ablations / cross-checks).
     """
 
     dataset_scale: float = 1.0
@@ -77,6 +81,7 @@ class ExperimentConfig:
     exact_cell_limit: int = 144
     calibrate_sem: bool = True
     max_users_per_part: int | None = None
+    backend: str = "operator"
     datasets: tuple[str, ...] = ("Crime", "NYC", "Normal", "SZipf", "MNormal")
     mechanisms: tuple[str, ...] = MAIN_MECHANISMS
 

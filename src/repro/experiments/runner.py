@@ -116,17 +116,26 @@ def build_mechanism(
     *,
     b_hat: int | None = None,
     calibrate_sem: bool = True,
+    backend: str = "operator",
 ):
-    """Instantiate a mechanism by its paper name on the given grid and budget."""
+    """Instantiate a mechanism by its paper name on the given grid and budget.
+
+    ``backend`` selects the transition backend of the disk mechanisms (DAM, DAM-NS,
+    HUEM): the structured operator engine (default) or the dense matrix.
+    """
     key = name.strip().lower()
     if key == "dam":
-        return DiscreteDAM(grid, epsilon, b_hat=b_hat) if b_hat else DiscreteDAM(grid, epsilon)
+        if b_hat:
+            return DiscreteDAM(grid, epsilon, b_hat=b_hat, backend=backend)
+        return DiscreteDAM(grid, epsilon, backend=backend)
     if key in ("dam-ns", "damns"):
         if b_hat:
-            return DiscreteDAM(grid, epsilon, b_hat=b_hat, use_shrinkage=False)
-        return DiscreteDAM(grid, epsilon, use_shrinkage=False)
+            return DiscreteDAM(grid, epsilon, b_hat=b_hat, use_shrinkage=False, backend=backend)
+        return DiscreteDAM(grid, epsilon, use_shrinkage=False, backend=backend)
     if key == "huem":
-        return DiscreteHUEM(grid, epsilon, b_hat=b_hat) if b_hat else DiscreteHUEM(grid, epsilon)
+        if b_hat:
+            return DiscreteHUEM(grid, epsilon, b_hat=b_hat, backend=backend)
+        return DiscreteHUEM(grid, epsilon, backend=backend)
     if key == "mdsw":
         return MDSW(grid, epsilon)
     if key in ("sem-geo-i", "sem_geo_i", "semgeoi"):
@@ -156,6 +165,7 @@ def evaluate_on_part(
     calibrate_sem: bool = True,
     max_users: int | None = None,
     normalise_domain: bool = True,
+    backend: str = "operator",
 ) -> float:
     """Run one mechanism on one dataset part and return the ``W2`` error.
 
@@ -176,7 +186,8 @@ def evaluate_on_part(
     grid = GridSpec(domain, d)
     true_distribution = grid.distribution(pts)
     mechanism = build_mechanism(
-        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem
+        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        backend=backend,
     )
     report = mechanism.run(pts, seed=rng)
     return wasserstein2_auto(
@@ -210,6 +221,7 @@ def evaluate_on_dataset(
                 exact_cell_limit=config.exact_cell_limit,
                 calibrate_sem=config.calibrate_sem,
                 max_users=config.max_users_per_part,
+                backend=config.backend,
             )
             for _, points, domain in dataset.parts
         ]

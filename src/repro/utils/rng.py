@@ -123,3 +123,41 @@ def sample_categorical(
 def weighted_sample_index(rng: np.random.Generator, weights: Sequence[float]) -> int:
     """Sample one index proportionally to ``weights`` (Algorithm 2, lines 6 and 14)."""
     return int(sample_categorical(rng, np.asarray(list(weights), dtype=float)))
+
+
+def iter_value_groups(values: np.ndarray):
+    """Yield ``(value, index_array)`` for each distinct value of an integer array.
+
+    One stable argsort groups all occurrences; the index arrays partition
+    ``arange(len(values))``.  Shared by the batch samplers so per-distinct-cell work
+    (one ``searchsorted`` per row) is paid once regardless of batch size.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_values)) + 1
+    for group in np.split(order, boundaries):
+        yield int(values[group[0]]), group
+
+
+def sample_grouped_inverse_cdf(
+    rng: np.random.Generator,
+    cells: np.ndarray,
+    cdf_for_cell,
+    n_out: int,
+) -> np.ndarray:
+    """Batch inverse-CDF sampling: one uniform per user, one searchsorted per row.
+
+    ``cdf_for_cell(cell)`` must return the cumulative distribution of that cell's
+    response row.  Each user consumes exactly one ``rng.random()`` double in input
+    order, which is what makes chunked (streaming) privatization with a shared
+    generator bit-identical to one batch call.  Results are clipped into
+    ``[0, n_out)`` to guard against a final CDF entry just below 1.
+    """
+    reports = np.empty(cells.shape[0], dtype=np.int64)
+    if cells.shape[0] == 0:
+        return reports
+    u = rng.random(cells.shape[0])
+    for cell, group in iter_value_groups(cells):
+        reports[group] = np.searchsorted(cdf_for_cell(cell), u[group], side="right")
+    np.clip(reports, 0, n_out - 1, out=reports)
+    return reports

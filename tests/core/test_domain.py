@@ -75,6 +75,36 @@ class TestSpatialDomain:
         dom = SpatialDomain.from_points(np.array([[0.0, 0.0], [1.0, 1.0]]), pad=0.5)
         assert dom.bounds == (-0.5, 1.5, -0.5, 1.5)
 
+    def test_from_points_relative_padding(self):
+        dom = SpatialDomain.from_points(
+            np.array([[0.0, 0.0], [2.0, 1.0]]), relative_pad=0.25
+        )
+        # grow = 0.25 * max extent = 0.5 on every side.
+        assert dom.bounds == pytest.approx((-0.5, 2.5, -0.5, 1.5))
+
+    def test_from_points_negative_pad_rejected(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            SpatialDomain.from_points(pts, pad=-1.0)
+        with pytest.raises(ValueError):
+            SpatialDomain.from_points(pts, relative_pad=-0.1)
+
+    def test_from_points_large_projected_coordinates(self):
+        """Regression: an absolute 1e-9 pad underflows at projected-coordinate scale
+        (x + 1e-9 == x for x ~ 1e9 in float64); the relative pad must not."""
+        pts = np.array([[4.5e9, 4.5e9], [4.5e9 + 100.0, 4.5e9 + 80.0]])
+        dom = SpatialDomain.from_points(pts, relative_pad=1e-3)
+        assert dom.x_min < pts[:, 0].min() and dom.x_max > pts[:, 0].max()
+        assert dom.y_min < pts[:, 1].min() and dom.y_max > pts[:, 1].max()
+
+    def test_from_points_degenerate_large_coordinates(self):
+        """Regression: the degenerate-axis bump used to be an absolute 1e-9, which
+        vanishes at x ~ 1e9 and produced a zero-width (rejected) domain."""
+        pts = np.full((3, 2), 2.5e9)
+        dom = SpatialDomain.from_points(pts)
+        assert dom.width > 0 and dom.height > 0
+        assert dom.contains(pts).all()
+
 
 class TestGridSpec:
     def test_n_cells(self):
@@ -225,3 +255,44 @@ class TestMarginals:
         joint = outer_product_distribution(unit_grid5, np.zeros(5), np.ones(5) / 5)
         x_back, _ = marginals(joint)
         np.testing.assert_allclose(x_back, 0.2)
+
+
+class TestBoundaryProperties:
+    """Property tests: bucketisation must always land in-grid, even for boundary
+    points, data-derived domains, and planet-scale projected coordinates."""
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.sampled_from([0.0, 1.0, 1e3, 1e6, 4.1e9, -7.3e8]),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_points_always_land_in_grid(self, d, offset, seed):
+        rng = np.random.default_rng(seed)
+        pts = offset + rng.random((50, 2)) * rng.uniform(1e-6, 1e3)
+        dom = SpatialDomain.from_points(pts, relative_pad=1e-9)
+        grid = GridSpec(dom, d)
+        corners = np.array(
+            [
+                [dom.x_min, dom.y_min],
+                [dom.x_max, dom.y_max],
+                [dom.x_min, dom.y_max],
+                [dom.x_max, dom.y_min],
+            ]
+        )
+        cells = grid.point_to_cell(np.vstack([pts, corners]))
+        assert cells.min() >= 0
+        assert cells.max() < grid.n_cells
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_upper_boundary_maps_to_last_cell(self, d, seed):
+        rng = np.random.default_rng(seed)
+        grid = GridSpec.unit(d)
+        on_edge = np.column_stack([np.ones(5), rng.random(5)])
+        rows, cols = grid.cell_to_rowcol(grid.point_to_cell(on_edge))
+        assert np.all(cols == d - 1)
+        assert np.all((rows >= 0) & (rows < d))

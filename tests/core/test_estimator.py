@@ -110,6 +110,59 @@ class TestTransitionMatrixMechanism:
     def test_ldp_ratio_of_dam_finite(self, unit_grid5):
         assert np.isfinite(DiscreteDAM(unit_grid5, 2.0).ldp_ratio())
 
+    def test_ldp_ratio_mixed_zero_positive_column_is_infinite(self):
+        """Regression: a column with a zero in one row and a positive entry in another
+        is an infinite probability ratio — a hard ε-LDP violation.  The audit used to
+        drop every column containing any zero and report a finite (even compliant!)
+        ratio for such mechanisms."""
+
+        class Leaky(TransitionMatrixMechanism):
+            name = "Leaky"
+
+            def __init__(self, grid: GridSpec) -> None:
+                super().__init__(grid, epsilon=1.0)
+                matrix = np.zeros((grid.n_cells, 3))
+                # Every row keeps 0.5 on output 0; output 1 is reachable only from
+                # cell 0 and output 2 only from the other cells.
+                matrix[:, 0] = 0.5
+                matrix[0, 1] = 0.5
+                matrix[1:, 2] = 0.5
+                self._set_transition(matrix)
+
+            def estimate(self, noisy_counts, n_users):  # pragma: no cover
+                raise NotImplementedError
+
+        assert Leaky(GridSpec.unit(2)).ldp_ratio() == float("inf")
+
+    def test_ldp_ratio_all_zero_column_ignored(self):
+        """A column that is zero in every row carries no information and must not
+        poison the audit with a 0/0."""
+
+        class Padded(TransitionMatrixMechanism):
+            name = "Padded"
+
+            def __init__(self, grid: GridSpec) -> None:
+                super().__init__(grid, epsilon=1.0)
+                matrix = np.zeros((grid.n_cells, grid.n_cells + 1))
+                matrix[:, :-1] = np.full((grid.n_cells, grid.n_cells), 1.0 / grid.n_cells)
+                self._set_transition(matrix)
+
+            def estimate(self, noisy_counts, n_users):  # pragma: no cover
+                raise NotImplementedError
+
+        assert Padded(GridSpec.unit(2)).ldp_ratio() == pytest.approx(1.0)
+
+    def test_set_transition_clears_installed_operator(self, unit_grid5):
+        """Installing a dense matrix after an operator must fully switch backends,
+        otherwise sampling would keep using the stale operator while EM uses the
+        new matrix."""
+        mech = DiscreteDAM(unit_grid5, 2.0, b_hat=1, backend="operator")
+        assert mech.operator is not None
+        mech._set_transition(np.eye(unit_grid5.n_cells))
+        assert mech.operator is None
+        reports = mech.privatize_cells(np.array([0, 7, 24]), seed=0)
+        np.testing.assert_array_equal(reports, [0, 7, 24])
+
     def test_grouped_sampling_matches_per_user(self, unit_grid5):
         """Sampling users grouped by cell must be distributionally identical to the row."""
         mech = DiscreteDAM(unit_grid5, 5.0, b_hat=1)

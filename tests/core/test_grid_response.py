@@ -115,3 +115,36 @@ class TestSampling:
     def test_invalid_b_hat_rejected(self, grid5):
         with pytest.raises(ValueError):
             GridAreaResponse(grid5, epsilon=2.0, b_hat=0)
+
+    def test_respond_many_matches_literal_respond_distribution(self, response):
+        """The batch sampler draws from the exact Algorithm 2 distribution."""
+        rng = np.random.default_rng(8)
+        cell, n = 7, 20_000
+        reports = response.respond_many(np.full(n, cell), seed=rng)
+        observed = np.bincount(reports, minlength=response.output_domain.size)
+        expected = response.response_probabilities(cell) * n
+        assert chi_square_statistic(observed, expected) < 1.5 * response.output_domain.size
+
+    @pytest.mark.parametrize("b_hat", [2, 4, 8])
+    def test_extreme_b_hat_no_pure_low_cells(self, b_hat):
+        """Regression: at extreme b_hat no pure-low cell remains (d = 1 makes the
+        output domain exactly the disk); the zero-area part must never be selected
+        nor sampled from an empty cell array."""
+        response = GridAreaResponse(GridSpec.unit(1), epsilon=2.0, b_hat=b_hat)
+        parts = response.parts(0)
+        assert parts.pure_low_cells.size == 0
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            report = response.respond(0, seed=rng)
+            assert 0 <= report < response.output_domain.size
+        reports = response.respond_many(np.zeros(500, dtype=np.int64), seed=1)
+        assert reports.min() >= 0 and reports.max() < response.output_domain.size
+
+    def test_extreme_b_hat_no_shrinkage_zero_mixed_high(self):
+        """With shrinkage disabled the mixed-high part has zero area as well."""
+        response = GridAreaResponse(
+            GridSpec.unit(1), epsilon=3.0, b_hat=6, use_shrinkage=False
+        )
+        rng = np.random.default_rng(2)
+        reports = [response.respond(0, seed=rng) for _ in range(100)]
+        assert all(0 <= r < response.output_domain.size for r in reports)

@@ -52,6 +52,21 @@ class TestMechanismInvariants:
         np.testing.assert_allclose(mech.transition.sum(axis=1), 1.0, atol=1e-9)
         assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
 
+    @given(small_grid_strategy, epsilon_strategy, st.integers(min_value=1, max_value=3))
+    @SLOW_SETTINGS
+    def test_dam_ns_audit_bounded(self, d, epsilon, b_hat):
+        mech = DiscreteDAM(GridSpec.unit(d), epsilon, b_hat=b_hat, use_shrinkage=False)
+        assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(small_grid_strategy, epsilon_strategy, st.integers(min_value=1, max_value=3))
+    @SLOW_SETTINGS
+    def test_operator_audit_matches_dense_audit(self, d, epsilon, b_hat):
+        """The structured audit and the dense audit must agree on the same mechanism."""
+        grid = GridSpec.unit(d)
+        via_operator = DiscreteDAM(grid, epsilon, b_hat=b_hat, backend="operator")
+        via_dense = DiscreteDAM(grid, epsilon, b_hat=b_hat, backend="dense")
+        assert via_operator.ldp_ratio() == pytest.approx(via_dense.ldp_ratio(), rel=1e-12)
+
     @given(small_grid_strategy, epsilon_strategy, st.integers(min_value=0, max_value=10**6))
     @SLOW_SETTINGS
     def test_estimation_always_returns_distribution(self, d, epsilon, seed):
