@@ -8,6 +8,11 @@ selected with the ``REPRO_BENCH_PROFILE`` environment variable:
 * ``paper``  — the full Table IV/V settings (hours of runtime);
 * ``smoke``  — tiny settings used to exercise the harness itself.
 
+Two further environment variables tune execution without changing any measured
+number: ``REPRO_BENCH_WORKERS`` fans sweep cells out to a process pool, and
+``REPRO_BENCH_CACHE_DIR`` memoises every sweep cell in a content-addressed on-disk
+cache so interrupted or repeated benchmark runs only compute missing cells.
+
 Each benchmark writes the regenerated series to ``benchmarks/results/<name>.txt`` so
 the numbers that back EXPERIMENTS.md can be re-inspected after a run.
 """
@@ -44,13 +49,27 @@ def bench_profile() -> str:
     return _profile()
 
 
+def _execution_overrides() -> dict:
+    """Worker-pool size and cache directory from the environment (execution-only)."""
+    overrides: dict = {}
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if workers:
+        overrides["workers"] = max(int(workers), 1)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if cache_dir:
+        overrides["cache_dir"] = cache_dir
+    return overrides
+
+
 @pytest.fixture(scope="session")
 def bench_config(bench_profile) -> ExperimentConfig:
     if bench_profile == "paper":
-        return paper_config()
-    if bench_profile == "smoke":
-        return smoke_config()
-    return laptop_config()
+        config = paper_config()
+    elif bench_profile == "smoke":
+        config = smoke_config()
+    else:
+        config = laptop_config()
+    return config.with_overrides(**_execution_overrides())
 
 
 @pytest.fixture(scope="session")

@@ -9,8 +9,6 @@ empirical privacy audit of the deployed mechanism.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.dam import DiscreteDAM
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.datasets.loader import load_dataset

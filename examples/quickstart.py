@@ -54,6 +54,13 @@ def main() -> None:
     #   from repro import DAMPipeline, SpatialDomain
     #   pipeline = DAMPipeline(SpatialDomain.unit(), d=12, epsilon=2.0)
     #   result = pipeline.run_stream(shard_iterator(), seed=0)
+    #
+    # And to privatize the shards on a process pool — still bit-identical to the
+    # serial run at any worker count:
+    #
+    #   from repro import ParallelPipeline
+    #   pipeline = ParallelPipeline(SpatialDomain.unit(), d=12, epsilon=2.0, workers=4)
+    #   result = pipeline.run(locations, seed=0)
 
 
 if __name__ == "__main__":

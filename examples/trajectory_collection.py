@@ -11,8 +11,6 @@ Run with:  python examples/trajectory_collection.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.datasets.loader import load_dataset
 from repro.datasets.trajectories import generate_trajectories
 from repro.trajectory.adapter import compare_all_trajectory_mechanisms

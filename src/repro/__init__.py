@@ -34,6 +34,7 @@ from repro.core import (
     DiscreteHUEM,
     GridDistribution,
     GridSpec,
+    ParallelPipeline,
     PipelineResult,
     SpatialDomain,
     estimate_spatial_distribution,
@@ -42,10 +43,11 @@ from repro.core import (
 )
 from repro.metrics import sliced_wasserstein, wasserstein2_auto, wasserstein2_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DAMPipeline",
+    "ParallelPipeline",
     "DiscreteDAM",
     "DiscreteDAMNoShrink",
     "DiscreteHUEM",

@@ -8,12 +8,15 @@ Two subcommands cover the common workflows without writing Python:
     (optionally as an ASCII heat map) together with the Wasserstein error against the
     non-private histogram.  ``--backend`` switches between the structured
     transition-operator engine and the dense matrix; ``--chunk-size`` streams the
-    points through the pipeline in bounded-memory shards.
+    points through the pipeline in bounded-memory shards; ``--workers`` privatizes
+    the shards on a process pool (bit-identical to the serial run).
 
 ``python -m repro figure``
     Regenerate one of the paper's figures (``fig8``, ``fig9-small-d``, ``fig9-large-d``,
     ``fig9-small-eps``, ``fig9-large-eps``, ``fig13``) at laptop or smoke scale and
-    print/export the series.
+    print/export the series.  ``--workers`` fans the sweep cells out to a process
+    pool and ``--cache-dir`` memoises every cell on disk, so repeated or
+    interrupted sweeps only compute what is missing.
 
 The CLI is intentionally thin: every subcommand delegates to the same public API the
 examples and benchmarks use.
@@ -28,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.domain import SpatialDomain
+from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
 from repro.datasets.loader import DATASET_NAMES, load_dataset
 from repro.experiments.config import laptop_config, smoke_config
@@ -76,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--chunk-size", type=int, default=None,
                           help="stream the points through the pipeline in shards of this "
                                "size (bounded memory; same result as one batch)")
+    estimate.add_argument("--workers", type=int, default=1,
+                          help="privatize shards on this many worker processes "
+                               "(bit-identical to the serial run; default 1)")
     estimate.add_argument("--seed", type=int, default=0)
     estimate.add_argument("--heatmap", action="store_true", help="print ASCII heat maps")
 
@@ -83,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted([*_FIGURES, "fig13"]))
     figure.add_argument("--profile", choices=("laptop", "smoke"), default="smoke",
                         help="experiment scale (default: smoke, for quick runs)")
+    figure.add_argument("--workers", type=int, default=1,
+                        help="fan sweep cells out to this many worker processes "
+                             "(same numbers as the serial run; default 1)")
+    figure.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed result cache directory; re-runs and "
+                             "interrupted sweeps only compute missing cells")
     figure.add_argument("--csv", type=Path, default=None, help="write the series to a CSV file")
     figure.add_argument("--json", type=Path, default=None, help="write the series to a JSON file")
     figure.add_argument("--markdown", action="store_true", help="print a markdown table")
@@ -104,9 +117,19 @@ def _load_points(args) -> np.ndarray:
 
 def _run_estimate(args) -> int:
     points = _load_points(args)
-    if args.chunk_size is not None:
-        if args.chunk_size < 1:
-            raise SystemExit("--chunk-size must be a positive integer")
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be a positive integer")
+    if args.workers > 1:
+        domain = SpatialDomain.from_points(points, relative_pad=1e-9)
+        pipeline = ParallelPipeline(
+            domain, args.d, args.epsilon, mechanism=args.mechanism,
+            backend=args.backend, workers=args.workers,
+            shard_size=args.chunk_size or DEFAULT_SHARD_SIZE,
+        )
+        result = pipeline.run(points, seed=args.seed)
+    elif args.chunk_size is not None:
         domain = SpatialDomain.from_points(points, relative_pad=1e-9)
         pipeline = DAMPipeline(
             domain, args.d, args.epsilon, mechanism=args.mechanism, backend=args.backend
@@ -137,6 +160,12 @@ def _run_estimate(args) -> int:
 
 def _run_figure(args) -> int:
     config = smoke_config() if args.profile == "smoke" else laptop_config()
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    config = config.with_overrides(
+        workers=args.workers,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+    )
     if args.name == "fig13":
         sweeps = figure13_full_domain(config)
         for key, sweep in sweeps.items():

@@ -11,7 +11,8 @@ Public surface:
   :class:`StreamingAggregator`;
 * radius selection — :func:`optimal_radius`, :func:`grid_radius`;
 * post-processing — :func:`expectation_maximization`, :func:`matrix_inversion_estimate`;
-* end-to-end pipeline — :class:`DAMPipeline`, :func:`estimate_spatial_distribution`.
+* end-to-end pipeline — :class:`DAMPipeline`, :func:`estimate_spatial_distribution`,
+  and the shard-parallel :class:`ParallelPipeline`.
 """
 
 from repro.core.dam import DiscreteDAM, DiscreteDAMNoShrink, DiskOutputDomain
@@ -24,6 +25,7 @@ from repro.core.domain import (
 )
 from repro.core.estimator import (
     MechanismReport,
+    ShardAggregate,
     SpatialMechanism,
     StreamingAggregator,
     TransitionMatrixMechanism,
@@ -35,6 +37,7 @@ from repro.core.operator import (
     DiskTransitionOperator,
     build_disk_operator,
 )
+from repro.core.parallel import ParallelPipeline
 from repro.core.pipeline import DAMPipeline, PipelineResult, estimate_spatial_distribution
 from repro.core.postprocess import (
     EMResult,
@@ -75,6 +78,7 @@ __all__ = [
     "marginals",
     "outer_product_distribution",
     "MechanismReport",
+    "ShardAggregate",
     "SpatialMechanism",
     "StreamingAggregator",
     "TransitionMatrixMechanism",
@@ -86,6 +90,7 @@ __all__ = [
     "huem_cell_masses",
     "huem_cell_masses_fan_rings",
     "DAMPipeline",
+    "ParallelPipeline",
     "PipelineResult",
     "estimate_spatial_distribution",
     "EMResult",

@@ -14,7 +14,7 @@ that world:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 

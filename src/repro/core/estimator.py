@@ -258,6 +258,30 @@ class TransitionMatrixMechanism(SpatialMechanism):
         return float((col_max[active] / col_min[active]).max())
 
 
+@dataclass(frozen=True)
+class ShardAggregate:
+    """The mergeable partial state of a :class:`StreamingAggregator`.
+
+    A plain value object (three arrays/counters, no mechanism reference) so worker
+    processes can ship their shard's aggregate back to the coordinator cheaply; the
+    coordinator folds any number of these into one aggregator with
+    :meth:`StreamingAggregator.merge` before a single estimation solve.
+    """
+
+    noisy_counts: np.ndarray
+    true_cell_counts: np.ndarray
+    n_users: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "noisy_counts", np.asarray(self.noisy_counts, dtype=float)
+        )
+        object.__setattr__(
+            self, "true_cell_counts", np.asarray(self.true_cell_counts, dtype=float)
+        )
+        object.__setattr__(self, "n_users", int(self.n_users))
+
+
 class StreamingAggregator:
     """Chunked report ingestion — Algorithm 1's aggregate step without the memory.
 
@@ -266,6 +290,12 @@ class StreamingAggregator:
     reports can be ingested in shards.  All shards share one generator: with a fixed
     seed the accumulated histogram is identical to a single batch run over the
     concatenated shards.
+
+    Aggregators are also *mergeable*: :meth:`state` snapshots the partial counts as a
+    :class:`ShardAggregate` and :meth:`merge` folds another aggregator's (or shard's)
+    counts into this one.  Because all the state is additive histograms, privatizing
+    shards on independent workers and merging is exactly equivalent to one sequential
+    pass — the foundation of :class:`repro.core.parallel.ParallelPipeline`.
 
     Examples
     --------
@@ -300,6 +330,45 @@ class StreamingAggregator:
             cells, minlength=self.true_cell_counts.shape[0]
         ).astype(float)
         self.n_users += int(cells.shape[0])
+        return self
+
+    def state(self) -> ShardAggregate:
+        """Snapshot the partial counts as a picklable :class:`ShardAggregate`."""
+        return ShardAggregate(
+            noisy_counts=self.noisy_counts.copy(),
+            true_cell_counts=self.true_cell_counts.copy(),
+            n_users=self.n_users,
+        )
+
+    def merge(self, other: "StreamingAggregator | ShardAggregate") -> "StreamingAggregator":
+        """Fold another aggregator's (or shard snapshot's) counts into this one.
+
+        Merging is commutative and associative on the counts, so any tree of
+        per-shard aggregators collapses to the same histogram a single sequential
+        pass over all shards would have produced.
+        """
+        if isinstance(other, StreamingAggregator):
+            other = other.state()
+        if not isinstance(other, ShardAggregate):
+            raise TypeError(
+                "merge expects a StreamingAggregator or ShardAggregate, "
+                f"got {type(other).__name__}"
+            )
+        if other.noisy_counts.shape != self.noisy_counts.shape:
+            raise ValueError(
+                f"cannot merge: noisy-count histograms have shapes "
+                f"{other.noisy_counts.shape} vs {self.noisy_counts.shape} "
+                "(different mechanisms or output domains?)"
+            )
+        if other.true_cell_counts.shape != self.true_cell_counts.shape:
+            raise ValueError(
+                f"cannot merge: true-cell histograms have shapes "
+                f"{other.true_cell_counts.shape} vs {self.true_cell_counts.shape} "
+                "(different grids?)"
+            )
+        self.noisy_counts += other.noisy_counts
+        self.true_cell_counts += other.true_cell_counts
+        self.n_users += other.n_users
         return self
 
     def finalize(self) -> MechanismReport:

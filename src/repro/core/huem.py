@@ -21,13 +21,13 @@ import numpy as np
 from repro.core.dam import Backend, DiskOutputDomain, PostProcess
 from repro.core.domain import GridDistribution, GridSpec
 from repro.core.estimator import TransitionMatrixMechanism
-from repro.core.operator import build_disk_operator
 from repro.core.geometry import (
     enumerate_disk_cells,
     farthest_corner_distance,
     nearest_corner_distance,
     shrunken_rectangle_area,
 )
+from repro.core.operator import build_disk_operator
 from repro.core.postprocess import (
     adaptive_smoothing_strength,
     expectation_maximization,

@@ -1,0 +1,303 @@
+"""Parallel sharded execution of the DAM pipeline.
+
+:class:`~repro.core.pipeline.DAMPipeline` processes every user in one process.  This
+module scales the privatization stage across a process pool while keeping the result
+*bit-identical* to the serial path:
+
+* the user population is split into shards;
+* each worker privatizes its shards with a deterministically derived per-shard
+  generator and returns only the additive partial state (a
+  :class:`~repro.core.estimator.ShardAggregate` — two histograms and a counter);
+* the coordinator merges the shard aggregates in shard order and runs a single EM
+  solve on the combined histogram, exactly as the serial pipeline would.
+
+Two per-shard RNG derivations are supported:
+
+``"stream"`` (default)
+    Every worker rebuilds the *same* base generator state and advances it by the
+    number of users in all preceding shards.  Since every batch sampler in the
+    library consumes exactly one ``rng.random()`` double per user in input order
+    (see :meth:`repro.core.operator.DiskTransitionOperator.sample`), the shards
+    jointly consume the very stream a serial pass would have — so the reports, the
+    histograms and therefore the estimate are bit-identical to
+    :meth:`DAMPipeline.run` / :meth:`DAMPipeline.run_stream` with the same seed,
+    for any shard size and any worker count.  Requires a bit generator with
+    ``advance`` (PCG64/Philox — i.e. everything ``default_rng`` produces).
+
+``"spawn"``
+    Each shard gets an independent child of the master :class:`numpy.random.SeedSequence`
+    (via :func:`repro.utils.rng.spawn_seed_sequences`).  The result is deterministic
+    in the seed and the shard plan and invariant to the worker count, but not equal
+    to the serial shared-stream result.  Works with any bit generator.
+
+Workers are plain processes (``concurrent.futures.ProcessPoolExecutor``); each builds
+its mechanism once from a small picklable spec in the pool initializer, so shipping
+work to a shard costs one point array and one RNG payload, and shipping the result
+back costs two histograms.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.core.dam import Backend, PostProcess
+from repro.core.domain import GridDistribution, SpatialDomain
+from repro.core.estimator import ShardAggregate
+from repro.core.pipeline import DAMPipeline, MechanismName, PipelineResult
+from repro.utils.rng import (
+    ensure_rng,
+    generator_from_state,
+    generator_state,
+    spawn_seed_sequences,
+    supports_stream_splitting,
+)
+
+RngMode = Literal["stream", "spawn"]
+
+#: Default number of users per shard.  Large enough that per-shard Python overhead
+#: (pickling, one bincount) is negligible, small enough that a handful of shards
+#: exist even for modest datasets so every worker gets something to do.
+DEFAULT_SHARD_SIZE = 50_000
+
+
+@dataclass(frozen=True)
+class _PipelineSpec:
+    """Everything a worker needs to rebuild the pipeline — tiny and picklable."""
+
+    bounds: tuple[float, float, float, float]
+    domain_name: str
+    d: int
+    epsilon: float
+    mechanism: MechanismName
+    b_hat: int | None
+    postprocess: PostProcess
+    backend: Backend
+
+    def build(self) -> DAMPipeline:
+        domain = SpatialDomain(*self.bounds, name=self.domain_name)
+        return DAMPipeline(
+            domain,
+            self.d,
+            self.epsilon,
+            mechanism=self.mechanism,
+            b_hat=self.b_hat,
+            postprocess=self.postprocess,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One unit of work: a filtered point shard plus its RNG derivation payload."""
+
+    points: np.ndarray
+    #: ``("stream", base_state, offset)`` or ``("spawn", seed_sequence)``.
+    rng_payload: tuple
+
+
+def _shard_rng(payload: tuple) -> np.random.Generator:
+    if payload[0] == "stream":
+        _, base_state, offset = payload
+        return generator_from_state(base_state, advance_by=offset)
+    _, child = payload
+    return np.random.default_rng(child)
+
+
+def _privatize_shard(pipeline: DAMPipeline, task: _ShardTask) -> ShardAggregate:
+    """Privatize one shard and return its additive partial state."""
+    aggregator = pipeline.mechanism.streaming_aggregator(seed=_shard_rng(task.rng_payload))
+    aggregator.add_points(task.points)
+    return aggregator.state()
+
+
+# Worker-process global, installed once per worker by the pool initializer so the
+# (comparatively expensive) operator construction is not repeated per shard.
+_WORKER_PIPELINE: DAMPipeline | None = None
+
+
+def _worker_init(spec: _PipelineSpec) -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = spec.build()
+
+
+def _worker_privatize(task: _ShardTask) -> ShardAggregate:
+    assert _WORKER_PIPELINE is not None, "worker pool initializer did not run"
+    return _privatize_shard(_WORKER_PIPELINE, task)
+
+
+class ParallelPipeline:
+    """Shard-parallel Algorithm 1: privatize on a worker pool, solve EM once.
+
+    Parameters
+    ----------
+    domain, d, epsilon, mechanism, b_hat, postprocess, backend:
+        Exactly as for :class:`~repro.core.pipeline.DAMPipeline`.
+    workers:
+        Size of the process pool.  ``None`` uses ``os.cpu_count()``; ``1`` executes
+        the same sharded plan inline (no subprocesses), which is useful for tests
+        and single-core machines.
+    shard_size:
+        Number of users per shard for :meth:`run`.  :meth:`run_stream` shards at
+        the caller's chunk boundaries instead.
+    rng_mode:
+        ``"stream"`` (bit-identical to the serial pipeline, default) or ``"spawn"``
+        (independent per-shard streams) — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        domain: SpatialDomain,
+        d: int,
+        epsilon: float,
+        *,
+        mechanism: MechanismName = "dam",
+        b_hat: int | None = None,
+        postprocess: PostProcess = "ems",
+        backend: Backend = "operator",
+        workers: int | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        rng_mode: RngMode = "stream",
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if rng_mode not in ("stream", "spawn"):
+            raise ValueError(f"rng_mode must be 'stream' or 'spawn', got {rng_mode!r}")
+        self.workers = int(workers)
+        self.shard_size = int(shard_size)
+        self.rng_mode: RngMode = rng_mode
+        self.pipeline = DAMPipeline(
+            domain,
+            d,
+            epsilon,
+            mechanism=mechanism,
+            b_hat=b_hat,
+            postprocess=postprocess,
+            backend=backend,
+        )
+        self._spec = _PipelineSpec(
+            bounds=domain.bounds,
+            domain_name=domain.name,
+            d=d,
+            epsilon=epsilon,
+            mechanism=mechanism,
+            b_hat=self.pipeline.b_hat,
+            postprocess=postprocess,
+            backend=backend,
+        )
+
+    # ------------------------------------------------------------ public API
+    @property
+    def domain(self) -> SpatialDomain:
+        return self.pipeline.domain
+
+    @property
+    def grid(self):
+        return self.pipeline.grid
+
+    @property
+    def b_hat(self) -> int:
+        return self.pipeline.b_hat
+
+    def run(self, points: np.ndarray, seed=None) -> PipelineResult:
+        """Parallel Algorithm 1 over one point set.
+
+        In ``"stream"`` mode the result is bit-identical to
+        ``DAMPipeline.run(points, seed=seed)`` regardless of ``workers`` and
+        ``shard_size``.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        inside = self.domain.contains(pts)
+        dropped = int((~inside).sum())
+        pts = pts[inside]
+        n_shards = max(1, -(-pts.shape[0] // self.shard_size))
+        shards = np.array_split(pts, n_shards)
+        return self._execute(shards, dropped, seed)
+
+    def run_stream(self, chunks: Iterable[np.ndarray], seed=None) -> PipelineResult:
+        """Parallel Algorithm 1 over an iterable of point-array shards.
+
+        Each chunk becomes one shard.  In ``"stream"`` mode the result is
+        bit-identical to ``DAMPipeline.run_stream(chunks, seed=seed)``; note that
+        unlike the serial version the chunks are materialised into a shard list
+        before dispatch, so peak memory is the total filtered point count.
+        """
+        shards: list[np.ndarray] = []
+        dropped = 0
+        for chunk in chunks:
+            pts = np.asarray(chunk, dtype=float)
+            if pts.ndim != 2 or pts.shape[1] != 2:
+                raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+            inside = self.domain.contains(pts)
+            dropped += int((~inside).sum())
+            shards.append(pts[inside])
+        return self._execute(shards, dropped, seed)
+
+    # -------------------------------------------------------------- plumbing
+    def _rng_payloads(self, shards: Sequence[np.ndarray], seed) -> list[tuple]:
+        if self.rng_mode == "spawn":
+            children = spawn_seed_sequences(seed, len(shards))
+            return [("spawn", child) for child in children]
+        rng = ensure_rng(seed)
+        if not supports_stream_splitting(rng):
+            raise ValueError(
+                f"bit generator {type(rng.bit_generator).__name__} does not support "
+                "advance(); pass rng_mode='spawn' or a PCG64-backed seed"
+            )
+        base_state = generator_state(rng)
+        sizes = [int(shard.shape[0]) for shard in shards]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        # Leave the caller's generator exactly where a serial pass (one double per
+        # user) would have left it, so downstream draws match the serial schedule.
+        rng.bit_generator.advance(int(offsets[-1]))
+        return [("stream", base_state, int(offset)) for offset in offsets[:-1]]
+
+    def _execute(self, shards: list[np.ndarray], dropped: int, seed) -> PipelineResult:
+        if sum(shard.shape[0] for shard in shards) == 0:
+            raise ValueError("no points inside the domain were ingested")
+        tasks = [
+            _ShardTask(points=shard, rng_payload=payload)
+            for shard, payload in zip(shards, self._rng_payloads(shards, seed))
+        ]
+        n_workers = min(self.workers, len(tasks))
+        if n_workers <= 1:
+            aggregates = [_privatize_shard(self.pipeline, task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_worker_init, initargs=(self._spec,)
+            ) as pool:
+                aggregates = list(pool.map(_worker_privatize, tasks))
+        aggregator = self.pipeline.mechanism.streaming_aggregator()
+        for aggregate in aggregates:
+            aggregator.merge(aggregate)
+        report = aggregator.finalize()
+        return PipelineResult(
+            estimate=report.estimate,
+            true_distribution=GridDistribution.from_flat(
+                self.grid, aggregator.true_cell_counts / aggregator.true_cell_counts.sum()
+            ),
+            noisy_counts=report.noisy_counts,
+            n_users=report.n_users,
+            b_hat=self.b_hat,
+            mechanism=self.pipeline.mechanism.name,
+            info={
+                "epsilon": self.pipeline.epsilon,
+                "d": self.pipeline.d,
+                "dropped_points": dropped,
+                "streamed": True,
+                "parallel": True,
+                "workers": n_workers if shards else 0,
+                "n_shards": len(shards),
+                "rng_mode": self.rng_mode,
+            },
+        )

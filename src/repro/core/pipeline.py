@@ -9,7 +9,9 @@ while :func:`estimate_spatial_distribution` is the one-call convenience entry po
 
 For datasets too large to hold in memory, :meth:`DAMPipeline.run_stream` ingests the
 points in shards through a :class:`~repro.core.estimator.StreamingAggregator`; with a
-fixed seed the result is identical to the batch :meth:`DAMPipeline.run`.
+fixed seed the result is identical to the batch :meth:`DAMPipeline.run`.  To spread
+the privatization over a process pool — still bit-identical to the serial run — use
+:class:`repro.core.parallel.ParallelPipeline`.
 """
 
 from __future__ import annotations

@@ -71,6 +71,14 @@ class ExperimentConfig:
         Transition backend for the disk mechanisms: ``"operator"`` (default) uses the
         structured :class:`~repro.core.operator.DiskTransitionOperator` engine,
         ``"dense"`` the materialised matrix (ablations / cross-checks).
+    workers:
+        Process-pool size used by :func:`~repro.experiments.runner.sweep_parameter`
+        to fan sweep cells out; ``1`` (default) runs serially.  Execution-only: the
+        measured numbers are identical for every worker count.
+    cache_dir:
+        Directory of the content-addressed result cache
+        (:class:`~repro.experiments.cache.ResultCache`); ``None`` disables caching.
+        Execution-only, like ``workers``.
     """
 
     dataset_scale: float = 1.0
@@ -82,6 +90,8 @@ class ExperimentConfig:
     calibrate_sem: bool = True
     max_users_per_part: int | None = None
     backend: str = "operator"
+    workers: int = 1
+    cache_dir: str | None = None
     datasets: tuple[str, ...] = ("Crime", "NYC", "Normal", "SZipf", "MNormal")
     mechanisms: tuple[str, ...] = MAIN_MECHANISMS
 

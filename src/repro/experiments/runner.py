@@ -10,21 +10,29 @@ The runner reproduces the measurement protocol of Section VII-C:
 * SEM-Geo-I's ε′ is calibrated so its Local Privacy matches DAM's at the same nominal
   budget (Section VII-B), unless calibration is disabled;
 * the exact LP Wasserstein solver is used for coarse grids and Sinkhorn for fine ones.
+
+Execution scales out without changing a single number: every (dataset, mechanism,
+parameter value) cell of a sweep derives its randomness from its own stable seed, so
+:func:`sweep_parameter` can fan cells out to a process pool (``config.workers``) and
+memoise them in a content-addressed on-disk cache (``config.cache_dir``) while staying
+bit-identical to the serial, uncached run.
 """
 
 from __future__ import annotations
 
 import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from functools import lru_cache
+from functools import lru_cache, partial
 
 import numpy as np
 
 from repro.core.dam import DiscreteDAM
-from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.huem import DiscreteHUEM
 from repro.core.radius import grid_radius
 from repro.datasets.loader import EvaluationDataset, load_dataset
+from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.config import ExperimentConfig
 from repro.mechanisms.cfo import BucketCFOMechanism
 from repro.mechanisms.geo_i import DiscreteGeoIMechanism
@@ -33,7 +41,7 @@ from repro.mechanisms.mdsw import MDSW
 from repro.mechanisms.sem_geo_i import SEMGeoI
 from repro.metrics.local_privacy import calibrate_epsilon, local_privacy_of_mechanism
 from repro.metrics.wasserstein import wasserstein2_auto
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_seed_sequences
 
 #: Mechanism names accepted by :func:`build_mechanism`.
 MECHANISM_NAMES: tuple[str, ...] = (
@@ -195,6 +203,58 @@ def evaluate_on_part(
     )
 
 
+def _evaluate_repeat(
+    repeat_seed,
+    *,
+    mechanism_name: str,
+    dataset: EvaluationDataset,
+    d: int,
+    epsilon: float,
+    b_hat: int | None,
+    config: ExperimentConfig,
+) -> float:
+    """One repetition: run the mechanism on every dataset part, average the errors.
+
+    The parts deliberately share one generator (state carries across parts within a
+    repetition, as in the original serial loop), so a repetition is the unit of
+    parallelism — fanning out repetitions reproduces the serial numbers bit for bit.
+    """
+    rng = ensure_rng(repeat_seed)
+    part_errors = [
+        evaluate_on_part(
+            mechanism_name,
+            points,
+            domain,
+            d,
+            epsilon,
+            b_hat=b_hat,
+            seed=rng,
+            exact_cell_limit=config.exact_cell_limit,
+            calibrate_sem=config.calibrate_sem,
+            max_users=config.max_users_per_part,
+            backend=config.backend,
+        )
+        for _, points, domain in dataset.parts
+    ]
+    return float(np.mean(part_errors))
+
+
+# Worker-process global for the repetition pool: the (dataset-bearing) evaluation
+# context is shipped once per worker through the pool initializer rather than being
+# re-pickled into every repetition task.
+_REPEAT_EVALUATE = None
+
+
+def _repeat_worker_init(evaluate) -> None:
+    global _REPEAT_EVALUATE
+    _REPEAT_EVALUATE = evaluate
+
+
+def _repeat_worker(repeat_seed) -> float:
+    assert _REPEAT_EVALUATE is not None, "repetition pool initializer did not run"
+    return _REPEAT_EVALUATE(repeat_seed)
+
+
 def evaluate_on_dataset(
     mechanism_name: str,
     dataset: EvaluationDataset,
@@ -204,29 +264,196 @@ def evaluate_on_dataset(
     *,
     b_hat: int | None = None,
     seed=None,
+    workers: int = 1,
 ) -> tuple[float, float]:
-    """Mean and standard deviation of ``W2`` over repetitions and dataset parts."""
-    repeat_rngs = spawn_rngs(seed if seed is not None else config.seed, config.n_repeats)
-    repeat_means = []
-    for rng in repeat_rngs:
-        part_errors = [
-            evaluate_on_part(
-                mechanism_name,
-                points,
-                domain,
-                d,
-                epsilon,
-                b_hat=b_hat,
-                seed=rng,
-                exact_cell_limit=config.exact_cell_limit,
-                calibrate_sem=config.calibrate_sem,
-                max_users=config.max_users_per_part,
-                backend=config.backend,
-            )
-            for _, points, domain in dataset.parts
-        ]
-        repeat_means.append(float(np.mean(part_errors)))
+    """Mean and standard deviation of ``W2`` over repetitions and dataset parts.
+
+    ``workers > 1`` fans the repetitions out to a process pool; each repetition owns
+    an independent spawned child stream, so the returned statistics are identical to
+    the serial run for every worker count.
+    """
+    repeat_seeds = spawn_seed_sequences(
+        seed if seed is not None else config.seed, config.n_repeats
+    )
+    evaluate = partial(
+        _evaluate_repeat,
+        mechanism_name=mechanism_name,
+        dataset=dataset,
+        d=d,
+        epsilon=epsilon,
+        b_hat=b_hat,
+        config=config,
+    )
+    if workers > 1 and len(repeat_seeds) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(repeat_seeds)),
+            initializer=_repeat_worker_init,
+            initargs=(evaluate,),
+        ) as pool:
+            repeat_means = list(pool.map(_repeat_worker, repeat_seeds))
+    else:
+        repeat_means = [evaluate(child) for child in repeat_seeds]
     return float(np.mean(repeat_means)), float(np.std(repeat_means))
+
+
+@lru_cache(maxsize=16)
+def _load_dataset_cached(
+    name: str, scale: float, seed: int, full_domain: bool
+) -> EvaluationDataset:
+    """Per-process dataset cache so pool workers regenerate each dataset only once."""
+    return load_dataset(name, scale=scale, seed=seed, full_domain=full_domain)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently computable cell of a sweep, fully described by values.
+
+    Carries everything a worker process needs to reproduce the measurement (the
+    dataset travels by name, not by value — workers load and memoise it locally),
+    and everything the result cache needs to address it.
+    """
+
+    dataset: str
+    mechanism: str
+    parameter_name: str
+    parameter_value: float
+    d: int
+    epsilon: float
+    b_hat: int | None
+    seed: int
+    full_domain: bool
+
+
+def _cell_seed(config: ExperimentConfig, dataset_name: str, mechanism_name: str) -> int:
+    # Derive a per-(dataset, mechanism) seed with a *stable* hash so sweep results
+    # are reproducible across processes (Python's built-in hash of strings is salted
+    # per interpreter run).
+    stable = zlib.crc32(f"{dataset_name}/{mechanism_name}".encode()) % 100_000
+    return config.seed + stable
+
+
+def _evaluate_sweep_cell(cell: SweepCell, *, config: ExperimentConfig) -> MeasurementPoint:
+    """Compute one sweep cell — the unit of work shipped to pool workers."""
+    dataset = _load_dataset_cached(
+        cell.dataset, config.dataset_scale, config.seed, cell.full_domain
+    )
+    mean, std = evaluate_on_dataset(
+        cell.mechanism,
+        dataset,
+        cell.d,
+        cell.epsilon,
+        config,
+        b_hat=cell.b_hat,
+        seed=cell.seed,
+    )
+    return MeasurementPoint(
+        dataset=cell.dataset,
+        mechanism=cell.mechanism,
+        parameter_name=cell.parameter_name,
+        parameter_value=cell.parameter_value,
+        w2_mean=mean,
+        w2_std=std,
+        n_repeats=config.n_repeats,
+        details={"d": cell.d, "epsilon": cell.epsilon, "b_hat": cell.b_hat},
+    )
+
+
+def _cell_cache_key(cell: SweepCell, config: ExperimentConfig) -> str:
+    """Content address of one cell: every result-affecting parameter, nothing else.
+
+    ``workers`` and ``cache_dir`` are deliberately excluded — they change how a
+    number is computed, never which number comes out.
+    """
+    return cache_key(
+        {
+            "kind": "sweep-cell",
+            "dataset": cell.dataset,
+            "mechanism": cell.mechanism,
+            "parameter_name": cell.parameter_name,
+            "parameter_value": cell.parameter_value,
+            "d": cell.d,
+            "epsilon": cell.epsilon,
+            "b_hat": cell.b_hat,
+            "seed": cell.seed,
+            "full_domain": cell.full_domain,
+            "dataset_scale": config.dataset_scale,
+            "n_repeats": config.n_repeats,
+            "config_seed": config.seed,
+            "exact_cell_limit": config.exact_cell_limit,
+            "calibrate_sem": config.calibrate_sem,
+            "max_users_per_part": config.max_users_per_part,
+            "backend": config.backend,
+        }
+    )
+
+
+def _point_to_payload(point: MeasurementPoint) -> dict:
+    return {
+        "dataset": point.dataset,
+        "mechanism": point.mechanism,
+        "parameter_name": point.parameter_name,
+        "parameter_value": point.parameter_value,
+        "w2_mean": point.w2_mean,
+        "w2_std": point.w2_std,
+        "n_repeats": point.n_repeats,
+        "details": point.details,
+    }
+
+
+def _point_from_payload(payload: dict) -> MeasurementPoint:
+    return MeasurementPoint(
+        dataset=payload["dataset"],
+        mechanism=payload["mechanism"],
+        parameter_name=payload["parameter_name"],
+        parameter_value=float(payload["parameter_value"]),
+        w2_mean=float(payload["w2_mean"]),
+        w2_std=float(payload["w2_std"]),
+        n_repeats=int(payload["n_repeats"]),
+        details=dict(payload.get("details", {})),
+    )
+
+
+def plan_sweep(
+    parameter_name: str,
+    parameter_values: tuple,
+    mechanisms: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    full_domain: bool = False,
+    datasets: tuple[str, ...] | None = None,
+) -> list[SweepCell]:
+    """Expand a sweep into its independent cells, in the canonical (serial) order."""
+    if parameter_name not in ("d", "epsilon", "b_scale"):
+        raise ValueError(f"unknown swept parameter {parameter_name!r}")
+    dataset_names = datasets if datasets is not None else config.datasets
+    cells: list[SweepCell] = []
+    for dataset_name in dataset_names:
+        if parameter_name == "b_scale":
+            # Radius resolution needs the part geometry; every other sweep plans
+            # without touching the data (workers load it themselves).
+            dataset = _load_dataset_cached(
+                dataset_name, config.dataset_scale, config.seed, full_domain
+            )
+            side = dataset.parts[0][2].side_length if dataset.parts else 1.0
+        else:
+            side = 1.0
+        for value in parameter_values:
+            d, epsilon, b_hat = _resolve_parameters(parameter_name, value, config, side)
+            for mechanism_name in mechanisms:
+                cells.append(
+                    SweepCell(
+                        dataset=dataset_name,
+                        mechanism=mechanism_name,
+                        parameter_name=parameter_name,
+                        parameter_value=float(value),
+                        d=d,
+                        epsilon=epsilon,
+                        b_hat=b_hat,
+                        seed=_cell_seed(config, dataset_name, mechanism_name),
+                        full_domain=full_domain,
+                    )
+                )
+    return cells
 
 
 def sweep_parameter(
@@ -238,65 +465,75 @@ def sweep_parameter(
     *,
     full_domain: bool = False,
     datasets: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> SweepResult:
     """Run a full sweep: every (dataset, mechanism, parameter value) combination.
 
     ``parameter_name`` is ``"d"``, ``"epsilon"`` or ``"b_scale"``; the non-swept
     parameters take the config defaults.  This is the workhorse every figure bench
     calls.
+
+    Cells are independent, so with ``workers > 1`` (default: ``config.workers``)
+    they are fanned out to a process pool, and with a cache (default: a
+    :class:`~repro.experiments.cache.ResultCache` over ``config.cache_dir``) each
+    cell is memoised on disk by the hash of its parameters — interrupted or
+    repeated sweeps only pay for the cells they have not seen.  Neither knob
+    changes a single measured value.
     """
-    if parameter_name not in ("d", "epsilon", "b_scale"):
-        raise ValueError(f"unknown swept parameter {parameter_name!r}")
-    dataset_names = datasets if datasets is not None else config.datasets
-    result = SweepResult(name=sweep_name)
-    for dataset_name in dataset_names:
-        dataset = load_dataset(
-            dataset_name,
-            scale=config.dataset_scale,
-            seed=config.seed,
-            full_domain=full_domain,
-        )
-        for value in parameter_values:
-            d, epsilon, b_hat = _resolve_parameters(parameter_name, value, config, dataset)
-            for mechanism_name in mechanisms:
-                # Derive a per-(dataset, mechanism) seed with a *stable* hash so sweep
-                # results are reproducible across processes (Python's built-in hash of
-                # strings is salted per interpreter run).
-                stable = zlib.crc32(f"{dataset_name}/{mechanism_name}".encode()) % 100_000
-                mean, std = evaluate_on_dataset(
-                    mechanism_name,
-                    dataset,
-                    d,
-                    epsilon,
-                    config,
-                    b_hat=b_hat,
-                    seed=config.seed + stable,
-                )
-                result.points.append(
-                    MeasurementPoint(
-                        dataset=dataset_name,
-                        mechanism=mechanism_name,
-                        parameter_name=parameter_name,
-                        parameter_value=float(value),
-                        w2_mean=mean,
-                        w2_std=std,
-                        n_repeats=config.n_repeats,
-                        details={"d": d, "epsilon": epsilon, "b_hat": b_hat},
-                    )
-                )
-    return result
+    cells = plan_sweep(
+        parameter_name,
+        parameter_values,
+        mechanisms,
+        config,
+        full_domain=full_domain,
+        datasets=datasets,
+    )
+    if workers is None:
+        workers = config.workers
+    if cache is None:
+        cache = ResultCache(config.cache_dir)
+
+    points: list[MeasurementPoint | None] = [None] * len(cells)
+    pending: list[tuple[int, str]] = []
+    for index, cell in enumerate(cells):
+        key = _cell_cache_key(cell, config)
+        payload = cache.get(key)
+        if payload is not None:
+            points[index] = _point_from_payload(payload)
+        else:
+            pending.append((index, key))
+
+    if pending:
+        evaluate = partial(_evaluate_sweep_cell, config=config)
+        todo = [cells[index] for index, _ in pending]
+        if workers > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+                results = pool.map(evaluate, todo)
+                # Consume lazily and persist each cell as it lands, so an
+                # interrupted sweep resumes from every completed cell.
+                for (index, key), point in zip(pending, results):
+                    points[index] = point
+                    cache.put(key, _point_to_payload(point))
+        else:
+            for (index, key), cell in zip(pending, todo):
+                point = evaluate(cell)
+                points[index] = point
+                cache.put(key, _point_to_payload(point))
+
+    return SweepResult(name=sweep_name, points=list(points))
 
 
 def _resolve_parameters(
-    parameter_name: str, value, config: ExperimentConfig, dataset: EvaluationDataset
+    parameter_name: str, value, config: ExperimentConfig, side: float
 ) -> tuple[int, float, int | None]:
     """Map a swept value onto the concrete (d, epsilon, b_hat) triple."""
     if parameter_name == "d":
         return int(value), config.default_epsilon, None
     if parameter_name == "epsilon":
         return config.default_d, float(value), None
-    # b_scale sweep: fix d and epsilon, scale the optimal radius.
-    side = dataset.parts[0][2].side_length if dataset.parts else 1.0
+    # b_scale sweep: fix d and epsilon, scale the optimal radius (in units of the
+    # dataset part's side length).
     optimal = grid_radius(config.default_epsilon, config.default_d, side)
     b_hat = max(int(np.floor(float(value) * optimal)), 1)
     return config.default_d, config.default_epsilon, b_hat

@@ -11,7 +11,7 @@ module implements that combination:
   report at different granularities (coarse to fine) through DAM, the analyst keeps one
   estimate per level and answers a query from the coarsest cells that fit inside it,
   refining only along the query border.  This reduces the number of noisy cells a
-  long-range query has to sum — exactly the error/длина trade-off the hierarchical
+  long-range query has to sum — exactly the error/length trade-off the hierarchical
   range-query literature exploits.
 * :class:`RangeQueryWorkload` — random rectangular workloads plus the error metrics
   used by that literature (mean absolute error, relative error at a threshold).
@@ -44,10 +44,16 @@ class RangeQuery:
             raise ValueError(f"degenerate range query {self!r}")
 
     def area_fraction(self, domain: SpatialDomain) -> float:
-        """Fraction of the domain the query covers."""
-        width = min(self.x_hi, domain.x_max) - max(self.x_lo, domain.x_min)
-        height = min(self.y_hi, domain.y_max) - max(self.y_lo, domain.y_min)
-        return max(width, 0.0) * max(height, 0.0) / domain.area
+        """Fraction of the domain the query covers.
+
+        The query is clipped against the domain on *all four* sides, so a rectangle
+        overhanging any boundary (below ``x_min``/``y_min`` just as much as beyond
+        ``x_max``/``y_max``) only counts the part it actually covers, and a query
+        entirely outside the domain covers nothing.
+        """
+        width = max(min(self.x_hi, domain.x_max) - max(self.x_lo, domain.x_min), 0.0)
+        height = max(min(self.y_hi, domain.y_max) - max(self.y_lo, domain.y_min), 0.0)
+        return width * height / domain.area
 
     def true_answer(self, points: np.ndarray) -> float:
         """Fraction of the raw points inside the query rectangle."""

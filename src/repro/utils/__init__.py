@@ -8,6 +8,14 @@ plumbing shared by datasets, mechanisms and metrics lives in
 :mod:`repro.utils.histogram`.
 """
 
+from repro.utils.histogram import (
+    counts_to_distribution,
+    distribution_to_counts,
+    flatten_grid,
+    grid_cell_centers,
+    points_to_grid_counts,
+    unflatten_grid,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
     check_epsilon,
@@ -18,14 +26,6 @@ from repro.utils.validation import (
     check_radius,
 )
 from repro.utils.visual import ascii_heatmap, side_by_side, sparkline
-from repro.utils.histogram import (
-    counts_to_distribution,
-    distribution_to_counts,
-    flatten_grid,
-    grid_cell_centers,
-    points_to_grid_counts,
-    unflatten_grid,
-)
 
 __all__ = [
     "ensure_rng",

@@ -58,20 +58,22 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     )
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent generators from one seed.
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent child :class:`~numpy.random.SeedSequence` objects.
 
-    The child streams are produced with :meth:`numpy.random.SeedSequence.spawn`, so
-    they are statistically independent regardless of ``count``.  When ``seed`` is a
-    ``Generator``, children are derived from fresh entropy drawn from it, which keeps
-    the call deterministic for a seeded parent.
+    This is the picklable half of :func:`spawn_rngs`: a ``SeedSequence`` travels
+    across process boundaries, so the parallel execution engine ships one child per
+    shard to its worker pool and every worker builds its own generator locally.
+    The derivation is exactly the one :func:`spawn_rngs` uses, so a serial run over
+    ``spawn_rngs(seed, count)`` and a parallel run over
+    ``spawn_seed_sequences(seed, count)`` consume identical random streams.
 
     Parameters
     ----------
     seed:
         Any accepted seed form (see :func:`ensure_rng`).
     count:
-        Number of child generators, must be positive.
+        Number of child sequences, must be positive.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
@@ -85,7 +87,65 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
         sequence = np.random.SeedSequence()
     else:
         sequence = np.random.SeedSequence(int(seed))
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+    return sequence.spawn(count)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    The child streams are produced with :meth:`numpy.random.SeedSequence.spawn` (via
+    :func:`spawn_seed_sequences`), so they are statistically independent regardless of
+    ``count``.  When ``seed`` is a ``Generator``, children are derived from fresh
+    entropy drawn from it, which keeps the call deterministic for a seeded parent.
+
+    Parameters
+    ----------
+    seed:
+        Any accepted seed form (see :func:`ensure_rng`).
+    count:
+        Number of child generators, must be positive.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
+
+
+def supports_stream_splitting(rng: np.random.Generator) -> bool:
+    """Whether ``rng``'s bit generator can be split positionally with ``advance``.
+
+    PCG64 (the ``default_rng`` family), PCG64DXSM and Philox expose ``advance``;
+    MT19937 does not.  The parallel engine's ``"stream"`` RNG mode needs it.
+    """
+    return hasattr(rng.bit_generator, "advance")
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state (a picklable plain dict)."""
+    return rng.bit_generator.state
+
+
+def generator_from_state(state: dict, advance_by: int = 0) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot, optionally advanced.
+
+    ``advance_by`` is measured in 64-bit draws.  Because every batch sampler in this
+    library consumes exactly one ``rng.random()`` double (one 64-bit draw) per user in
+    input order, a worker that advances a shared base state by the number of users in
+    all preceding shards reproduces, bit for bit, the uniforms a serial pass would
+    have handed to its shard — this is what makes the parallel pipeline's ``"stream"``
+    mode exactly equivalent to the serial one.
+    """
+    name = state["bit_generator"]
+    try:
+        bit_generator = getattr(np.random, name)()
+    except AttributeError as exc:  # pragma: no cover - exotic third-party bit generators
+        raise ValueError(f"unknown bit generator {name!r} in state snapshot") from exc
+    bit_generator.state = state
+    if advance_by:
+        if not hasattr(bit_generator, "advance"):
+            raise ValueError(
+                f"bit generator {name!r} does not support advance(); "
+                "use the 'spawn' RNG mode for parallel execution instead"
+            )
+        bit_generator.advance(int(advance_by))
+    return np.random.Generator(bit_generator)
 
 
 def sample_categorical(

@@ -22,7 +22,6 @@ from repro.core.geometry import disk_offset_array
 from repro.core.huem import DiscreteHUEM, huem_cell_masses
 from repro.core.operator import (
     DenseTransitionOperator,
-    DiskTransitionOperator,
     build_disk_operator,
 )
 from repro.core.postprocess import expectation_maximization

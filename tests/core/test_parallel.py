@@ -1,0 +1,303 @@
+"""Tests for repro.core.parallel — the sharded execution engine.
+
+The headline property is *bit*-equality: a parallel run must not merely be
+statistically equivalent to the serial pipeline, it must produce the identical
+floating-point estimate for every worker count and shard size.  Everything here
+asserts exact array equality, never approximate closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.core.estimator import ShardAggregate, StreamingAggregator
+from repro.core.parallel import ParallelPipeline
+from repro.core.pipeline import DAMPipeline
+from repro.utils.rng import (
+    generator_from_state,
+    generator_state,
+    spawn_seed_sequences,
+    supports_stream_splitting,
+)
+
+
+@pytest.fixture(scope="module")
+def domain() -> SpatialDomain:
+    return SpatialDomain.unit("parallel")
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    cluster = rng.normal([0.4, 0.55], 0.1, size=(6000, 2))
+    background = rng.random((3000, 2))
+    return np.clip(np.vstack([cluster, background]), 0.0, 1.0)
+
+
+def _identical(a, b) -> bool:
+    return (
+        np.array_equal(a.estimate.probabilities, b.estimate.probabilities)
+        and np.array_equal(a.noisy_counts, b.noisy_counts)
+        and np.array_equal(
+            a.true_distribution.probabilities, b.true_distribution.probabilities
+        )
+        and a.n_users == b.n_users
+    )
+
+
+class TestRngHelpers:
+    def test_spawn_seed_sequences_match_spawn_rngs(self):
+        from repro.utils.rng import spawn_rngs
+
+        rngs = spawn_rngs(5, 3)
+        children = spawn_seed_sequences(5, 3)
+        for rng, child in zip(rngs, children):
+            assert rng.random(4).tolist() == np.random.default_rng(child).random(4).tolist()
+
+    def test_spawn_seed_sequences_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, 0)
+
+    def test_generator_state_roundtrip_with_advance(self):
+        serial = np.random.default_rng(13)
+        expected = serial.random(10)
+        state = generator_state(np.random.default_rng(13))
+        head = generator_from_state(state).random(6)
+        tail = generator_from_state(state, advance_by=6).random(4)
+        assert np.array_equal(expected, np.concatenate([head, tail]))
+
+    def test_supports_stream_splitting(self):
+        assert supports_stream_splitting(np.random.default_rng(0))
+        mt = np.random.Generator(np.random.MT19937(0))
+        assert not supports_stream_splitting(mt)
+
+    def test_advance_on_mt19937_rejected(self):
+        state = generator_state(np.random.Generator(np.random.MT19937(0)))
+        with pytest.raises(ValueError, match="advance"):
+            generator_from_state(state, advance_by=3)
+
+
+class TestMerge:
+    def _aggregators(self, domain):
+        grid = GridSpec(domain, 4)
+        mechanism = DiscreteDAM(grid, 2.0)
+        return (
+            mechanism,
+            mechanism.streaming_aggregator(seed=1),
+            mechanism.streaming_aggregator(seed=2),
+        )
+
+    def test_merge_equals_sequential_ingestion(self, domain, points):
+        grid = GridSpec(domain, 4)
+        mechanism = DiscreteDAM(grid, 2.0)
+        shard_a, shard_b = points[:4000], points[4000:]
+
+        sequential = mechanism.streaming_aggregator(seed=0)
+        sequential.add_points(shard_a)
+        state_after_a = generator_state(sequential._rng)
+        sequential.add_points(shard_b)
+
+        left = mechanism.streaming_aggregator(seed=0)
+        left.add_points(shard_a)
+        right = mechanism.streaming_aggregator(seed=generator_from_state(state_after_a))
+        right.add_points(shard_b)
+        left.merge(right)
+
+        assert np.array_equal(left.noisy_counts, sequential.noisy_counts)
+        assert np.array_equal(left.true_cell_counts, sequential.true_cell_counts)
+        assert left.n_users == sequential.n_users
+
+    def test_merge_accepts_shard_aggregate(self, domain, points):
+        mechanism, a, b = self._aggregators(domain)
+        a.add_points(points[:100])
+        b.add_points(points[100:300])
+        snapshot = b.state()
+        assert isinstance(snapshot, ShardAggregate)
+        a.merge(snapshot)
+        assert a.n_users == 300
+
+    def test_state_is_a_snapshot(self, domain, points):
+        _, a, _ = self._aggregators(domain)
+        a.add_points(points[:100])
+        snapshot = a.state()
+        a.add_points(points[100:200])
+        assert snapshot.n_users == 100
+        assert a.n_users == 200
+
+    def test_merge_rejects_mismatched_output_domain(self, domain, points):
+        grid = GridSpec(domain, 4)
+        a = DiscreteDAM(grid, 2.0, b_hat=1).streaming_aggregator()
+        b = DiscreteDAM(grid, 2.0, b_hat=2).streaming_aggregator()
+        b.add_points(points[:10])
+        with pytest.raises(ValueError, match="output domains"):
+            a.merge(b)
+
+    def test_merge_rejects_mismatched_grid(self, domain, points):
+        a = DiscreteDAM(GridSpec(domain, 4), 2.0, b_hat=1).streaming_aggregator()
+        b = DiscreteDAM(GridSpec(domain, 5), 2.0, b_hat=1).streaming_aggregator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_wrong_type(self, domain):
+        _, a, _ = self._aggregators(domain)
+        with pytest.raises(TypeError):
+            a.merge({"noisy_counts": [1.0]})
+
+
+class TestStreamModeBitEquality:
+    def test_matches_batch_run(self, domain, points):
+        serial = DAMPipeline(domain, 8, 2.0).run(points, seed=7)
+        parallel = ParallelPipeline(domain, 8, 2.0, workers=2, shard_size=2500).run(
+            points, seed=7
+        )
+        assert _identical(serial, parallel)
+        assert parallel.info["parallel"] is True
+        assert parallel.info["n_shards"] == 4
+
+    def test_matches_run_stream(self, domain, points):
+        chunks = np.array_split(points, 5)
+        serial = DAMPipeline(domain, 8, 2.0).run_stream(chunks, seed=11)
+        parallel = ParallelPipeline(domain, 8, 2.0, workers=2).run_stream(chunks, seed=11)
+        assert _identical(serial, parallel)
+
+    def test_invariant_to_shard_size(self, domain, points):
+        fine = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=137).run(
+            points, seed=3
+        )
+        coarse = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=5000).run(
+            points, seed=3
+        )
+        assert _identical(fine, coarse)
+
+    @pytest.mark.parametrize("mechanism", ["dam", "dam-ns", "huem"])
+    @pytest.mark.parametrize("backend", ["operator", "dense"])
+    def test_all_mechanisms_and_backends(self, domain, points, mechanism, backend):
+        serial = DAMPipeline(domain, 6, 2.0, mechanism=mechanism, backend=backend).run(
+            points[:3000], seed=5
+        )
+        parallel = ParallelPipeline(
+            domain, 6, 2.0, mechanism=mechanism, backend=backend,
+            workers=1, shard_size=800,
+        ).run(points[:3000], seed=5)
+        assert _identical(serial, parallel)
+
+    def test_leaves_caller_generator_in_serial_state(self, domain, points):
+        serial_rng = np.random.default_rng(21)
+        parallel_rng = np.random.default_rng(21)
+        DAMPipeline(domain, 6, 2.0).run(points, seed=serial_rng)
+        ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1000).run(
+            points, seed=parallel_rng
+        )
+        assert np.array_equal(serial_rng.random(8), parallel_rng.random(8))
+
+    def test_drops_points_outside_domain_like_serial(self, domain, points):
+        shifted = points.copy()
+        shifted[::10] += 5.0  # push every tenth point outside the unit square
+        serial = DAMPipeline(domain, 6, 2.0).run(shifted, seed=2)
+        parallel = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=999).run(
+            shifted, seed=2
+        )
+        assert _identical(serial, parallel)
+        assert parallel.info["dropped_points"] == serial.info["dropped_points"]
+
+    def test_mt19937_seed_rejected(self, domain, points):
+        pipeline = ParallelPipeline(domain, 6, 2.0, workers=1)
+        mt = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValueError, match="advance"):
+            pipeline.run(points, seed=mt)
+
+    @given(
+        n_points=st.integers(min_value=1, max_value=400),
+        shard_size=st.integers(min_value=1, max_value=150),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_bit_equal_to_serial(self, n_points, shard_size, seed):
+        domain = SpatialDomain.unit()
+        pts = np.random.default_rng(seed).random((n_points, 2))
+        serial = DAMPipeline(domain, 5, 2.0).run(pts, seed=seed)
+        parallel = ParallelPipeline(
+            domain, 5, 2.0, workers=1, shard_size=shard_size
+        ).run(pts, seed=seed)
+        assert _identical(serial, parallel)
+
+
+class TestSpawnMode:
+    def test_invariant_to_worker_count(self, domain, points):
+        one = ParallelPipeline(
+            domain, 8, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
+        ).run(points, seed=9)
+        three = ParallelPipeline(
+            domain, 8, 2.0, workers=3, shard_size=2000, rng_mode="spawn"
+        ).run(points, seed=9)
+        assert _identical(one, three)
+
+    def test_deterministic_in_seed(self, domain, points):
+        def run_once():
+            return ParallelPipeline(
+                domain, 8, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
+            ).run(points, seed=9)
+
+        assert _identical(run_once(), run_once())
+
+    def test_works_with_mt19937(self, domain, points):
+        pipeline = ParallelPipeline(
+            domain, 6, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
+        )
+        mt = np.random.Generator(np.random.MT19937(4))
+        result = pipeline.run(points, seed=mt)
+        assert result.n_users == points.shape[0]
+
+
+class TestValidation:
+    def test_bad_workers(self, domain):
+        with pytest.raises(ValueError):
+            ParallelPipeline(domain, 5, 2.0, workers=0)
+
+    def test_bad_shard_size(self, domain):
+        with pytest.raises(ValueError):
+            ParallelPipeline(domain, 5, 2.0, shard_size=0)
+
+    def test_bad_rng_mode(self, domain):
+        with pytest.raises(ValueError):
+            ParallelPipeline(domain, 5, 2.0, rng_mode="shared")
+
+    def test_bad_point_shape(self, domain):
+        with pytest.raises(ValueError):
+            ParallelPipeline(domain, 5, 2.0, workers=1).run(np.zeros((10, 3)), seed=0)
+
+    def test_no_points_inside(self, domain):
+        with pytest.raises(ValueError, match="no points inside"):
+            ParallelPipeline(domain, 5, 2.0, workers=1).run(
+                np.full((10, 2), 7.0), seed=0
+            )
+
+    def test_default_workers_positive(self, domain):
+        assert ParallelPipeline(domain, 5, 2.0).workers >= 1
+
+
+class TestMultiprocessEquality:
+    """One real multi-process run per mode (the rest use the inline path for speed)."""
+
+    def test_pool_matches_inline_stream(self, domain, points):
+        inline = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1500).run(
+            points, seed=17
+        )
+        pooled = ParallelPipeline(domain, 6, 2.0, workers=4, shard_size=1500).run(
+            points, seed=17
+        )
+        assert _identical(inline, pooled)
+
+    def test_pool_matches_inline_spawn(self, domain, points):
+        inline = ParallelPipeline(
+            domain, 6, 2.0, workers=1, shard_size=1500, rng_mode="spawn"
+        ).run(points, seed=17)
+        pooled = ParallelPipeline(
+            domain, 6, 2.0, workers=4, shard_size=1500, rng_mode="spawn"
+        ).run(points, seed=17)
+        assert _identical(inline, pooled)

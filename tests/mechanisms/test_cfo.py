@@ -7,7 +7,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.domain import GridSpec
 from repro.mechanisms.cfo import (
     BucketCFOMechanism,
     GeneralizedRandomizedResponse,

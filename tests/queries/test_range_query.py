@@ -48,6 +48,20 @@ class TestRangeQuery:
     def test_area_fraction_clipped_to_domain(self, domain):
         assert RangeQuery(-1.0, 2.0, -1.0, 2.0).area_fraction(domain) == pytest.approx(1.0)
 
+    def test_area_fraction_clips_low_side(self, domain):
+        """A query overhanging x_min/y_min must only count its in-domain part."""
+        assert RangeQuery(-0.5, 0.5, 0.0, 1.0).area_fraction(domain) == pytest.approx(0.5)
+        assert RangeQuery(0.0, 1.0, -0.25, 0.25).area_fraction(domain) == pytest.approx(0.25)
+        assert RangeQuery(-1.0, 0.5, -1.0, 0.5).area_fraction(domain) == pytest.approx(0.25)
+
+    def test_area_fraction_outside_domain_is_zero(self, domain):
+        assert RangeQuery(-2.0, -1.0, 0.0, 1.0).area_fraction(domain) == 0.0
+        assert RangeQuery(0.0, 1.0, 1.5, 2.5).area_fraction(domain) == 0.0
+
+    def test_area_fraction_non_unit_domain(self):
+        domain = SpatialDomain(10.0, 30.0, 100.0, 120.0)
+        assert RangeQuery(0.0, 20.0, 90.0, 110.0).area_fraction(domain) == pytest.approx(0.25)
+
 
 class TestFlatEngine:
     def test_full_domain_query_sums_to_one(self, domain, points):

@@ -71,6 +71,30 @@ class TestEstimateCommand:
         assert code == 0
         assert "mechanism: HUEM" in capsys.readouterr().out
 
+    def test_estimate_with_workers_matches_serial(self, csv_points, capsys):
+        serial_code = main(
+            ["estimate", "--input", str(csv_points), "--d", "5", "--seed", "2"]
+        )
+        serial_out = capsys.readouterr().out
+        parallel_code = main(
+            ["estimate", "--input", str(csv_points), "--d", "5", "--seed", "2",
+             "--workers", "2", "--chunk-size", "200"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert serial_code == parallel_code == 0
+        # Same W2 line and same printed estimate: the parallel path is bit-identical.
+        assert serial_out == parallel_out
+
+    def test_estimate_rejects_bad_workers(self, csv_points):
+        with pytest.raises(SystemExit):
+            main(["estimate", "--input", str(csv_points), "--workers", "0"])
+
+    @pytest.mark.parametrize("chunk_size", ["0", "-5"])
+    def test_estimate_rejects_bad_chunk_size_with_workers(self, csv_points, chunk_size):
+        with pytest.raises(SystemExit):
+            main(["estimate", "--input", str(csv_points),
+                  "--workers", "2", "--chunk-size", chunk_size])
+
 
 class TestFigureCommand:
     def test_fig8_smoke_run(self, capsys, tmp_path):
@@ -87,3 +111,18 @@ class TestFigureCommand:
         assert "DAM" in out
         assert "| dataset |" in out
         assert csv_path.exists() and json_path.exists()
+
+    def test_fig8_workers_and_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = ["figure", "fig8", "--profile", "smoke",
+                "--workers", "2", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert any(cache_dir.rglob("*.json"))
+        # Warm re-run answers every cell from the cache with identical output.
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold_out
+
+    def test_figure_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig8", "--workers", "0"])

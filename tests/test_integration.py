@@ -14,8 +14,8 @@ import pytest
 from repro.core import DiscreteDAM, DiscreteHUEM, GridSpec, SpatialDomain, estimate_spatial_distribution
 from repro.datasets.loader import load_dataset
 from repro.experiments.config import smoke_config
-from repro.experiments.runner import evaluate_on_part, sweep_parameter
 from repro.experiments.reporting import mean_error
+from repro.experiments.runner import evaluate_on_part, sweep_parameter
 from repro.mechanisms import MDSW, SEMGeoI
 from repro.metrics import local_privacy_of_mechanism, wasserstein2_grid
 

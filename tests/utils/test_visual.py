@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.domain import GridDistribution, GridSpec
+from repro.core.domain import GridDistribution
 from repro.utils.visual import ascii_heatmap, side_by_side, sparkline
 
 
