@@ -1,0 +1,120 @@
+"""Query-serving throughput: summed-area-table batch vs the seed per-query loop.
+
+Backs the acceptance criteria of the query-serving engine:
+
+* ``answer_batch`` over the summed-area table must deliver at least a **20x**
+  throughput improvement over the seed implementation (one dense O(d^2)
+  ``_cell_overlap_fractions`` pass per query in a Python loop) on a 64x64 grid with
+  10,000 queries;
+* the SAT answers must match the dense path to 1e-10 on the same workload (the
+  hypothesis equivalence property in ``tests/queries/test_engine.py`` pins this for
+  arbitrary grids; the benchmark re-asserts it at serving scale);
+* the mixed-workload replay driver reports the per-operation serving rates that back
+  the ROADMAP's heavy-traffic north star.
+
+Results are recorded to ``benchmarks/results/query_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.engine import QueryEngine, QueryLog, SummedAreaTable, WorkloadReplay
+from repro.queries.range_query import RangeQuery, _cell_overlap_fractions
+
+GRID_D = 64
+N_QUERIES = 10_000
+SPEEDUP_TARGET = 20.0
+PARITY_TOLERANCE = 1e-10
+
+
+def _seed_answer_loop(estimate: GridDistribution, queries: np.ndarray) -> np.ndarray:
+    """The seed serving path: one dense overlap pass per query, in a Python loop."""
+    answers = np.empty(queries.shape[0])
+    for index, (x_lo, x_hi, y_lo, y_hi) in enumerate(queries):
+        fractions = _cell_overlap_fractions(
+            estimate.grid, RangeQuery(x_lo, x_hi, y_lo, y_hi)
+        )
+        answers[index] = float((estimate.probabilities * fractions).sum())
+    return answers
+
+
+def _best_of(callable_, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def estimate() -> GridDistribution:
+    grid = GridSpec(SpatialDomain.unit("serving"), GRID_D)
+    rng = np.random.default_rng(7)
+    return GridDistribution(grid, rng.dirichlet(np.ones(GRID_D * GRID_D)))
+
+
+@pytest.fixture(scope="module")
+def workload(estimate) -> np.ndarray:
+    log = QueryLog.random(
+        estimate.grid.domain,
+        n_range=N_QUERIES,
+        min_fraction=0.02,
+        max_fraction=0.6,
+        seed=11,
+    )
+    return log.range_queries
+
+
+def test_batched_query_speedup(estimate, workload, record_result):
+    """SAT batch must beat the seed per-query loop by >= 20x at parity <= 1e-10."""
+    sat = SummedAreaTable(estimate)  # table built outside the timed region
+    sat_answers = sat.answer_batch(workload)
+    seed_answers = _seed_answer_loop(estimate, workload)
+    parity = float(np.abs(sat_answers - seed_answers).max())
+    assert parity <= PARITY_TOLERANCE
+
+    t_seed = _best_of(lambda: _seed_answer_loop(estimate, workload), repeats=2)
+    t_sat = _best_of(lambda: sat.answer_batch(workload))
+    speedup = t_seed / t_sat
+    record_result(
+        "query_throughput",
+        "\n".join(
+            [
+                f"grid: {GRID_D}x{GRID_D}   queries: {N_QUERIES}",
+                f"seed per-query loop: {t_seed:.4f} s "
+                f"({N_QUERIES / t_seed:,.0f} queries/s)",
+                f"SAT answer_batch:    {t_sat:.6f} s "
+                f"({N_QUERIES / t_sat:,.0f} queries/s)",
+                f"speedup: {speedup:.1f}x (target >= {SPEEDUP_TARGET}x)",
+                f"max |SAT - dense|: {parity:.2e} (tolerance {PARITY_TOLERANCE})",
+            ]
+        ),
+    )
+    assert speedup >= SPEEDUP_TARGET
+
+
+def test_mixed_workload_replay_rates(estimate, record_result):
+    """The full QueryEngine workload mix sustains serving-scale rates."""
+    engine = QueryEngine(estimate)
+    log = QueryLog.random(
+        estimate.grid.domain,
+        n_range=N_QUERIES,
+        n_density=N_QUERIES,
+        n_top_k=50,
+        n_quantiles=20,
+        n_marginals=20,
+        seed=13,
+    )
+    report, answers = WorkloadReplay(engine).replay(log)
+    record_result("query_workload_replay", report.format())
+    assert report.n_operations == log.size
+    assert set(answers) == {"range_mass", "point_density", "top_k", "quantiles", "marginals"}
+    # The batched kinds must comfortably clear 100k ops/sec even on slow CI workers.
+    assert report.per_kind["range_mass"]["ops_per_second"] > 100_000
+    assert report.per_kind["density"]["ops_per_second"] > 100_000

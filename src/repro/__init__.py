@@ -13,6 +13,8 @@ and baseline its evaluation depends on:
   Radon transforms, divergences and the Local Privacy calibration;
 * ``repro.datasets`` — the synthetic datasets and surrogates for Chicago Crime / NYC
   Taxi, plus the Appendix-D trajectory generator;
+* ``repro.queries`` — the range-query engines and the summed-area-table serving
+  subsystem (``QueryEngine``, ``WorkloadReplay``);
 * ``repro.trajectory`` — LDPTrace, PivotTrace and the trajectory-to-point adapter;
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
@@ -42,8 +44,16 @@ from repro.core import (
     optimal_radius,
 )
 from repro.metrics import sliced_wasserstein, wasserstein2_auto, wasserstein2_grid
+from repro.queries import (
+    QueryEngine,
+    QueryLog,
+    RangeQuery,
+    RangeQueryWorkload,
+    SummedAreaTable,
+    WorkloadReplay,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DAMPipeline",
@@ -58,6 +68,12 @@ __all__ = [
     "estimate_spatial_distribution",
     "grid_radius",
     "optimal_radius",
+    "QueryEngine",
+    "QueryLog",
+    "RangeQuery",
+    "RangeQueryWorkload",
+    "SummedAreaTable",
+    "WorkloadReplay",
     "sliced_wasserstein",
     "wasserstein2_auto",
     "wasserstein2_grid",

@@ -260,6 +260,9 @@ class GridDistribution:
 
     grid: GridSpec
     probabilities: np.ndarray = field(repr=False)
+    _cumulative: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.probabilities, dtype=float)
@@ -284,6 +287,22 @@ class GridDistribution:
     def flat(self) -> np.ndarray:
         """Row-major flattened probability vector of length ``d*d``."""
         return flatten_grid(self.probabilities)
+
+    def cumulative(self) -> np.ndarray:
+        """Zero-padded 2-D prefix sums (summed-area table), shape ``(d+1, d+1)``.
+
+        ``cumulative()[i, j]`` is the total mass of the cell block with rows ``< i``
+        and columns ``< j``, so any axis-aligned block sum costs four lookups.  The
+        table is computed once and cached; ``probabilities`` is treated as immutable
+        after construction (as everywhere else in the library).  This is the substrate
+        of the O(1) range-query path in :mod:`repro.queries.engine`.
+        """
+        if self._cumulative is None:
+            table = np.zeros((self.grid.d + 1, self.grid.d + 1))
+            np.cumsum(self.probabilities, axis=0, out=table[1:, 1:])
+            np.cumsum(table[1:, 1:], axis=1, out=table[1:, 1:])
+            self._cumulative = table
+        return self._cumulative
 
     def expected_counts(self, n: int) -> np.ndarray:
         """Expected per-cell counts when ``n`` users are drawn from this distribution."""

@@ -41,6 +41,8 @@ from repro.mechanisms.mdsw import MDSW
 from repro.mechanisms.sem_geo_i import SEMGeoI
 from repro.metrics.local_privacy import calibrate_epsilon, local_privacy_of_mechanism
 from repro.metrics.wasserstein import wasserstein2_auto
+from repro.queries.engine import QueryEngine
+from repro.queries.range_query import RangeQueryWorkload
 from repro.utils.rng import ensure_rng, spawn_seed_sequences
 
 #: Mechanism names accepted by :func:`build_mechanism`.
@@ -203,6 +205,57 @@ def evaluate_on_part(
     )
 
 
+#: Range-query workload used by the ``"range-mae"`` sweep metric: queries per part
+#: and the side-length fractions (the short-to-mid range mix of the HIO/HDG papers).
+RANGE_QUERY_WORKLOAD_SIZE: int = 64
+RANGE_QUERY_FRACTIONS: tuple[float, float] = (0.05, 0.5)
+
+
+def evaluate_range_queries_on_part(
+    mechanism_name: str,
+    points: np.ndarray,
+    domain: SpatialDomain,
+    d: int,
+    epsilon: float,
+    *,
+    b_hat: int | None = None,
+    seed=None,
+    calibrate_sem: bool = True,
+    max_users: int | None = None,
+    normalise_domain: bool = True,
+    backend: str = "operator",
+    n_queries: int = RANGE_QUERY_WORKLOAD_SIZE,
+) -> float:
+    """Range-query MAE of one mechanism on one dataset part.
+
+    The mechanism's estimate is served through the summed-area-table
+    :class:`~repro.queries.engine.QueryEngine` and scored against the raw points on a
+    random rectangular workload — the range-query counterpart of
+    :func:`evaluate_on_part`'s ``W2`` error.
+    """
+    rng = ensure_rng(seed)
+    pts = np.asarray(points, dtype=float)
+    pts = pts[domain.contains(pts)]
+    if max_users is not None and pts.shape[0] > max_users:
+        chosen = rng.choice(pts.shape[0], size=max_users, replace=False)
+        pts = pts[chosen]
+    if normalise_domain:
+        pts = domain.normalise(pts)
+        domain = SpatialDomain.unit(domain.name or "unit")
+    grid = GridSpec(domain, d)
+    mechanism = build_mechanism(
+        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        backend=backend,
+    )
+    report = mechanism.run(pts, seed=rng)
+    low, high = RANGE_QUERY_FRACTIONS
+    workload = RangeQueryWorkload.random(
+        domain, n_queries, min_fraction=low, max_fraction=high, seed=rng
+    )
+    answers = QueryEngine(report.estimate).range_mass(workload.as_array())
+    return workload.mean_absolute_error(answers, pts)
+
+
 def _evaluate_repeat(
     repeat_seed,
     *,
@@ -212,6 +265,7 @@ def _evaluate_repeat(
     epsilon: float,
     b_hat: int | None,
     config: ExperimentConfig,
+    metric: str = "w2",
 ) -> float:
     """One repetition: run the mechanism on every dataset part, average the errors.
 
@@ -220,22 +274,41 @@ def _evaluate_repeat(
     parallelism — fanning out repetitions reproduces the serial numbers bit for bit.
     """
     rng = ensure_rng(repeat_seed)
-    part_errors = [
-        evaluate_on_part(
-            mechanism_name,
-            points,
-            domain,
-            d,
-            epsilon,
-            b_hat=b_hat,
-            seed=rng,
-            exact_cell_limit=config.exact_cell_limit,
-            calibrate_sem=config.calibrate_sem,
-            max_users=config.max_users_per_part,
-            backend=config.backend,
-        )
-        for _, points, domain in dataset.parts
-    ]
+    if metric == "w2":
+        part_errors = [
+            evaluate_on_part(
+                mechanism_name,
+                points,
+                domain,
+                d,
+                epsilon,
+                b_hat=b_hat,
+                seed=rng,
+                exact_cell_limit=config.exact_cell_limit,
+                calibrate_sem=config.calibrate_sem,
+                max_users=config.max_users_per_part,
+                backend=config.backend,
+            )
+            for _, points, domain in dataset.parts
+        ]
+    elif metric == "range-mae":
+        part_errors = [
+            evaluate_range_queries_on_part(
+                mechanism_name,
+                points,
+                domain,
+                d,
+                epsilon,
+                b_hat=b_hat,
+                seed=rng,
+                calibrate_sem=config.calibrate_sem,
+                max_users=config.max_users_per_part,
+                backend=config.backend,
+            )
+            for _, points, domain in dataset.parts
+        ]
+    else:
+        raise ValueError(f"unknown sweep metric {metric!r}; expected 'w2' or 'range-mae'")
     return float(np.mean(part_errors))
 
 
@@ -265,9 +338,12 @@ def evaluate_on_dataset(
     b_hat: int | None = None,
     seed=None,
     workers: int = 1,
+    metric: str = "w2",
 ) -> tuple[float, float]:
-    """Mean and standard deviation of ``W2`` over repetitions and dataset parts.
+    """Mean and standard deviation of the error over repetitions and dataset parts.
 
+    ``metric`` selects the error: ``"w2"`` (the paper's Wasserstein protocol) or
+    ``"range-mae"`` (range-query mean absolute error through the serving engine).
     ``workers > 1`` fans the repetitions out to a process pool; each repetition owns
     an independent spawned child stream, so the returned statistics are identical to
     the serial run for every worker count.
@@ -283,6 +359,7 @@ def evaluate_on_dataset(
         epsilon=epsilon,
         b_hat=b_hat,
         config=config,
+        metric=metric,
     )
     if workers > 1 and len(repeat_seeds) > 1:
         with ProcessPoolExecutor(
@@ -322,6 +399,7 @@ class SweepCell:
     b_hat: int | None
     seed: int
     full_domain: bool
+    metric: str = "w2"
 
 
 def _cell_seed(config: ExperimentConfig, dataset_name: str, mechanism_name: str) -> int:
@@ -345,6 +423,7 @@ def _evaluate_sweep_cell(cell: SweepCell, *, config: ExperimentConfig) -> Measur
         config,
         b_hat=cell.b_hat,
         seed=cell.seed,
+        metric=cell.metric,
     )
     return MeasurementPoint(
         dataset=cell.dataset,
@@ -354,7 +433,12 @@ def _evaluate_sweep_cell(cell: SweepCell, *, config: ExperimentConfig) -> Measur
         w2_mean=mean,
         w2_std=std,
         n_repeats=config.n_repeats,
-        details={"d": cell.d, "epsilon": cell.epsilon, "b_hat": cell.b_hat},
+        details={
+            "d": cell.d,
+            "epsilon": cell.epsilon,
+            "b_hat": cell.b_hat,
+            "metric": cell.metric,
+        },
     )
 
 
@@ -383,6 +467,12 @@ def _cell_cache_key(cell: SweepCell, config: ExperimentConfig) -> str:
             "calibrate_sem": config.calibrate_sem,
             "max_users_per_part": config.max_users_per_part,
             "backend": config.backend,
+            "metric": cell.metric,
+            "range_query_workload": (
+                (RANGE_QUERY_WORKLOAD_SIZE, RANGE_QUERY_FRACTIONS)
+                if cell.metric == "range-mae"
+                else None
+            ),
         }
     )
 
@@ -421,6 +511,7 @@ def plan_sweep(
     *,
     full_domain: bool = False,
     datasets: tuple[str, ...] | None = None,
+    metric: str = "w2",
 ) -> list[SweepCell]:
     """Expand a sweep into its independent cells, in the canonical (serial) order."""
     if parameter_name not in ("d", "epsilon", "b_scale"):
@@ -451,6 +542,7 @@ def plan_sweep(
                         b_hat=b_hat,
                         seed=_cell_seed(config, dataset_name, mechanism_name),
                         full_domain=full_domain,
+                        metric=metric,
                     )
                 )
     return cells
@@ -467,12 +559,13 @@ def sweep_parameter(
     datasets: tuple[str, ...] | None = None,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    metric: str = "w2",
 ) -> SweepResult:
     """Run a full sweep: every (dataset, mechanism, parameter value) combination.
 
     ``parameter_name`` is ``"d"``, ``"epsilon"`` or ``"b_scale"``; the non-swept
-    parameters take the config defaults.  This is the workhorse every figure bench
-    calls.
+    parameters take the config defaults.  ``metric`` selects the per-cell error
+    (``"w2"`` or ``"range-mae"``).  This is the workhorse every figure bench calls.
 
     Cells are independent, so with ``workers > 1`` (default: ``config.workers``)
     they are fanned out to a process pool, and with a cache (default: a
@@ -488,6 +581,7 @@ def sweep_parameter(
         config,
         full_domain=full_domain,
         datasets=datasets,
+        metric=metric,
     )
     if workers is None:
         workers = config.workers
@@ -522,6 +616,38 @@ def sweep_parameter(
                 cache.put(key, _point_to_payload(point))
 
     return SweepResult(name=sweep_name, points=list(points))
+
+
+def sweep_range_query_error(
+    sweep_name: str,
+    parameter_name: str,
+    parameter_values: tuple,
+    mechanisms: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    datasets: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """Sweep the range-query MAE instead of ``W2`` (the serving-accuracy panel).
+
+    Each cell runs the mechanism, serves a random rectangular workload through the
+    summed-area-table :class:`~repro.queries.engine.QueryEngine` and scores the
+    answers against the raw points — the measurement behind the "DAM + range query"
+    combination the paper proposes.  Pool fan-out and the content-addressed cache
+    work exactly as in :func:`sweep_parameter`.
+    """
+    return sweep_parameter(
+        sweep_name,
+        parameter_name,
+        parameter_values,
+        mechanisms,
+        config,
+        datasets=datasets,
+        workers=workers,
+        cache=cache,
+        metric="range-mae",
+    )
 
 
 def _resolve_parameters(

@@ -84,9 +84,22 @@ class HDG(SpatialMechanism):
         self._marginal_reports_x = self.marginal_oracle_x.privatize(cols, seed=rng)
         self._marginal_reports_y = self.marginal_oracle_y.privatize(rows, seed=rng)
         self._group_sizes = (int(joint_mask.sum()), int((~joint_mask).sum()))
-        # The generic report stream carries the coarse assignment of every user (the
-        # actual estimation uses the stored raw OUE reports).
-        return self._coarse_cell(cells)
+        # The generic report stream (what the privacy audit sees and what would leave
+        # the device alongside the raw OUE bits) must be a post-processed function of
+        # the *privatized* reports only — an earlier revision returned the true coarse
+        # assignment here, silently leaking every user's location through the generic
+        # aggregation path.  Joint-group users contribute the argmax of their OUE bit
+        # vector; marginal-group users the coarse cell implied by their two noisy
+        # marginal argmaxes.  Both are pure post-processing, so the stream inherits
+        # the oracles' epsilon-LDP guarantee (estimation keeps using the raw reports).
+        stream = np.empty(n, dtype=np.int64)
+        stream[joint_mask] = np.argmax(self._joint_reports, axis=1)
+        noisy_cols = np.argmax(self._marginal_reports_x, axis=1)
+        noisy_rows = np.argmax(self._marginal_reports_y, axis=1)
+        coarse_rows = (noisy_rows * self.coarse_d) // self.grid.d
+        coarse_cols = (noisy_cols * self.coarse_d) // self.grid.d
+        stream[~joint_mask] = coarse_rows * self.coarse_d + coarse_cols
+        return stream
 
     def estimate(self, noisy_counts: np.ndarray, n_users: int) -> GridDistribution:
         if self._joint_reports is None:

@@ -101,12 +101,19 @@ def audit_mechanism(
     *,
     n_pairs: int = 5,
     n_trials: int = 20_000,
+    confidence_z: float = 3.0,
     seed=None,
 ) -> list[PrivacyAuditResult]:
     """Audit several randomly chosen input pairs, always including the two far corners.
 
     The far-corner pair maximises the distance between the two inputs' high-probability
     disks and is where a broken disk mechanism is most likely to overshoot its budget.
+
+    Because the audit takes the *maximum* log-ratio over all outputs, ``n_trials``
+    should scale with :meth:`output_domain_size` (a few hundred trials per output is a
+    good rule of thumb): with too few trials per output, the max-selection inflates
+    the point estimate faster than the per-output confidence bound can compensate,
+    and the audit starts flagging correct mechanisms.
     """
     rng = ensure_rng(seed)
     n_cells = mechanism.grid.n_cells
@@ -115,7 +122,10 @@ def audit_mechanism(
         a, b = rng.choice(n_cells, size=2, replace=False)
         pairs.append((int(a), int(b)))
     return [
-        audit_pairwise_privacy(mechanism, a, b, n_trials=n_trials, seed=rng) for a, b in pairs
+        audit_pairwise_privacy(
+            mechanism, a, b, n_trials=n_trials, confidence_z=confidence_z, seed=rng
+        )
+        for a, b in pairs
     ]
 
 

@@ -5,18 +5,45 @@ The paper's stated extension: combining DAM with hierarchical range-query method
 estimate; :class:`HierarchicalRangeQueryEngine` spreads users over a coarse-to-fine
 hierarchy of DAM estimates; :class:`RangeQueryWorkload` generates workloads and scores
 answers.
+
+The serving path lives in :mod:`repro.queries.engine`: a
+:class:`SummedAreaTable` gives every engine O(1) rectangle sums, the
+:class:`QueryEngine` façade serves the mixed analyst workload (range mass, point
+density, top-k hotspots, marginals, quantile contours), and
+:class:`WorkloadReplay` replays persisted :class:`QueryLog` traffic while measuring
+latency and throughput.
 """
 
+from repro.queries.engine import (
+    HotspotCells,
+    QuantileContour,
+    QueryEngine,
+    QueryLog,
+    ReplayReport,
+    SummedAreaTable,
+    WorkloadReplay,
+    queries_to_array,
+)
 from repro.queries.range_query import (
     FlatRangeQueryEngine,
     HierarchicalRangeQueryEngine,
     RangeQuery,
     RangeQueryWorkload,
+    dense_range_answer,
 )
 
 __all__ = [
     "FlatRangeQueryEngine",
     "HierarchicalRangeQueryEngine",
+    "HotspotCells",
+    "QuantileContour",
+    "QueryEngine",
+    "QueryLog",
     "RangeQuery",
     "RangeQueryWorkload",
+    "ReplayReport",
+    "SummedAreaTable",
+    "WorkloadReplay",
+    "dense_range_answer",
+    "queries_to_array",
 ]

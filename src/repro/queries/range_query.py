@@ -15,6 +15,25 @@ module implements that combination:
   range-query literature exploits.
 * :class:`RangeQueryWorkload` — random rectangular workloads plus the error metrics
   used by that literature (mean absolute error, relative error at a threshold).
+
+Summation is delegated to the summed-area-table engine
+(:class:`repro.queries.engine.SummedAreaTable`): instead of an O(d^2) dense overlap
+pass per query, each answer costs four O(1) corner lookups, and
+``answer_many``/``answer_batch`` answer a whole workload with a handful of vectorised
+operations.  The dense path is kept as :func:`dense_range_answer` — it is the
+reference implementation the property tests compare the SAT path against.
+
+Boundary convention
+-------------------
+``RangeQuery.true_answer`` counts raw points on the *closed* rectangle
+``[x_lo, x_hi] x [y_lo, y_hi]`` by default, matching the inclusive cell bucketisation
+of :meth:`repro.core.domain.GridSpec.point_to_cell`.  Estimated answers
+(:func:`_cell_overlap_fractions` and the SAT path) use continuous area overlap, for
+which boundaries are measure-zero — so a *single* query agrees with the closed
+convention, but two queries sharing an edge both count the points sitting exactly on
+it.  Workloads that tile the domain should pass ``closed="left"`` to
+``true_answer`` (half-open ``[lo, hi)`` intervals, upper domain boundary included) so
+every point is counted exactly once.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ import numpy as np
 
 from repro.core.dam import DiscreteDAM
 from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.engine import SummedAreaTable, queries_to_array
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import check_epsilon, check_grid_side
 
@@ -55,22 +75,52 @@ class RangeQuery:
         height = max(min(self.y_hi, domain.y_max) - max(self.y_lo, domain.y_min), 0.0)
         return width * height / domain.area
 
-    def true_answer(self, points: np.ndarray) -> float:
-        """Fraction of the raw points inside the query rectangle."""
+    def true_answer(
+        self,
+        points: np.ndarray,
+        *,
+        closed: str = "both",
+        domain: SpatialDomain | None = None,
+    ) -> float:
+        """Fraction of the raw points inside the query rectangle.
+
+        ``closed`` makes the boundary convention explicit (see the module docstring):
+
+        * ``"both"`` (default) — the closed rectangle ``[lo, hi]`` on both axes, the
+          paper's convention for a single query.  Points exactly on a shared edge of
+          two adjacent queries are counted by *both*.
+        * ``"left"`` — half-open ``[lo, hi)`` intervals, so edge-sharing queries that
+          tile the domain count every point exactly once.  When ``domain`` is given,
+          a query edge lying exactly on the domain's upper boundary stays inclusive
+          there (mirroring how :meth:`~repro.core.domain.GridSpec.point_to_cell`
+          clamps the last cell), so a tiling of the full domain still sums to 1.
+        """
+        if closed not in ("both", "left"):
+            raise ValueError(f"closed must be 'both' or 'left', got {closed!r}")
         pts = np.asarray(points, dtype=float)
         if pts.shape[0] == 0:
             return 0.0
-        inside = (
-            (pts[:, 0] >= self.x_lo)
-            & (pts[:, 0] <= self.x_hi)
-            & (pts[:, 1] >= self.y_lo)
-            & (pts[:, 1] <= self.y_hi)
-        )
+        inside = (pts[:, 0] >= self.x_lo) & (pts[:, 1] >= self.y_lo)
+        if closed == "both":
+            inside &= (pts[:, 0] <= self.x_hi) & (pts[:, 1] <= self.y_hi)
+        else:
+            x_inclusive = domain is not None and self.x_hi >= domain.x_max
+            y_inclusive = domain is not None and self.y_hi >= domain.y_max
+            inside &= pts[:, 0] <= self.x_hi if x_inclusive else pts[:, 0] < self.x_hi
+            inside &= pts[:, 1] <= self.y_hi if y_inclusive else pts[:, 1] < self.y_hi
         return float(inside.mean())
 
 
 def _cell_overlap_fractions(grid: GridSpec, query: RangeQuery) -> np.ndarray:
-    """Fraction of each grid cell's area covered by the query rectangle, shape (d, d)."""
+    """Fraction of each grid cell's area covered by the query rectangle, shape (d, d).
+
+    Continuous area-overlap convention (the clip handles overhanging and outside
+    rectangles on every side).  This is the seed O(d^2) reference path; the serving
+    engines answer through :class:`repro.queries.engine.SummedAreaTable`, which must
+    reproduce ``(probabilities * _cell_overlap_fractions(...)).sum()`` to ~1e-12 —
+    the hypothesis equivalence property in ``tests/queries/test_engine.py`` pins the
+    two paths together.
+    """
     d = grid.d
     x_edges = np.linspace(grid.domain.x_min, grid.domain.x_max, d + 1)
     y_edges = np.linspace(grid.domain.y_min, grid.domain.y_max, d + 1)
@@ -83,22 +133,36 @@ def _cell_overlap_fractions(grid: GridSpec, query: RangeQuery) -> np.ndarray:
     return np.outer(y_overlap, x_overlap)
 
 
+def dense_range_answer(estimate: GridDistribution, query: RangeQuery) -> float:
+    """Reference answer via the dense per-cell overlap pass (O(d^2) per query)."""
+    return float(
+        (estimate.probabilities * _cell_overlap_fractions(estimate.grid, query)).sum()
+    )
+
+
 class FlatRangeQueryEngine:
     """Answer range queries by summing one estimated grid distribution.
 
     Works with any estimate (DAM, MDSW, ...); border cells are included proportionally
     to their geometric overlap with the query (uniformity assumption within a cell).
+    Summation runs on the cached summed-area table — O(1) per query instead of the
+    dense O(d^2) pass — and :meth:`answer_batch` takes a structured ``(n, 4)`` array
+    without ever looping in Python.
     """
 
     def __init__(self, estimate: GridDistribution) -> None:
         self.estimate = estimate
+        self._sat = SummedAreaTable(estimate)
 
     def answer(self, query: RangeQuery) -> float:
-        fractions = _cell_overlap_fractions(self.estimate.grid, query)
-        return float((self.estimate.probabilities * fractions).sum())
+        return self._sat.answer(query)
 
     def answer_many(self, queries: Sequence[RangeQuery]) -> np.ndarray:
-        return np.array([self.answer(query) for query in queries])
+        return self._sat.answer_batch(queries)
+
+    def answer_batch(self, queries) -> np.ndarray:
+        """Batched answers for an ``(n, 4)`` array of ``[x_lo, x_hi, y_lo, y_hi]``."""
+        return self._sat.answer_batch(queries)
 
 
 @dataclass
@@ -106,6 +170,8 @@ class _HierarchyLevel:
     grid: GridSpec
     estimate: GridDistribution
     n_users: int
+    #: Summed-area table over this level's estimate, built once in ``fit``.
+    sat: SummedAreaTable | None = None
 
 
 class HierarchicalRangeQueryEngine:
@@ -162,7 +228,12 @@ class HierarchicalRangeQueryEngine:
             else:
                 estimate = mechanism.run(group, seed=level_rng).estimate
             self.levels.append(
-                _HierarchyLevel(grid=grid, estimate=estimate, n_users=int(group.shape[0]))
+                _HierarchyLevel(
+                    grid=grid,
+                    estimate=estimate,
+                    n_users=int(group.shape[0]),
+                    sat=SummedAreaTable(estimate),
+                )
             )
         return self
 
@@ -183,8 +254,7 @@ class HierarchicalRangeQueryEngine:
             total += covered
             if remaining is None:
                 return float(np.clip(total, 0.0, 1.0))
-        fractions = _cell_overlap_fractions(self.levels[-1].grid, remaining)
-        total += float((self.levels[-1].estimate.probabilities * fractions).sum())
+        total += self.levels[-1].sat.answer(remaining)
         return float(np.clip(total, 0.0, 1.0))
 
     def _consume_level(
@@ -243,12 +313,12 @@ class HierarchicalRangeQueryEngine:
             y_hi=max(s.y_hi for s in strips),
         )
         # Avoid double counting: subtract the inner block's overlap with the remainder
-        # rectangle when the finer level integrates it.
-        overlap = _cell_overlap_fractions(grid, remainder)
-        covered -= float(
-            (level.estimate.probabilities[row_lo:row_hi, col_lo:col_hi]
-             * overlap[row_lo:row_hi, col_lo:col_hi]).sum()
-        )
+        # rectangle when the finer level integrates it.  The overlap of two rectangles
+        # is a rectangle, so the correction is one O(1) summed-area-table evaluation.
+        ox_lo, ox_hi = max(remainder.x_lo, inner.x_lo), min(remainder.x_hi, inner.x_hi)
+        oy_lo, oy_hi = max(remainder.y_lo, inner.y_lo), min(remainder.y_hi, inner.y_hi)
+        if ox_lo < ox_hi and oy_lo < oy_hi:
+            covered -= float(level.sat.rectangle_mass(ox_lo, ox_hi, oy_lo, oy_hi))
         return covered, remainder
 
     def answer_many(self, queries: Sequence[RangeQuery]) -> np.ndarray:
@@ -284,6 +354,15 @@ class RangeQueryWorkload:
             y_lo = rng.uniform(domain.y_min, domain.y_max - height)
             queries.append(RangeQuery(x_lo, x_lo + width, y_lo, y_lo + height))
         return RangeQueryWorkload(queries=queries)
+
+    def as_array(self) -> np.ndarray:
+        """The workload as an ``(n, 4)`` ``[x_lo, x_hi, y_lo, y_hi]`` array.
+
+        This is the structured serving format :meth:`FlatRangeQueryEngine.answer_batch`
+        and :class:`repro.queries.engine.QueryEngine` consume without per-query
+        Python overhead.
+        """
+        return queries_to_array(self.queries)
 
     def true_answers(self, points: np.ndarray) -> np.ndarray:
         return np.array([query.true_answer(points) for query in self.queries])

@@ -1,16 +1,50 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and hypothesis profiles for the test suite.
 
 Fixtures are deliberately small (tiny grids, a few thousand points at most) so the full
 suite stays in the tens of seconds; statistical assertions use generous tolerances and
 fixed seeds so they are deterministic.
+
+Two hypothesis profiles are registered and selected with the ``HYPOTHESIS_PROFILE``
+environment variable (the CI workflow exports ``HYPOTHESIS_PROFILE=ci``):
+
+* ``default`` — local development: normal randomised search, no deadline (some
+  properties build transition matrices whose first run dwarfs any per-example
+  deadline).
+* ``ci`` — reproducible runs: ``derandomize=True`` (a fixed seed, so a red CI run is
+  replayable bit-for-bit), an explicit generous per-example deadline to catch
+  pathological blowups, and ``print_blob`` so failures ship their repro blob in the
+  log.
+
+The directory of this conftest is put on ``sys.path`` so every test module (including
+the ones in subdirectories) can import the shared strategy library ``strategies.py``.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+from datetime import timedelta
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+settings.register_profile("default", settings(deadline=None))
+settings.register_profile(
+    "ci",
+    settings(
+        derandomize=True,
+        deadline=timedelta(seconds=5),
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -6,8 +6,9 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
+import strategies
 from repro.core.dam import DiscreteDAM, DiscreteDAMNoShrink, DiskOutputDomain, build_disk_transition
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.geometry import disk_offset_array
@@ -112,9 +113,9 @@ class TestLocalDifferentialPrivacy:
         assert mech.ldp_ratio() <= math.exp(epsilon) * (1 + 1e-9)
 
     @given(
-        st.integers(min_value=2, max_value=8),
-        st.sampled_from([0.7, 1.4, 2.1, 3.5, 5.0]),
-        st.integers(min_value=1, max_value=3),
+        strategies.grid_sides(2, 8),
+        strategies.epsilons(),
+        strategies.b_hats(),
     )
     @settings(max_examples=20, deadline=None)
     def test_ldp_property(self, d, epsilon, b_hat):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import strategies
 from repro.core.domain import (
     GridDistribution,
     GridSpec,
@@ -215,7 +216,7 @@ class TestGridDistribution:
         with pytest.raises(ValueError):
             clustered_distribution.total_variation(other)
 
-    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=1000))
+    @given(strategies.grid_sides(1, 8), strategies.seeds(1000))
     @settings(max_examples=25, deadline=None)
     def test_empirical_distribution_always_normalised(self, d, seed):
         rng = np.random.default_rng(seed)
@@ -262,9 +263,9 @@ class TestBoundaryProperties:
     points, data-derived domains, and planet-scale projected coordinates."""
 
     @given(
-        st.integers(min_value=1, max_value=40),
-        st.sampled_from([0.0, 1.0, 1e3, 1e6, 4.1e9, -7.3e8]),
-        st.integers(min_value=0, max_value=10**6),
+        strategies.grid_sides(1, 40),
+        st.sampled_from(strategies.COORDINATE_OFFSETS),
+        strategies.seeds(),
     )
     @settings(max_examples=60, deadline=None)
     def test_boundary_points_always_land_in_grid(self, d, offset, seed):
@@ -285,8 +286,8 @@ class TestBoundaryProperties:
         assert cells.max() < grid.n_cells
 
     @given(
-        st.integers(min_value=1, max_value=20),
-        st.integers(min_value=0, max_value=10**6),
+        strategies.grid_sides(1, 20),
+        strategies.seeds(),
     )
     @settings(max_examples=40, deadline=None)
     def test_exact_upper_boundary_maps_to_last_cell(self, d, seed):

@@ -13,8 +13,9 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings
 
+import strategies
 from repro.core.dam import DiscreteDAM, DiskOutputDomain, build_disk_transition
 from repro.core.domain import GridSpec
 from repro.core.estimator import StreamingAggregator
@@ -31,9 +32,9 @@ SLOW_SETTINGS = settings(
     max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
 )
 
-epsilon_strategy = st.sampled_from([0.7, 1.4, 2.1, 3.5, 5.0, 8.0])
-grid_strategy = st.integers(min_value=2, max_value=7)
-b_hat_strategy = st.integers(min_value=1, max_value=3)
+epsilon_strategy = strategies.epsilons()
+grid_strategy = strategies.grid_sides(2, 7)
+b_hat_strategy = strategies.b_hats()
 
 
 def _dam_masses(b_hat: int, epsilon: float) -> np.ndarray:
@@ -69,7 +70,7 @@ class TestOperatorMatchesDense:
             operator.to_dense(), _reference_dense(grid, b_hat, masses), atol=1e-15
         )
 
-    @given(grid_strategy, epsilon_strategy, b_hat_strategy, st.integers(0, 10**6))
+    @given(grid_strategy, epsilon_strategy, b_hat_strategy, strategies.seeds())
     @SLOW_SETTINGS
     def test_matvecs_match_dense(self, d, epsilon, b_hat, seed):
         rng = np.random.default_rng(seed)
@@ -151,7 +152,7 @@ class TestOperatorSampling:
 
 
 class TestExpectationMaximizationBackends:
-    @given(grid_strategy, epsilon_strategy, b_hat_strategy, st.integers(0, 10**6))
+    @given(grid_strategy, epsilon_strategy, b_hat_strategy, strategies.seeds())
     @SLOW_SETTINGS
     def test_em_parity_operator_vs_dense(self, d, epsilon, b_hat, seed):
         grid = GridSpec.unit(d)

@@ -15,7 +15,9 @@ from repro.experiments.runner import (
     calibrated_sem_epsilon,
     evaluate_on_dataset,
     evaluate_on_part,
+    evaluate_range_queries_on_part,
     sweep_parameter,
+    sweep_range_query_error,
 )
 from repro.mechanisms.sem_geo_i import SEMGeoI
 from repro.metrics.local_privacy import local_privacy_of_mechanism
@@ -128,3 +130,44 @@ class TestSweep:
     def test_unknown_parameter_rejected(self):
         with pytest.raises(ValueError):
             sweep_parameter("bad", "gamma", (1,), ("DAM",), smoke_config())
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_parameter(
+                "bad-metric", "d", (2,), ("DAM",), smoke_config(),
+                datasets=("SZipf",), metric="chi",
+            )
+
+
+class TestRangeQuerySweep:
+    def test_part_evaluation_returns_small_error(self, rng):
+        pts = np.clip(rng.normal([0.4, 0.4], 0.1, size=(3000, 2)), 0, 1)
+        mae = evaluate_range_queries_on_part(
+            "DAM", pts, SpatialDomain.unit(), 6, 5.0, seed=0, n_queries=32
+        )
+        assert 0.0 <= mae < 0.1
+
+    def test_sweep_structure_and_metric_tag(self):
+        config = smoke_config()
+        result = sweep_range_query_error(
+            "rq-sweep", "epsilon", (1.4, 3.5), ("DAM", "MDSW"), config,
+            datasets=("SZipf",),
+        )
+        assert len(result.points) == 4
+        for point in result.points:
+            assert point.details["metric"] == "range-mae"
+            assert 0.0 <= point.w2_mean < 0.5
+        assert set(result.mechanisms()) == {"DAM", "MDSW"}
+
+    def test_range_sweep_deterministic_and_distinct_from_w2(self):
+        config = smoke_config()
+        kwargs = dict(datasets=("SZipf",),)
+        first = sweep_range_query_error(
+            "rq", "epsilon", (3.5,), ("DAM",), config, **kwargs
+        )
+        second = sweep_range_query_error(
+            "rq", "epsilon", (3.5,), ("DAM",), config, **kwargs
+        )
+        w2 = sweep_parameter("w2", "epsilon", (3.5,), ("DAM",), config, **kwargs)
+        assert first.points[0].w2_mean == second.points[0].w2_mean
+        assert first.points[0].w2_mean != w2.points[0].w2_mean

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import strategies
 from repro.core.domain import GridDistribution, GridSpec
 from repro.metrics.wasserstein import (
     wasserstein2_auto,
@@ -54,7 +55,7 @@ class TestWasserstein1D:
         b = rng.dirichlet(np.ones(12))
         assert wasserstein_1d(a, b, p=2.0) >= wasserstein_1d(a, b, p=1.0) - 1e-12
 
-    @given(st.integers(min_value=2, max_value=15), st.integers(min_value=0, max_value=10**6))
+    @given(st.integers(min_value=2, max_value=15), strategies.seeds())
     @settings(max_examples=40, deadline=None)
     def test_metric_properties(self, size, seed):
         """Property: non-negativity, identity and symmetry on random distributions."""

@@ -1,0 +1,324 @@
+"""Tests for repro.queries.engine — the summed-area-table serving subsystem.
+
+The load-bearing property is SAT/dense equivalence: the O(1) summed-area-table path
+must reproduce the seed O(d^2) ``_cell_overlap_fractions`` summation to 1e-10 for
+arbitrary grids, domains and query rectangles (interior, overhanging, outside,
+sliver-thin).  On top of that the façade operations (point density, top-k, marginals,
+quantile contours) and the persistable replay driver are pinned down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import strategies
+from repro.core.dam import DiscreteDAM
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.engine import (
+    QueryEngine,
+    QueryLog,
+    SummedAreaTable,
+    WorkloadReplay,
+    queries_to_array,
+)
+from repro.queries.range_query import (
+    FlatRangeQueryEngine,
+    HierarchicalRangeQueryEngine,
+    RangeQuery,
+    RangeQueryWorkload,
+    dense_range_answer,
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# Domains for the 1e-10 equivalence property: moderate offsets and extents, so the
+# comparison measures algorithmic agreement rather than ulp-cancellation at
+# planet-scale coordinates (those extremes are covered by the boundary properties in
+# tests/core/test_domain.py, with appropriately scaled tolerances).
+_EQUIV_DOMAINS = strategies.domains(
+    offsets=(0.0, 1.0, 1e3), min_extent=0.1, max_extent=100.0
+)
+_EQUIV_DISTRIBUTIONS = strategies.grid_distributions(
+    min_side=1, max_side=12, domain_strategy=_EQUIV_DOMAINS
+)
+
+
+class TestSATEquivalence:
+    """The acceptance property: SAT answers == dense overlap answers (<= 1e-10)."""
+
+    @given(_EQUIV_DISTRIBUTIONS, strategies.seeds())
+    @SLOW_SETTINGS
+    def test_answer_batch_matches_dense_summation(self, estimate, seed):
+        rng = np.random.default_rng(seed)
+        sat = SummedAreaTable(estimate)
+        domain = estimate.grid.domain
+        n = int(rng.integers(1, 48))
+        lo = domain.denormalise(rng.uniform(-0.75, 1.75, size=(n, 2)))
+        extents = rng.uniform(1e-9, 1.2, size=(n, 2)) * [domain.width, domain.height]
+        hi = np.maximum(lo + extents, np.nextafter(lo, np.inf))
+        batch = np.column_stack([lo[:, 0], hi[:, 0], lo[:, 1], hi[:, 1]])
+        answers = sat.answer_batch(batch)
+        dense = np.array(
+            [
+                dense_range_answer(estimate, RangeQuery(x_lo, x_hi, y_lo, y_hi))
+                for x_lo, x_hi, y_lo, y_hi in batch
+            ]
+        )
+        np.testing.assert_allclose(answers, dense, atol=1e-10, rtol=0)
+
+    @given(_EQUIV_DISTRIBUTIONS)
+    @SLOW_SETTINGS
+    def test_single_query_matches_dense(self, estimate):
+        query = RangeQuery(
+            estimate.grid.domain.x_min + 0.3 * estimate.grid.domain.width,
+            estimate.grid.domain.x_min + 0.77 * estimate.grid.domain.width,
+            estimate.grid.domain.y_min + 0.11 * estimate.grid.domain.height,
+            estimate.grid.domain.y_min + 0.64 * estimate.grid.domain.height,
+        )
+        assert SummedAreaTable(estimate).answer(query) == pytest.approx(
+            dense_range_answer(estimate, query), abs=1e-12
+        )
+
+    @given(_EQUIV_DISTRIBUTIONS)
+    @SLOW_SETTINGS
+    def test_full_domain_is_one_and_outside_is_zero(self, estimate):
+        domain = estimate.grid.domain
+        sat = SummedAreaTable(estimate)
+        full = RangeQuery(
+            domain.x_min - domain.width,
+            domain.x_max + domain.width,
+            domain.y_min - domain.height,
+            domain.y_max + domain.height,
+        )
+        outside = RangeQuery(
+            domain.x_max + domain.width,
+            domain.x_max + 2 * domain.width,
+            domain.y_min,
+            domain.y_max,
+        )
+        assert sat.answer(full) == pytest.approx(1.0, abs=1e-12)
+        assert sat.answer(outside) == pytest.approx(0.0, abs=1e-12)
+
+    @given(strategies.grid_distributions(min_side=1, max_side=10, unit=True),
+           strategies.seeds())
+    @SLOW_SETTINGS
+    def test_cumulative_monotone_and_bounded(self, estimate, seed):
+        rng = np.random.default_rng(seed)
+        sat = SummedAreaTable(estimate)
+        xs = np.sort(rng.random(10))
+        ys = np.full(10, rng.random())
+        values = sat.cumulative_at(xs, ys)
+        assert np.all(np.diff(values) >= -1e-12)
+        assert np.all((values >= -1e-12) & (values <= 1.0 + 1e-12))
+
+
+class TestAnswerManyConsistency:
+    """``answer_many`` must equal stacked ``answer`` for every engine."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        rng = np.random.default_rng(5)
+        return np.clip(rng.normal([0.4, 0.6], 0.12, size=(4000, 2)), 0, 1)
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return RangeQueryWorkload.random(SpatialDomain.unit(), 25, seed=6)
+
+    def test_flat_engine(self, points, workload):
+        estimate = GridSpec.unit(9).distribution(points)
+        engine = FlatRangeQueryEngine(estimate)
+        stacked = np.array([engine.answer(q) for q in workload.queries])
+        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked,
+                                   atol=1e-12)
+        np.testing.assert_allclose(engine.answer_batch(workload.as_array()), stacked,
+                                   atol=1e-12)
+
+    def test_hierarchical_engine(self, points, workload):
+        engine = HierarchicalRangeQueryEngine(
+            SpatialDomain.unit(), 3.0, levels=3
+        ).fit(points, seed=7)
+        stacked = np.array([engine.answer(q) for q in workload.queries])
+        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked,
+                                   atol=1e-12)
+
+    def test_query_engine(self, points, workload):
+        estimate = GridSpec.unit(9).distribution(points)
+        engine = QueryEngine(estimate)
+        stacked = np.array([engine.sat.answer(q) for q in workload.queries])
+        np.testing.assert_allclose(engine.range_mass(workload.as_array()), stacked,
+                                   atol=1e-12)
+
+
+class TestQueriesToArray:
+    def test_single_query(self):
+        arr = queries_to_array(RangeQuery(0.1, 0.4, 0.2, 0.9))
+        np.testing.assert_allclose(arr, [[0.1, 0.4, 0.2, 0.9]])
+
+    def test_sequence_and_array_agree(self):
+        queries = [RangeQuery(0, 0.5, 0, 0.5), RangeQuery(0.2, 0.9, 0.1, 0.3)]
+        arr = queries_to_array(queries)
+        assert arr.shape == (2, 4)
+        np.testing.assert_allclose(queries_to_array(arr), arr)
+
+    def test_empty_sequence(self):
+        assert queries_to_array([]).shape == (0, 4)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            queries_to_array(np.zeros((3, 5)))
+
+
+class TestQueryEngineFacade:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        rng = np.random.default_rng(0)
+        pts = np.clip(rng.normal([0.25, 0.25], 0.1, size=(8000, 2)), 0, 1)
+        grid = GridSpec.unit(12)
+        return QueryEngine(grid.distribution(pts))
+
+    def test_point_density_integrates_to_cell_mass(self, engine):
+        centers = engine.grid.cell_centers()
+        cell_area = engine.grid.cell_width * engine.grid.cell_height
+        densities = engine.point_density(centers)
+        np.testing.assert_allclose(densities * cell_area, engine.estimate.flat(),
+                                   atol=1e-12)
+
+    def test_point_density_outside_domain_is_zero(self, engine):
+        assert engine.point_density(np.array([[2.0, 2.0], [-1.0, 0.5]])).tolist() == [0, 0]
+
+    def test_top_k_sorted_and_consistent(self, engine):
+        top = engine.top_k_cells(7)
+        assert np.all(np.diff(top.masses) <= 1e-15)
+        flat = engine.estimate.flat()
+        np.testing.assert_allclose(flat[top.flat_indices], top.masses)
+        assert top.masses[0] == pytest.approx(flat.max())
+
+    def test_top_k_bounds_checked(self, engine):
+        with pytest.raises(ValueError):
+            engine.top_k_cells(0)
+        with pytest.raises(ValueError):
+            engine.top_k_cells(engine.grid.n_cells + 1)
+
+    def test_marginals_sum_to_one(self, engine):
+        x_marg, y_marg = engine.axis_marginals()
+        assert x_marg.sum() == pytest.approx(1.0)
+        assert y_marg.sum() == pytest.approx(1.0)
+
+    def test_quantile_contours_nested_and_sufficient(self, engine):
+        low, high = engine.quantile_contours([0.5, 0.9])
+        assert low.covered_mass >= 0.5 and high.covered_mass >= 0.9
+        assert low.n_cells <= high.n_cells
+        # The 50% contour is contained in the 90% contour (highest-density nesting).
+        assert np.all(high.mask[low.mask])
+        # Minimality: dropping the lightest included cell dips below the level.
+        assert low.covered_mass - low.threshold < 0.5
+
+    def test_quantile_level_validated(self, engine):
+        with pytest.raises(ValueError):
+            engine.quantile_contours([0.0])
+        with pytest.raises(ValueError):
+            engine.quantile_contours([1.5])
+
+    def test_range_mass_matches_private_estimate(self, engine):
+        query = RangeQuery(0.0, 0.5, 0.0, 0.5)
+        assert engine.range_mass(query)[0] == pytest.approx(
+            dense_range_answer(engine.estimate, query), abs=1e-12
+        )
+
+
+class TestQueryLogAndReplay:
+    def test_random_log_shapes(self):
+        log = QueryLog.random(
+            SpatialDomain.unit(), n_range=40, n_density=10, n_top_k=3,
+            n_quantiles=2, n_marginals=1, seed=0,
+        )
+        assert log.range_queries.shape == (40, 4)
+        assert log.density_points.shape == (10, 2)
+        assert log.size == 56
+        # Generated rectangles stay inside the domain and non-degenerate.
+        assert np.all(log.range_queries[:, 0] < log.range_queries[:, 1])
+        assert np.all(log.range_queries[:, 2] < log.range_queries[:, 3])
+        assert log.range_queries[:, [0, 2]].min() >= 0.0
+        assert log.range_queries[:, [1, 3]].max() <= 1.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        log = QueryLog.random(
+            SpatialDomain.unit(), n_range=12, n_density=4, n_top_k=2,
+            n_quantiles=1, n_marginals=2, seed=1,
+        )
+        path = tmp_path / "workload.npz"
+        log.save(path)
+        loaded = QueryLog.load(path)
+        np.testing.assert_allclose(loaded.range_queries, log.range_queries)
+        np.testing.assert_allclose(loaded.density_points, log.density_points)
+        np.testing.assert_array_equal(loaded.top_k, log.top_k)
+        np.testing.assert_allclose(loaded.quantile_levels, log.quantile_levels)
+        assert loaded.n_marginal_requests == log.n_marginal_requests
+
+    def test_replay_reports_every_kind(self):
+        rng = np.random.default_rng(2)
+        engine = QueryEngine(
+            GridSpec.unit(8).distribution(rng.random((3000, 2)))
+        )
+        log = QueryLog.random(
+            SpatialDomain.unit(), n_range=100, n_density=50, n_top_k=2,
+            n_quantiles=2, n_marginals=1, seed=3,
+        )
+        report, answers = WorkloadReplay(engine).replay(log)
+        assert report.n_operations == log.size
+        assert set(report.per_kind) == {
+            "range_mass", "density", "top_k", "quantiles", "marginals"
+        }
+        assert answers["range_mass"].shape == (100,)
+        assert report.operations_per_second > 0
+        assert "ops/sec" in report.format()
+
+    def test_replay_empty_log(self):
+        engine = QueryEngine(GridDistribution.uniform(GridSpec.unit(4)))
+        report, answers = WorkloadReplay(engine).replay(QueryLog())
+        assert report.n_operations == 0
+        assert answers == {}
+
+    def test_replay_workers_match_serial(self):
+        rng = np.random.default_rng(4)
+        engine = QueryEngine(GridSpec.unit(10).distribution(rng.random((2000, 2))))
+        log = QueryLog.random(SpatialDomain.unit(), n_range=600, seed=5)
+        _, serial = WorkloadReplay(engine).replay(log)
+        _, fanned = WorkloadReplay(engine, workers=2, chunk_size=100).replay(log)
+        np.testing.assert_allclose(fanned["range_mass"], serial["range_mass"])
+
+    def test_replay_parameters_validated(self):
+        engine = QueryEngine(GridDistribution.uniform(GridSpec.unit(4)))
+        with pytest.raises(ValueError):
+            WorkloadReplay(engine, workers=0)
+        with pytest.raises(ValueError):
+            WorkloadReplay(engine, chunk_size=0)
+
+
+class TestCumulativeAccessor:
+    def test_cached_and_consistent(self):
+        rng = np.random.default_rng(8)
+        dist = GridDistribution(
+            GridSpec.unit(6), rng.dirichlet(np.ones(36)).reshape(6, 6)
+        )
+        table = dist.cumulative()
+        assert table is dist.cumulative()  # cached
+        assert table.shape == (7, 7)
+        assert table[0].tolist() == [0.0] * 7
+        assert table[-1, -1] == pytest.approx(1.0)
+        np.testing.assert_allclose(
+            np.diff(np.diff(table, axis=0), axis=1), dist.probabilities, atol=1e-12
+        )
+
+    def test_private_estimate_serving_path(self):
+        rng = np.random.default_rng(9)
+        pts = np.clip(rng.normal([0.3, 0.7], 0.1, size=(3000, 2)), 0, 1)
+        grid = GridSpec.unit(8)
+        estimate = DiscreteDAM(grid, 4.0).run(pts, seed=0).estimate
+        engine = QueryEngine(estimate)
+        answers = engine.range_mass(np.array([[0.0, 1.0, 0.0, 1.0]]))
+        assert answers[0] == pytest.approx(1.0, abs=1e-9)

@@ -63,6 +63,78 @@ class TestRangeQuery:
         assert RangeQuery(0.0, 20.0, 90.0, 110.0).area_fraction(domain) == pytest.approx(0.25)
 
 
+class TestBoundaryConvention:
+    """Regression tests for the documented boundary conventions.
+
+    ``true_answer`` counts points on *closed* rectangles by default (a point exactly
+    on a shared edge of two adjacent queries is double counted); ``closed="left"``
+    switches to half-open intervals so tiling workloads count each point exactly
+    once, with the domain's upper boundary staying inclusive.  Estimated answers use
+    continuous area overlap, where edges are measure-zero.
+    """
+
+    def test_point_on_shared_edge_double_counted_by_default(self):
+        pts = np.array([[0.5, 0.25]])
+        left = RangeQuery(0.0, 0.5, 0.0, 1.0)
+        right = RangeQuery(0.5, 1.0, 0.0, 1.0)
+        assert left.true_answer(pts) == 1.0
+        assert right.true_answer(pts) == 1.0  # counted by both: sums to 2
+
+    def test_half_open_convention_counts_edge_point_once(self):
+        pts = np.array([[0.5, 0.25]])
+        left = RangeQuery(0.0, 0.5, 0.0, 1.0)
+        right = RangeQuery(0.5, 1.0, 0.0, 1.0)
+        assert left.true_answer(pts, closed="left") == 0.0
+        assert right.true_answer(pts, closed="left") == 1.0
+
+    def test_half_open_tiling_sums_to_exactly_one(self, domain):
+        # Points deliberately placed on every kind of boundary: interior tile edges,
+        # tile corners, and the domain's own upper boundary.
+        pts = np.array([
+            [0.5, 0.5], [0.25, 0.5], [0.5, 0.75], [1.0, 1.0], [1.0, 0.25],
+            [0.3, 1.0], [0.0, 0.0], [0.7, 0.2],
+        ])
+        tiles = [
+            RangeQuery(x0, x0 + 0.5, y0, y0 + 0.5)
+            for x0 in (0.0, 0.5) for y0 in (0.0, 0.5)
+        ]
+        closed_total = sum(t.true_answer(pts) for t in tiles)
+        half_open_total = sum(
+            t.true_answer(pts, closed="left", domain=domain) for t in tiles
+        )
+        assert closed_total > 1.0  # shared edges double count under the default
+        assert half_open_total == pytest.approx(1.0)
+
+    def test_domain_upper_boundary_stays_inclusive_with_domain(self, domain):
+        pts = np.array([[1.0, 0.5], [0.5, 1.0], [1.0, 1.0]])
+        top_right = RangeQuery(0.5, 1.0, 0.5, 1.0)
+        # Without the domain, [lo, hi) drops the points sitting exactly on x=1/y=1.
+        assert top_right.true_answer(pts, closed="left") == 0.0
+        assert top_right.true_answer(pts, closed="left", domain=domain) == pytest.approx(1.0)
+
+    def test_invalid_convention_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(0, 1, 0, 1).true_answer(np.zeros((1, 2)), closed="open")
+
+    def test_estimated_answer_splits_exactly_on_cell_edge(self, domain):
+        # A query edge exactly on a cell boundary: continuous area overlap assigns
+        # each adjacent query exactly its half — no double counting in estimates.
+        grid = GridSpec(domain, 4)
+        uniform = GridDistribution.uniform(grid)
+        engine = FlatRangeQueryEngine(uniform)
+        left = engine.answer(RangeQuery(0.0, 0.5, 0.0, 1.0))
+        right = engine.answer(RangeQuery(0.5, 1.0, 0.0, 1.0))
+        assert left == pytest.approx(0.5, abs=1e-12)
+        assert left + right == pytest.approx(1.0, abs=1e-12)
+
+    def test_true_answer_matches_area_for_edge_aligned_query(self):
+        # Points exactly on the query's own boundary are included under the default
+        # convention — the regression the audit asked for.
+        pts = np.array([[0.2, 0.3], [0.2, 0.7], [0.6, 0.3], [0.6, 0.7]])
+        query = RangeQuery(0.2, 0.6, 0.3, 0.7)
+        assert query.true_answer(pts) == 1.0
+
+
 class TestFlatEngine:
     def test_full_domain_query_sums_to_one(self, domain, points):
         grid = GridSpec(domain, 8)

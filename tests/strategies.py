@@ -1,0 +1,187 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+Every property test used to re-roll its own ad-hoc ``st.integers`` /
+``st.sampled_from`` combinations for the same five concepts — grid sides, privacy
+budgets, disk radii, spatial domains and query rectangles.  This module is the single
+source of those strategies so the generators (and their edge cases: offset domains,
+planet-scale coordinates, degenerate-thin rectangles, overhanging and fully-outside
+queries) are shared by ``tests/test_properties.py``, ``tests/core/``,
+``tests/metrics/`` and ``tests/queries/``.
+
+Conventions
+-----------
+* Strategies are *functions returning strategies* (like ``st.integers``), so call
+  sites read ``@given(grid_sides(), epsilons())``.
+* Numpy randomness inside composite strategies is derived from hypothesis-drawn
+  seeds, never from global state — shrinking and ``derandomize`` (the CI profile in
+  ``tests/conftest.py``) stay deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.range_query import RangeQuery
+
+#: The paper's Table IV budget grid plus the large-budget regime — the values every
+#: mechanism-invariant property sweeps.
+EPSILON_GRID: tuple[float, ...] = (0.7, 1.4, 2.1, 3.5, 5.0, 8.0)
+
+#: Coordinate offsets exercising float behaviour from the unit square up to
+#: planet-scale projected coordinates (see the boundary properties in
+#: ``tests/core/test_domain.py``).
+COORDINATE_OFFSETS: tuple[float, ...] = (0.0, 1.0, 1e3, 1e6, 4.1e9, -7.3e8)
+
+
+def epsilons() -> st.SearchStrategy[float]:
+    """Privacy budgets from the paper's evaluation grid."""
+    return st.sampled_from(EPSILON_GRID)
+
+
+def grid_sides(min_side: int = 2, max_side: int = 7) -> st.SearchStrategy[int]:
+    """Grid side lengths ``d``; the default range keeps transition matrices small."""
+    return st.integers(min_value=min_side, max_value=max_side)
+
+
+def b_hats(max_b: int = 3) -> st.SearchStrategy[int]:
+    """Grid disk radii ``b_hat``."""
+    return st.integers(min_value=1, max_value=max_b)
+
+
+def seeds(max_seed: int = 10**6) -> st.SearchStrategy[int]:
+    """Seeds for :func:`numpy.random.default_rng` inside properties."""
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+def rngs(max_seed: int = 10**6) -> st.SearchStrategy[np.random.Generator]:
+    """Deterministically seeded numpy generators."""
+    return seeds(max_seed).map(np.random.default_rng)
+
+
+@st.composite
+def domains(
+    draw,
+    *,
+    offsets: tuple[float, ...] = COORDINATE_OFFSETS,
+    min_extent: float = 1e-3,
+    max_extent: float = 1e3,
+    square: bool = False,
+) -> SpatialDomain:
+    """Spatial domains at varied offsets and extents (rectangular by default)."""
+    offset = draw(st.sampled_from(offsets))
+    rng = np.random.default_rng(draw(seeds()))
+    width = rng.uniform(min_extent, max_extent)
+    height = width if square else rng.uniform(min_extent, max_extent)
+    x_min = offset + rng.uniform(-1.0, 1.0)
+    y_min = offset + rng.uniform(-1.0, 1.0)
+    return SpatialDomain(x_min, x_min + width, y_min, y_min + height)
+
+
+@st.composite
+def grid_specs(
+    draw,
+    *,
+    min_side: int = 1,
+    max_side: int = 12,
+    unit: bool = False,
+    domain_strategy: st.SearchStrategy[SpatialDomain] | None = None,
+) -> GridSpec:
+    """Grid specs over :func:`domains` (or the unit square with ``unit=True``)."""
+    d = draw(grid_sides(min_side, max_side))
+    if unit:
+        domain = SpatialDomain.unit()
+    else:
+        domain = draw(domain_strategy if domain_strategy is not None else domains())
+    return GridSpec(domain, d)
+
+
+@st.composite
+def grid_distributions(
+    draw,
+    *,
+    min_side: int = 1,
+    max_side: int = 12,
+    unit: bool = False,
+    concentration: float = 1.0,
+    domain_strategy: st.SearchStrategy[SpatialDomain] | None = None,
+) -> GridDistribution:
+    """Dirichlet-random probability grids over :func:`grid_specs`."""
+    grid = draw(
+        grid_specs(
+            min_side=min_side,
+            max_side=max_side,
+            unit=unit,
+            domain_strategy=domain_strategy,
+        )
+    )
+    rng = np.random.default_rng(draw(seeds()))
+    probabilities = rng.dirichlet(np.full(grid.n_cells, concentration))
+    return GridDistribution(grid, probabilities.reshape(grid.d, grid.d))
+
+
+@st.composite
+def point_clouds(
+    draw,
+    *,
+    domain: SpatialDomain | None = None,
+    min_points: int = 1,
+    max_points: int = 200,
+) -> np.ndarray:
+    """Uniform point clouds inside a domain (drawn from :func:`domains` if omitted)."""
+    dom = domain if domain is not None else draw(domains())
+    rng = np.random.default_rng(draw(seeds()))
+    n = int(rng.integers(min_points, max_points + 1))
+    return dom.denormalise(rng.random((n, 2)))
+
+
+@st.composite
+def range_queries(
+    draw,
+    *,
+    domain: SpatialDomain | None = None,
+    allow_overhang: bool = True,
+) -> RangeQuery:
+    """Rectangular queries over a domain, including the hard cases.
+
+    With ``allow_overhang`` (default) the rectangle's corners are sampled from a box
+    1.5x the domain on every side, so the strategy covers interior rectangles,
+    rectangles overhanging one or more domain edges, rectangles containing the whole
+    domain, and rectangles entirely outside it.  Degenerate (zero-width/height)
+    rectangles are rejected by :class:`RangeQuery` itself; the strategy enforces a
+    tiny positive extent and also generates *near*-degenerate slivers, which is where
+    summation bugs hide.
+    """
+    dom = domain if domain is not None else draw(domains())
+    rng = np.random.default_rng(draw(seeds()))
+    margin = 0.75 if allow_overhang else 0.0
+    lo_unit = rng.uniform(-margin, 1.0 + margin, size=2)
+    # Mix near-degenerate slivers with ordinary extents.
+    extent_scale = draw(st.sampled_from([1e-9, 1e-4, 0.1, 0.5, 1.0]))
+    extents = rng.uniform(1e-12, extent_scale, size=2) + 1e-12
+    x_lo = dom.x_min + lo_unit[0] * dom.width
+    y_lo = dom.y_min + lo_unit[1] * dom.height
+    # Guard against float underflow at large coordinate offsets: RangeQuery rejects
+    # zero-extent rectangles, so force at least one ulp of width.
+    x_hi = max(x_lo + extents[0] * dom.width, float(np.nextafter(x_lo, np.inf)))
+    y_hi = max(y_lo + extents[1] * dom.height, float(np.nextafter(y_lo, np.inf)))
+    return RangeQuery(x_lo, x_hi, y_lo, y_hi)
+
+
+@st.composite
+def query_batches(
+    draw,
+    *,
+    domain: SpatialDomain | None = None,
+    min_queries: int = 1,
+    max_queries: int = 64,
+) -> np.ndarray:
+    """Structured ``(n, 4)`` query arrays, the batched serving format."""
+    dom = domain if domain is not None else draw(domains())
+    rng = np.random.default_rng(draw(seeds()))
+    n = int(rng.integers(min_queries, max_queries + 1))
+    lo = dom.denormalise(rng.uniform(-0.75, 1.75, size=(n, 2)))
+    extents = rng.uniform(1e-9, 1.0, size=(n, 2)) * [dom.width, dom.height]
+    hi = np.maximum(lo + extents, np.nextafter(lo, np.inf))
+    return np.column_stack([lo[:, 0], hi[:, 0], lo[:, 1], hi[:, 1]])

@@ -126,3 +126,42 @@ class TestFigureCommand:
     def test_figure_rejects_bad_workers(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig8", "--workers", "0"])
+
+
+class TestQueryCommand:
+    def test_query_from_csv(self, csv_points, capsys):
+        code = main(["query", "--input", str(csv_points), "--d", "6",
+                     "--n-queries", "200", "--epsilon", "4.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range_mass" in out
+        assert "range-query MAE" in out
+        assert "hotspots" in out
+        assert "of mass concentrates in" in out
+
+    def test_query_save_and_replay_roundtrip(self, csv_points, tmp_path, capsys):
+        log_path = tmp_path / "workload.npz"
+        assert main(["query", "--input", str(csv_points), "--d", "5",
+                     "--n-queries", "50", "--save-log", str(log_path)]) == 0
+        assert log_path.exists()
+        first = capsys.readouterr().out
+        assert main(["query", "--input", str(csv_points), "--d", "5",
+                     "--replay", str(log_path)]) == 0
+        replayed = capsys.readouterr().out
+        # Same estimate (same seed) + same workload => identical accuracy line.
+        mae_line = [line for line in first.splitlines() if "MAE" in line]
+        assert mae_line and mae_line[0] in replayed
+
+    def test_query_disable_extras(self, csv_points, capsys):
+        code = main(["query", "--input", str(csv_points), "--d", "5",
+                     "--n-queries", "20", "--top-k", "0", "--quantiles", ""])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hotspots" not in out
+        assert "concentrates" not in out
+
+    def test_query_rejects_bad_parameters(self, csv_points):
+        with pytest.raises(SystemExit):
+            main(["query", "--input", str(csv_points), "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["query", "--input", str(csv_points), "--n-queries", "0"])
