@@ -14,8 +14,9 @@ and baseline its evaluation depends on:
 * ``repro.datasets`` — the synthetic datasets and surrogates for Chicago Crime / NYC
   Taxi, plus the Appendix-D trajectory generator;
 * ``repro.queries`` — the range-query engines and the summed-area-table serving
-  subsystem (``QueryEngine``, ``WorkloadReplay``);
-* ``repro.trajectory`` — LDPTrace, PivotTrace and the trajectory-to-point adapter;
+  subsystem (``QueryEngine``, ``TrajectoryQueryEngine``, ``WorkloadReplay``);
+* ``repro.trajectory`` — LDPTrace, PivotTrace, the vectorized batch engine
+  (``TrajectoryEngine``) and the trajectory-to-point adapter;
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
 
@@ -50,10 +51,12 @@ from repro.queries import (
     RangeQuery,
     RangeQueryWorkload,
     SummedAreaTable,
+    TrajectoryQueryEngine,
     WorkloadReplay,
 )
+from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DAMPipeline",
@@ -73,6 +76,8 @@ __all__ = [
     "RangeQuery",
     "RangeQueryWorkload",
     "SummedAreaTable",
+    "TrajectoryEngine",
+    "TrajectoryQueryEngine",
     "WorkloadReplay",
     "sliced_wasserstein",
     "wasserstein2_auto",

@@ -26,6 +26,15 @@ Two subcommands cover the common workflows without writing Python:
     ``--save-log``/``--replay`` persist and replay workloads; ``--workers`` fans the
     range batch out to a process pool.
 
+``python -m repro trajectory``
+    The trajectory workload at scale: generate an Appendix-D trajectory set from a
+    point cloud, then ``--mode fit`` (sharded LDP report collection over a process
+    pool, printing the estimated model), ``--mode synthesize`` (batched Markov-walk
+    synthesis through :class:`~repro.trajectory.engine.TrajectoryEngine`, with
+    point-density W2, OD/transition hotspots and optional CSV export) or
+    ``--mode compare`` (the seven-step LDPTrace / PivotTrace / DAM comparison of
+    Figure 14).  ``--workers`` shards the fit's report collection.
+
 The CLI is intentionally thin: every subcommand delegates to the same public API the
 examples and benchmarks use.
 """
@@ -34,14 +43,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.domain import SpatialDomain
+from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
 from repro.datasets.loader import DATASET_NAMES, load_dataset
+from repro.datasets.trajectories import generate_trajectories
 from repro.experiments.config import laptop_config, smoke_config
 from repro.experiments.export import sweep_to_csv, sweep_to_json, sweep_to_markdown
 from repro.experiments.figures import (
@@ -54,8 +65,18 @@ from repro.experiments.figures import (
 )
 from repro.experiments.reporting import format_sweep
 from repro.metrics.wasserstein import wasserstein2_auto
-from repro.queries.engine import QueryEngine, QueryLog, WorkloadReplay
+from repro.queries.engine import (
+    QueryEngine,
+    QueryLog,
+    TrajectoryQueryEngine,
+    WorkloadReplay,
+)
 from repro.queries.range_query import RangeQuery, RangeQueryWorkload
+from repro.trajectory.adapter import (
+    compare_trajectory_mechanism,
+    trajectory_point_distribution,
+)
+from repro.trajectory.engine import TrajectoryEngine
 from repro.utils.visual import ascii_heatmap, side_by_side
 
 _FIGURES = {
@@ -140,6 +161,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the served workload as a .npz query log")
     query.add_argument("--replay", type=Path, default=None,
                        help="replay a previously saved query log instead of generating one")
+
+    trajectory = subparsers.add_parser(
+        "trajectory", help="fit, synthesize or compare private trajectory mechanisms"
+    )
+    trajectory.add_argument("--mode", choices=("compare", "fit", "synthesize"),
+                            default="compare",
+                            help="compare mechanisms (default), fit the LDPTrace model, "
+                                 "or fit + batched synthesis")
+    trajectory.add_argument("--input", type=Path, default=None,
+                            help="CSV file with one 'x,y' pair per line that seeds the "
+                                 "trajectory workload")
+    trajectory.add_argument("--dataset", choices=DATASET_NAMES, default=None,
+                            help="use a built-in dataset surrogate instead of --input")
+    trajectory.add_argument("--scale", type=float, default=0.02,
+                            help="dataset scale when --dataset is used (default 0.02)")
+    trajectory.add_argument("--routing-d", type=int, default=60,
+                            help="side of the Appendix-D routing grid (default 60)")
+    trajectory.add_argument("--n-trajectories", type=int, default=200,
+                            help="number of generated input trajectories (default 200)")
+    trajectory.add_argument("--max-length", type=int, default=40,
+                            help="maximum trajectory length (default 40)")
+    trajectory.add_argument("--epsilon", type=float, default=1.5, help="privacy budget")
+    trajectory.add_argument("--d", type=int, default=12, help="analysis grid side length")
+    trajectory.add_argument("--mechanism",
+                            choices=("ldptrace", "pivottrace", "dam", "all"),
+                            default="all",
+                            help="mechanism(s) for --mode compare (default all)")
+    trajectory.add_argument("--n-output", type=int, default=None,
+                            help="number of synthesized trajectories "
+                                 "(default: same as the input set)")
+    trajectory.add_argument("--workers", type=int, default=1,
+                            help="shard LDP report collection over this many worker "
+                                 "processes (default 1; numbers are worker-invariant)")
+    trajectory.add_argument("--top-k", type=int, default=5,
+                            help="OD/transition hotspots printed after synthesis "
+                                 "(0 disables)")
+    trajectory.add_argument("--save-output", type=Path, default=None,
+                            help="write synthesized trajectories as CSV rows of "
+                                 "'trajectory_id,x,y'")
+    trajectory.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -261,6 +322,113 @@ def _run_query(args) -> int:
     return 0
 
 
+def _generate_trajectory_workload(args):
+    points = _load_points(args)
+    domain = SpatialDomain.from_points(points, relative_pad=1e-9)
+    dataset = generate_trajectories(
+        points,
+        domain,
+        routing_d=args.routing_d,
+        n_trajectories=args.n_trajectories,
+        max_length=args.max_length,
+        seed=args.seed,
+    )
+    lengths = dataset.lengths()
+    print(f"workload: {dataset.size} trajectories   "
+          f"lengths {lengths.min()}..{lengths.max()} (mean {lengths.mean():.1f})   "
+          f"points: {dataset.all_points().shape[0]}")
+    return dataset, domain
+
+
+def _print_model_summary(model, grid) -> None:
+    lengths = model.length_distribution
+    starts = model.start_distribution
+    directions = model.direction_distribution
+    print(f"length distribution over {lengths.shape[0]} buckets "
+          f"(spanning [{model.length_buckets[0]:.0f}, {model.length_buckets[-1]:.0f}]):")
+    print("  " + " ".join(f"{p:.3f}" for p in lengths))
+    top = np.argsort(starts)[::-1][:5]
+    print("top start cells (mass @ row,col):")
+    for cell in top:
+        print(f"  {starts[cell]:.4f} @ ({cell // grid.d}, {cell % grid.d})")
+    print("direction distribution (row-major 3x3, centre = stay):")
+    for row in range(3):
+        print("  " + " ".join(f"{directions[row * 3 + col]:.3f}" for col in range(3)))
+
+
+def _run_trajectory(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.n_trajectories < 1:
+        raise SystemExit("--n-trajectories must be a positive integer")
+    if args.n_output is not None and args.n_output < 0:
+        raise SystemExit("--n-output must be non-negative")
+    dataset, domain = _generate_trajectory_workload(args)
+
+    if args.mode == "compare":
+        names = (
+            ("ldptrace", "pivottrace", "dam")
+            if args.mechanism == "all"
+            else (args.mechanism,)
+        )
+        print(f"epsilon: {args.epsilon}   d: {args.d}   "
+              f"(trajectory point-density W2, lower is better)")
+        for name in names:
+            start = time.perf_counter()
+            result = compare_trajectory_mechanism(
+                name, dataset.trajectories, domain, args.d, args.epsilon,
+                seed=args.seed, workers=args.workers,
+            )
+            elapsed = time.perf_counter() - start
+            print(f"  {result.mechanism:<11} W2 = {result.w2:.4f}   ({elapsed:.2f} s)")
+        return 0
+
+    grid = GridSpec(domain, args.d)
+    engine = TrajectoryEngine.build(grid, args.epsilon, max_length=args.max_length)
+    start = time.perf_counter()
+    model = engine.fit(dataset.trajectories, seed=args.seed, workers=args.workers)
+    fit_seconds = time.perf_counter() - start
+    fit_rate = dataset.size / fit_seconds if fit_seconds > 0 else float("inf")
+    print(f"fit: {dataset.size} trajectories in {fit_seconds:.3f} s "
+          f"({fit_rate:,.0f} trajectories/s)   "
+          f"epsilon: {args.epsilon}   d: {args.d}   workers: {args.workers}")
+    if args.mode == "fit":
+        _print_model_summary(model, grid)
+        return 0
+
+    count = dataset.size if args.n_output is None else args.n_output
+    start = time.perf_counter()
+    synthetic = engine.synthesize(model, count, seed=args.seed + 1)
+    synth_seconds = time.perf_counter() - start
+    rate = count / synth_seconds if synth_seconds > 0 else float("inf")
+    print(f"synthesized {count} trajectories in {synth_seconds:.3f} s "
+          f"({rate:,.0f} trajectories/s)")
+    if synthetic:
+        true_distribution = trajectory_point_distribution(dataset.trajectories, grid)
+        serving = TrajectoryQueryEngine(synthetic, grid)
+        w2 = wasserstein2_auto(true_distribution, serving.estimate)
+        print(f"point-density W2 vs input trajectories: {w2:.4f}")
+        if args.top_k > 0:
+            od = serving.od_top_k(args.top_k)
+            print("top origin->destination cells (count: row,col -> row,col):")
+            for from_cell, to_cell, n in zip(od.from_cells, od.to_cells, od.counts):
+                print(f"  {n:5.0f}: ({from_cell // grid.d}, {from_cell % grid.d}) -> "
+                      f"({to_cell // grid.d}, {to_cell % grid.d})")
+            counts, edges = serving.length_histogram(bins=8)
+            print("length histogram: " + " ".join(
+                f"[{lo:.0f},{hi:.0f}):{n}"
+                for lo, hi, n in zip(edges[:-1], edges[1:], counts)
+            ))
+    if args.save_output is not None:
+        rows = np.vstack([
+            np.column_stack([np.full(t.shape[0], i, dtype=float), t])
+            for i, t in enumerate(synthetic)
+        ]) if synthetic else np.empty((0, 3))
+        np.savetxt(args.save_output, rows, delimiter=",", fmt="%.10g")
+        print(f"wrote {args.save_output}")
+    return 0
+
+
 def _run_figure(args) -> int:
     config = smoke_config() if args.profile == "smoke" else laptop_config()
     if args.workers < 1:
@@ -298,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figure(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "trajectory":
+        return _run_trajectory(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

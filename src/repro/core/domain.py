@@ -350,6 +350,29 @@ class GridDistribution:
         return GridDistribution(grid, unflatten_grid(flat, grid.d))
 
 
+def stack_trajectory_cells(
+    grid: GridSpec, trajectories: list
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map a ragged trajectory set to cells in one pass.
+
+    Returns ``(lengths, starts, cells)``: per-trajectory point counts, the offset of
+    each trajectory's first point in the stacked array, and the flattened cell index
+    of every point.  This is the single place a trajectory list is touched per
+    element; the trajectory engine, PivotTrace and the trajectory query engine all
+    build on the same whole-array triple.
+    """
+    if not trajectories:
+        raise ValueError("cannot stack an empty trajectory set")
+    lengths = np.fromiter(
+        (np.shape(t)[0] for t in trajectories), dtype=np.int64, count=len(trajectories)
+    )
+    if (lengths == 0).any():
+        raise ValueError("every trajectory must contain at least one point")
+    cells = grid.point_to_cell(np.vstack(trajectories))
+    starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    return lengths, starts, cells
+
+
 def marginals(distribution: GridDistribution) -> tuple[np.ndarray, np.ndarray]:
     """Return the (x-marginal, y-marginal) of a grid distribution.
 

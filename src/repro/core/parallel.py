@@ -78,16 +78,18 @@ class _PipelineSpec:
     postprocess: PostProcess
     backend: Backend
 
-    def build(self) -> DAMPipeline:
+    def build(self) -> "_PipelineShardRunner":
         domain = SpatialDomain(*self.bounds, name=self.domain_name)
-        return DAMPipeline(
-            domain,
-            self.d,
-            self.epsilon,
-            mechanism=self.mechanism,
-            b_hat=self.b_hat,
-            postprocess=self.postprocess,
-            backend=self.backend,
+        return _PipelineShardRunner(
+            DAMPipeline(
+                domain,
+                self.d,
+                self.epsilon,
+                mechanism=self.mechanism,
+                b_hat=self.b_hat,
+                postprocess=self.postprocess,
+                backend=self.backend,
+            )
         )
 
 
@@ -115,19 +117,57 @@ def _privatize_shard(pipeline: DAMPipeline, task: _ShardTask) -> ShardAggregate:
     return aggregator.state()
 
 
+@dataclass
+class _PipelineShardRunner:
+    """Worker context of the DAM pipeline: one built pipeline, one shard at a time."""
+
+    pipeline: DAMPipeline
+
+    def run_shard(self, task: _ShardTask) -> ShardAggregate:
+        return _privatize_shard(self.pipeline, task)
+
+
 # Worker-process global, installed once per worker by the pool initializer so the
-# (comparatively expensive) operator construction is not repeated per shard.
-_WORKER_PIPELINE: DAMPipeline | None = None
+# (comparatively expensive) per-worker context construction is not repeated per shard.
+_WORKER_CONTEXT = None
 
 
-def _worker_init(spec: _PipelineSpec) -> None:
-    global _WORKER_PIPELINE
-    _WORKER_PIPELINE = spec.build()
+def _shard_worker_init(spec) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = spec.build()
 
 
-def _worker_privatize(task: _ShardTask) -> ShardAggregate:
-    assert _WORKER_PIPELINE is not None, "worker pool initializer did not run"
-    return _privatize_shard(_WORKER_PIPELINE, task)
+def _shard_worker_run(task):
+    assert _WORKER_CONTEXT is not None, "shard pool initializer did not run"
+    return _WORKER_CONTEXT.run_shard(task)
+
+
+def run_sharded(spec, tasks: Sequence, workers: int, *, inline_context=None) -> list:
+    """Map shard tasks to their mergeable aggregates, optionally on a process pool.
+
+    The generic fan-out protocol shared by :class:`ParallelPipeline` and the
+    trajectory engine (:class:`repro.trajectory.engine.TrajectoryEngine`):
+
+    * ``spec`` is a small picklable value object whose ``build()`` constructs the
+      per-worker context exactly once (in the pool initializer);
+    * the context's ``run_shard(task)`` maps one task to its additive partial
+      state (a :class:`~repro.core.estimator.ShardAggregate` or any other
+      mergeable aggregate), which is all that travels back to the coordinator.
+
+    With ``workers <= 1`` or a single task the same plan runs inline without
+    subprocesses; ``inline_context`` lets callers reuse an already-built context
+    on that path instead of paying ``spec.build()`` again.
+    """
+    if not tasks:
+        return []
+    n_workers = min(int(workers), len(tasks))
+    if n_workers <= 1:
+        context = inline_context if inline_context is not None else spec.build()
+        return [context.run_shard(task) for task in tasks]
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_shard_worker_init, initargs=(spec,)
+    ) as pool:
+        return list(pool.map(_shard_worker_run, tasks))
 
 
 class ParallelPipeline:
@@ -270,13 +310,12 @@ class ParallelPipeline:
             for shard, payload in zip(shards, self._rng_payloads(shards, seed))
         ]
         n_workers = min(self.workers, len(tasks))
-        if n_workers <= 1:
-            aggregates = [_privatize_shard(self.pipeline, task) for task in tasks]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=n_workers, initializer=_worker_init, initargs=(self._spec,)
-            ) as pool:
-                aggregates = list(pool.map(_worker_privatize, tasks))
+        aggregates = run_sharded(
+            self._spec,
+            tasks,
+            n_workers,
+            inline_context=_PipelineShardRunner(self.pipeline),
+        )
         aggregator = self.pipeline.mechanism.streaming_aggregator()
         for aggregate in aggregates:
             aggregator.merge(aggregate)

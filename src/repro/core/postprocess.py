@@ -217,6 +217,27 @@ def matrix_inversion_estimate(
     return project_to_simplex(raw)
 
 
+def sanitize_probability_vector(vector: np.ndarray) -> np.ndarray:
+    """Coerce an estimated frequency vector into a safe sampling distribution.
+
+    Unbiased LDP frequency estimates can dip below zero (small ``n``, large domains)
+    and, in the extreme, clip to nothing at all; feeding such a vector to
+    ``rng.choice(p=...)`` or ``searchsorted`` sampling crashes or mis-samples.  This
+    helper clips negatives (and non-finite entries) to zero and renormalises, falling
+    back to the uniform distribution when no positive mass survives — the standard
+    consistency repair applied right before sampling from an estimate.
+    """
+    v = np.asarray(vector, dtype=float).reshape(-1)
+    if v.size == 0:
+        raise ValueError("cannot sanitize an empty probability vector")
+    v = np.where(np.isfinite(v), v, 0.0)
+    v = np.clip(v, 0.0, None)
+    total = v.sum()
+    if total <= 0:
+        return np.full(v.size, 1.0 / v.size)
+    return v / total
+
+
 def project_to_simplex(vector: np.ndarray) -> np.ndarray:
     """Euclidean projection of a vector onto the probability simplex.
 

@@ -210,6 +210,56 @@ def evaluate_on_part(
 RANGE_QUERY_WORKLOAD_SIZE: int = 64
 RANGE_QUERY_FRACTIONS: tuple[float, float] = (0.05, 0.5)
 
+#: Trajectory workload used by the ``"trajectory-w2"`` sweep metric: every part's
+#: point cloud is turned into an Appendix-D random-walk trajectory set of this shape
+#: before the trajectory mechanism runs (kept small so a sweep cell stays affordable).
+TRAJECTORY_WORKLOAD_ROUTING_D: int = 60
+TRAJECTORY_WORKLOAD_SIZE: int = 120
+TRAJECTORY_WORKLOAD_MAX_LENGTH: int = 40
+
+
+def evaluate_trajectories_on_part(
+    mechanism_name: str,
+    points: np.ndarray,
+    domain: SpatialDomain,
+    d: int,
+    epsilon: float,
+    *,
+    seed=None,
+    max_users: int | None = None,
+    routing_d: int = TRAJECTORY_WORKLOAD_ROUTING_D,
+    n_trajectories: int = TRAJECTORY_WORKLOAD_SIZE,
+    max_length: int = TRAJECTORY_WORKLOAD_MAX_LENGTH,
+) -> float:
+    """Trajectory point-density ``W2`` of one mechanism on one dataset part.
+
+    The part's points seed an Appendix-D popularity-weighted random-walk trajectory
+    set, the trajectory mechanism (``"LDPTrace"``, ``"PivotTrace"`` or ``"DAM"``
+    through the trajectory-to-point adapter) privatizes it, and the seven-step
+    comparison returns the Wasserstein error — the trajectory counterpart of
+    :func:`evaluate_on_part`'s point metric.
+    """
+    from repro.datasets.trajectories import generate_trajectories
+    from repro.trajectory.adapter import compare_trajectory_mechanism
+
+    rng = ensure_rng(seed)
+    pts = np.asarray(points, dtype=float)
+    pts = pts[domain.contains(pts)]
+    if max_users is not None and pts.shape[0] > max_users:
+        chosen = rng.choice(pts.shape[0], size=max_users, replace=False)
+        pts = pts[chosen]
+    dataset = generate_trajectories(
+        pts,
+        domain,
+        routing_d=routing_d,
+        n_trajectories=n_trajectories,
+        max_length=max_length,
+        seed=rng,
+    )
+    return compare_trajectory_mechanism(
+        mechanism_name, dataset.trajectories, domain, d, epsilon, seed=rng
+    ).w2
+
 
 def evaluate_range_queries_on_part(
     mechanism_name: str,
@@ -307,8 +357,24 @@ def _evaluate_repeat(
             )
             for _, points, domain in dataset.parts
         ]
+    elif metric == "trajectory-w2":
+        part_errors = [
+            evaluate_trajectories_on_part(
+                mechanism_name,
+                points,
+                domain,
+                d,
+                epsilon,
+                seed=rng,
+                max_users=config.max_users_per_part,
+            )
+            for _, points, domain in dataset.parts
+        ]
     else:
-        raise ValueError(f"unknown sweep metric {metric!r}; expected 'w2' or 'range-mae'")
+        raise ValueError(
+            f"unknown sweep metric {metric!r}; "
+            "expected 'w2', 'range-mae' or 'trajectory-w2'"
+        )
     return float(np.mean(part_errors))
 
 
@@ -471,6 +537,15 @@ def _cell_cache_key(cell: SweepCell, config: ExperimentConfig) -> str:
             "range_query_workload": (
                 (RANGE_QUERY_WORKLOAD_SIZE, RANGE_QUERY_FRACTIONS)
                 if cell.metric == "range-mae"
+                else None
+            ),
+            "trajectory_workload": (
+                (
+                    TRAJECTORY_WORKLOAD_ROUTING_D,
+                    TRAJECTORY_WORKLOAD_SIZE,
+                    TRAJECTORY_WORKLOAD_MAX_LENGTH,
+                )
+                if cell.metric == "trajectory-w2"
                 else None
             ),
         }
@@ -647,6 +722,37 @@ def sweep_range_query_error(
         workers=workers,
         cache=cache,
         metric="range-mae",
+    )
+
+
+def sweep_trajectory_error(
+    sweep_name: str,
+    parameter_name: str,
+    parameter_values: tuple,
+    mechanisms: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    datasets: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """Sweep the trajectory point-density ``W2`` (the Figure-14 panel at scale).
+
+    Each cell turns the dataset part into an Appendix-D trajectory workload and runs
+    a trajectory mechanism (``LDPTrace`` / ``PivotTrace`` / ``DAM`` through the
+    adapter) instead of a point mechanism.  Pool fan-out and the content-addressed
+    cache work exactly as in :func:`sweep_parameter`.
+    """
+    return sweep_parameter(
+        sweep_name,
+        parameter_name,
+        parameter_values,
+        mechanisms,
+        config,
+        datasets=datasets,
+        workers=workers,
+        cache=cache,
+        metric="trajectory-w2",
     )
 
 

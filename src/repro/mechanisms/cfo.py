@@ -45,6 +45,25 @@ class CategoricalFrequencyOracle(abc.ABC):
     def estimate_frequencies(self, reports: np.ndarray, n_users: int) -> np.ndarray:
         """Unbiased frequency estimates (length ``domain_size``), then simplex-projected."""
 
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        """Reduce raw reports to the additive per-category support counts.
+
+        The counts are the sufficient statistic of :meth:`estimate_frequencies`:
+        they can be accumulated per shard and summed across shards (they are plain
+        additive histograms), and :meth:`estimate_from_counts` recovers exactly the
+        estimate the raw concatenated reports would have produced.  This is the
+        oracle-level mergeable-aggregate protocol the sharded trajectory fit rides.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support count-based estimation"
+        )
+
+    def estimate_from_counts(self, counts: np.ndarray, n_users: int) -> np.ndarray:
+        """Estimate frequencies from accumulated :meth:`support_counts`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support count-based estimation"
+        )
+
     def _check_values(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         if values.size and (values.min() < 0 or values.max() >= self.domain_size):
@@ -78,13 +97,19 @@ class GeneralizedRandomizedResponse(CategoricalFrequencyOracle):
         noise = noise + (noise >= values)
         return np.where(keep, values, noise)
 
-    def estimate_frequencies(self, reports: np.ndarray, n_users: int) -> np.ndarray:
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
         reports = self._check_values(reports)
+        return np.bincount(reports, minlength=self.domain_size).astype(float)
+
+    def estimate_from_counts(self, counts: np.ndarray, n_users: int) -> np.ndarray:
         if n_users <= 0:
             return np.full(self.domain_size, 1.0 / self.domain_size)
-        counts = np.bincount(reports, minlength=self.domain_size).astype(float)
+        counts = np.asarray(counts, dtype=float).reshape(-1)
         estimates = (counts / n_users - self.q) / (self.p - self.q)
         return project_to_simplex(estimates)
+
+    def estimate_frequencies(self, reports: np.ndarray, n_users: int) -> np.ndarray:
+        return self.estimate_from_counts(self.support_counts(reports), n_users)
 
 
 class OptimizedUnaryEncoding(CategoricalFrequencyOracle):
@@ -111,17 +136,23 @@ class OptimizedUnaryEncoding(CategoricalFrequencyOracle):
         bits[np.arange(n), values] = keep_true
         return bits
 
-    def estimate_frequencies(self, reports: np.ndarray, n_users: int) -> np.ndarray:
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
         bits = np.asarray(reports, dtype=bool)
         if bits.ndim != 2 or bits.shape[1] != self.domain_size:
             raise ValueError(
                 f"OUE reports must have shape (n, {self.domain_size}), got {bits.shape}"
             )
+        return bits.sum(axis=0).astype(float)
+
+    def estimate_from_counts(self, counts: np.ndarray, n_users: int) -> np.ndarray:
         if n_users <= 0:
             return np.full(self.domain_size, 1.0 / self.domain_size)
-        counts = bits.sum(axis=0).astype(float)
+        counts = np.asarray(counts, dtype=float).reshape(-1)
         estimates = (counts / n_users - self.q) / (self.p - self.q)
         return project_to_simplex(estimates)
+
+    def estimate_frequencies(self, reports: np.ndarray, n_users: int) -> np.ndarray:
+        return self.estimate_from_counts(self.support_counts(reports), n_users)
 
 
 class OptimizedLocalHashing(CategoricalFrequencyOracle):

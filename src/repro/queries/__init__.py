@@ -21,6 +21,8 @@ from repro.queries.engine import (
     QueryLog,
     ReplayReport,
     SummedAreaTable,
+    TrajectoryQueryEngine,
+    TrajectoryTopK,
     WorkloadReplay,
     queries_to_array,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "RangeQueryWorkload",
     "ReplayReport",
     "SummedAreaTable",
+    "TrajectoryQueryEngine",
+    "TrajectoryTopK",
     "WorkloadReplay",
     "dense_range_answer",
     "queries_to_array",

@@ -36,7 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.domain import GridDistribution, marginals
+from repro.core.domain import GridDistribution, marginals, stack_trajectory_cells
 from repro.utils.rng import ensure_rng
 
 
@@ -258,6 +258,100 @@ class QueryEngine:
         return contours
 
 
+# ------------------------------------------------------------------ trajectory
+@dataclass(frozen=True)
+class TrajectoryTopK:
+    """Top-k (from-cell, to-cell) pairs by count, sorted by decreasing weight.
+
+    Serves both the origin–destination view (first cell → last cell of each
+    trajectory) and the transition view (every consecutive cell step); ``fractions``
+    are the counts normalised by the total number of pairs observed.
+    """
+
+    from_cells: np.ndarray
+    to_cells: np.ndarray
+    counts: np.ndarray
+    fractions: np.ndarray
+
+
+class TrajectoryQueryEngine(QueryEngine):
+    """Serve trajectory workloads from one trajectory set on an analysis grid.
+
+    Extends :class:`QueryEngine` — the per-cell *point mass* of the trajectory set is
+    the estimate being served, so range mass, point density, hotspots, marginals and
+    contours all work unchanged — with the sequence-aware statistics a trajectory
+    analyst asks for: origin–destination top-k (:meth:`od_top_k`), transition top-k
+    (:meth:`transition_top_k`) and length histograms (:meth:`length_histogram`).
+
+    The trajectory set is reduced to flat arrays once at construction (stack, one
+    cell mapping, ``np.unique`` over encoded pairs); every query afterwards is an
+    array lookup, so the engine absorbs workload replay at the same rates as the
+    point engines.  Typically built over the *synthetic* output of
+    :class:`~repro.trajectory.engine.TrajectoryEngine` (the private release), with a
+    twin over the raw input for accuracy comparisons.
+    """
+
+    def __init__(self, trajectories: list, grid) -> None:
+        if not trajectories:
+            raise ValueError("cannot serve queries over an empty trajectory set")
+        lengths, starts, cells = stack_trajectory_cells(grid, trajectories)
+        counts = np.bincount(cells, minlength=grid.n_cells).astype(float)
+        super().__init__(GridDistribution.from_flat(grid, counts / counts.sum()))
+
+        ends = starts + lengths - 1
+        self.lengths = lengths
+        self.n_trajectories = int(lengths.shape[0])
+        self._od_pairs = self._pair_counts(cells[starts], cells[ends])
+        # Consecutive steps: position i -> i+1 for every i that is not a trajectory
+        # end (the last trajectory's end is already outside the step range).
+        step_mask = np.ones(max(cells.shape[0] - 1, 0), dtype=bool)
+        interior_ends = ends[ends < cells.shape[0] - 1]
+        step_mask[interior_ends] = False
+        self._transition_pairs = self._pair_counts(
+            cells[:-1][step_mask], cells[1:][step_mask]
+        )
+
+    def _pair_counts(
+        self, from_cells: np.ndarray, to_cells: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unique (from, to) pairs with counts, pre-sorted by decreasing count."""
+        if from_cells.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0)
+        codes = from_cells.astype(np.int64) * self.grid.n_cells + to_cells.astype(np.int64)
+        unique, counts = np.unique(codes, return_counts=True)
+        order = np.argsort(counts, kind="stable")[::-1]
+        unique, counts = unique[order], counts[order]
+        return unique // self.grid.n_cells, unique % self.grid.n_cells, counts.astype(float)
+
+    def _top_k(self, pairs, k: int) -> TrajectoryTopK:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        from_cells, to_cells, counts = pairs
+        k = min(k, counts.shape[0])
+        total = counts.sum()
+        return TrajectoryTopK(
+            from_cells=from_cells[:k],
+            to_cells=to_cells[:k],
+            counts=counts[:k],
+            fractions=counts[:k] / total if total > 0 else counts[:k],
+        )
+
+    def od_top_k(self, k: int) -> TrajectoryTopK:
+        """The ``k`` most frequent origin–destination (first cell, last cell) pairs."""
+        return self._top_k(self._od_pairs, k)
+
+    def transition_top_k(self, k: int) -> TrajectoryTopK:
+        """The ``k`` most frequent consecutive cell-to-cell steps."""
+        return self._top_k(self._transition_pairs, k)
+
+    def length_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of trajectory lengths: ``(counts, bin_edges)``."""
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        return np.histogram(self.lengths, bins=bins)
+
+
 # --------------------------------------------------------------------- replay
 @dataclass
 class QueryLog:
@@ -266,6 +360,10 @@ class QueryLog:
     ``range_queries`` is an ``(n, 4)`` array of ``[x_lo, x_hi, y_lo, y_hi]`` rows,
     ``density_points`` an ``(m, 2)`` array of lookup locations, ``top_k`` the
     requested hotspot sizes and ``quantile_levels`` the requested contour levels.
+    The trajectory operations (requested sizes of origin–destination and transition
+    top-k queries plus length-histogram bin counts) are only servable by a
+    :class:`TrajectoryQueryEngine`; logs containing them replay against point-only
+    engines with a clear error.
     """
 
     range_queries: np.ndarray = field(default_factory=lambda: np.empty((0, 4)))
@@ -273,12 +371,26 @@ class QueryLog:
     top_k: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     quantile_levels: np.ndarray = field(default_factory=lambda: np.empty(0))
     n_marginal_requests: int = 0
+    od_top_k: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    transition_top_k: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    length_histogram_bins: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
 
     def __post_init__(self) -> None:
         self.range_queries = np.asarray(self.range_queries, dtype=float).reshape(-1, 4)
         self.density_points = np.asarray(self.density_points, dtype=float).reshape(-1, 2)
         self.top_k = np.asarray(self.top_k, dtype=np.int64).reshape(-1)
         self.quantile_levels = np.asarray(self.quantile_levels, dtype=float).reshape(-1)
+        self.od_top_k = np.asarray(self.od_top_k, dtype=np.int64).reshape(-1)
+        self.transition_top_k = np.asarray(
+            self.transition_top_k, dtype=np.int64
+        ).reshape(-1)
+        self.length_histogram_bins = np.asarray(
+            self.length_histogram_bins, dtype=np.int64
+        ).reshape(-1)
 
     @property
     def size(self) -> int:
@@ -289,6 +401,18 @@ class QueryLog:
             + self.top_k.shape[0]
             + self.quantile_levels.shape[0]
             + self.n_marginal_requests
+            + self.od_top_k.shape[0]
+            + self.transition_top_k.shape[0]
+            + self.length_histogram_bins.shape[0]
+        )
+
+    @property
+    def has_trajectory_operations(self) -> bool:
+        """Whether the log needs a :class:`TrajectoryQueryEngine` to replay fully."""
+        return bool(
+            self.od_top_k.shape[0]
+            or self.transition_top_k.shape[0]
+            or self.length_histogram_bins.shape[0]
         )
 
     def save(self, path) -> None:
@@ -300,17 +424,28 @@ class QueryLog:
             top_k=self.top_k,
             quantile_levels=self.quantile_levels,
             n_marginal_requests=np.int64(self.n_marginal_requests),
+            od_top_k=self.od_top_k,
+            transition_top_k=self.transition_top_k,
+            length_histogram_bins=self.length_histogram_bins,
         )
 
     @staticmethod
     def load(path) -> "QueryLog":
         with np.load(Path(path)) as archive:
+            # Trajectory operations were added after the first on-disk format;
+            # archives written by older versions simply lack the keys.
+            def optional(key: str) -> np.ndarray:
+                return archive[key] if key in archive.files else np.empty(0, dtype=np.int64)
+
             return QueryLog(
                 range_queries=archive["range_queries"],
                 density_points=archive["density_points"],
                 top_k=archive["top_k"],
                 quantile_levels=archive["quantile_levels"],
                 n_marginal_requests=int(archive["n_marginal_requests"]),
+                od_top_k=optional("od_top_k"),
+                transition_top_k=optional("transition_top_k"),
+                length_histogram_bins=optional("length_histogram_bins"),
             )
 
     @staticmethod
@@ -322,6 +457,9 @@ class QueryLog:
         n_top_k: int = 0,
         n_quantiles: int = 0,
         n_marginals: int = 0,
+        n_od_top_k: int = 0,
+        n_transition_top_k: int = 0,
+        n_length_histograms: int = 0,
         min_fraction: float = 0.05,
         max_fraction: float = 0.5,
         max_k: int = 10,
@@ -341,6 +479,9 @@ class QueryLog:
             top_k=rng.integers(1, max_k + 1, n_top_k),
             quantile_levels=rng.uniform(0.1, 0.95, n_quantiles),
             n_marginal_requests=n_marginals,
+            od_top_k=rng.integers(1, max_k + 1, n_od_top_k),
+            transition_top_k=rng.integers(1, max_k + 1, n_transition_top_k),
+            length_histogram_bins=rng.integers(4, 33, n_length_histograms),
         )
 
 
@@ -425,6 +566,15 @@ class WorkloadReplay:
         The answers dictionary maps operation kind to its results so replays can be
         compared across engine versions (regression harnesses diff them).
         """
+        # Fail fast: a log that needs sequence statistics must not burn through the
+        # whole point workload before discovering the engine cannot serve it.
+        if log.has_trajectory_operations and not isinstance(
+            self.engine, TrajectoryQueryEngine
+        ):
+            raise TypeError(
+                "this query log contains trajectory operations (OD/transition top-k "
+                "or length histograms); replay it against a TrajectoryQueryEngine"
+            )
         per_kind: dict = {}
         answers: dict = {}
 
@@ -471,6 +621,29 @@ class WorkloadReplay:
                 lambda: [
                     self.engine.axis_marginals()
                     for _ in range(log.n_marginal_requests)
+                ],
+            )
+        if log.od_top_k.shape[0]:
+            answers["od_top_k"] = timed(
+                "od_top_k",
+                log.od_top_k.shape[0],
+                lambda: [self.engine.od_top_k(int(k)) for k in log.od_top_k],
+            )
+        if log.transition_top_k.shape[0]:
+            answers["transition_top_k"] = timed(
+                "transitions",
+                log.transition_top_k.shape[0],
+                lambda: [
+                    self.engine.transition_top_k(int(k)) for k in log.transition_top_k
+                ],
+            )
+        if log.length_histogram_bins.shape[0]:
+            answers["length_histogram"] = timed(
+                "lengths",
+                log.length_histogram_bins.shape[0],
+                lambda: [
+                    self.engine.length_histogram(int(bins))
+                    for bins in log.length_histogram_bins
                 ],
             )
 

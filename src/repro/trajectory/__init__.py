@@ -6,6 +6,13 @@ from repro.trajectory.adapter import (
     compare_trajectory_mechanism,
     trajectory_point_distribution,
 )
+from repro.trajectory.engine import (
+    DEFAULT_TRAJECTORY_SHARD_SIZE,
+    TrajectoryEngine,
+    TrajectoryReports,
+    TrajectoryShardAggregate,
+    merge_trajectory_aggregates,
+)
 from repro.trajectory.ldptrace import DIRECTIONS, LDPTrace, LDPTraceModel
 from repro.trajectory.pivottrace import PivotTrace
 
@@ -14,6 +21,11 @@ __all__ = [
     "compare_all_trajectory_mechanisms",
     "compare_trajectory_mechanism",
     "trajectory_point_distribution",
+    "DEFAULT_TRAJECTORY_SHARD_SIZE",
+    "TrajectoryEngine",
+    "TrajectoryReports",
+    "TrajectoryShardAggregate",
+    "merge_trajectory_aggregates",
     "DIRECTIONS",
     "LDPTrace",
     "LDPTraceModel",

@@ -59,13 +59,15 @@ def compare_trajectory_mechanism(
     *,
     seed=None,
     normalise_domain: bool = True,
+    workers: int = 1,
 ) -> TrajectoryComparisonResult:
     """Run the full seven-step comparison for one mechanism.
 
     ``mechanism_name`` is ``"ldptrace"``, ``"pivottrace"`` or ``"dam"``.  With
     ``normalise_domain=True`` (the default) trajectory coordinates are mapped into the
     unit square first, so the reported W2 is on the same scale as the point-density
-    experiments.
+    experiments.  ``workers > 1`` shards LDPTrace's report collection over a process
+    pool (numbers are worker-invariant; the other mechanisms run single-process).
     """
     rng = ensure_rng(seed)
     if normalise_domain:
@@ -92,8 +94,12 @@ def compare_trajectory_mechanism(
             n_trajectories=len(trajectories),
         )
     if key == "ldptrace":
+        from repro.trajectory.engine import TrajectoryEngine
+
         mechanism = LDPTrace(grid, epsilon)
-        synthetic = mechanism.fit_synthesize(trajectories, seed=rng)
+        synthetic = TrajectoryEngine(mechanism).fit_synthesize(
+            trajectories, seed=rng, workers=workers
+        )
         estimated = trajectory_point_distribution(synthetic, grid)
         label = mechanism.name
     elif key == "pivottrace":
@@ -128,12 +134,13 @@ def compare_all_trajectory_mechanisms(
     epsilon: float,
     *,
     seed=None,
+    workers: int = 1,
 ) -> dict[str, TrajectoryComparisonResult]:
     """Run LDPTrace, PivotTrace and DAM on the same trajectory set (Figure 14 row)."""
     rng = ensure_rng(seed)
     results = {}
     for name in ("ldptrace", "pivottrace", "dam"):
         results[name] = compare_trajectory_mechanism(
-            name, trajectories, domain, d, epsilon, seed=rng
+            name, trajectories, domain, d, epsilon, seed=rng, workers=workers
         )
     return results

@@ -14,6 +14,11 @@ the categorical frequency oracles of :mod:`repro.mechanisms.cfo`.  Synthesis dra
 length, a start cell and then walks the estimated Markov model.  As the paper observes,
 most of the budget goes to directionality rather than density, which is why LDPTrace
 trails DAM on the point-density Wasserstein metric that Figure 14 reports.
+
+The production ``fit``/``synthesize`` paths delegate to the vectorized batch engine in
+:mod:`repro.trajectory.engine`; the original per-trajectory/per-step loops are retained
+verbatim as :meth:`LDPTrace.fit_reference` / :meth:`LDPTrace.synthesize_reference` and
+serve as the ground truth of the differential tests in ``tests/trajectory/``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.domain import GridSpec
+from repro.core.postprocess import sanitize_probability_vector
 from repro.mechanisms.cfo import GeneralizedRandomizedResponse, OptimizedUnaryEncoding
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_epsilon
@@ -99,7 +105,18 @@ class LDPTrace:
         return DIRECTIONS.index(step)
 
     def fit(self, trajectories: list[np.ndarray], seed=None) -> LDPTraceModel:
-        """Collect the three LDP reports from every trajectory owner and estimate."""
+        """Collect the three LDP reports from every trajectory owner and estimate.
+
+        Delegates to the vectorized :class:`~repro.trajectory.engine.TrajectoryEngine`
+        (report collection in whole-array operations); use
+        :meth:`TrajectoryEngine.fit` directly for multi-worker sharded collection.
+        """
+        from repro.trajectory.engine import TrajectoryEngine
+
+        return TrajectoryEngine(self).fit(trajectories, seed=seed)
+
+    def fit_reference(self, trajectories: list[np.ndarray], seed=None) -> LDPTraceModel:
+        """The seed per-trajectory fitting loop, retained for differential testing."""
         rng = ensure_rng(seed)
         if not trajectories:
             raise ValueError("cannot fit LDPTrace on an empty trajectory set")
@@ -129,15 +146,30 @@ class LDPTrace:
     def synthesize(
         self, model: LDPTraceModel, n_trajectories: int, seed=None
     ) -> list[np.ndarray]:
-        """Generate synthetic trajectories (as point sequences) from a fitted model."""
+        """Generate synthetic trajectories (as point sequences) from a fitted model.
+
+        Delegates to the batched Markov walk of
+        :class:`~repro.trajectory.engine.TrajectoryEngine`: all lengths, start cells
+        and direction matrices are drawn in whole-array operations.
+        """
+        from repro.trajectory.engine import TrajectoryEngine
+
+        return TrajectoryEngine(self).synthesize(model, n_trajectories, seed=seed)
+
+    def synthesize_reference(
+        self, model: LDPTraceModel, n_trajectories: int, seed=None
+    ) -> list[np.ndarray]:
+        """The seed per-step synthesis loop, retained for differential testing."""
         rng = ensure_rng(seed)
         if n_trajectories < 0:
             raise ValueError(f"n_trajectories must be non-negative, got {n_trajectories}")
         trajectories: list[np.ndarray] = []
         d = self.grid.d
-        start_probs = model.start_distribution / model.start_distribution.sum()
-        length_probs = model.length_distribution / model.length_distribution.sum()
-        direction_probs = model.direction_distribution / model.direction_distribution.sum()
+        # Unbiased frequency estimates can be negative (or degenerate) when the model
+        # was built from raw inverse-perturbation estimates; sanitize before sampling.
+        start_probs = sanitize_probability_vector(model.start_distribution)
+        length_probs = sanitize_probability_vector(model.length_distribution)
+        direction_probs = sanitize_probability_vector(model.direction_distribution)
         for _ in range(n_trajectories):
             bucket = rng.choice(self.n_length_buckets, p=length_probs)
             lo = model.length_buckets[bucket]

@@ -10,16 +10,22 @@ consecutive reported pivots with straight-line interpolation across the grid.
 Pivot perturbation uses the exponential Geo-I-style kernel over cells (distance-aware,
 like the original paper's optimised perturbation), and the per-pivot budget is the
 total budget divided by the number of pivots so sequential composition holds.
+
+:meth:`PivotTrace.collect` batches the oracle side — every pivot of every trajectory
+is perturbed through one grouped inverse-CDF pass and all length reports travel
+through one GRR call — leaving only the per-trajectory polyline interpolation as a
+loop.  The seed per-trajectory loop is retained as :meth:`PivotTrace.collect_reference`
+for differential testing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.domain import GridSpec
+from repro.core.domain import GridSpec, stack_trajectory_cells
 from repro.mechanisms.cfo import GeneralizedRandomizedResponse
 from repro.utils.histogram import pairwise_cell_distances
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, sample_grouped_inverse_cdf
 from repro.utils.validation import check_epsilon
 
 
@@ -50,7 +56,13 @@ class PivotTrace:
         self.length_oracle = GeneralizedRandomizedResponse(32, self.share)
         distances = pairwise_cell_distances(grid.d, grid.domain.bounds) / grid.cell_side
         kernel = np.exp(-self.share * distances / 2.0)
-        self._pivot_kernel = kernel / kernel.sum(axis=1, keepdims=True)
+        # Each diagonal entry is exp(0) = 1, so rows cannot collapse to zero; the
+        # guard still covers pathological inputs (uniform fallback, no-op otherwise).
+        row_sums = kernel.sum(axis=1, keepdims=True)
+        self._pivot_kernel = np.where(
+            row_sums > 0, kernel / np.maximum(row_sums, 1e-300), 1.0 / grid.n_cells
+        )
+        self._pivot_kernel_cdf = np.cumsum(self._pivot_kernel, axis=1)
         self._length_buckets = np.linspace(2, 200, 33)
 
     # ------------------------------------------------------------------ reporting
@@ -58,6 +70,18 @@ class PivotTrace:
         return np.unique(np.linspace(0, length - 1, self.n_pivots).round().astype(int))
 
     def _perturb_cells(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Batch pivot perturbation: one grouped inverse-CDF pass over kernel rows."""
+        return sample_grouped_inverse_cdf(
+            rng,
+            np.asarray(cells, dtype=np.int64),
+            self._pivot_kernel_cdf.__getitem__,
+            self.grid.n_cells,
+        )
+
+    def _perturb_cells_reference(
+        self, cells: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The seed per-pivot ``rng.choice`` loop, retained for differential tests."""
         noisy = np.empty_like(cells)
         for i, cell in enumerate(cells):
             noisy[i] = rng.choice(self.grid.n_cells, p=self._pivot_kernel[cell])
@@ -74,7 +98,53 @@ class PivotTrace:
 
     # ------------------------------------------------------------- reconstruction
     def collect(self, trajectories: list[np.ndarray], seed=None) -> list[np.ndarray]:
-        """Report pivots for every trajectory and reconstruct the noisy trajectories."""
+        """Report pivots for every trajectory and reconstruct the noisy trajectories.
+
+        The oracle side is fully batched: the trajectory set is stacked and mapped to
+        cells once, every pivot cell of every trajectory is perturbed in one grouped
+        inverse-CDF pass, and all length buckets travel through one GRR batch call.
+        Only the polyline interpolation (pure arithmetic) remains per trajectory.
+        """
+        rng = ensure_rng(seed)
+        if not trajectories:
+            raise ValueError("cannot collect an empty trajectory set")
+        lengths, starts, cells = stack_trajectory_cells(self.grid, trajectories)
+
+        # Pivot positions: round(linspace(0, len-1, p)) per trajectory, deduplicated
+        # exactly as the reference's np.unique (the rounded sequence is already
+        # sorted, so "first occurrence" is the same set in the same order).
+        fractions = np.linspace(0.0, 1.0, self.n_pivots)
+        pivot_idx = np.round(fractions[None, :] * (lengths - 1)[:, None]).astype(np.int64)
+        valid = np.ones_like(pivot_idx, dtype=bool)
+        valid[:, 1:] = pivot_idx[:, 1:] != pivot_idx[:, :-1]
+        pivot_cells = cells[(starts[:, None] + pivot_idx)[valid]]
+        pivots_per_trajectory = valid.sum(axis=1)
+
+        noisy_pivots = self._perturb_cells(pivot_cells, rng)
+        bucket_edges = self._length_buckets
+        true_buckets = np.minimum(
+            np.searchsorted(bucket_edges[1:-1], lengths, side="right"),
+            self.length_oracle.domain_size - 1,
+        )
+        noisy_buckets = self.length_oracle.privatize(true_buckets, seed=rng)
+        lo = bucket_edges[noisy_buckets]
+        hi = bucket_edges[noisy_buckets + 1]
+        target_lengths = np.maximum(
+            2, np.round(lo + rng.random(lengths.shape[0]) * (hi - lo)).astype(np.int64)
+        )
+
+        pivot_offsets = np.concatenate([[0], np.cumsum(pivots_per_trajectory)])
+        return [
+            self._interpolate(
+                noisy_pivots[pivot_offsets[i] : pivot_offsets[i + 1]],
+                int(target_lengths[i]),
+                rng,
+            )
+            for i in range(lengths.shape[0])
+        ]
+
+    def collect_reference(self, trajectories: list[np.ndarray], seed=None) -> list[np.ndarray]:
+        """The seed per-trajectory collection loop, retained for differential testing."""
         rng = ensure_rng(seed)
         if not trajectories:
             raise ValueError("cannot collect an empty trajectory set")
@@ -82,7 +152,7 @@ class PivotTrace:
         for trajectory in trajectories:
             cells = self.grid.point_to_cell(trajectory)
             pivots = cells[self._pivot_indices(cells.shape[0])]
-            noisy_pivots = self._perturb_cells(pivots, rng)
+            noisy_pivots = self._perturb_cells_reference(pivots, rng)
             noisy_length_bucket = int(
                 self.length_oracle.privatize(
                     np.array([self._length_bucket(cells.shape[0])]), seed=rng

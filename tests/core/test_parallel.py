@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 from repro.core.dam import DiscreteDAM
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.estimator import ShardAggregate, StreamingAggregator
-from repro.core.parallel import ParallelPipeline
+from repro.core.parallel import ParallelPipeline, run_sharded
 from repro.core.pipeline import DAMPipeline
 from repro.utils.rng import (
     generator_from_state,
@@ -301,3 +301,40 @@ class TestMultiprocessEquality:
             domain, 6, 2.0, workers=4, shard_size=1500, rng_mode="spawn"
         ).run(points, seed=17)
         assert _identical(inline, pooled)
+
+
+# Module-level so the spec pickles into pool workers (run_sharded's protocol).
+class _SquaringContext:
+    def run_shard(self, task):
+        return task * task
+
+
+class _SquaringSpec:
+    def build(self):
+        return _SquaringContext()
+
+
+class TestRunSharded:
+    """The generic spec/context fan-out protocol shared with the trajectory engine."""
+
+    def test_inline_and_pooled_agree(self):
+        tasks = list(range(7))
+        inline = run_sharded(_SquaringSpec(), tasks, workers=1)
+        pooled = run_sharded(_SquaringSpec(), tasks, workers=3)
+        assert inline == pooled == [t * t for t in tasks]
+
+    def test_inline_context_reused(self):
+        class Counting(_SquaringContext):
+            built = 0
+
+        class CountingSpec:
+            def build(self):
+                Counting.built += 1
+                return Counting()
+
+        context = Counting()
+        assert run_sharded(CountingSpec(), [2, 3], workers=1, inline_context=context) == [4, 9]
+        assert Counting.built == 0  # never rebuilt on the inline path
+
+    def test_empty_tasks(self):
+        assert run_sharded(_SquaringSpec(), [], workers=4) == []

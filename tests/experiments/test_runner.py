@@ -16,8 +16,10 @@ from repro.experiments.runner import (
     evaluate_on_dataset,
     evaluate_on_part,
     evaluate_range_queries_on_part,
+    evaluate_trajectories_on_part,
     sweep_parameter,
     sweep_range_query_error,
+    sweep_trajectory_error,
 )
 from repro.mechanisms.sem_geo_i import SEMGeoI
 from repro.metrics.local_privacy import local_privacy_of_mechanism
@@ -171,3 +173,38 @@ class TestRangeQuerySweep:
         w2 = sweep_parameter("w2", "epsilon", (3.5,), ("DAM",), config, **kwargs)
         assert first.points[0].w2_mean == second.points[0].w2_mean
         assert first.points[0].w2_mean != w2.points[0].w2_mean
+
+
+class TestTrajectorySweep:
+    def test_part_evaluation_returns_bounded_error(self, rng):
+        pts = np.clip(rng.normal([0.5, 0.5], 0.12, size=(4000, 2)), 0, 1)
+        for mechanism in ("LDPTrace", "PivotTrace", "DAM"):
+            w2 = evaluate_trajectories_on_part(
+                mechanism, pts, SpatialDomain.unit(), 5, 2.0, seed=0,
+                routing_d=30, n_trajectories=40, max_length=15,
+            )
+            # Normalised-domain W2 is bounded by the unit-square diagonal.
+            assert 0.0 <= w2 <= np.sqrt(2)
+
+    def test_sweep_structure_and_metric_tag(self):
+        config = smoke_config()
+        result = sweep_trajectory_error(
+            "traj-sweep", "epsilon", (1.0, 2.0), ("LDPTrace", "DAM"), config,
+            datasets=("SZipf",),
+        )
+        assert len(result.points) == 4
+        for point in result.points:
+            assert point.details["metric"] == "trajectory-w2"
+            assert 0.0 <= point.w2_mean <= np.sqrt(2)
+        assert set(result.mechanisms()) == {"LDPTrace", "DAM"}
+
+    def test_trajectory_sweep_deterministic_and_cached(self, tmp_path):
+        config = smoke_config().with_overrides(cache_dir=str(tmp_path))
+        kwargs = dict(datasets=("SZipf",),)
+        first = sweep_trajectory_error(
+            "traj", "d", (4,), ("PivotTrace",), config, **kwargs
+        )
+        second = sweep_trajectory_error(
+            "traj", "d", (4,), ("PivotTrace",), config, **kwargs
+        )
+        assert first.points[0].w2_mean == second.points[0].w2_mean

@@ -176,3 +176,38 @@ class TestBucketCFO:
         true = unit_grid5.distribution(clustered_points)
         report = mech.run(clustered_points, seed=1)
         assert report.estimate.total_variation(true) < 0.1
+
+
+class TestSupportCountProtocol:
+    """Count-based estimation is the sufficient-statistic path the sharded
+    trajectory fit rides: summing per-shard support counts and estimating once must
+    be bit-identical to estimating over the concatenated raw reports."""
+
+    @pytest.mark.parametrize("oracle_factory", [
+        lambda: GeneralizedRandomizedResponse(6, 1.2),
+        lambda: OptimizedUnaryEncoding(6, 1.2),
+    ])
+    def test_sharded_counts_match_raw_reports_bitwise(self, oracle_factory):
+        oracle = oracle_factory()
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, oracle.domain_size, size=300)
+        reports = oracle.privatize(values, seed=1)
+        whole = oracle.estimate_frequencies(reports, values.shape[0])
+        counts = sum(
+            oracle.support_counts(shard) for shard in np.array_split(reports, 5)
+        )
+        merged = oracle.estimate_from_counts(counts, values.shape[0])
+        np.testing.assert_array_equal(whole, merged)
+
+    def test_zero_users_uniform(self):
+        oracle = GeneralizedRandomizedResponse(4, 1.0)
+        np.testing.assert_allclose(
+            oracle.estimate_from_counts(np.zeros(4), 0), np.full(4, 0.25)
+        )
+
+    def test_olh_does_not_support_counts(self):
+        oracle = OptimizedLocalHashing(6, 1.2)
+        with pytest.raises(NotImplementedError):
+            oracle.support_counts(np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(NotImplementedError):
+            oracle.estimate_from_counts(np.zeros(6), 1)

@@ -20,6 +20,7 @@ from repro.queries.engine import (
     QueryEngine,
     QueryLog,
     SummedAreaTable,
+    TrajectoryQueryEngine,
     WorkloadReplay,
     queries_to_array,
 )
@@ -322,3 +323,157 @@ class TestCumulativeAccessor:
         engine = QueryEngine(estimate)
         answers = engine.range_mass(np.array([[0.0, 1.0, 0.0, 1.0]]))
         assert answers[0] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTrajectoryQueryEngine:
+    """Sequence-aware serving: OD/transition top-k and length histograms."""
+
+    @pytest.fixture
+    def tiny_trajectories(self):
+        # Hand-built on a 2x2 unit grid: cells are row*2+col.
+        # T1: (0,0) -> (0,1) -> (1,1)  [cells 0, 1, 3]
+        # T2: (0,0) -> (0,1)           [cells 0, 1]
+        # T3: single point in cell 3
+        return [
+            np.array([[0.25, 0.25], [0.75, 0.25], [0.75, 0.75]]),
+            np.array([[0.25, 0.25], [0.75, 0.25]]),
+            np.array([[0.75, 0.75]]),
+        ]
+
+    @pytest.fixture
+    def serving(self, tiny_trajectories):
+        return TrajectoryQueryEngine(tiny_trajectories, GridSpec.unit(2))
+
+    def test_point_mass_is_the_cell_distribution(self, serving):
+        # 6 points: cells [0,1,3, 0,1, 3] -> masses (2, 2, 0, 2)/6.
+        np.testing.assert_allclose(
+            serving.estimate.flat(), np.array([2, 2, 0, 2]) / 6.0
+        )
+
+    def test_od_top_k_counts(self, serving):
+        od = serving.od_top_k(4)
+        # OD pairs: (0 -> 3), (0 -> 1), (3 -> 3); all counts 1.
+        assert od.counts.sum() == 3
+        pairs = set(zip(od.from_cells.tolist(), od.to_cells.tolist()))
+        assert pairs == {(0, 3), (0, 1), (3, 3)}
+        np.testing.assert_allclose(od.fractions.sum(), 1.0)
+
+    def test_transition_top_k_counts(self, serving):
+        transitions = serving.transition_top_k(10)
+        # Steps: 0->1 (twice), 1->3 (once).
+        lookup = {
+            (f, t): c
+            for f, t, c in zip(
+                transitions.from_cells.tolist(),
+                transitions.to_cells.tolist(),
+                transitions.counts.tolist(),
+            )
+        }
+        assert lookup == {(0, 1): 2.0, (1, 3): 1.0}
+        assert transitions.counts[0] == 2.0  # sorted by decreasing count
+
+    def test_length_histogram(self, serving):
+        counts, edges = serving.length_histogram(bins=3)
+        assert counts.sum() == 3
+        assert edges[0] == 1 and edges[-1] == 3
+
+    def test_inherits_point_serving(self, serving):
+        mass = serving.range_mass(np.array([[0.0, 1.0, 0.0, 1.0]]))
+        assert mass[0] == pytest.approx(1.0)
+        assert serving.top_k_cells(1).masses[0] == pytest.approx(2 / 6)
+
+    def test_validation(self, serving, tiny_trajectories):
+        with pytest.raises(ValueError):
+            TrajectoryQueryEngine([], GridSpec.unit(2))
+        with pytest.raises(ValueError):
+            TrajectoryQueryEngine([np.empty((0, 2))], GridSpec.unit(2))
+        with pytest.raises(ValueError):
+            serving.od_top_k(0)
+        with pytest.raises(ValueError):
+            serving.length_histogram(bins=0)
+
+    def test_single_trajectory_has_no_interior_end_bug(self):
+        # One trajectory: every consecutive step must count, none dropped.
+        serving = TrajectoryQueryEngine(
+            [np.array([[0.25, 0.25], [0.75, 0.25], [0.75, 0.75], [0.25, 0.75]])],
+            GridSpec.unit(2),
+        )
+        assert serving.transition_top_k(10).counts.sum() == 3
+
+    @given(strategies.trajectory_sets(), strategies.grid_sides(2, 8), strategies.seeds())
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pair_totals_consistent(self, trajectories, d, seed):
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        serving = TrajectoryQueryEngine(trajectories, GridSpec(domain, d))
+        od = serving.od_top_k(10**9)  # clipped to all pairs
+        transitions = serving.transition_top_k(10**9)
+        assert od.counts.sum() == len(trajectories)
+        n_steps = sum(max(np.shape(t)[0] - 1, 0) for t in trajectories)
+        assert transitions.counts.sum() == n_steps
+
+
+class TestTrajectoryWorkloadReplay:
+    def _serving(self):
+        rng = np.random.default_rng(3)
+        trajectories = [
+            np.clip(rng.normal(0.5, 0.2, size=(int(rng.integers(1, 12)), 2)), 0, 1)
+            for _ in range(40)
+        ]
+        return TrajectoryQueryEngine(trajectories, GridSpec.unit(4))
+
+    def test_replay_serves_trajectory_operations(self):
+        serving = self._serving()
+        log = QueryLog.random(
+            serving.grid.domain,
+            n_range=16,
+            n_od_top_k=3,
+            n_transition_top_k=3,
+            n_length_histograms=2,
+            seed=0,
+        )
+        report, answers = WorkloadReplay(serving).replay(log)
+        assert report.n_operations == log.size
+        assert len(answers["od_top_k"]) == 3
+        assert len(answers["transition_top_k"]) == 3
+        assert len(answers["length_histogram"]) == 2
+
+    def test_point_engine_rejects_trajectory_log(self):
+        estimate = GridDistribution.uniform(GridSpec.unit(4))
+        log = QueryLog(od_top_k=np.array([3]))
+        with pytest.raises(TypeError, match="TrajectoryQueryEngine"):
+            WorkloadReplay(QueryEngine(estimate)).replay(log)
+
+    def test_trajectory_log_roundtrip(self, tmp_path):
+        log = QueryLog.random(
+            SpatialDomain.unit(),
+            n_range=4,
+            n_od_top_k=2,
+            n_transition_top_k=1,
+            n_length_histograms=1,
+            seed=5,
+        )
+        assert log.has_trajectory_operations
+        path = tmp_path / "trajectory-log.npz"
+        log.save(path)
+        loaded = QueryLog.load(path)
+        np.testing.assert_array_equal(loaded.od_top_k, log.od_top_k)
+        np.testing.assert_array_equal(loaded.transition_top_k, log.transition_top_k)
+        np.testing.assert_array_equal(
+            loaded.length_histogram_bins, log.length_histogram_bins
+        )
+        assert loaded.size == log.size
+
+    def test_legacy_log_without_trajectory_fields_loads(self, tmp_path):
+        """Archives written before the trajectory operations existed must load."""
+        path = tmp_path / "legacy-log.npz"
+        np.savez_compressed(
+            path,
+            range_queries=np.array([[0.1, 0.4, 0.1, 0.4]]),
+            density_points=np.empty((0, 2)),
+            top_k=np.empty(0, dtype=np.int64),
+            quantile_levels=np.empty(0),
+            n_marginal_requests=np.int64(0),
+        )
+        loaded = QueryLog.load(path)
+        assert loaded.size == 1
+        assert not loaded.has_trajectory_operations

@@ -5,8 +5,8 @@ Every property test used to re-roll its own ad-hoc ``st.integers`` /
 budgets, disk radii, spatial domains and query rectangles.  This module is the single
 source of those strategies so the generators (and their edge cases: offset domains,
 planet-scale coordinates, degenerate-thin rectangles, overhanging and fully-outside
-queries) are shared by ``tests/test_properties.py``, ``tests/core/``,
-``tests/metrics/`` and ``tests/queries/``.
+queries, trajectory sets) are shared by ``tests/test_properties.py``,
+``tests/core/``, ``tests/metrics/``, ``tests/queries/`` and ``tests/trajectory/``.
 
 Conventions
 -----------
@@ -167,6 +167,50 @@ def range_queries(
     x_hi = max(x_lo + extents[0] * dom.width, float(np.nextafter(x_lo, np.inf)))
     y_hi = max(y_lo + extents[1] * dom.height, float(np.nextafter(y_lo, np.inf)))
     return RangeQuery(x_lo, x_hi, y_lo, y_hi)
+
+
+@st.composite
+def trajectory_sets(
+    draw,
+    *,
+    domain: SpatialDomain | None = None,
+    min_trajectories: int = 1,
+    max_trajectories: int = 10,
+    min_length: int = 1,
+    max_length: int = 25,
+    allow_outside: bool = True,
+) -> list[np.ndarray]:
+    """Variable-length trajectory sets over a domain, including the hard cases.
+
+    Each trajectory is a Gaussian random walk started inside the domain with step
+    sizes proportional to the domain extent, so walks routinely *overhang* the domain
+    (off-grid points — the cell mapping must clamp them).  Single-point trajectories
+    are always possible (``min_length=1`` default) and one is forced in whenever the
+    drawn flag says so, because that is where per-trajectory direction sampling and
+    pivot selection degenerate.  Domains default to :func:`domains`, which includes
+    planet-scale coordinate offsets.
+    """
+    dom = domain if domain is not None else draw(domains())
+    rng = np.random.default_rng(draw(seeds()))
+    force_single_point = draw(st.booleans())
+    count = int(rng.integers(min_trajectories, max_trajectories + 1))
+    scale = np.array([dom.width, dom.height])
+    origin = np.array([dom.x_min, dom.y_min])
+    trajectories: list[np.ndarray] = []
+    for index in range(count):
+        if force_single_point and index == 0:
+            length = max(min_length, 1)
+        else:
+            length = int(rng.integers(min_length, max_length + 1))
+        start = origin + rng.random(2) * scale
+        steps = rng.normal(0.0, 0.08, size=(length - 1, 2)) * scale
+        points = start[None, :] + np.concatenate(
+            [np.zeros((1, 2)), np.cumsum(steps, axis=0)]
+        )
+        if not allow_outside:
+            points = dom.clip(points)
+        trajectories.append(points)
+    return trajectories
 
 
 @st.composite

@@ -165,3 +165,70 @@ class TestQueryCommand:
             main(["query", "--input", str(csv_points), "--workers", "0"])
         with pytest.raises(SystemExit):
             main(["query", "--input", str(csv_points), "--n-queries", "0"])
+
+
+class TestTrajectoryCommand:
+    def test_compare_all_mechanisms(self, csv_points, capsys):
+        code = main(["trajectory", "--input", str(csv_points), "--mode", "compare",
+                     "--n-trajectories", "40", "--max-length", "12",
+                     "--routing-d", "25", "--d", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: 40 trajectories" in out
+        for label in ("LDPTrace", "PivotTrace", "DAM"):
+            assert label in out
+
+    def test_compare_single_mechanism(self, csv_points, capsys):
+        code = main(["trajectory", "--input", str(csv_points), "--mode", "compare",
+                     "--mechanism", "ldptrace", "--n-trajectories", "30",
+                     "--max-length", "10", "--routing-d", "25", "--d", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LDPTrace" in out and "PivotTrace" not in out
+
+    def test_fit_prints_model(self, csv_points, capsys):
+        code = main(["trajectory", "--input", str(csv_points), "--mode", "fit",
+                     "--n-trajectories", "30", "--max-length", "10",
+                     "--routing-d", "25", "--d", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "length distribution" in out
+        assert "top start cells" in out
+        assert "direction distribution" in out
+
+    def test_synthesize_with_workers_and_export(self, csv_points, tmp_path, capsys):
+        output = tmp_path / "synthetic.csv"
+        code = main(["trajectory", "--input", str(csv_points), "--mode", "synthesize",
+                     "--n-trajectories", "30", "--max-length", "10",
+                     "--routing-d", "25", "--d", "5", "--workers", "2",
+                     "--n-output", "25", "--top-k", "2",
+                     "--save-output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthesized 25 trajectories" in out
+        assert "point-density W2" in out
+        assert "top origin->destination" in out
+        assert "length histogram" in out
+        rows = np.loadtxt(output, delimiter=",", ndmin=2)
+        assert rows.shape[1] == 3
+        assert np.unique(rows[:, 0]).shape[0] == 25
+
+    def test_workers_match_serial(self, csv_points, capsys):
+        args = ["trajectory", "--input", str(csv_points), "--mode", "fit",
+                "--n-trajectories", "30", "--max-length", "10",
+                "--routing-d", "25", "--d", "5"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        # Everything after the fit-timing line (the model summary) is identical.
+        assert serial.splitlines()[2:] == pooled.splitlines()[2:]
+
+    def test_rejects_bad_parameters(self, csv_points):
+        with pytest.raises(SystemExit):
+            main(["trajectory", "--input", str(csv_points), "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["trajectory", "--input", str(csv_points), "--n-trajectories", "0"])
+        with pytest.raises(SystemExit):
+            main(["trajectory", "--input", str(csv_points), "--mode", "synthesize",
+                  "--n-output", "-1"])

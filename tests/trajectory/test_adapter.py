@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+import strategies
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.datasets.trajectories import generate_trajectories
 from repro.trajectory.adapter import (
@@ -85,3 +88,30 @@ class TestCompare:
             trajectories, domain, d=6, epsilon=1.5, seed=3
         )
         assert results["dam"].w2 <= results["ldptrace"].w2 + 0.05
+
+
+class TestProperties:
+    """Shared-strategy properties over the seven-step comparison."""
+
+    SETTINGS = settings(
+        max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+
+    @given(
+        strategies.trajectory_sets(),
+        st.sampled_from(["ldptrace", "pivottrace", "dam"]),
+        strategies.grid_sides(1, 6),
+        st.sampled_from([0.5, 1.5, 2.5]),
+        strategies.seeds(),
+    )
+    @SETTINGS
+    def test_comparison_runs_on_arbitrary_sets(
+        self, trajectories, mechanism, d, epsilon, seed
+    ):
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        result = compare_trajectory_mechanism(
+            mechanism, trajectories, domain, d, epsilon, seed=seed
+        )
+        assert np.isfinite(result.w2) and result.w2 >= 0
+        assert result.n_trajectories == len(trajectories)
+        assert result.estimated_distribution.flat().sum() == pytest.approx(1.0)

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+import strategies
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.datasets.trajectories import generate_trajectories
 from repro.trajectory.ldptrace import DIRECTIONS, LDPTrace
@@ -91,3 +93,39 @@ class TestSynthesis:
         b = mechanism.fit_synthesize(trajectories, seed=9, n_output=5)
         for t_a, t_b in zip(a, b):
             np.testing.assert_array_equal(t_a, t_b)
+
+
+class TestProperties:
+    """Shared-strategy properties: arbitrary domains, single-point inputs, overhang."""
+
+    SETTINGS = settings(
+        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+
+    @given(
+        strategies.trajectory_sets(),
+        strategies.grid_sides(2, 6),
+        strategies.epsilons(),
+        strategies.seeds(),
+    )
+    @SETTINGS
+    def test_fit_synthesize_on_arbitrary_domains(self, trajectories, d, epsilon, seed):
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        mechanism = LDPTrace(GridSpec(domain, d), epsilon, max_length=16)
+        synthetic = mechanism.fit_synthesize(trajectories, seed=seed, n_output=16)
+        assert len(synthetic) == 16
+        assert min(t.shape[0] for t in synthetic) >= 2
+        assert domain.contains(np.vstack(synthetic)).all()
+
+    @given(strategies.trajectory_sets(max_length=10), strategies.seeds())
+    @SETTINGS
+    def test_reference_loops_accept_the_same_inputs(self, trajectories, seed):
+        """The retained reference paths handle every strategy-drawn input too
+        (single-point trajectories, off-grid points, planet-scale offsets)."""
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        mechanism = LDPTrace(GridSpec(domain, 4), 1.4, max_length=16)
+        model = mechanism.fit_reference(trajectories, seed=seed)
+        synthetic = mechanism.synthesize_reference(model, 8, seed=seed)
+        assert len(synthetic) == 8
+        assert min(t.shape[0] for t in synthetic) >= 2
+        assert domain.contains(np.vstack(synthetic)).all()

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+import strategies
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.datasets.trajectories import generate_trajectories
 from repro.trajectory.pivottrace import PivotTrace
@@ -81,3 +83,48 @@ class TestPivotTrace:
         all_rows, all_cols = grid.cell_to_rowcol(np.arange(grid.n_cells))
         uniform_mean = np.hypot(all_rows - 4, all_cols - 4).mean()
         assert distances.mean() < uniform_mean * 0.9
+
+    def test_batched_perturbation_matches_reference_statistically(self, grid):
+        """The grouped inverse-CDF sampler and the seed per-pivot ``rng.choice``
+        loop draw from the same kernel rows (total variation stays small)."""
+        mechanism = PivotTrace(grid, epsilon=2.0)
+        cell = int(grid.rowcol_to_cell(3, 5))
+        cells = np.full(20_000, cell)
+        batched = mechanism._perturb_cells(cells, np.random.default_rng(0))
+        reference = mechanism._perturb_cells_reference(cells, np.random.default_rng(1))
+        hist_b = np.bincount(batched, minlength=grid.n_cells) / batched.shape[0]
+        hist_r = np.bincount(reference, minlength=grid.n_cells) / reference.shape[0]
+        assert 0.5 * np.abs(hist_b - hist_r).sum() < 0.05
+
+
+class TestProperties:
+    """Shared-strategy properties: arbitrary domains, single-point inputs, overhang."""
+
+    SETTINGS = settings(
+        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+
+    @given(
+        strategies.trajectory_sets(),
+        strategies.grid_sides(2, 6),
+        strategies.epsilons(),
+        strategies.seeds(),
+    )
+    @SETTINGS
+    def test_collect_on_arbitrary_domains(self, trajectories, d, epsilon, seed):
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        mechanism = PivotTrace(GridSpec(domain, d), epsilon)
+        reconstructed = mechanism.collect(trajectories, seed=seed)
+        assert len(reconstructed) == len(trajectories)
+        assert min(t.shape[0] for t in reconstructed) >= 2
+        assert domain.contains(np.vstack(reconstructed)).all()
+
+    @given(strategies.trajectory_sets(max_length=10), strategies.seeds())
+    @SETTINGS
+    def test_reference_loop_accepts_the_same_inputs(self, trajectories, seed):
+        domain = SpatialDomain.from_points(np.vstack(trajectories), relative_pad=0.05)
+        mechanism = PivotTrace(GridSpec(domain, 4), 1.4)
+        reconstructed = mechanism.collect_reference(trajectories, seed=seed)
+        assert len(reconstructed) == len(trajectories)
+        assert min(t.shape[0] for t in reconstructed) >= 2
+        assert domain.contains(np.vstack(reconstructed)).all()
