@@ -14,12 +14,20 @@ number: ``REPRO_BENCH_WORKERS`` fans sweep cells out to a process pool, and
 cache so interrupted or repeated benchmark runs only compute missing cells.
 
 Each benchmark writes the regenerated series to ``benchmarks/results/<name>.txt`` so
-the numbers that back EXPERIMENTS.md can be re-inspected after a run.
+the numbers that back EXPERIMENTS.md can be re-inspected after a run.  Alongside
+every ``.txt``, :func:`record_result` writes a machine-readable
+``BENCH_<name>.json`` — profile, python version and the benchmark's numeric
+``metrics`` dict (speedups, parities, queries/sec).  CI uploads these as workflow
+artifacts and diffs the gated speedups against the committed baseline in
+``benchmarks/baselines/`` (``benchmarks/compare_baseline.py``), so a silent
+performance regression fails the bench job instead of scrolling past in a log.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -91,12 +99,26 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def record_result(results_dir, bench_profile):
-    """Write a named result blob to benchmarks/results/ and echo it to stdout."""
+    """Write a named result blob (text + machine-readable JSON) and echo it.
 
-    def _record(name: str, text: str) -> None:
+    ``metrics`` is an optional flat dict of the benchmark's measured numbers
+    (speedups, parities, rates).  It lands in ``BENCH_<name>.json`` next to the
+    human-readable ``.txt`` — the artifact the CI regression compare consumes —
+    so pass every number a regression check could care about.
+    """
+
+    def _record(name: str, text: str, metrics: dict | None = None) -> None:
         header = f"# profile: {bench_profile}\n"
         path = results_dir / f"{name}.txt"
         path.write_text(header + text + "\n")
+        payload = {
+            "name": name,
+            "profile": bench_profile,
+            "python_version": platform.python_version(),
+            "metrics": dict(metrics or {}),
+        }
+        json_path = results_dir / f"BENCH_{name}.json"
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\n=== {name} ===\n{text}\n")
 
     return _record

@@ -89,7 +89,11 @@ def test_vectorised_sampler_speedup(grid, cells, record_result):
         f"structured disk sampler   : {N_USERS / t_operator:12,.0f} users/s ({t_operator * 1e3:8.2f} ms)"
         f"  [{speedup_operator:.1f}x]",
     ]
-    record_result("operator_throughput", "\n".join(lines))
+    record_result("operator_throughput", "\n".join(lines), metrics={
+        "sampler_speedup": speedup_operator,
+        "dense_sampler_speedup": speedup_dense,
+        "operator_users_per_second": N_USERS / t_operator,
+    })
     assert speedup_operator >= 10.0, f"operator sampler only {speedup_operator:.1f}x faster"
     # The generic row-CDF sampler (used by dense-backed mechanisms) is secondary;
     # it must still be several times faster than the per-cell loop.
@@ -146,6 +150,7 @@ def test_em_matvec_speed(grid, cells, record_result):
                 f"[{t_dense / t_operator:.1f}x]",
             ]
         ),
+        metrics={"em_speedup": t_dense / t_operator},
     )
     # The structured path must never be slower; the margin grows with d.
     assert t_operator <= t_dense

@@ -81,7 +81,10 @@ def test_parallel_pipeline_scaling(bench_profile, record_result):
             f"({n_users / elapsed:12,.0f} users/s)  [{t_serial / elapsed:.2f}x, "
             f"bit-identical]"
         )
-    record_result("parallel_scaling_pipeline", "\n".join(lines))
+    record_result("parallel_scaling_pipeline", "\n".join(lines), metrics={
+        "serial_users_per_second": n_users / t_serial,
+        "cpus": available,
+    })
 
 
 def test_parallel_sweep_scaling_and_cache(bench_config, record_result, tmp_path_factory):
@@ -126,7 +129,11 @@ def test_parallel_sweep_scaling_and_cache(bench_config, record_result, tmp_path_
         f"warm re-run (all cached)  : {t_warm:8.3f} s  [{warm_speedup:.1f}x, "
         f"identical points]",
     ]
-    record_result("parallel_scaling_sweep", "\n".join(lines))
+    record_result("parallel_scaling_sweep", "\n".join(lines), metrics={
+        "warm_cache_speedup": warm_speedup,
+        "parallel_speedup": parallel_speedup,
+        "cpus": available,
+    })
 
     # The warm re-run only replays JSON lookups; 1.5x is a deliberately loose floor.
     assert warm_speedup >= 1.5, f"warm cache re-run only {warm_speedup:.2f}x faster"

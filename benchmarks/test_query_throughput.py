@@ -95,6 +95,11 @@ def test_batched_query_speedup(estimate, workload, record_result):
                 f"max |SAT - dense|: {parity:.2e} (tolerance {PARITY_TOLERANCE})",
             ]
         ),
+        metrics={
+            "query_speedup": speedup,
+            "sat_queries_per_second": N_QUERIES / t_sat,
+            "parity": parity,
+        },
     )
     assert speedup >= SPEEDUP_TARGET
 
@@ -112,7 +117,10 @@ def test_mixed_workload_replay_rates(estimate, record_result):
         seed=13,
     )
     report, answers = WorkloadReplay(engine).replay(log)
-    record_result("query_workload_replay", report.format())
+    record_result("query_workload_replay", report.format(), metrics={
+        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+        "density_ops_per_second": report.per_kind["density"]["ops_per_second"],
+    })
     assert report.n_operations == log.size
     assert set(answers) == {"range_mass", "point_density", "top_k", "quantiles", "marginals"}
     # The batched kinds must comfortably clear 100k ops/sec even on slow CI workers.

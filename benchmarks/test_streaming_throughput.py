@@ -1,0 +1,183 @@
+"""Streaming service throughput: O(one epoch) slides vs full-window refits.
+
+Backs the acceptance criteria of the streaming subsystem:
+
+* a **window slide** (subtract/add count algebra + warm-started EM re-solve) must
+  be at least **10x** faster than a **full refit** (re-scanning every stored
+  report in the window — the per-epoch bincount pass the batch stack would run —
+  plus a cold EM solve) at matched accuracy against the window's true
+  distribution;
+* the warm-started re-solve must need at least **3x** fewer EM iterations than the
+  cold start at (at least) the cold start's final log-likelihood — the payoff of
+  starting each epoch from the previous posterior under drift;
+* the per-epoch serving swap keeps the mixed-workload replay path available
+  mid-stream at serving rates.
+
+The workload is fixed (not profile-scaled) like the query-throughput bench: a
+shifting-hotspot stream sized so both ratios have comfortable margin on slow CI
+workers.  Results are recorded to ``benchmarks/results/streaming_throughput.txt``
+and ``BENCH_streaming_throughput.json`` (the CI regression baseline's input).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import expectation_maximization
+from repro.datasets.synthetic import shifting_hotspot_stream
+from repro.queries.engine import QueryLog, WorkloadReplay
+from repro.streaming import StreamingEstimationService
+
+GRID_D = 16
+EPSILON = 3.5
+WINDOW_EPOCHS = 24
+N_EPOCHS = 48
+USERS_PER_EPOCH = 100_000
+TOLERANCE = 1e-2
+MAX_ITERATIONS = 2_000
+SLIDE_SPEEDUP_TARGET = 10.0
+WARM_ITERATION_TARGET = 3.0
+#: matched accuracy: the incremental path may not lose more than 15% MAE to the
+#: refit path (measured: it is typically slightly *better*, both ~5e-4).
+ACCURACY_HEADROOM = 1.15
+
+
+@pytest.fixture(scope="module")
+def session():
+    """Run the drifting session once; collect slide/refit/warm/cold measurements."""
+    stream = shifting_hotspot_stream(
+        n_epochs=N_EPOCHS, users_per_epoch=USERS_PER_EPOCH, seed=0
+    )
+    service = StreamingEstimationService.build(
+        stream.domain,
+        GRID_D,
+        EPSILON,
+        window_epochs=WINDOW_EPOCHS,
+        tolerance=TOLERANCE,
+        max_iterations=MAX_ITERATIONS,
+        seed=1,
+    )
+    mechanism = service.mechanism
+    refit_rng = np.random.default_rng(2)
+    # The refit twin stores the window's raw per-epoch reports — what a
+    # batch-and-done deployment has to re-scan on every window move.
+    stored_reports: list[np.ndarray] = []
+    stored_cells: list[np.ndarray] = []
+    measurements = {
+        "slide_seconds": 0.0,
+        "refit_seconds": 0.0,
+        "warm_iterations": 0,
+        "cold_iterations": 0,
+        "slide_mae": 0.0,
+        "refit_mae": 0.0,
+        "ll_gap_per_user": [],
+        "epochs_measured": 0,
+    }
+    for epoch, points in enumerate(stream.epochs):
+        update = service.ingest_epoch(points)
+
+        cells = mechanism.grid.point_to_cell(points)
+        stored_cells.append(cells)
+        stored_reports.append(mechanism.privatize_cells(cells, seed=refit_rng))
+        if len(stored_reports) > WINDOW_EPOCHS:
+            stored_reports.pop(0)
+            stored_cells.pop(0)
+
+        start = time.perf_counter()
+        noisy = np.zeros(mechanism.output_domain_size())
+        true_counts = np.zeros(mechanism.grid.n_cells)
+        for reports, true_cells in zip(stored_reports, stored_cells):
+            noisy += np.bincount(reports, minlength=noisy.shape[0])
+            true_counts += np.bincount(true_cells, minlength=true_counts.shape[0])
+        cold = expectation_maximization(
+            mechanism._estimation_transition(),
+            noisy,
+            max_iterations=MAX_ITERATIONS,
+            tolerance=TOLERANCE,
+        )
+        refit_seconds = time.perf_counter() - start
+
+        if epoch >= WINDOW_EPOCHS:  # steady state: the window is full and sliding
+            truth = service.window.true_distribution().flat()
+            measurements["slide_seconds"] += update.slide_seconds + update.solve_seconds
+            measurements["refit_seconds"] += refit_seconds
+            measurements["warm_iterations"] += update.iterations
+            measurements["cold_iterations"] += cold.iterations
+            measurements["slide_mae"] += float(
+                np.abs(update.estimate.flat() - truth).mean()
+            )
+            measurements["refit_mae"] += float(np.abs(cold.estimate - truth).mean())
+            measurements["ll_gap_per_user"].append(
+                (update.log_likelihood - cold.log_likelihood) / update.n_users_window
+            )
+            measurements["epochs_measured"] += 1
+    measurements["service"] = service
+    return measurements
+
+
+def test_window_slide_speedup(session, record_result):
+    """Slide + warm re-solve >= 10x faster than re-scan + cold solve, same accuracy."""
+    n = session["epochs_measured"]
+    slide_ms = session["slide_seconds"] / n * 1e3
+    refit_ms = session["refit_seconds"] / n * 1e3
+    speedup = session["refit_seconds"] / session["slide_seconds"]
+    slide_mae = session["slide_mae"] / n
+    refit_mae = session["refit_mae"] / n
+    warm_ratio = session["cold_iterations"] / session["warm_iterations"]
+    record_result(
+        "streaming_throughput",
+        "\n".join(
+            [
+                f"stream: {N_EPOCHS} epochs x {USERS_PER_EPOCH:,} users   "
+                f"window: {WINDOW_EPOCHS} epochs   grid: {GRID_D}x{GRID_D}   "
+                f"epsilon: {EPSILON}",
+                f"window slide (algebra + warm EM): {slide_ms:.3f} ms/epoch",
+                f"full refit (re-scan + cold EM):   {refit_ms:.3f} ms/epoch",
+                f"slide speedup: {speedup:.1f}x (target >= {SLIDE_SPEEDUP_TARGET}x)",
+                f"EM iterations: warm {session['warm_iterations']} vs cold "
+                f"{session['cold_iterations']} ({warm_ratio:.2f}x fewer, "
+                f"target >= {WARM_ITERATION_TARGET}x)",
+                f"MAE vs window truth: slide {slide_mae:.6f}   refit {refit_mae:.6f}",
+            ]
+        ),
+        metrics={
+            "slide_speedup": speedup,
+            "warm_iteration_ratio": warm_ratio,
+            "slide_ms_per_epoch": slide_ms,
+            "refit_ms_per_epoch": refit_ms,
+            "slide_mae": slide_mae,
+            "refit_mae": refit_mae,
+        },
+    )
+    # Matched accuracy first: a fast but stale/diverged window would be worthless.
+    assert slide_mae <= refit_mae * ACCURACY_HEADROOM + 1e-6
+    assert speedup >= SLIDE_SPEEDUP_TARGET
+
+
+def test_warm_start_iterations(session):
+    """>= 3x fewer EM iterations, at (or above) the cold start's log-likelihood."""
+    warm_ratio = session["cold_iterations"] / session["warm_iterations"]
+    assert warm_ratio >= WARM_ITERATION_TARGET
+    # "Equal final log-likelihood": the warm solve may not trade iterations for
+    # fit quality — per-user, it must land within noise of the cold optimum.
+    assert min(session["ll_gap_per_user"]) > -1e-3
+
+
+def test_mid_stream_serving_rates(session, record_result):
+    """The published engine serves the mixed workload at batch-serving rates."""
+    service = session["service"]
+    log = QueryLog.random(
+        service.grid.domain, n_range=50_000, n_density=50_000, n_top_k=20,
+        n_quantiles=10, n_marginals=10, seed=5,
+    )
+    report, answers = WorkloadReplay(service.serving).replay(log)
+    record_result("streaming_workload_replay", report.format(), metrics={
+        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+        "density_ops_per_second": report.per_kind["density"]["ops_per_second"],
+    })
+    assert report.n_operations == log.size
+    assert report.per_kind["range_mass"]["ops_per_second"] > 100_000
+    assert report.per_kind["density"]["ops_per_second"] > 100_000

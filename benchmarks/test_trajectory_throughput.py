@@ -111,6 +111,11 @@ def test_batched_synthesis_speedup(engine, model, record_result):
                 f"(tolerance {W2_PARITY_TOLERANCE})",
             ]
         ),
+        metrics={
+            "synthesis_speedup": speedup,
+            "w2_parity": float(parity),
+            "trajectories_per_second": N_SYNTHESIZE / t_batched,
+        },
     )
     assert speedup >= SYNTHESIS_SPEEDUP_TARGET
 
@@ -132,6 +137,10 @@ def test_vectorized_fit_speedup(engine, trajectories, record_result):
                 f"fit speedup: {speedup:.1f}x (target >= {FIT_SPEEDUP_TARGET}x)",
             ]
         ),
+        metrics={
+            "fit_speedup": speedup,
+            "fit_trajectories_per_second": len(trajectories) / t_vectorized,
+        },
     )
     assert speedup >= FIT_SPEEDUP_TARGET
 
@@ -150,7 +159,10 @@ def test_trajectory_workload_replay_rates(engine, model, record_result):
         seed=17,
     )
     report, answers = WorkloadReplay(serving).replay(log)
-    record_result("trajectory_workload_replay", report.format())
+    record_result("trajectory_workload_replay", report.format(), metrics={
+        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+        "od_top_k_ops_per_second": report.per_kind["od_top_k"]["ops_per_second"],
+    })
     assert report.n_operations == log.size
     assert {"od_top_k", "transition_top_k", "length_histogram"} <= set(answers)
     # The sequence-statistic lookups are pre-aggregated; even slow CI workers

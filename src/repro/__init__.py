@@ -17,6 +17,9 @@ and baseline its evaluation depends on:
   subsystem (``QueryEngine``, ``TrajectoryQueryEngine``, ``WorkloadReplay``);
 * ``repro.trajectory`` — LDPTrace, PivotTrace, the vectorized batch engine
   (``TrajectoryEngine``) and the trajectory-to-point adapter;
+* ``repro.streaming`` — the sliding-window estimation service (``WindowedAggregator``
+  epoch algebra, warm-started incremental re-solves, atomic serving swaps) that turns
+  the batch stack into a long-lived session tracking population drift;
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
 
@@ -50,13 +53,15 @@ from repro.queries import (
     QueryLog,
     RangeQuery,
     RangeQueryWorkload,
+    StreamingQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
     WorkloadReplay,
 )
+from repro.streaming import StreamingEstimationService, WindowedAggregator
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DAMPipeline",
@@ -75,9 +80,12 @@ __all__ = [
     "QueryLog",
     "RangeQuery",
     "RangeQueryWorkload",
+    "StreamingEstimationService",
+    "StreamingQueryEngine",
     "SummedAreaTable",
     "TrajectoryEngine",
     "TrajectoryQueryEngine",
+    "WindowedAggregator",
     "WorkloadReplay",
     "sliced_wasserstein",
     "wasserstein2_auto",

@@ -35,6 +35,16 @@ Two subcommands cover the common workflows without writing Python:
     ``--mode compare`` (the seven-step LDPTrace / PivotTrace / DAM comparison of
     Figure 14).  ``--workers`` shards the fit's report collection.
 
+``python -m repro stream``
+    The streaming session: generate a drifting scenario (shifting hotspot,
+    appearing/vanishing cluster or diurnal mixture), run the sliding-window
+    :class:`~repro.streaming.StreamingEstimationService` over its epochs — sharded
+    per-epoch privatization (``--workers``), O(one epoch) window slides
+    (``--window``, ``--decay``) and warm-started EM re-solves — and report the
+    per-epoch drift-tracking error, iteration counts and timings.  ``--save-log``
+    persists the session as a replayable JSON log; ``--replay`` re-runs a saved
+    log's exact configuration and diffs the two sessions.
+
 The CLI is intentionally thin: every subcommand delegates to the same public API the
 examples and benchmarks use.
 """
@@ -42,6 +52,7 @@ examples and benchmarks use.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -52,6 +63,7 @@ from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
 from repro.datasets.loader import DATASET_NAMES, load_dataset
+from repro.datasets.synthetic import DRIFT_SCENARIOS
 from repro.datasets.trajectories import generate_trajectories
 from repro.experiments.config import laptop_config, smoke_config
 from repro.experiments.export import sweep_to_csv, sweep_to_json, sweep_to_markdown
@@ -72,6 +84,7 @@ from repro.queries.engine import (
     WorkloadReplay,
 )
 from repro.queries.range_query import RangeQuery, RangeQueryWorkload
+from repro.streaming import StreamingEstimationService
 from repro.trajectory.adapter import (
     compare_trajectory_mechanism,
     trajectory_point_distribution,
@@ -201,6 +214,39 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write synthesized trajectories as CSV rows of "
                                  "'trajectory_id,x,y'")
     trajectory.add_argument("--seed", type=int, default=0)
+
+    stream = subparsers.add_parser(
+        "stream", help="run the sliding-window streaming service on a drifting scenario"
+    )
+    stream.add_argument("--scenario", choices=sorted(DRIFT_SCENARIOS),
+                        default="shifting-hotspot",
+                        help="drift shape of the generated report stream "
+                             "(default shifting-hotspot)")
+    stream.add_argument("--epochs", type=int, default=20,
+                        help="number of collection epochs in the stream (default 20)")
+    stream.add_argument("--users-per-epoch", type=int, default=2000,
+                        help="reports arriving per epoch (default 2000)")
+    stream.add_argument("--window", type=int, default=8,
+                        help="sliding-window length in epochs (default 8)")
+    stream.add_argument("--decay", type=float, default=None,
+                        help="optional exponential decay in (0, 1] applied per slide "
+                             "(default: hard window, no decay)")
+    stream.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
+    stream.add_argument("--d", type=int, default=16, help="grid side length")
+    stream.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
+    stream.add_argument("--backend", choices=("operator", "dense"), default="operator")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="privatize each epoch's shards on this many worker "
+                             "processes (bit-identical to the serial run; default 1)")
+    stream.add_argument("--cold-start", action="store_true",
+                        help="disable the warm-started re-solve (ablation)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--save-log", type=Path, default=None,
+                        help="persist the session (config + per-epoch records) as a "
+                             "replayable JSON log")
+    stream.add_argument("--replay", type=Path, default=None,
+                        help="re-run the exact configuration of a saved session log "
+                             "and diff the two sessions")
     return parser
 
 
@@ -429,6 +475,117 @@ def _run_trajectory(args) -> int:
     return 0
 
 
+def _stream_session(config: dict) -> tuple[dict, list[dict]]:
+    """Run one streaming session from a plain config dict; return (config, records).
+
+    The config is everything needed to reproduce the session exactly (scenario,
+    sizes, budget, seed, ...), which is what makes the JSON logs replayable.
+    """
+    stream = DRIFT_SCENARIOS[config["scenario"]](
+        n_epochs=config["epochs"],
+        users_per_epoch=config["users_per_epoch"],
+        seed=config["seed"],
+    )
+    service = StreamingEstimationService.build(
+        stream.domain,
+        config["d"],
+        config["epsilon"],
+        mechanism=config["mechanism"],
+        backend=config["backend"],
+        workers=config["workers"],
+        window_epochs=config["window"],
+        decay=config["decay"],
+        warm_start=config["warm_start"],
+        seed=config["seed"] + 1,
+    )
+    records = []
+    for points in stream.epochs:
+        update = service.ingest_epoch(points)
+        truth = service.window.true_distribution()
+        mae = float(np.abs(update.estimate.flat() - truth.flat()).mean())
+        records.append(
+            {
+                "epoch": update.epoch,
+                "n_users_epoch": update.n_users_epoch,
+                "n_users_window": update.n_users_window,
+                "iterations": update.iterations,
+                "log_likelihood": update.log_likelihood,
+                "mae": mae,
+                "slide_ms": (update.slide_seconds + update.solve_seconds) * 1e3,
+            }
+        )
+    return config, records
+
+
+def _run_stream(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.epochs < 1:
+        raise SystemExit("--epochs must be a positive integer")
+    if args.users_per_epoch < 1:
+        raise SystemExit("--users-per-epoch must be a positive integer")
+    if args.window < 1:
+        raise SystemExit("--window must be a positive integer")
+    if args.decay is not None and not 0.0 < args.decay <= 1.0:
+        raise SystemExit("--decay must lie in (0, 1]")
+    if args.replay is not None:
+        config = json.loads(Path(args.replay).read_text())["config"]
+    else:
+        config = {
+            "scenario": args.scenario,
+            "epochs": args.epochs,
+            "users_per_epoch": args.users_per_epoch,
+            "window": args.window,
+            "decay": args.decay,
+            "epsilon": args.epsilon,
+            "d": args.d,
+            "mechanism": args.mechanism,
+            "backend": args.backend,
+            "workers": args.workers,
+            "warm_start": not args.cold_start,
+            "seed": args.seed,
+        }
+    print(f"scenario: {config['scenario']}   epochs: {config['epochs']} x "
+          f"{config['users_per_epoch']} users   window: {config['window']} epochs"
+          + (f"   decay: {config['decay']}" if config["decay"] else "")
+          + f"   epsilon: {config['epsilon']}   d: {config['d']}   "
+          f"workers: {config['workers']}")
+    start = time.perf_counter()
+    config, records = _stream_session(config)
+    elapsed = time.perf_counter() - start
+    print(f"{'epoch':>5} {'users(win)':>11} {'EM iters':>8} {'MAE':>9} {'slide ms':>9}")
+    for record in records:
+        print(f"{record['epoch']:>5} {record['n_users_window']:>11.0f} "
+              f"{record['iterations']:>8} {record['mae']:>9.5f} "
+              f"{record['slide_ms']:>9.2f}")
+    mean_mae = float(np.mean([r["mae"] for r in records]))
+    total_iterations = sum(r["iterations"] for r in records)
+    print(f"mean MAE: {mean_mae:.5f}   total EM iterations: {total_iterations}   "
+          f"{len(records) / elapsed:.1f} epochs/s")
+    if args.replay is not None:
+        logged = json.loads(Path(args.replay).read_text())["epochs"]
+        if len(logged) != len(records):
+            raise SystemExit(
+                f"replay mismatch: log has {len(logged)} epochs, session produced "
+                f"{len(records)}"
+            )
+        max_mae_drift = max(
+            abs(new["mae"] - old["mae"]) for new, old in zip(records, logged)
+        )
+        iterations_match = all(
+            new["iterations"] == old["iterations"]
+            for new, old in zip(records, logged)
+        )
+        print(f"replay of {args.replay}: max |MAE - logged| = {max_mae_drift:.2e}   "
+              f"iterations {'identical' if iterations_match else 'DIFFER'}")
+    if args.save_log is not None:
+        args.save_log.write_text(
+            json.dumps({"config": config, "epochs": records}, indent=2) + "\n"
+        )
+        print(f"wrote {args.save_log}")
+    return 0
+
+
 def _run_figure(args) -> int:
     config = smoke_config() if args.profile == "smoke" else laptop_config()
     if args.workers < 1:
@@ -468,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "trajectory":
         return _run_trajectory(args)
+    if args.command == "stream":
+        return _run_stream(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

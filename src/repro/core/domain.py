@@ -304,6 +304,19 @@ class GridDistribution:
             self._cumulative = table
         return self._cumulative
 
+    def invalidate_cumulative(self) -> None:
+        """Drop the cached summed-area table so the next :meth:`cumulative` rebuilds it.
+
+        Callers that (exceptionally) rewrite ``probabilities`` in place — e.g. a
+        long-lived serving buffer refreshed epoch by epoch — must invalidate the
+        cache, or every summed-area-table consumer keeps answering from the stale
+        window.  The streaming serving path prefers immutable swaps
+        (:class:`repro.queries.engine.StreamingQueryEngine` builds a fresh engine per
+        epoch and replaces it atomically), but the explicit invalidation keeps the
+        in-place route safe too.
+        """
+        self._cumulative = None
+
     def expected_counts(self, n: int) -> np.ndarray:
         """Expected per-cell counts when ``n`` users are drawn from this distribution."""
         return self.probabilities * float(n)

@@ -292,10 +292,12 @@ class StreamingAggregator:
     concatenated shards.
 
     Aggregators are also *mergeable*: :meth:`state` snapshots the partial counts as a
-    :class:`ShardAggregate` and :meth:`merge` folds another aggregator's (or shard's)
-    counts into this one.  Because all the state is additive histograms, privatizing
-    shards on independent workers and merging is exactly equivalent to one sequential
-    pass — the foundation of :class:`repro.core.parallel.ParallelPipeline`.
+    :class:`ShardAggregate`, :meth:`merge` folds another aggregator's (or shard's)
+    counts into this one and :meth:`subtract` removes them again (the exact inverse;
+    the sliding windows in :mod:`repro.streaming` maintain the same count algebra).
+    Because all the state is additive histograms, privatizing shards on independent
+    workers and merging is exactly equivalent to one sequential pass — the
+    foundation of :class:`repro.core.parallel.ParallelPipeline`.
 
     Examples
     --------
@@ -340,6 +342,30 @@ class StreamingAggregator:
             n_users=self.n_users,
         )
 
+    def _check_mergeable(
+        self, other: "StreamingAggregator | ShardAggregate", verb: str
+    ) -> ShardAggregate:
+        if isinstance(other, StreamingAggregator):
+            other = other.state()
+        if not isinstance(other, ShardAggregate):
+            raise TypeError(
+                f"{verb} expects a StreamingAggregator or ShardAggregate, "
+                f"got {type(other).__name__}"
+            )
+        if other.noisy_counts.shape != self.noisy_counts.shape:
+            raise ValueError(
+                f"cannot {verb}: noisy-count histograms have shapes "
+                f"{other.noisy_counts.shape} vs {self.noisy_counts.shape} "
+                "(different mechanisms or output domains?)"
+            )
+        if other.true_cell_counts.shape != self.true_cell_counts.shape:
+            raise ValueError(
+                f"cannot {verb}: true-cell histograms have shapes "
+                f"{other.true_cell_counts.shape} vs {self.true_cell_counts.shape} "
+                "(different grids?)"
+            )
+        return other
+
     def merge(self, other: "StreamingAggregator | ShardAggregate") -> "StreamingAggregator":
         """Fold another aggregator's (or shard snapshot's) counts into this one.
 
@@ -347,28 +373,40 @@ class StreamingAggregator:
         per-shard aggregators collapses to the same histogram a single sequential
         pass over all shards would have produced.
         """
-        if isinstance(other, StreamingAggregator):
-            other = other.state()
-        if not isinstance(other, ShardAggregate):
-            raise TypeError(
-                "merge expects a StreamingAggregator or ShardAggregate, "
-                f"got {type(other).__name__}"
-            )
-        if other.noisy_counts.shape != self.noisy_counts.shape:
-            raise ValueError(
-                f"cannot merge: noisy-count histograms have shapes "
-                f"{other.noisy_counts.shape} vs {self.noisy_counts.shape} "
-                "(different mechanisms or output domains?)"
-            )
-        if other.true_cell_counts.shape != self.true_cell_counts.shape:
-            raise ValueError(
-                f"cannot merge: true-cell histograms have shapes "
-                f"{other.true_cell_counts.shape} vs {self.true_cell_counts.shape} "
-                "(different grids?)"
-            )
+        other = self._check_mergeable(other, "merge")
         self.noisy_counts += other.noisy_counts
         self.true_cell_counts += other.true_cell_counts
         self.n_users += other.n_users
+        return self
+
+    def subtract(self, other: "StreamingAggregator | ShardAggregate") -> "StreamingAggregator":
+        """Remove a previously merged shard's counts — the exact inverse of :meth:`merge`.
+
+        Because every count is an integer-valued float (``bincount`` output) well
+        below 2**53, float addition and subtraction of shard histograms are exact:
+        ``merge(s)`` followed by ``subtract(s)`` restores the aggregator's state bit
+        for bit.  This is the public inverse for callers retiring a shard from a
+        long-lived aggregator; :class:`repro.streaming.WindowedAggregator` applies
+        the same exact count algebra internally (on plain arrays, so hard windows
+        and exponential decay share one slide path) and property-tests its
+        equivalence to ``merge``/``subtract`` round trips.
+
+        Subtracting counts that were never merged is detected (some histogram bin or
+        the user counter would go negative) and rejected.
+        """
+        other = self._check_mergeable(other, "subtract")
+        if (
+            other.n_users > self.n_users
+            or np.any(other.noisy_counts > self.noisy_counts)
+            or np.any(other.true_cell_counts > self.true_cell_counts)
+        ):
+            raise ValueError(
+                "cannot subtract counts that were never merged: some bin of the "
+                "shard's histograms exceeds the aggregator's running counts"
+            )
+        self.noisy_counts -= other.noisy_counts
+        self.true_cell_counts -= other.true_cell_counts
+        self.n_users -= other.n_users
         return self
 
     def finalize(self) -> MechanismReport:

@@ -302,23 +302,47 @@ class ParallelPipeline:
         rng.bit_generator.advance(int(offsets[-1]))
         return [("stream", base_state, int(offset)) for offset in offsets[:-1]]
 
-    def _execute(self, shards: list[np.ndarray], dropped: int, seed) -> PipelineResult:
-        if sum(shard.shape[0] for shard in shards) == 0:
-            raise ValueError("no points inside the domain were ingested")
+    def aggregate(self, points: np.ndarray, seed=None):
+        """Privatize one point set on the pool and return only the merged counts.
+
+        Same sharded fan-out as :meth:`run` (and the same bit-identical RNG
+        guarantees), but the result is the additive
+        :class:`~repro.core.estimator.ShardAggregate` *before* any estimation solve.
+        This is the ingestion primitive of the streaming service
+        (:class:`repro.streaming.StreamingEstimationService`), which folds each
+        epoch's aggregate into its window and runs its own warm-started solve —
+        solving here per epoch would throw the warm start away.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        pts = pts[self.domain.contains(pts)]
+        n_shards = max(1, -(-pts.shape[0] // self.shard_size))
+        shards = np.array_split(pts, n_shards)
+        return self._merge_shards(shards, seed).state()
+
+    def _merge_shards(self, shards: list[np.ndarray], seed):
+        """Fan the shards out, merge the partial states into one fresh aggregator."""
         tasks = [
             _ShardTask(points=shard, rng_payload=payload)
             for shard, payload in zip(shards, self._rng_payloads(shards, seed))
         ]
-        n_workers = min(self.workers, len(tasks))
         aggregates = run_sharded(
             self._spec,
             tasks,
-            n_workers,
+            min(self.workers, len(tasks)),
             inline_context=_PipelineShardRunner(self.pipeline),
         )
         aggregator = self.pipeline.mechanism.streaming_aggregator()
         for aggregate in aggregates:
             aggregator.merge(aggregate)
+        return aggregator
+
+    def _execute(self, shards: list[np.ndarray], dropped: int, seed) -> PipelineResult:
+        if sum(shard.shape[0] for shard in shards) == 0:
+            raise ValueError("no points inside the domain were ingested")
+        n_workers = min(self.workers, len(shards))
+        aggregator = self._merge_shards(shards, seed)
         report = aggregator.finalize()
         return PipelineResult(
             estimate=report.estimate,

@@ -1,5 +1,6 @@
 """Datasets used by the paper's evaluation: synthetic generators, real-data surrogates,
-the dataset registry and the Appendix-D trajectory generator."""
+the dataset registry, the Appendix-D trajectory generator and the drifting epoch
+streams consumed by :mod:`repro.streaming`."""
 
 from repro.datasets.geodata import (
     CHICAGO_FULL_DOMAIN,
@@ -19,9 +20,14 @@ from repro.datasets.loader import (
     load_dataset,
 )
 from repro.datasets.synthetic import (
+    DRIFT_SCENARIOS,
+    DriftingStream,
     SyntheticDataset,
+    appearing_cluster_stream,
+    diurnal_mixture_stream,
     mnormal_dataset,
     normal_dataset,
+    shifting_hotspot_stream,
     szipf_dataset,
     uniform_dataset,
 )
@@ -41,9 +47,14 @@ __all__ = [
     "EvaluationDataset",
     "load_all_datasets",
     "load_dataset",
+    "DRIFT_SCENARIOS",
+    "DriftingStream",
     "SyntheticDataset",
+    "appearing_cluster_stream",
+    "diurnal_mixture_stream",
     "mnormal_dataset",
     "normal_dataset",
+    "shifting_hotspot_stream",
     "szipf_dataset",
     "uniform_dataset",
     "TrajectoryDataset",

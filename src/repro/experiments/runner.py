@@ -217,6 +217,16 @@ TRAJECTORY_WORKLOAD_ROUTING_D: int = 60
 TRAJECTORY_WORKLOAD_SIZE: int = 120
 TRAJECTORY_WORKLOAD_MAX_LENGTH: int = 40
 
+#: Streaming workload used by the ``"stream-mae"`` sweep metric: each part becomes a
+#: drifting report stream (per-epoch resamples of the part translated by a moving
+#: offset) served through the sliding-window service; the error is the mean per-cell
+#: absolute error of the windowed estimate against the window's true distribution,
+#: averaged over the epochs — error-vs-epoch under drift, collapsed to one number.
+STREAM_WORKLOAD_EPOCHS: int = 10
+STREAM_WORKLOAD_USERS_PER_EPOCH: int = 1200
+STREAM_WORKLOAD_WINDOW_EPOCHS: int = 4
+STREAM_WORKLOAD_DRIFT: float = 0.3
+
 
 def evaluate_trajectories_on_part(
     mechanism_name: str,
@@ -259,6 +269,69 @@ def evaluate_trajectories_on_part(
     return compare_trajectory_mechanism(
         mechanism_name, dataset.trajectories, domain, d, epsilon, seed=rng
     ).w2
+
+
+def evaluate_stream_on_part(
+    mechanism_name: str,
+    points: np.ndarray,
+    domain: SpatialDomain,
+    d: int,
+    epsilon: float,
+    *,
+    b_hat: int | None = None,
+    seed=None,
+    calibrate_sem: bool = True,
+    max_users: int | None = None,
+    normalise_domain: bool = True,
+    backend: str = "operator",
+    n_epochs: int = STREAM_WORKLOAD_EPOCHS,
+    users_per_epoch: int = STREAM_WORKLOAD_USERS_PER_EPOCH,
+    window_epochs: int = STREAM_WORKLOAD_WINDOW_EPOCHS,
+    drift: float = STREAM_WORKLOAD_DRIFT,
+) -> float:
+    """Drift-tracking error of one mechanism on one dataset part.
+
+    The part's points become a drifting stream: every epoch resamples
+    ``users_per_epoch`` reports from the part and translates them by a moving
+    diagonal offset (total excursion ``drift`` of the domain side, clipped to the
+    domain), so the population migrates smoothly while keeping the part's shape.
+    The stream runs through the sliding-window
+    :class:`~repro.streaming.StreamingEstimationService` and the returned error is
+    the epoch-averaged mean absolute per-cell error of the windowed estimate
+    against the window's true (non-private) distribution.
+
+    Only transition-matrix mechanisms (DAM / DAM-NS / HUEM / Geo-I / ...) can be
+    streamed — the warm-started re-solve needs the mechanism's transition model.
+    """
+    from repro.streaming import StreamingEstimationService
+
+    rng = ensure_rng(seed)
+    pts = np.asarray(points, dtype=float)
+    pts = pts[domain.contains(pts)]
+    if max_users is not None and pts.shape[0] > max_users:
+        chosen = rng.choice(pts.shape[0], size=max_users, replace=False)
+        pts = pts[chosen]
+    if normalise_domain:
+        pts = domain.normalise(pts)
+        domain = SpatialDomain.unit(domain.name or "unit")
+    grid = GridSpec(domain, d)
+    mechanism = build_mechanism(
+        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        backend=backend,
+    )
+    service = StreamingEstimationService(
+        mechanism, window_epochs=window_epochs, seed=rng
+    )
+    step = np.array([domain.width, domain.height])
+    errors = []
+    for epoch in range(n_epochs):
+        t = epoch / (n_epochs - 1) if n_epochs > 1 else 0.0
+        offset = drift * (t - 0.5) * step
+        chosen = rng.integers(0, pts.shape[0], users_per_epoch)
+        update = service.ingest_epoch(domain.clip(pts[chosen] + offset))
+        truth = service.window.true_distribution()
+        errors.append(float(np.abs(update.estimate.flat() - truth.flat()).mean()))
+    return float(np.mean(errors))
 
 
 def evaluate_range_queries_on_part(
@@ -370,10 +443,26 @@ def _evaluate_repeat(
             )
             for _, points, domain in dataset.parts
         ]
+    elif metric == "stream-mae":
+        part_errors = [
+            evaluate_stream_on_part(
+                mechanism_name,
+                points,
+                domain,
+                d,
+                epsilon,
+                b_hat=b_hat,
+                seed=rng,
+                calibrate_sem=config.calibrate_sem,
+                max_users=config.max_users_per_part,
+                backend=config.backend,
+            )
+            for _, points, domain in dataset.parts
+        ]
     else:
         raise ValueError(
             f"unknown sweep metric {metric!r}; "
-            "expected 'w2', 'range-mae' or 'trajectory-w2'"
+            "expected 'w2', 'range-mae', 'trajectory-w2' or 'stream-mae'"
         )
     return float(np.mean(part_errors))
 
@@ -548,6 +637,16 @@ def _cell_cache_key(cell: SweepCell, config: ExperimentConfig) -> str:
                 if cell.metric == "trajectory-w2"
                 else None
             ),
+            "stream_workload": (
+                (
+                    STREAM_WORKLOAD_EPOCHS,
+                    STREAM_WORKLOAD_USERS_PER_EPOCH,
+                    STREAM_WORKLOAD_WINDOW_EPOCHS,
+                    STREAM_WORKLOAD_DRIFT,
+                )
+                if cell.metric == "stream-mae"
+                else None
+            ),
         }
     )
 
@@ -640,7 +739,8 @@ def sweep_parameter(
 
     ``parameter_name`` is ``"d"``, ``"epsilon"`` or ``"b_scale"``; the non-swept
     parameters take the config defaults.  ``metric`` selects the per-cell error
-    (``"w2"`` or ``"range-mae"``).  This is the workhorse every figure bench calls.
+    (``"w2"``, ``"range-mae"``, ``"trajectory-w2"`` or ``"stream-mae"``).  This is
+    the workhorse every figure bench calls.
 
     Cells are independent, so with ``workers > 1`` (default: ``config.workers``)
     they are fanned out to a process pool, and with a cache (default: a
@@ -722,6 +822,39 @@ def sweep_range_query_error(
         workers=workers,
         cache=cache,
         metric="range-mae",
+    )
+
+
+def sweep_stream_error(
+    sweep_name: str,
+    parameter_name: str,
+    parameter_values: tuple,
+    mechanisms: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    datasets: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """Sweep the drift-tracking error of the streaming service (error-vs-epoch).
+
+    Each cell turns the dataset part into a drifting report stream and runs the
+    sliding-window :class:`~repro.streaming.StreamingEstimationService`, scoring
+    the epoch-averaged per-cell MAE of the windowed estimates against the windows'
+    true distributions.  Pool fan-out and the content-addressed cache work exactly
+    as in :func:`sweep_parameter`.  Mechanisms must carry a transition model
+    (DAM / DAM-NS / HUEM / ...).
+    """
+    return sweep_parameter(
+        sweep_name,
+        parameter_name,
+        parameter_values,
+        mechanisms,
+        config,
+        datasets=datasets,
+        workers=workers,
+        cache=cache,
+        metric="stream-mae",
     )
 
 

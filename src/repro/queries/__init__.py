@@ -9,9 +9,10 @@ answers.
 The serving path lives in :mod:`repro.queries.engine`: a
 :class:`SummedAreaTable` gives every engine O(1) rectangle sums, the
 :class:`QueryEngine` façade serves the mixed analyst workload (range mass, point
-density, top-k hotspots, marginals, quantile contours), and
-:class:`WorkloadReplay` replays persisted :class:`QueryLog` traffic while measuring
-latency and throughput.
+density, top-k hotspots, marginals, quantile contours),
+:class:`StreamingQueryEngine` swaps in each epoch's fresh estimate atomically for
+mid-stream serving, and :class:`WorkloadReplay` replays persisted :class:`QueryLog`
+traffic while measuring latency and throughput.
 """
 
 from repro.queries.engine import (
@@ -20,6 +21,7 @@ from repro.queries.engine import (
     QueryEngine,
     QueryLog,
     ReplayReport,
+    StreamingQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
     TrajectoryTopK,
@@ -44,6 +46,7 @@ __all__ = [
     "RangeQuery",
     "RangeQueryWorkload",
     "ReplayReport",
+    "StreamingQueryEngine",
     "SummedAreaTable",
     "TrajectoryQueryEngine",
     "TrajectoryTopK",

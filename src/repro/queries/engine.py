@@ -16,6 +16,10 @@ module is the serving path:
 * :class:`QueryEngine` — the façade an analyst actually serves from: rectangular range
   mass, point density lookups, top-k hotspot cells, axis marginals and grid-quantile
   contours (highest-density regions), all backed by the same table.
+* :class:`StreamingQueryEngine` — the façade's long-lived sibling for the sliding
+  windows of :mod:`repro.streaming`: each epoch's re-estimate becomes a complete new
+  engine (summed-area table included) published by one atomic reference swap, so
+  mid-stream queries never observe a half-updated window.
 * :class:`QueryLog` / :class:`WorkloadReplay` — persistable mixed workloads and a
   replay driver that reports per-operation latency and queries/second (optionally
   fanning range batches out to a process pool).
@@ -256,6 +260,84 @@ class QueryEngine:
                 )
             )
         return contours
+
+
+class StreamingQueryEngine:
+    """Serve a continuously re-estimated distribution without torn reads.
+
+    A long-lived deployment re-estimates its distribution every epoch while
+    analysts keep querying.  Rebuilding a :class:`QueryEngine` *in place* would let
+    a query observe a half-updated window (new probabilities, stale summed-area
+    table).  This façade makes the refresh safe:
+
+    * :meth:`refresh` builds a complete new :class:`QueryEngine` — estimate,
+      summed-area table and all — **before** publishing it with a single attribute
+      store (atomic under both the GIL and free-threaded CPython's per-object
+      locks: readers see either the old engine or the new one, never a mix);
+    * every query method grabs one local reference, so even a batch that straddles
+      a refresh is answered entirely by one window;
+    * :meth:`snapshot` hands out the current engine for longer units of work
+      (e.g. a whole :class:`WorkloadReplay` run) that must stay on one window.
+
+    The façade exposes the full point-query surface of :class:`QueryEngine`, so
+    ``WorkloadReplay`` drives it unchanged mid-stream.
+    """
+
+    def __init__(self, estimate: GridDistribution | None = None) -> None:
+        self._engine: QueryEngine | None = None
+        self.epoch: int | None = None
+        if estimate is not None:
+            self.refresh(estimate)
+
+    # ---------------------------------------------------------------- refresh
+    def refresh(self, estimate: GridDistribution, *, epoch: int | None = None) -> QueryEngine:
+        """Publish a new estimate; returns the engine that now serves.
+
+        The summed-area table is materialised inside the new engine before the
+        swap, so no caller can ever trigger (or observe) a partial rebuild.
+        """
+        engine = QueryEngine(estimate)
+        self._engine = engine
+        self.epoch = epoch
+        return engine
+
+    @property
+    def ready(self) -> bool:
+        """Whether an estimate has been published yet."""
+        return self._engine is not None
+
+    def snapshot(self) -> QueryEngine:
+        """The currently published engine — pin it to stay on one window."""
+        engine = self._engine
+        if engine is None:
+            raise RuntimeError(
+                "no estimate has been published yet; call refresh() first"
+            )
+        return engine
+
+    # ------------------------------------------------------------- delegation
+    @property
+    def estimate(self) -> GridDistribution:
+        return self.snapshot().estimate
+
+    @property
+    def grid(self):
+        return self.snapshot().grid
+
+    def range_mass(self, queries) -> np.ndarray:
+        return self.snapshot().range_mass(queries)
+
+    def point_density(self, points: np.ndarray) -> np.ndarray:
+        return self.snapshot().point_density(points)
+
+    def top_k_cells(self, k: int) -> HotspotCells:
+        return self.snapshot().top_k_cells(k)
+
+    def axis_marginals(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.snapshot().axis_marginals()
+
+    def quantile_contours(self, levels: Sequence[float]) -> list[QuantileContour]:
+        return self.snapshot().quantile_contours(levels)
 
 
 # ------------------------------------------------------------------ trajectory

@@ -1,0 +1,28 @@
+"""Streaming sliding-window estimation — the batch stack as a long-lived session.
+
+Every engine below this package is batch-and-done: collect all reports, solve once,
+serve a frozen estimate.  This package turns that into the continual-collection
+setting of a deployed LDP system:
+
+* :class:`WindowedAggregator` — epoch-bucketed sufficient statistics whose window
+  slides in O(one epoch) of count algebra (exact merge/subtract, optional
+  exponential decay), never a re-scan of surviving reports;
+* :class:`StreamingEstimationService` — the deployment loop: sharded per-epoch
+  privatization, warm-started EM re-solves that track population drift at a
+  fraction of the cold-start cost, and atomic publication of each epoch's estimate
+  through :class:`~repro.queries.engine.StreamingQueryEngine`;
+* :class:`EpochUpdate` — the per-epoch telemetry record (window size, iterations,
+  log-likelihood, timings) the CLI and benchmarks report.
+
+Drifting input scenarios live in :mod:`repro.datasets.synthetic`
+(``shifting_hotspot_stream`` and friends); the CLI front end is ``repro stream``.
+"""
+
+from repro.streaming.service import EpochUpdate, StreamingEstimationService
+from repro.streaming.window import WindowedAggregator
+
+__all__ = [
+    "EpochUpdate",
+    "StreamingEstimationService",
+    "WindowedAggregator",
+]

@@ -1,0 +1,202 @@
+"""Epoch-bucketed sufficient statistics with an O(one epoch) sliding window.
+
+A long-lived LDP deployment receives reports continuously.  The batch stack
+(:class:`~repro.core.estimator.StreamingAggregator` and everything above it) can
+ingest those reports incrementally, but it can only ever *grow*: once an epoch's
+counts are folded in they are in forever, so tracking population drift would require
+re-scanning every surviving report whenever the analysis window moves.
+
+:class:`WindowedAggregator` removes that re-scan.  Reports are bucketed into
+*epochs* (the deployment's collection interval — an hour, a day); each epoch is
+reduced to its additive :class:`~repro.core.estimator.ShardAggregate` and the window
+maintains the running totals of the last ``window_epochs`` epochs by pure count
+algebra:
+
+* committing an epoch **adds** its histograms;
+* the epoch that falls off the back is **subtracted** — an exact inverse, since
+  histogram counts are integer-valued floats far below 2**53 and therefore add and
+  subtract exactly (the same algebra ``StreamingAggregator.merge``/``subtract``
+  expose for standalone aggregators; the window keeps its own running arrays so the
+  hard and exponentially-decayed variants share one slide path);
+* with an optional exponential ``decay`` in ``(0, 1)``, every slide multiplies the
+  running totals by the decay before the new epoch lands, so older epochs fade
+  smoothly instead of dropping off a cliff (the expired epoch is removed at its
+  decayed weight ``decay**window_epochs``).
+
+Either way a window slide costs O(one epoch's histograms) — never O(window), never a
+pass over raw reports.  The undecayed algebra is *bit-exact*: a window that merged
+and then expired an epoch holds byte-for-byte the counts of a window that never saw
+that epoch (property-tested in ``tests/streaming/test_streaming_window.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.domain import GridDistribution
+from repro.core.estimator import MechanismReport, ShardAggregate, SpatialMechanism
+from repro.utils.rng import ensure_rng
+
+
+class WindowedAggregator:
+    """Sliding-window sufficient statistics over one mechanism's report stream.
+
+    Parameters
+    ----------
+    mechanism:
+        The :class:`~repro.core.estimator.SpatialMechanism` whose reports are being
+        windowed; it supplies the output-domain and grid shapes and the
+        privatization used by :meth:`ingest_epoch`.
+    window_epochs:
+        Number of most-recent epochs the window covers.
+    decay:
+        ``None`` (default) for a hard window — every covered epoch at weight 1 —
+        or a factor in ``(0, 1]`` applied to the running totals at every slide.
+        ``decay=1.0`` is algebraically identical to ``None`` (multiplying by 1.0 is
+        exact), so callers can sweep the decay without special-casing the endpoint.
+
+    Notes
+    -----
+    The aggregator never holds raw reports: per epoch it keeps one
+    :class:`~repro.core.estimator.ShardAggregate` (two histograms and a counter), so
+    memory is ``O(window_epochs * (m + d^2))`` regardless of traffic volume.
+    Epochs may arrive pre-aggregated (:meth:`commit_aggregate` — e.g. merged shard
+    states from a worker pool) or as raw points/cells (:meth:`ingest_epoch` /
+    :meth:`ingest_epoch_cells`).
+    """
+
+    def __init__(
+        self,
+        mechanism: SpatialMechanism,
+        window_epochs: int,
+        *,
+        decay: float | None = None,
+    ) -> None:
+        if window_epochs < 1:
+            raise ValueError(f"window_epochs must be >= 1, got {window_epochs}")
+        if decay is not None and not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay}")
+        self.mechanism = mechanism
+        self.window_epochs = int(window_epochs)
+        self.decay = decay
+        self._epochs: deque[ShardAggregate] = deque()
+        self._noisy = np.zeros(mechanism.output_domain_size(), dtype=float)
+        self._true = np.zeros(mechanism.grid.n_cells, dtype=float)
+        self._users = 0.0
+        self.epochs_seen = 0
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def n_epochs_in_window(self) -> int:
+        return len(self._epochs)
+
+    @property
+    def n_users_window(self) -> float:
+        """Effective user total of the window (fractional under decay)."""
+        return self._users
+
+    def epoch_aggregates(self) -> tuple[ShardAggregate, ...]:
+        """The undecayed per-epoch aggregates currently covered, oldest first."""
+        return tuple(self._epochs)
+
+    def window_counts(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """Copies of the windowed ``(noisy_counts, true_cell_counts, n_users)``."""
+        return self._noisy.copy(), self._true.copy(), self._users
+
+    # -------------------------------------------------------------- ingestion
+    def ingest_epoch(self, points: np.ndarray, seed=None) -> ShardAggregate:
+        """Privatize one epoch of raw points, commit it, return its aggregate.
+
+        ``seed`` follows the library convention — pass a shared generator to make
+        consecutive epochs consume one RNG stream (bit-identical to a batch run
+        over the concatenated epochs).
+        """
+        aggregator = self.mechanism.streaming_aggregator(seed=ensure_rng(seed))
+        aggregator.add_points(np.asarray(points, dtype=float))
+        aggregate = aggregator.state()
+        self.commit_aggregate(aggregate)
+        return aggregate
+
+    def ingest_epoch_cells(self, cells: np.ndarray, seed=None) -> ShardAggregate:
+        """Like :meth:`ingest_epoch` for callers that already bucketised their data."""
+        aggregator = self.mechanism.streaming_aggregator(seed=ensure_rng(seed))
+        aggregator.add_cells(np.asarray(cells, dtype=np.int64))
+        aggregate = aggregator.state()
+        self.commit_aggregate(aggregate)
+        return aggregate
+
+    def commit_aggregate(self, aggregate: ShardAggregate) -> ShardAggregate | None:
+        """Slide the window by one epoch: fold the new counts in, expire the oldest.
+
+        Returns the expired epoch's (undecayed) aggregate, or ``None`` while the
+        window is still filling.  This — two histogram additions, at most one
+        subtraction — is the *entire* cost of a slide.
+        """
+        if not isinstance(aggregate, ShardAggregate):
+            raise TypeError(
+                f"commit_aggregate expects a ShardAggregate, got {type(aggregate).__name__}"
+            )
+        if aggregate.noisy_counts.shape != self._noisy.shape:
+            raise ValueError(
+                f"epoch noisy counts have shape {aggregate.noisy_counts.shape}, "
+                f"expected {self._noisy.shape} (different mechanism?)"
+            )
+        if aggregate.true_cell_counts.shape != self._true.shape:
+            raise ValueError(
+                f"epoch true-cell counts have shape {aggregate.true_cell_counts.shape}, "
+                f"expected {self._true.shape} (different grid?)"
+            )
+        if self.decay is not None:
+            self._noisy *= self.decay
+            self._true *= self.decay
+            self._users *= self.decay
+        self._noisy += aggregate.noisy_counts
+        self._true += aggregate.true_cell_counts
+        self._users += aggregate.n_users
+        self._epochs.append(aggregate)
+        self.epochs_seen += 1
+
+        expired: ShardAggregate | None = None
+        if len(self._epochs) > self.window_epochs:
+            expired = self._epochs.popleft()
+            weight = 1.0 if self.decay is None else self.decay**self.window_epochs
+            self._noisy -= weight * expired.noisy_counts
+            self._true -= weight * expired.true_cell_counts
+            self._users -= weight * expired.n_users
+            if self.decay is not None:
+                # Float decay can leave ~1e-17 residues on bins an expired epoch
+                # owned exclusively; clamp them so downstream solvers see a valid
+                # histogram.  The undecayed path is exact and never enters here.
+                np.clip(self._noisy, 0.0, None, out=self._noisy)
+                np.clip(self._true, 0.0, None, out=self._true)
+                self._users = max(self._users, 0.0)
+        return expired
+
+    # ------------------------------------------------------------- estimation
+    def finalize(self) -> MechanismReport:
+        """Post-process the current window through the mechanism's own estimator.
+
+        The batch-equivalent endpoint: for a hard window this is exactly what
+        ``StreamingAggregator.finalize`` would return over the covered epochs'
+        reports.  The incremental service bypasses this in favour of the
+        warm-started solve (:class:`repro.streaming.StreamingEstimationService`).
+        """
+        noisy = self._noisy.copy()
+        estimate = self.mechanism.estimate(noisy, n_users=int(round(self._users)))
+        return MechanismReport(
+            estimate=estimate, noisy_counts=noisy, n_users=int(round(self._users))
+        )
+
+    def true_distribution(self) -> GridDistribution:
+        """The (non-private) empirical distribution of the window's population.
+
+        Serves as the drift-tracking ground truth in evaluations; raises while the
+        window is empty.
+        """
+        if self._true.sum() <= 0:
+            raise ValueError("the window holds no users yet")
+        return GridDistribution.from_flat(
+            self.mechanism.grid, self._true / self._true.sum()
+        )

@@ -1,4 +1,4 @@
-"""Tests for repro.datasets.synthetic — Normal, SZipf, MNormal and the uniform control."""
+"""Tests for repro.datasets.synthetic — the paper's datasets and the drift streams."""
 
 from __future__ import annotations
 
@@ -6,8 +6,12 @@ import numpy as np
 import pytest
 
 from repro.datasets.synthetic import (
+    DRIFT_SCENARIOS,
+    appearing_cluster_stream,
+    diurnal_mixture_stream,
     mnormal_dataset,
     normal_dataset,
+    shifting_hotspot_stream,
     szipf_dataset,
     uniform_dataset,
 )
@@ -115,3 +119,83 @@ class TestUniformDataset:
     def test_negative_n_rejected(self):
         with pytest.raises(ValueError):
             uniform_dataset(n=-5)
+
+
+class TestDriftingStreams:
+    @pytest.mark.parametrize("generator", sorted(DRIFT_SCENARIOS))
+    def test_epoch_shapes_and_domain(self, generator):
+        stream = DRIFT_SCENARIOS[generator](n_epochs=5, users_per_epoch=300, seed=0)
+        assert stream.n_epochs == 5
+        for epoch in stream.epochs:
+            assert epoch.shape == (300, 2)
+            assert stream.domain.contains(epoch).all()
+
+    @pytest.mark.parametrize("generator", sorted(DRIFT_SCENARIOS))
+    def test_deterministic_given_seed(self, generator):
+        first = DRIFT_SCENARIOS[generator](n_epochs=4, users_per_epoch=200, seed=9)
+        second = DRIFT_SCENARIOS[generator](n_epochs=4, users_per_epoch=200, seed=9)
+        for a, b in zip(first.epochs, second.epochs):
+            assert np.array_equal(a, b)
+        third = DRIFT_SCENARIOS[generator](n_epochs=4, users_per_epoch=200, seed=10)
+        assert not np.array_equal(first.epochs[0], third.epochs[0])
+
+    def test_hotspot_actually_shifts(self):
+        stream = shifting_hotspot_stream(
+            n_epochs=10, users_per_epoch=4000, start=(0.2, 0.2), end=(0.8, 0.8),
+            background=0.0, seed=1,
+        )
+        first_mean = stream.epochs[0].mean(axis=0)
+        last_mean = stream.epochs[-1].mean(axis=0)
+        np.testing.assert_allclose(first_mean, [0.2, 0.2], atol=0.02)
+        np.testing.assert_allclose(last_mean, [0.8, 0.8], atol=0.02)
+
+    def test_cluster_appears_and_vanishes(self):
+        stream = appearing_cluster_stream(
+            n_epochs=12, users_per_epoch=4000, base_center=(0.25, 0.5),
+            cluster_center=(0.85, 0.5), appear_at=0.25, vanish_at=0.75,
+            background=0.0, seed=2,
+        )
+        def cluster_fraction(points):
+            return (points[:, 0] > 0.6).mean()
+        # No cluster at the edges of the stream, a visible one at the peak.
+        assert cluster_fraction(stream.epochs[0]) < 0.02
+        assert cluster_fraction(stream.epochs[-1]) < 0.02
+        assert cluster_fraction(stream.epochs[6]) > 0.3
+
+    def test_diurnal_oscillation(self):
+        stream = diurnal_mixture_stream(
+            n_epochs=12, users_per_epoch=4000, period=12, background=0.0, seed=3,
+        )
+        def day_fraction(points):
+            return (points[:, 0] > 0.5).mean()
+        # sin peaks at epoch 3 (day district) and troughs at epoch 9.
+        assert day_fraction(stream.epochs[3]) > 0.8
+        assert day_fraction(stream.epochs[9]) < 0.2
+
+    def test_window_points_concatenates_the_hard_window(self):
+        stream = shifting_hotspot_stream(n_epochs=6, users_per_epoch=50, seed=4)
+        window = stream.window_points(4, 3)
+        assert window.shape == (150, 2)
+        assert np.array_equal(window, np.vstack(stream.epochs[2:5]))
+        early = stream.window_points(0, 3)  # clipped at the stream start
+        assert early.shape == (50, 2)
+        with pytest.raises(ValueError):
+            stream.window_points(6, 3)
+
+    def test_parameters_allow_reconstruction(self):
+        stream = shifting_hotspot_stream(n_epochs=3, users_per_epoch=100, seed=5)
+        twin = shifting_hotspot_stream(seed=5, **stream.parameters)
+        for a, b in zip(stream.epochs, twin.epochs):
+            assert np.array_equal(a, b)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="n_epochs"):
+            shifting_hotspot_stream(n_epochs=0)
+        with pytest.raises(ValueError, match="users_per_epoch"):
+            shifting_hotspot_stream(users_per_epoch=-1)
+        with pytest.raises(ValueError, match="background"):
+            shifting_hotspot_stream(background=1.5)
+        with pytest.raises(ValueError, match="appear_at"):
+            appearing_cluster_stream(appear_at=0.8, vanish_at=0.2)
+        with pytest.raises(ValueError, match="period"):
+            diurnal_mixture_stream(period=1)

@@ -16,9 +16,11 @@ from repro.experiments.runner import (
     evaluate_on_dataset,
     evaluate_on_part,
     evaluate_range_queries_on_part,
+    evaluate_stream_on_part,
     evaluate_trajectories_on_part,
     sweep_parameter,
     sweep_range_query_error,
+    sweep_stream_error,
     sweep_trajectory_error,
 )
 from repro.mechanisms.sem_geo_i import SEMGeoI
@@ -207,4 +209,48 @@ class TestTrajectorySweep:
         second = sweep_trajectory_error(
             "traj", "d", (4,), ("PivotTrace",), config, **kwargs
         )
+        assert first.points[0].w2_mean == second.points[0].w2_mean
+
+
+class TestStreamSweep:
+    def test_part_evaluation_returns_bounded_error(self, rng):
+        pts = np.clip(rng.normal([0.5, 0.5], 0.12, size=(4000, 2)), 0, 1)
+        mae = evaluate_stream_on_part(
+            "DAM", pts, SpatialDomain.unit(), 6, 2.5, seed=0,
+            n_epochs=4, users_per_epoch=400, window_epochs=2,
+        )
+        # Per-cell MAE of two distributions is bounded by 2 / n_cells.
+        assert 0.0 <= mae <= 2.0 / 36
+
+    def test_part_evaluation_is_deterministic(self, rng):
+        pts = np.clip(rng.normal([0.5, 0.5], 0.12, size=(3000, 2)), 0, 1)
+        kwargs = dict(seed=7, n_epochs=3, users_per_epoch=300, window_epochs=2)
+        first = evaluate_stream_on_part("HUEM", pts, SpatialDomain.unit(), 5, 2.0, **kwargs)
+        second = evaluate_stream_on_part("HUEM", pts, SpatialDomain.unit(), 5, 2.0, **kwargs)
+        assert first == second
+
+    def test_rejects_mechanisms_without_transition(self, rng):
+        pts = rng.random((500, 2))
+        with pytest.raises(TypeError, match="transition-matrix"):
+            evaluate_stream_on_part(
+                "MDSW", pts, SpatialDomain.unit(), 5, 2.0, seed=0,
+                n_epochs=2, users_per_epoch=100,
+            )
+
+    def test_sweep_structure_and_metric_tag(self):
+        config = smoke_config()
+        result = sweep_stream_error(
+            "stream-sweep", "epsilon", (2.0, 3.5), ("DAM",), config,
+            datasets=("SZipf",),
+        )
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.details["metric"] == "stream-mae"
+            assert 0.0 <= point.w2_mean <= 2.0 / config.default_d**2
+
+    def test_stream_sweep_cached(self, tmp_path):
+        config = smoke_config().with_overrides(cache_dir=str(tmp_path))
+        kwargs = dict(datasets=("SZipf",),)
+        first = sweep_stream_error("stream", "d", (4,), ("DAM",), config, **kwargs)
+        second = sweep_stream_error("stream", "d", (4,), ("DAM",), config, **kwargs)
         assert first.points[0].w2_mean == second.points[0].w2_mean

@@ -232,3 +232,75 @@ class TestTrajectoryCommand:
         with pytest.raises(SystemExit):
             main(["trajectory", "--input", str(csv_points), "--mode", "synthesize",
                   "--n-output", "-1"])
+
+
+class TestStreamCommand:
+    STREAM_ARGS = ["stream", "--epochs", "5", "--users-per-epoch", "300",
+                   "--window", "2", "--d", "6"]
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.scenario == "shifting-hotspot"
+        assert args.window == 8
+        assert args.decay is None
+
+    def test_stream_runs_and_reports_epochs(self, capsys):
+        assert main(self.STREAM_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "scenario: shifting-hotspot" in out
+        assert "mean MAE:" in out
+        # One row per epoch plus the header.
+        rows = [line for line in out.splitlines() if line.strip().startswith(tuple("0123456789"))]
+        assert len(rows) == 5
+
+    @pytest.mark.parametrize("scenario", ["appearing-cluster", "diurnal-mixture"])
+    def test_stream_scenarios(self, scenario, capsys):
+        assert main(self.STREAM_ARGS + ["--scenario", scenario]) == 0
+        assert f"scenario: {scenario}" in capsys.readouterr().out
+
+    def test_stream_decay_and_cold_start(self, capsys):
+        assert main(self.STREAM_ARGS + ["--decay", "0.8", "--cold-start"]) == 0
+        assert "decay: 0.8" in capsys.readouterr().out
+
+    def test_stream_save_and_replay_is_bit_identical(self, tmp_path, capsys):
+        log_path = tmp_path / "session.json"
+        assert main(self.STREAM_ARGS + ["--save-log", str(log_path)]) == 0
+        assert log_path.exists()
+        capsys.readouterr()
+        assert main(["stream", "--replay", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "max |MAE - logged| = 0.00e+00" in out
+        assert "iterations identical" in out
+
+    def test_stream_workers_match_serial(self, capsys):
+        assert main(self.STREAM_ARGS + ["--seed", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.STREAM_ARGS + ["--seed", "3", "--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        # Identical per-epoch MAE/iteration table (only timings may differ).
+        def table(text):
+            return [" ".join(line.split()[:4]) for line in text.splitlines()
+                    if line.strip() and line.split()[0].isdigit()]
+        assert table(serial) == table(pooled)
+
+    def test_stream_rejects_bad_parameters(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", "--epochs", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", "--users-per-epoch", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", "--window", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", "--decay", "1.5"])
+
+    def test_stream_replay_rejects_epoch_mismatch(self, tmp_path, capsys):
+        log_path = tmp_path / "session.json"
+        assert main(self.STREAM_ARGS + ["--save-log", str(log_path)]) == 0
+        import json
+        log = json.loads(log_path.read_text())
+        log["epochs"] = log["epochs"][:-1]
+        log_path.write_text(json.dumps(log))
+        with pytest.raises(SystemExit, match="replay mismatch"):
+            main(["stream", "--replay", str(log_path)])
