@@ -77,15 +77,26 @@ def compare(results_dir: Path, baseline_path: Path) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
-                        help="directory holding the BENCH_*.json files")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help="committed baseline JSON to compare against")
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="directory holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     failures = compare(args.results, args.baseline)
     if failures:
-        print(f"\n{len(failures)} gated speedup(s) regressed >"
-              f" allowed tolerance:", file=sys.stderr)
+        print(
+            f"\n{len(failures)} gated speedup(s) regressed >"
+            f" allowed tolerance:",
+            file=sys.stderr,
+        )
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1

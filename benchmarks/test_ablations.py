@@ -43,8 +43,13 @@ def test_ablation_shrinkage(benchmark, bench_config, record_result):
                     np.mean(
                         [
                             evaluate_on_part(
-                                name, points, domain, d, bench_config.default_epsilon,
-                                seed=seed, max_users=bench_config.max_users_per_part,
+                                name,
+                                points,
+                                domain,
+                                d,
+                                bench_config.default_epsilon,
+                                seed=seed,
+                                max_users=bench_config.max_users_per_part,
                             )
                             for seed in range(max(bench_config.n_repeats, 2))
                         ]
@@ -54,10 +59,14 @@ def test_ablation_shrinkage(benchmark, bench_config, record_result):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_result("ablation_shrinkage", format_table(["d", "DAM", "DAM-NS"], rows))
+    dam_mean = float(np.mean([row[1] for row in rows]))
+    ns_mean = float(np.mean([row[2] for row in rows]))
+    record_result(
+        "ablation_shrinkage",
+        format_table(["d", "DAM", "DAM-NS"], rows),
+        metrics={"dam_mean_w2": dam_mean, "dam_ns_mean_w2": ns_mean},
+    )
     # Shrinkage never hurts materially, and the average over granularities favours it.
-    dam_mean = np.mean([row[1] for row in rows])
-    ns_mean = np.mean([row[2] for row in rows])
     assert dam_mean <= ns_mean * 1.05 + 0.005
 
 
@@ -74,7 +83,13 @@ def test_ablation_radius_rule(benchmark, bench_config, record_result):
                 np.mean(
                     [
                         evaluate_on_part(
-                            "DAM", points, domain, d, epsilon, b_hat=b_hat, seed=seed,
+                            "DAM",
+                            points,
+                            domain,
+                            d,
+                            epsilon,
+                            b_hat=b_hat,
+                            seed=seed,
                             max_users=bench_config.max_users_per_part,
                         )
                         for seed in range(max(bench_config.n_repeats, 2))
@@ -85,8 +100,16 @@ def test_ablation_radius_rule(benchmark, bench_config, record_result):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_result("ablation_radius_rule", format_table(["b_hat", "", "W2"], rows))
     errors = {row[0]: row[2] for row in rows}
+    record_result(
+        "ablation_radius_rule",
+        format_table(["b_hat", "", "W2"], rows),
+        metrics={
+            "closed_form_w2": float(errors[optimal]),
+            "best_candidate_w2": float(min(errors.values())),
+            "closed_form_b_hat": float(optimal),
+        },
+    )
     assert errors[optimal] <= min(errors.values()) * 1.35 + 0.02
 
 
@@ -108,7 +131,11 @@ def test_ablation_postprocessing(benchmark, bench_config, record_result):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_result("ablation_postprocessing", format_table(["post-process", "W2"], rows))
+    record_result(
+        "ablation_postprocessing",
+        format_table(["post-process", "W2"], rows),
+        metrics={f"{mode}_w2": float(error) for mode, error in rows},
+    )
     errors = dict(rows)
     # EM-family post-processing beats (or ties) the least-squares inversion.
     assert min(errors["ems"], errors["em"]) <= errors["ls"] * 1.05 + 0.005
@@ -135,7 +162,16 @@ def test_ablation_metric_choice(benchmark, bench_config, record_result):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_result("ablation_metric_choice", format_table(["estimate", "TV", "W2"], rows))
     (near_label, near_tv, near_w2), (far_label, far_tv, far_w2) = rows
+    record_result(
+        "ablation_metric_choice",
+        format_table(["estimate", "TV", "W2"], rows),
+        metrics={
+            "near_tv": float(near_tv),
+            "far_tv": float(far_tv),
+            "near_w2": float(near_w2),
+            "far_w2": float(far_w2),
+        },
+    )
     assert near_tv == far_tv
     assert near_w2 < far_w2

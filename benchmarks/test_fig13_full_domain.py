@@ -12,11 +12,18 @@ from repro.experiments.reporting import format_sweep, mean_error
 
 
 def test_figure13_full_domain(benchmark, bench_config, record_result):
-    results = benchmark.pedantic(
-        lambda: figure13_full_domain(bench_config), rounds=1, iterations=1
-    )
+    results = benchmark.pedantic(lambda: figure13_full_domain(bench_config), rounds=1, iterations=1)
     text = "\n\n".join(f"[{key}]\n{format_sweep(sweep)}" for key, sweep in results.items())
-    record_result("figure13_full_domain", text)
+    record_result(
+        "figure13_full_domain",
+        text,
+        metrics={
+            "dam_small_d_w2": mean_error(results["small_d"], "Crime", "DAM"),
+            "mdsw_small_d_w2": mean_error(results["small_d"], "Crime", "MDSW"),
+            "dam_small_eps_w2": mean_error(results["small_epsilon"], "Crime", "DAM"),
+            "dam_large_d_w2": mean_error(results["large_d"], "Crime", "DAM"),
+        },
+    )
 
     small_d = results["small_d"]
     assert small_d.datasets() == ["Crime"]

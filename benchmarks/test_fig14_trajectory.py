@@ -29,10 +29,21 @@ def test_figure14_trajectory(benchmark, bench_trajectory_config, record_result):
         rounds=1,
         iterations=1,
     )
-    record_result("figure14_trajectory", _series_text(results))
-
     d_sweep = results["d"]
     eps_sweep = results["epsilon"]
+
+    def mean_of(sweep, mechanism):
+        series = sweep.series(mechanism)
+        return sum(y for _, y in series) / len(series)
+
+    record_result(
+        "figure14_trajectory",
+        _series_text(results),
+        metrics={
+            f"{mechanism.lower()}_eps_mean_w2": mean_of(eps_sweep, mechanism)
+            for mechanism in ("LDPTrace", "PivotTrace", "DAM")
+        },
+    )
 
     # W2 grows with d for every mechanism (compare the endpoints; d=1 is degenerate).
     for mechanism in ("LDPTrace", "PivotTrace", "DAM"):
@@ -40,10 +51,6 @@ def test_figure14_trajectory(benchmark, bench_trajectory_config, record_result):
         assert series[20.0] >= series[5.0] * 0.7
 
     # DAM beats (or ties) both trajectory mechanisms on average over the eps sweep.
-    def mean_of(sweep, mechanism):
-        series = sweep.series(mechanism)
-        return sum(y for _, y in series) / len(series)
-
     dam = mean_of(eps_sweep, "DAM")
     assert dam <= mean_of(eps_sweep, "LDPTrace") * 1.05 + 0.01
     assert dam <= mean_of(eps_sweep, "PivotTrace") * 1.05 + 0.01

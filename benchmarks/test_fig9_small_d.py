@@ -16,10 +16,19 @@ from repro.experiments.reporting import format_sweep, mean_error
 
 def test_figure9_small_d(benchmark, bench_config, record_result):
     result = benchmark.pedantic(lambda: figure9_small_d(bench_config), rounds=1, iterations=1)
-    record_result("figure9_small_d", format_sweep(result))
+    datasets = result.datasets()
+    means = {
+        name: sum(mean_error(result, dataset, name) for dataset in datasets) / len(datasets)
+        for name in ("DAM", "MDSW", "HUEM")
+    }
+    record_result(
+        "figure9_small_d",
+        format_sweep(result),
+        metrics={f"{name.lower()}_mean_w2": value for name, value in means.items()},
+    )
 
     mdsw_wins = 0
-    for dataset in result.datasets():
+    for dataset in datasets:
         dam = mean_error(result, dataset, "DAM")
         mdsw = mean_error(result, dataset, "MDSW")
         huem = mean_error(result, dataset, "HUEM")

@@ -12,10 +12,18 @@ from repro.experiments.reporting import format_sweep, mean_error
 
 
 def test_figure9_small_epsilon(benchmark, bench_config, record_result):
-    result = benchmark.pedantic(
-        lambda: figure9_small_epsilon(bench_config), rounds=1, iterations=1
+    result = benchmark.pedantic(lambda: figure9_small_epsilon(bench_config), rounds=1, iterations=1)
+    datasets = result.datasets()
+    record_result(
+        "figure9_small_epsilon",
+        format_sweep(result),
+        metrics={
+            "dam_mean_w2": sum(mean_error(result, d, "DAM") for d in datasets)
+            / len(datasets),
+            "mdsw_mean_w2": sum(mean_error(result, d, "MDSW") for d in datasets)
+            / len(datasets),
+        },
     )
-    record_result("figure9_small_epsilon", format_sweep(result))
 
     mdsw_wins = 0
     for dataset in result.datasets():

@@ -31,13 +31,19 @@ def _calibration_table(d: int):
 def test_local_privacy_calibration(benchmark, bench_config, record_result):
     d = min(bench_config.default_d, 10)  # keep the LP matrix sizes bounded
     rows = benchmark.pedantic(lambda: _calibration_table(d), rounds=1, iterations=1)
+    lp_values = [row[1] for row in rows]
+    sem_epsilons = [row[2] for row in rows]
     record_result(
         "local_privacy_calibration",
         format_table(["epsilon (DAM)", "LP(DAM)", "epsilon' (SEM-Geo-I)", "LP(SEM)"], rows),
+        metrics={
+            "max_lp_mismatch": max(
+                abs(dam_lp - sem_lp) for _, dam_lp, _, sem_lp in rows
+            ),
+            "max_calibrated_sem_epsilon": max(sem_epsilons),
+            "max_dam_lp": max(lp_values),
+        },
     )
-
-    lp_values = [row[1] for row in rows]
-    sem_epsilons = [row[2] for row in rows]
     # More budget -> less privacy, for DAM's LP.
     assert all(a > b for a, b in zip(lp_values, lp_values[1:]))
     # The calibrated SEM-Geo-I budget grows with the DAM budget.

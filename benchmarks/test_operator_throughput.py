@@ -89,11 +89,15 @@ def test_vectorised_sampler_speedup(grid, cells, record_result):
         f"structured disk sampler   : {N_USERS / t_operator:12,.0f} users/s ({t_operator * 1e3:8.2f} ms)"
         f"  [{speedup_operator:.1f}x]",
     ]
-    record_result("operator_throughput", "\n".join(lines), metrics={
-        "sampler_speedup": speedup_operator,
-        "dense_sampler_speedup": speedup_dense,
-        "operator_users_per_second": N_USERS / t_operator,
-    })
+    record_result(
+        "operator_throughput",
+        "\n".join(lines),
+        metrics={
+"sampler_speedup": speedup_operator,
+"dense_sampler_speedup": speedup_dense,
+"operator_users_per_second": N_USERS / t_operator,
+},
+    )
     assert speedup_operator >= 10.0, f"operator sampler only {speedup_operator:.1f}x faster"
     # The generic row-CDF sampler (used by dense-backed mechanisms) is secondary;
     # it must still be several times faster than the per-cell loop.
@@ -135,9 +139,7 @@ def test_em_matvec_speed(grid, cells, record_result):
         )
     )
     t_dense = _best_of(
-        lambda: expectation_maximization(
-            dense, counts, max_iterations=EM_ITERATIONS, tolerance=0.0
-        )
+        lambda: expectation_maximization(dense, counts, max_iterations=EM_ITERATIONS, tolerance=0.0)
     )
     record_result(
         "operator_em_latency",
@@ -165,6 +167,4 @@ def test_streaming_matches_batch(grid, cells):
         aggregator.add_cells(chunk)
     streamed = aggregator.finalize()
     np.testing.assert_array_equal(streamed.noisy_counts, batch.noisy_counts)
-    np.testing.assert_allclose(
-        streamed.estimate.flat(), batch.estimate.flat(), atol=1e-12
-    )
+    np.testing.assert_allclose(streamed.estimate.flat(), batch.estimate.flat(), atol=1e-12)

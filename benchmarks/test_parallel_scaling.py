@@ -66,14 +66,18 @@ def test_parallel_pipeline_scaling(bench_profile, record_result):
     ]
     for workers in WORKER_COUNTS:
         pipeline = ParallelPipeline(
-            domain, grid_d, EPSILON, workers=workers,
+            domain,
+            grid_d,
+            EPSILON,
+            workers=workers,
             shard_size=max(n_users // max(workers * 2, 4), 1),
         )
         start = time.perf_counter()
         result = pipeline.run(points, seed=1)
         elapsed = time.perf_counter() - start
         assert np.array_equal(
-            serial.estimate.probabilities, result.estimate.probabilities
+            serial.estimate.probabilities,
+            result.estimate.probabilities,
         ), f"parallel run with {workers} workers diverged from the serial estimate"
         assert np.array_equal(serial.noisy_counts, result.noisy_counts)
         lines.append(
@@ -81,24 +85,31 @@ def test_parallel_pipeline_scaling(bench_profile, record_result):
             f"({n_users / elapsed:12,.0f} users/s)  [{t_serial / elapsed:.2f}x, "
             f"bit-identical]"
         )
-    record_result("parallel_scaling_pipeline", "\n".join(lines), metrics={
-        "serial_users_per_second": n_users / t_serial,
-        "cpus": available,
-    })
+    record_result(
+        "parallel_scaling_pipeline",
+        "\n".join(lines),
+        metrics={
+"serial_users_per_second": n_users / t_serial,
+"cpus": available,
+},
+    )
 
 
 def test_parallel_sweep_scaling_and_cache(bench_config, record_result, tmp_path_factory):
     """Sweep fan-out and the result cache: speedups without changing one number."""
-    config = bench_config.with_overrides(
-        datasets=SWEEP_DATASETS, workers=1, cache_dir=None
-    )
+    config = bench_config.with_overrides(datasets=SWEEP_DATASETS, workers=1, cache_dir=None)
     available = os.cpu_count() or 1
 
     def run_sweep(workers: int, cache: ResultCache | None) -> tuple[float, list]:
         start = time.perf_counter()
         result = sweep_parameter(
-            "parallel-scaling", "d", SWEEP_D_VALUES, SWEEP_MECHANISMS, config,
-            datasets=SWEEP_DATASETS, workers=workers,
+            "parallel-scaling",
+            "d",
+            SWEEP_D_VALUES,
+            SWEEP_MECHANISMS,
+            config,
+            datasets=SWEEP_DATASETS,
+            workers=workers,
             cache=cache if cache is not None else ResultCache(None),
         )
         return time.perf_counter() - start, result.points
@@ -129,11 +140,15 @@ def test_parallel_sweep_scaling_and_cache(bench_config, record_result, tmp_path_
         f"warm re-run (all cached)  : {t_warm:8.3f} s  [{warm_speedup:.1f}x, "
         f"identical points]",
     ]
-    record_result("parallel_scaling_sweep", "\n".join(lines), metrics={
-        "warm_cache_speedup": warm_speedup,
-        "parallel_speedup": parallel_speedup,
-        "cpus": available,
-    })
+    record_result(
+        "parallel_scaling_sweep",
+        "\n".join(lines),
+        metrics={
+"warm_cache_speedup": warm_speedup,
+"parallel_speedup": parallel_speedup,
+"cpus": available,
+},
+    )
 
     # The warm re-run only replays JSON lookups; 1.5x is a deliberately loose floor.
     assert warm_speedup >= 1.5, f"warm cache re-run only {warm_speedup:.2f}x faster"

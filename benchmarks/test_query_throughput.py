@@ -36,9 +36,7 @@ def _seed_answer_loop(estimate: GridDistribution, queries: np.ndarray) -> np.nda
     """The seed serving path: one dense overlap pass per query, in a Python loop."""
     answers = np.empty(queries.shape[0])
     for index, (x_lo, x_hi, y_lo, y_hi) in enumerate(queries):
-        fractions = _cell_overlap_fractions(
-            estimate.grid, RangeQuery(x_lo, x_hi, y_lo, y_hi)
-        )
+        fractions = _cell_overlap_fractions(estimate.grid, RangeQuery(x_lo, x_hi, y_lo, y_hi))
         answers[index] = float((estimate.probabilities * fractions).sum())
     return answers
 
@@ -117,10 +115,14 @@ def test_mixed_workload_replay_rates(estimate, record_result):
         seed=13,
     )
     report, answers = WorkloadReplay(engine).replay(log)
-    record_result("query_workload_replay", report.format(), metrics={
-        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
-        "density_ops_per_second": report.per_kind["density"]["ops_per_second"],
-    })
+    record_result(
+        "query_workload_replay",
+        report.format(),
+        metrics={
+"range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+"density_ops_per_second": report.per_kind["density"]["ops_per_second"],
+},
+    )
     assert report.n_operations == log.size
     assert set(answers) == {"range_mass", "point_density", "top_k", "quantiles", "marginals"}
     # The batched kinds must comfortably clear 100k ops/sec even on slow CI workers.

@@ -39,7 +39,11 @@ def test_range_query_engines(benchmark, bench_config, record_result):
         flat_estimate = DiscreteDAM(grid, EPSILON).run(points, seed=0).estimate
         flat_engine = FlatRangeQueryEngine(flat_estimate)
         hierarchical = HierarchicalRangeQueryEngine(
-            domain, EPSILON, levels=3, base_d=4, branching=2
+            domain,
+            EPSILON,
+            levels=3,
+            base_d=4,
+            branching=2,
         ).fit(points, seed=1)
 
         rows = []
@@ -58,7 +62,13 @@ def test_range_query_engines(benchmark, bench_config, record_result):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     record_result(
-        "range_query_engines", format_table(["workload", "flat DAM", "hierarchical DAM"], rows)
+        "range_query_engines",
+        format_table(["workload", "flat DAM", "hierarchical DAM"], rows),
+        metrics={
+            f"{label.replace('-', '_')}_{engine}_mae": value
+            for label, flat_mae, hier_mae in rows
+            for engine, value in (("flat", flat_mae), ("hierarchical", hier_mae))
+        },
     )
     # Both engines answer range queries with single-digit-percent absolute error.
     for _, flat_mae, hier_mae in rows:
@@ -84,6 +94,11 @@ def test_range_query_privacy_audit(benchmark, bench_config, record_result):
         "range_query_privacy_audit",
         format_table(["pair", "eps measured", "eps lower bound", "violated"], rows)
         + f"\ndeclared epsilon: {EPSILON}",
+        metrics={
+            "declared_epsilon": EPSILON,
+            "worst_case_epsilon": worst_case_epsilon(results),
+            "violations": sum(1 for r in results if r.violated),
+        },
     )
     assert not any(r.violated for r in results)
     assert worst_case_epsilon(results) <= EPSILON + 0.5

@@ -48,9 +48,7 @@ ACCURACY_HEADROOM = 1.15
 @pytest.fixture(scope="module")
 def session():
     """Run the drifting session once; collect slide/refit/warm/cold measurements."""
-    stream = shifting_hotspot_stream(
-        n_epochs=N_EPOCHS, users_per_epoch=USERS_PER_EPOCH, seed=0
-    )
+    stream = shifting_hotspot_stream(n_epochs=N_EPOCHS, users_per_epoch=USERS_PER_EPOCH, seed=0)
     service = StreamingEstimationService.build(
         stream.domain,
         GRID_D,
@@ -170,14 +168,23 @@ def test_mid_stream_serving_rates(session, record_result):
     """The published engine serves the mixed workload at batch-serving rates."""
     service = session["service"]
     log = QueryLog.random(
-        service.grid.domain, n_range=50_000, n_density=50_000, n_top_k=20,
-        n_quantiles=10, n_marginals=10, seed=5,
+        service.grid.domain,
+        n_range=50_000,
+        n_density=50_000,
+        n_top_k=20,
+        n_quantiles=10,
+        n_marginals=10,
+        seed=5,
     )
     report, answers = WorkloadReplay(service.serving).replay(log)
-    record_result("streaming_workload_replay", report.format(), metrics={
-        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
-        "density_ops_per_second": report.per_kind["density"]["ops_per_second"],
-    })
+    record_result(
+        "streaming_workload_replay",
+        report.format(),
+        metrics={
+"range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+"density_ops_per_second": report.per_kind["density"]["ops_per_second"],
+},
+    )
     assert report.n_operations == log.size
     assert report.per_kind["range_mass"]["ops_per_second"] > 100_000
     assert report.per_kind["density"]["ops_per_second"] > 100_000

@@ -16,7 +16,15 @@ def test_table3_dataset_statistics(benchmark, bench_config, record_result):
     rows = benchmark.pedantic(
         lambda: table3_dataset_statistics(bench_config), rounds=1, iterations=1
     )
-    record_result("table3_datasets", format_table3(rows))
+    record_result(
+        "table3_datasets",
+        format_table3(rows),
+        metrics={
+            "n_parts": len(rows),
+            "total_surrogate_points": sum(row.surrogate_points for row in rows),
+            "total_paper_points": sum(row.paper_points for row in rows),
+        },
+    )
 
     # Structural checks: all six Table III parts present with the paper's counts.
     assert len(rows) == 6

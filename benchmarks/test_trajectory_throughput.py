@@ -159,10 +159,14 @@ def test_trajectory_workload_replay_rates(engine, model, record_result):
         seed=17,
     )
     report, answers = WorkloadReplay(serving).replay(log)
-    record_result("trajectory_workload_replay", report.format(), metrics={
-        "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
-        "od_top_k_ops_per_second": report.per_kind["od_top_k"]["ops_per_second"],
-    })
+    record_result(
+        "trajectory_workload_replay",
+        report.format(),
+        metrics={
+"range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+"od_top_k_ops_per_second": report.per_kind["od_top_k"]["ops_per_second"],
+},
+    )
     assert report.n_operations == log.size
     assert {"od_top_k", "transition_top_k", "length_histogram"} <= set(answers)
     # The sequence-statistic lookups are pre-aggregated; even slow CI workers

@@ -30,7 +30,11 @@ def main() -> None:
           f"total points: {dataset.total_points}")
 
     print(f"\nPer-mechanism W2 (lower is better), eps = {EPSILON}, d = {GRID_SIDE}:")
-    print(f"{'mechanism':<12} " + " ".join(f"{name.split('-')[-1]:>10}" for name, _, _ in dataset.parts) + "      mean")
+    print(
+        f"{'mechanism':<12} "
+        + " ".join(f"{name.split('-')[-1]:>10}" for name, _, _ in dataset.parts)
+        + "      mean"
+    )
 
     results: dict[str, float] = {}
     for mechanism_name in MECHANISMS:

@@ -58,7 +58,9 @@ def main() -> None:
         row = compare_all_trajectory_mechanisms(
             dataset.trajectories, domain, d=GRID_SIDE, epsilon=epsilon, seed=3
         )
-        cells = ", ".join(f"{row[k].mechanism}: {row[k].w2:.4f}" for k in ("ldptrace", "pivottrace", "dam"))
+        cells = ", ".join(
+            f"{row[k].mechanism}: {row[k].w2:.4f}" for k in ("ldptrace", "pivottrace", "dam")
+        )
         print(f"  eps = {epsilon}: {cells}")
 
 

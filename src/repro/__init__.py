@@ -25,11 +25,12 @@ and baseline its evaluation depends on:
 
 Quickstart::
 
-    import numpy as np
     from repro import estimate_spatial_distribution
+    from repro.utils.rng import ensure_rng
 
-    locations = np.random.default_rng(0).normal(0.5, 0.1, size=(10_000, 2))
-    result = estimate_spatial_distribution(locations, epsilon=2.0, d=10, seed=0)
+    rng = ensure_rng(0)                        # one threaded Generator, end to end
+    locations = rng.normal(0.5, 0.1, size=(10_000, 2))
+    result = estimate_spatial_distribution(locations, epsilon=2.0, d=10, seed=rng)
     print(result.estimate.probabilities)       # the privately estimated density map
 """
 
@@ -61,7 +62,7 @@ from repro.queries import (
 from repro.streaming import StreamingEstimationService, WindowedAggregator
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DAMPipeline",

@@ -1,0 +1,34 @@
+"""Static analysis for the repro codebase (``repro lint``).
+
+AST-based lint rules that make the repo's two statically-checkable invariant
+classes — privacy flow in mechanisms and RNG determinism — fail at lint time
+instead of (probabilistically) at audit time, plus conformance checks for the
+mergeable-aggregate protocol and the benchmark-metrics convention.
+
+Public surface:
+
+* :func:`repro.analysis.engine.lint_paths` — run rules over files/directories,
+* :class:`repro.analysis.findings.Finding` and the text/JSON renderers,
+* :data:`repro.analysis.registry.RULES` — the rule-plugin table.
+
+Inline suppression: ``# repro-lint: disable=<rule-id>[,<rule-id>...]`` on the
+line a finding anchors to (``disable=all`` silences every rule there).
+"""
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import lint_contexts, lint_paths
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.registry import RULES, Rule, get_rules, register
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "get_rules",
+    "lint_contexts",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,95 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` is built once per linted file and handed to each rule:
+it owns the parsed AST, the raw source, the repo-relative path (for scoping
+decisions such as "is this a mechanism module?") and the parsed inline
+suppressions (``# repro-lint: disable=<rule-id>[,<rule-id>...]`` comments).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Inline suppression syntax.  ``disable=all`` silences every rule on the line.
+_SUPPRESSION_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of rule ids suppressed on that line.
+
+    Comments are found with :mod:`tokenize` (never by regexing raw source), so a
+    suppression-looking string literal does not silence anything.  A comment
+    suppresses findings anchored to its own line; multi-line statements carry
+    the comment on the line the finding anchors to (the statement's first line).
+    """
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            rule_ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            suppressed.setdefault(token.start[0], set()).update(rule_ids)
+    except tokenize.TokenizeError:  # pragma: no cover - unparseable files are skipped
+        pass
+    return suppressed
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one Python module."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path, display_path: str | None = None
+    ) -> "ModuleContext":
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else path.as_posix(),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_file(cls, path: Path, display_path: str | None = None) -> "ModuleContext":
+        return cls.from_source(path.read_text(encoding="utf-8"), path, display_path=display_path)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return self.path.parts
+
+    def in_directory(self, name: str) -> bool:
+        """Whether any path component equals ``name`` (e.g. ``"mechanisms"``)."""
+        return name in self.parts
+
+    def is_module(self, *trailing: str) -> bool:
+        """Whether the path ends with the given components (e.g. ``"utils", "rng.py"``)."""
+        return self.parts[-len(trailing) :] == trailing
+
+    def finding(self, rule_id: str, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=self.display_path, line=int(line), rule_id=rule_id, message=message)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rule_ids = self.suppressions.get(finding.line)
+        if not rule_ids:
+            return False
+        return finding.rule_id in rule_ids or "all" in rule_ids

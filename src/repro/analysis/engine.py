@@ -1,0 +1,73 @@
+"""Lint driver: discover files, run rules, filter suppressions, sort findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, get_rules
+
+#: Directories never descended into when expanding a directory argument.
+_SKIP_DIRS = {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated list of ``.py`` files."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def lint_contexts(contexts: list[ModuleContext], rules: list[Rule]) -> list[Finding]:
+    """Run ``rules`` over prepared contexts; drop suppressed findings; sort."""
+    findings: list[Finding] = []
+    for context in contexts:
+        for rule in rules:
+            for finding in rule.check(context):
+                if not context.is_suppressed(finding):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: list[Path | str],
+    rule_ids: list[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories with the selected rules (all registered by default).
+
+    Files that fail to parse produce a single ``parse-error`` finding rather
+    than aborting the run, so one syntax error cannot mask every other finding.
+    """
+    rules = get_rules(rule_ids)
+    contexts: list[ModuleContext] = []
+    findings: list[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            contexts.append(ModuleContext.from_file(file_path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=file_path.as_posix(),
+                    line=int(exc.lineno or 1),
+                    rule_id="parse-error",
+                    message=f"could not parse module: {exc.msg}",
+                )
+            )
+    findings.extend(lint_contexts(contexts, rules))
+    return sorted(findings)

@@ -1,0 +1,52 @@
+"""The :class:`Finding` value object and its text/JSON renderings.
+
+Every rule reports violations as a flat list of findings — one per (rule, file,
+line) — so the engine can sort, filter (inline suppressions) and render them
+uniformly.  The JSON rendering is stable and machine-readable for CI tooling;
+the text rendering is the one-line-per-finding format familiar from compilers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis violation.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending module, as given to the engine (kept relative when
+        the linted root was relative, so output is stable across machines).
+    line:
+        1-based line number the finding anchors to.
+    rule_id:
+        Identifier of the rule that fired (e.g. ``priv-flow``); also the token
+        accepted by ``# repro-lint: disable=<rule-id>`` suppressions.
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Compiler-style rendering: one line per finding plus a count footer."""
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Stable machine-readable rendering (a JSON array of finding objects)."""
+    return json.dumps([asdict(finding) for finding in findings], indent=2) + "\n"

@@ -1,0 +1,55 @@
+"""Rule protocol and registry.
+
+A rule is any object with a ``rule_id``, a one-line ``description`` and a
+``check(context) -> list[Finding]`` method.  Rules register themselves into
+:data:`RULES` at import time via the :func:`register` decorator; the engine and
+the CLI discover them exclusively through this table, so adding a check is:
+write a class, decorate it, done (~50 LoC per rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import ModuleContext
+    from repro.analysis.findings import Finding
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The plugin interface every lint rule implements."""
+
+    rule_id: str
+    description: str
+
+    def check(self, context: "ModuleContext") -> "list[Finding]": ...
+
+
+#: rule_id -> rule instance.  Populated by :func:`register` at import time.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to :data:`RULES`."""
+    rule = cls()
+    if not isinstance(rule, Rule):
+        raise TypeError(f"{cls.__name__} does not implement the Rule protocol")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def get_rules(rule_ids: "list[str] | None" = None) -> "list[Rule]":
+    """Resolve a rule-id selection (``None`` means every registered rule)."""
+    # Import for the registration side effect; deferred to avoid an import cycle.
+    import repro.analysis.rules  # noqa: F401
+
+    if rule_ids is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    unknown = sorted(set(rule_ids) - set(RULES))
+    if unknown:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule id(s) {', '.join(unknown)}; known rules: {known}")
+    return [RULES[rule_id] for rule_id in sorted(set(rule_ids))]

@@ -1,0 +1,158 @@
+"""Benchmark-convention rules.
+
+The standing convention (top of ROADMAP.md): every benchmark records a
+machine-readable metrics dict via ``record_result(name, text, metrics=...)``,
+and any throughput ratio the benchmark *asserts* on must also be gated in
+``benchmarks/baselines/smoke.json`` so the CI regression compare actually
+tracks it.  Until now this was enforced only by reviewer memory.
+
+``bench-metrics``
+    Every ``record_result`` call passes a metrics dict (third positional or
+    ``metrics=``).  A benchmark that writes text only is invisible to the
+    baseline compare.
+``bench-baseline``
+    In ``*throughput*`` benchmark modules, a ``_speedup``/``_ratio`` metric
+    whose value is asserted in the same function must appear under
+    ``gated.<bench-name>`` in the committed smoke baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+
+def _record_result_calls(tree: ast.Module) -> list[ast.Call]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "record_result"
+    ]
+
+
+def _metrics_arg(call: ast.Call) -> ast.expr | None:
+    if len(call.args) >= 3:
+        return call.args[2]
+    for keyword in call.keywords:
+        if keyword.arg == "metrics":
+            return keyword.value
+    return None
+
+
+def _is_bench_module(context: ModuleContext) -> bool:
+    return context.in_directory("benchmarks") and context.path.name.startswith("test_")
+
+
+@register
+class BenchMetricsRule:
+    rule_id = "bench-metrics"
+    description = "every record_result call must pass a machine-readable metrics dict"
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not _is_bench_module(context):
+            return []
+        findings = []
+        for call in _record_result_calls(context.tree):
+            if _metrics_arg(call) is None:
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        call,
+                        "record_result without metrics=: this benchmark is invisible "
+                        "to the CI baseline compare; pass its measured numbers",
+                    )
+                )
+        return findings
+
+
+@register
+class BenchBaselineRule:
+    rule_id = "bench-baseline"
+    description = (
+        "asserted throughput ratios must be gated in benchmarks/baselines/smoke.json"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not _is_bench_module(context) or "throughput" not in context.path.name:
+            return []
+        gated = self._load_gated(context.path)
+        if gated is None:
+            return [
+                context.finding(
+                    self.rule_id,
+                    1,
+                    "benchmarks/baselines/smoke.json is missing or unreadable; the "
+                    "CI regression compare has no baseline to diff against",
+                )
+            ]
+        findings: list[Finding] = []
+        for func in ast.walk(context.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            asserted = self._asserted_names(func)
+            for call in _record_result_calls(func):
+                findings.extend(self._check_call(context, call, asserted, gated))
+        return findings
+
+    @staticmethod
+    def _load_gated(bench_path: Path) -> dict | None:
+        baseline_path = bench_path.parent / "baselines" / "smoke.json"
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        gated = baseline.get("gated")
+        return gated if isinstance(gated, dict) else None
+
+    @staticmethod
+    def _asserted_names(func: ast.AST) -> set[str]:
+        """Names compared inside assert statements of this function."""
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assert):
+                for name in ast.walk(node.test):
+                    if isinstance(name, ast.Name):
+                        names.add(name.id)
+        return names
+
+    def _check_call(
+        self,
+        context: ModuleContext,
+        call: ast.Call,
+        asserted: set[str],
+        gated: dict,
+    ) -> list[Finding]:
+        if not call.args or not isinstance(call.args[0], ast.Constant):
+            return []
+        bench_name = call.args[0].value
+        metrics = _metrics_arg(call)
+        if not isinstance(metrics, ast.Dict):
+            return []
+        gated_metrics = gated.get(bench_name, {})
+        findings = []
+        for key_node, value_node in zip(metrics.keys, metrics.values):
+            if not isinstance(key_node, ast.Constant) or not isinstance(key_node.value, str):
+                continue
+            key = key_node.value
+            if not key.endswith(("_speedup", "_ratio")):
+                continue
+            if not (isinstance(value_node, ast.Name) and value_node.id in asserted):
+                continue
+            if key not in gated_metrics:
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        key_node,
+                        f"metric {key!r} of benchmark {bench_name!r} is asserted here "
+                        "but not gated in benchmarks/baselines/smoke.json — the CI "
+                        "regression compare will never track it",
+                    )
+                )
+        return findings

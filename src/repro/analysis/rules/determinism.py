@@ -1,0 +1,346 @@
+"""RNG determinism rules.
+
+The repo's parallel/streaming bit-identity guarantees (PR 2/4/5) hold only if
+every source of randomness is an explicitly threaded
+:class:`numpy.random.Generator`.  These rules make the convention static:
+
+``rng-ambient``
+    No module-level ``np.random.<dist>()`` calls — ambient global-state draws
+    are invisible to seed threading.
+``rng-argless``
+    No argless ``default_rng()`` / ``SeedSequence()`` outside the sanctioned
+    construction site ``utils/rng.py`` (where ``seed=None`` → OS entropy is the
+    one documented escape hatch).
+``rng-entropy``
+    No stdlib ``random`` module and no wall-clock/OS entropy
+    (``time.time()``/``os.urandom()``...) feeding seed material in ``src/repro``.
+``rng-missing-seed``
+    Every function that draws randomness must accept a generator/seed
+    parameter (or draw from generator state it owns) so callers can thread
+    determinism through it.
+``rng-doc-example``
+    Docstring examples must not model ambient/hard-coded generator usage —
+    examples are what users copy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.privacy import RNG_DRAW_ATTRS, RNG_NAME_RE
+
+#: ``np.random.<attr>`` attributes that are constructors, not global-state draws.
+_CONSTRUCTOR_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_SEEDISH_PARAM_RE = re.compile(
+    r"^(seed|rng|generator|seed_sequence|seeds)$|_seed$|_rng$|_sequences?$"
+)
+
+_ENTROPY_CALL_QNAMES = frozenset(
+    {"time.time", "time.time_ns", "time.monotonic", "os.urandom", "os.getpid", "uuid.uuid4"}
+)
+
+_DOC_EXAMPLE_RE = re.compile(r"\b(?:np|numpy)\.random\.(\w+)\(")
+_DOC_ALLOWED = frozenset({"Generator", "SeedSequence"})
+
+
+def _qualified_name(node: ast.expr) -> str | None:
+    """Dotted name of an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_np_random_call(node: ast.Call) -> str | None:
+    """The ``<attr>`` of an ``np.random.<attr>(...)`` call, else None."""
+    qname = _qualified_name(node.func)
+    if qname is None:
+        return None
+    parts = qname.split(".")
+    if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+        return parts[2]
+    return None
+
+
+def _in_library_scope(context: ModuleContext) -> bool:
+    """src/repro and benchmarks, but never test code or the linter's fixtures."""
+    if context.in_directory("tests") or context.in_directory("fixtures"):
+        return False
+    return context.in_directory("repro") or context.in_directory("benchmarks")
+
+
+@register
+class AmbientRngRule:
+    """No ``np.random.<dist>()`` global-state draws."""
+
+    rule_id = "rng-ambient"
+    description = "no np.random module-level draws; thread a numpy Generator instead"
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not _in_library_scope(context):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _is_np_random_call(node)
+            if attr is not None and attr not in _CONSTRUCTOR_ATTRS:
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        node,
+                        f"ambient np.random.{attr}() draws from hidden global state; "
+                        "use an explicitly threaded numpy Generator",
+                    )
+                )
+        return findings
+
+
+@register
+class ArglessRngRule:
+    """Argless ``default_rng()``/``SeedSequence()`` only inside ``utils/rng.py``."""
+
+    rule_id = "rng-argless"
+    description = (
+        "argless default_rng()/SeedSequence() (fresh OS entropy) is only allowed "
+        "in the sanctioned construction site utils/rng.py"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not _in_library_scope(context) or context.is_module("utils", "rng.py"):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            qname = _qualified_name(node.func) or ""
+            tail = qname.rsplit(".", 1)[-1]
+            if tail in ("default_rng", "SeedSequence"):
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        node,
+                        f"argless {tail}() pulls fresh OS entropy; construct "
+                        "generators through repro.utils.rng (ensure_rng/spawn_rngs)",
+                    )
+                )
+        return findings
+
+
+@register
+class EntropySourceRule:
+    """No stdlib ``random`` and no wall-clock/OS entropy as seed material."""
+
+    rule_id = "rng-entropy"
+    description = "no stdlib random module or time/os entropy feeding seeds in src/repro"
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not _in_library_scope(context) or context.in_directory("benchmarks"):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            context.finding(
+                                self.rule_id,
+                                node,
+                                "stdlib random module is unseedable from the repro "
+                                "seed-threading convention; use numpy Generators",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        context.finding(
+                            self.rule_id,
+                            node,
+                            "stdlib random module is unseedable from the repro "
+                            "seed-threading convention; use numpy Generators",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                qname = _qualified_name(node.func) or ""
+                tail = qname.rsplit(".", 1)[-1]
+                if tail not in ("default_rng", "SeedSequence", "ensure_rng"):
+                    continue
+                for arg in ast.walk(node):
+                    if arg is node or not isinstance(arg, ast.Call):
+                        continue
+                    inner = _qualified_name(arg.func)
+                    if inner in _ENTROPY_CALL_QNAMES:
+                        findings.append(
+                            context.finding(
+                                self.rule_id,
+                                node,
+                                f"{inner}() as seed material is irreproducible; "
+                                "accept a seed/Generator parameter instead",
+                            )
+                        )
+        return findings
+
+
+@register
+class MissingSeedParamRule:
+    """Functions that draw randomness must be seedable by their caller."""
+
+    rule_id = "rng-missing-seed"
+    description = (
+        "a function that draws randomness must accept a generator/seed parameter "
+        "or draw from generator state it owns"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not context.in_directory("repro") or context.in_directory("tests"):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            findings.extend(self._check_function(context, node))
+        return findings
+
+    def _check_function(
+        self, context: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        args = func.args
+        param_names = {
+            arg.arg
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *filter(None, [args.vararg, args.kwarg]),
+            ]
+        }
+        if any(_SEEDISH_PARAM_RE.search(name) for name in param_names):
+            return []
+
+        # Names bound from parameters/self keep draws traceable to the caller.
+        traceable = set(param_names) | {"self", "cls"}
+        bound: set[str] = set(param_names)
+        draw_calls: list[tuple[ast.Call, ast.expr]] = []
+        for inner in ast.walk(func):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)) and inner is not func:
+                continue
+            if isinstance(inner, ast.Assign):
+                value_names = {
+                    n.id for n in ast.walk(inner.value) if isinstance(n, ast.Name)
+                }
+                for target in inner.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            bound.add(name_node.id)
+                            if value_names & traceable:
+                                traceable.add(name_node.id)
+            elif isinstance(inner, ast.Call) and isinstance(inner.func, ast.Attribute):
+                if inner.func.attr in RNG_DRAW_ATTRS:
+                    draw_calls.append((inner, inner.func.value))
+
+        findings = []
+        for call, receiver in draw_calls:
+            root = receiver
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in traceable:
+                continue
+            if isinstance(root, ast.Name) and root.id[:1].isupper():
+                continue  # classmethod/constructor (GridDistribution.uniform, ...)
+            if (
+                isinstance(root, ast.Name)
+                and root.id not in bound
+                and RNG_NAME_RE.search(root.id)
+            ):
+                continue  # closure over an rng threaded by the enclosing scope
+            if any(
+                keyword.arg and _SEEDISH_PARAM_RE.search(keyword.arg)
+                for keyword in call.keywords
+            ):
+                continue  # the call itself is explicitly seeded
+            if _is_np_random_receiver(receiver):
+                continue  # already reported by rng-ambient
+            findings.append(
+                context.finding(
+                    self.rule_id,
+                    call,
+                    f"{func.name} draws randomness from a source its caller cannot "
+                    "seed; accept a seed/rng parameter and thread it through",
+                )
+            )
+        return findings
+
+
+def _is_np_random_receiver(node: ast.expr) -> bool:
+    qname = _qualified_name(node)
+    return qname in ("np.random", "numpy.random")
+
+
+@register
+class DocExampleRule:
+    """Docstring examples must model the seed-threading convention."""
+
+    rule_id = "rng-doc-example"
+    description = (
+        "docstring examples must thread seeds through repro APIs, not call "
+        "np.random directly"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not context.in_directory("repro") or context.in_directory("tests"):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            docstring_node = self._docstring_node(node)
+            if docstring_node is None or not isinstance(docstring_node.value, str):
+                continue
+            start = docstring_node.lineno
+            for offset, line in enumerate(docstring_node.value.splitlines()):
+                for match in _DOC_EXAMPLE_RE.finditer(line):
+                    if match.group(1) in _DOC_ALLOWED:
+                        continue
+                    findings.append(
+                        context.finding(
+                            self.rule_id,
+                            start + offset,
+                            f"docstring example calls np.random.{match.group(1)}(); "
+                            "examples should pass seed= through repro APIs instead",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _docstring_node(node: ast.AST) -> ast.Constant | None:
+        body = getattr(node, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+        ):
+            return body[0].value
+        return None

@@ -1,0 +1,408 @@
+"""``priv-flow``: privacy-flow taint analysis for mechanism and oracle methods.
+
+The invariant: inside a privatization entry point (``privatize*``/``respond*``/
+``collect*``), the raw user data parameter must not flow to a ``return`` unless
+it passed through a sanctioned randomization step.  This is exactly the bug
+class of the PR 3 ``HDG.privatize_cells`` leak, where the TRUE coarse cell of a
+random *subpopulation* of users was returned verbatim — the selection was
+random, the reported values were not.
+
+The analysis is a single forward pass over each checked function with a small
+abstract value per name:
+
+``tainted``
+    May contain raw input data.
+``random``
+    Value of (or derived from) a sanctioned random draw.  Randomness *clears*
+    taint when values are combined arithmetically (``values + noise``) but a
+    random **mask** does not: selecting a subpopulation is not randomization.
+``mask``
+    Boolean array obtained by comparing a random draw (``rng.random(n) < p``).
+``hard``
+    Sticky taint a later random store cannot wash out — set when raw values are
+    written into a slice/position of an output buffer (the HDG leak shape) or
+    when raw values are revealed through a position leak (tainted index with a
+    deterministic payload).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, replace
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Parameter names that carry raw (pre-randomization) user data.
+RAW_PARAM_NAMES = frozenset(
+    {
+        "values",
+        "value",
+        "cells",
+        "input_cell",
+        "input_cells",
+        "points",
+        "point",
+        "buckets",
+        "trajectories",
+        "trajectory",
+    }
+)
+
+#: Entry points subject to the taint check.
+CHECKED_METHOD_RE = re.compile(r"^(privatize|respond|collect)")
+
+#: Method calls that count as sanctioned randomization of their inputs: other
+#: privatization entry points, and mechanism/operator ``sample`` methods.
+SANCTIONED_METHOD_RE = re.compile(r"^(privatize|respond|collect)\w*$|^sample$")
+
+#: Names whose call result is sanctioned randomness (helpers from utils/rng.py).
+SANCTIONED_FUNCTIONS = frozenset(
+    {
+        "ensure_rng",
+        "sample_categorical",
+        "sample_grouped_inverse_cdf",
+        "weighted_sample_index",
+        "spawn_rngs",
+        "generator_from_state",
+    }
+)
+
+#: numpy.random.Generator drawing methods.
+RNG_DRAW_ATTRS = frozenset(
+    {
+        "random",
+        "choice",
+        "integers",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "laplace",
+        "exponential",
+        "gamma",
+        "beta",
+        "binomial",
+        "multinomial",
+        "poisson",
+        "geometric",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "dirichlet",
+    }
+)
+
+#: Attribute reads that never carry data (metadata only).
+CLEAN_ATTRS = frozenset({"shape", "ndim", "size", "dtype", "itemsize", "nbytes"})
+
+RNG_NAME_RE = re.compile(r"^rng$|_rng$|^generator$|^parent$")
+
+_MUTATING_METHODS = frozenset({"append", "extend", "insert", "add"})
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Abstract value attached to every expression and local name."""
+
+    tainted: bool = False
+    random: bool = False
+    mask: bool = False
+    hard: bool = False
+
+    @property
+    def leaks(self) -> bool:
+        return self.hard or (self.tainted and not self.random)
+
+
+CLEAN = Flags()
+
+
+def _is_rng_expr(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and RNG_NAME_RE.search(node.id) is not None
+
+
+class _FunctionTaint:
+    """One forward taint pass over one checked function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.env: dict[str, Flags] = {}
+        self.leaky_returns: list[ast.Return] = []
+        args = func.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, [args.vararg, args.kwarg]),
+        ]:
+            if arg.arg in RAW_PARAM_NAMES:
+                self.env[arg.arg] = Flags(tainted=True)
+            elif RNG_NAME_RE.search(arg.arg):
+                self.env[arg.arg] = Flags(random=True)
+
+    # ------------------------------------------------------------------ driver
+    def run(self) -> list[ast.Return]:
+        self._visit_body(self.func.body)
+        return self.leaky_returns
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            flags = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._store(target, flags)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._store(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._store_partial(stmt.target, self._eval(stmt.value), CLEAN)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            if self._eval(stmt.value).leaks:
+                self.leaky_returns.append(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._visit_expr_stmt(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._store(stmt.target, replace(self._eval(stmt.iter), mask=False))
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._eval(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                flags = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._store(item.optional_vars, flags)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        # Nested function/class definitions are not followed.
+
+    def _visit_expr_stmt(self, node: ast.expr) -> None:
+        # list.append(x) and friends behave like a partial store into the receiver.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.args
+        ):
+            value_flags = self._eval(node.args[-1])
+            self._merge_partial(node.func.value.id, value_flags, CLEAN)
+        else:
+            self._eval(node)
+
+    # ------------------------------------------------------------------ stores
+    def _store(self, target: ast.expr, flags: Flags) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = flags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, flags)
+        elif isinstance(target, ast.Starred):
+            self._store(target.value, flags)
+        elif isinstance(target, ast.Subscript):
+            self._store_partial(target, flags, self._eval(target.slice))
+        # Attribute targets (self.x = ...) are untracked.
+
+    def _store_partial(self, target: ast.expr, value: Flags, index: Flags) -> None:
+        """A write into part of an existing value (``out[idx] = x``, ``x += y``)."""
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            self._merge_partial(base.id, value, index)
+
+    def _merge_partial(self, name: str, value: Flags, index: Flags) -> None:
+        state = self.env.get(name, CLEAN)
+        random = state.random or value.random
+        tainted = state.tainted
+        hard = state.hard
+        if value.tainted and not value.random:
+            # Raw values written into some positions of the output: sticky.
+            tainted = hard = True
+        elif index.tainted and not value.random:
+            # Position of the write encodes the raw value (one-hot style leak).
+            tainted = hard = True
+        self.env[name] = Flags(tainted=tainted, random=random, hard=hard)
+
+    # -------------------------------------------------------------- expressions
+    def _eval(self, node: ast.expr) -> Flags:
+        if isinstance(node, ast.Constant):
+            return CLEAN
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            if node.attr in CLEAN_ATTRS:
+                return CLEAN
+            return replace(self._eval(node.value), mask=False)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value)
+            index = self._eval(node.slice)
+            return Flags(
+                tainted=value.tainted or index.tainted,
+                random=value.random or (index.random and not index.mask),
+                hard=value.hard,
+            )
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._combine_arith([self._eval(node.left), self._eval(node.right)])
+        if isinstance(node, ast.BoolOp):
+            return self._combine_arith([self._eval(value) for value in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            operands = [self._eval(node.left)] + [self._eval(c) for c in node.comparators]
+            if any(f.random for f in operands):
+                return Flags(random=True, mask=True)
+            if any(f.tainted for f in operands):
+                return Flags(tainted=True, mask=True)
+            return CLEAN
+        if isinstance(node, ast.IfExp):
+            return self._select(
+                self._eval(node.test), self._eval(node.body), self._eval(node.orelse)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._union([self._eval(element) for element in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(v) for v in node.values if v is not None]
+            parts += [self._eval(k) for k in node.keys if k is not None]
+            return self._union(parts)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        # Fallback (comprehensions, f-strings, lambdas...): union over children.
+        children = [child for child in ast.iter_child_nodes(node) if isinstance(child, ast.expr)]
+        return self._union([self._eval(child) for child in children])
+
+    def _eval_call(self, node: ast.Call) -> Flags:
+        arg_nodes = list(node.args) + [kw.value for kw in node.keywords]
+        arg_flags = [self._eval(arg) for arg in arg_nodes]
+        func = node.func
+
+        if isinstance(func, ast.Attribute):
+            # np.where(test, a, b): values come from a/b; a random *test* does
+            # not randomize them (subpopulation selection is not randomization).
+            if (
+                func.attr == "where"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and len(node.args) >= 3
+            ):
+                test, a, b = (self._eval(arg) for arg in node.args[:3])
+                return self._select(test, a, b)
+            if func.attr in RNG_DRAW_ATTRS:
+                # rng.choice(domain) over an input-derived candidate set is the
+                # sanctioned randomization itself (DAM Algorithm 2 draws output
+                # cells from geometry derived from the input cell), so draws
+                # clear taint even when their domain argument is tainted.
+                return Flags(random=True)
+            if SANCTIONED_METHOD_RE.match(func.attr):
+                return Flags(random=True)
+            if func.attr in _MUTATING_METHODS:
+                return CLEAN
+            receiver = self._eval(func.value)
+            return self._generic_call([receiver] + arg_flags, arg_nodes)
+
+        if isinstance(func, ast.Name):
+            if func.id in SANCTIONED_FUNCTIONS:
+                return Flags(random=True)
+            if func.id == "len":
+                return CLEAN
+
+        return self._generic_call(arg_flags, arg_nodes)
+
+    def _generic_call(self, flags: list[Flags], arg_nodes: list[ast.expr]) -> Flags:
+        """Unknown call: an rng-like/random argument makes the result random
+        (perturbation helpers take the generator as an argument); otherwise
+        taint and hardness propagate through."""
+        if any(f.hard for f in flags):
+            return Flags(tainted=True, hard=True)
+        if any(f.random and not f.mask for f in flags) or any(
+            _is_rng_expr(arg) for arg in arg_nodes
+        ):
+            return Flags(random=True)
+        if any(f.tainted for f in flags):
+            return Flags(tainted=True)
+        return CLEAN
+
+    @staticmethod
+    def _combine_arith(flags: list[Flags]) -> Flags:
+        """Arithmetic combination: adding/multiplying in a random term genuinely
+        randomizes the result, so randomness wins over plain taint.  Hard taint
+        (raw values sitting verbatim in some positions) is only cleared when the
+        combination itself is random everywhere."""
+        if any(f.random and not f.mask for f in flags):
+            return Flags(random=True)
+        return Flags(tainted=any(f.tainted for f in flags), hard=any(f.hard for f in flags))
+
+    @staticmethod
+    def _select(test: Flags, a: Flags, b: Flags) -> Flags:
+        return Flags(
+            tainted=a.tainted or b.tainted or test.tainted,
+            random=a.random or b.random,
+            hard=a.hard or b.hard,
+        )
+
+    @staticmethod
+    def _union(flags: list[Flags]) -> Flags:
+        return Flags(
+            tainted=any(f.tainted for f in flags),
+            random=any(f.random for f in flags),
+            hard=any(f.hard for f in flags),
+        )
+
+
+@register
+class PrivacyFlowRule:
+    """Raw inputs of privatization entry points must be randomized before return."""
+
+    rule_id = "priv-flow"
+    description = (
+        "raw input data of privatize*/respond*/collect* methods must pass through "
+        "sanctioned randomization before being returned"
+    )
+
+    def _in_scope(self, context: ModuleContext) -> bool:
+        if context.in_directory("tests"):
+            return False
+        return (
+            context.in_directory("mechanisms")
+            or context.in_directory("trajectory")
+            or context.is_module("core", "estimator.py")
+            or context.is_module("core", "grid_response.py")
+            or context.is_module("core", "sam.py")
+        )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not self._in_scope(context):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not CHECKED_METHOD_RE.match(node.name):
+                continue
+            tracker = _FunctionTaint(node)
+            if not any(f.tainted for f in tracker.env.values()):
+                continue  # no raw-data parameter to track
+            for leaky in tracker.run():
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        leaky,
+                        f"{node.name}: raw input data may reach this return without "
+                        "sanctioned randomization (random subpopulation selection "
+                        "does not randomize the reported values)",
+                    )
+                )
+        return findings

@@ -1,0 +1,127 @@
+"""``agg-protocol``: mergeable-aggregate protocol conformance.
+
+The sharded execution engine (``run_sharded``) and the sliding-window service
+(``WindowedAggregator``) drive aggregate classes through a small structural
+protocol:
+
+* mutable aggregates: ``merge(self, other)``, ``subtract(self, other)`` and a
+  ``state(self)`` snapshot — ``subtract`` without ``merge`` (or ``merge``
+  without ``state``) means the window algebra silently cannot retire or
+  checkpoint the class;
+* functional aggregates: ``merged(self, other)``;
+* shard runners: ``run_shard(self, task)``; spec classes (``*Spec``) build one
+  via ``build(self)``.
+
+Signature drift here does not fail fast — it surfaces later as a bit-identity
+break between serial and sharded runs — so the exact shapes are linted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: method name -> exact positional parameter names required.
+_EXACT_SIGNATURES = {
+    "merge": ("self", "other"),
+    "subtract": ("self", "other"),
+    "merged": ("self", "other"),
+    "run_shard": ("self", "task"),
+}
+
+
+def _positional_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    return tuple(arg.arg for arg in [*func.args.posonlyargs, *func.args.args])
+
+
+def _has_star_args(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return func.args.vararg is not None or func.args.kwarg is not None
+
+
+@register
+class AggregateProtocolRule:
+    rule_id = "agg-protocol"
+    description = (
+        "merge/subtract/state/merged/run_shard signatures must match the "
+        "sharded-execution and windowed-aggregation protocols exactly"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not context.in_directory("repro") or context.in_directory("tests"):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(context, node))
+        return findings
+
+    def _check_class(self, context: ModuleContext, cls: ast.ClassDef) -> list[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        findings: list[Finding] = []
+
+        for name, expected in _EXACT_SIGNATURES.items():
+            method = methods.get(name)
+            if method is None:
+                continue
+            required = expected
+            actual = _positional_names(method)
+            if actual != required or _has_star_args(method) or method.args.kwonlyargs:
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        method,
+                        f"{cls.name}.{name} must have the exact signature "
+                        f"({', '.join(required)}) to satisfy the aggregate protocol; "
+                        f"found ({', '.join(actual)})",
+                    )
+                )
+
+        if "subtract" in methods and "merge" not in methods:
+            findings.append(
+                context.finding(
+                    self.rule_id,
+                    methods["subtract"],
+                    f"{cls.name} defines subtract() without merge(): the windowed "
+                    "aggregator cannot retire shards it never merged",
+                )
+            )
+        if "merge" in methods and "state" not in methods:
+            findings.append(
+                context.finding(
+                    self.rule_id,
+                    methods["merge"],
+                    f"{cls.name} defines merge() without state(): sharded runs "
+                    "cannot snapshot/compare this aggregate for bit-identity checks",
+                )
+            )
+        state = methods.get("state")
+        if state is not None and "merge" in methods:
+            if _positional_names(state) != ("self",) or _has_star_args(state):
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        state,
+                        f"{cls.name}.state must take no arguments beyond self "
+                        "(it is a pure snapshot of the aggregate)",
+                    )
+                )
+
+        build = methods.get("build")
+        if build is not None and cls.name.endswith("Spec"):
+            if _positional_names(build) != ("self",) or _has_star_args(build):
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        build,
+                        f"{cls.name}.build must take no arguments beyond self "
+                        "(run_sharded calls spec.build() once per worker)",
+                    )
+                )
+        return findings

@@ -45,6 +45,12 @@ Two subcommands cover the common workflows without writing Python:
     persists the session as a replayable JSON log; ``--replay`` re-runs a saved
     log's exact configuration and diffs the two sessions.
 
+``python -m repro lint``
+    Run the :mod:`repro.analysis` static-analysis rules (privacy-flow taint, RNG
+    determinism, aggregate-protocol conformance, benchmark conventions) over the
+    given paths and print findings as text or JSON.  Exits non-zero when findings
+    remain, which is how CI gates on it.
+
 The CLI is intentionally thin: every subcommand delegates to the same public API the
 examples and benchmarks use.
 """
@@ -109,37 +115,70 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     estimate = subparsers.add_parser("estimate", help="run the DAM pipeline on a point set")
-    estimate.add_argument("--input", type=Path, default=None,
-                          help="CSV file with one 'x,y' pair per line (no header)")
-    estimate.add_argument("--dataset", choices=DATASET_NAMES, default=None,
-                          help="use a built-in dataset surrogate instead of --input")
-    estimate.add_argument("--scale", type=float, default=0.02,
-                          help="dataset scale when --dataset is used (default 0.02)")
+    estimate.add_argument(
+        "--input", type=Path, default=None, help="CSV file with one 'x,y' pair per line (no header)"
+    )
+    estimate.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="use a built-in dataset surrogate instead of --input",
+    )
+    estimate.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="dataset scale when --dataset is used (default 0.02)",
+    )
     estimate.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     estimate.add_argument("--d", type=int, default=12, help="grid side length")
     estimate.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    estimate.add_argument("--backend", choices=("operator", "dense"), default="operator",
-                          help="transition backend: structured operator engine (default) "
-                               "or the dense matrix")
-    estimate.add_argument("--chunk-size", type=int, default=None,
-                          help="stream the points through the pipeline in shards of this "
-                               "size (bounded memory; same result as one batch)")
-    estimate.add_argument("--workers", type=int, default=1,
-                          help="privatize shards on this many worker processes "
-                               "(bit-identical to the serial run; default 1)")
+    estimate.add_argument(
+        "--backend",
+        choices=("operator", "dense"),
+        default="operator",
+        help="transition backend: structured operator engine (default) "
+             "or the dense matrix",
+    )
+    estimate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="stream the points through the pipeline in shards of this "
+             "size (bounded memory; same result as one batch)",
+    )
+    estimate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="privatize shards on this many worker processes "
+             "(bit-identical to the serial run; default 1)",
+    )
     estimate.add_argument("--seed", type=int, default=0)
     estimate.add_argument("--heatmap", action="store_true", help="print ASCII heat maps")
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted([*_FIGURES, "fig13"]))
-    figure.add_argument("--profile", choices=("laptop", "smoke"), default="smoke",
-                        help="experiment scale (default: smoke, for quick runs)")
-    figure.add_argument("--workers", type=int, default=1,
-                        help="fan sweep cells out to this many worker processes "
-                             "(same numbers as the serial run; default 1)")
-    figure.add_argument("--cache-dir", type=Path, default=None,
-                        help="content-addressed result cache directory; re-runs and "
-                             "interrupted sweeps only compute missing cells")
+    figure.add_argument(
+        "--profile",
+        choices=("laptop", "smoke"),
+        default="smoke",
+        help="experiment scale (default: smoke, for quick runs)",
+    )
+    figure.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan sweep cells out to this many worker processes "
+             "(same numbers as the serial run; default 1)",
+    )
+    figure.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed result cache directory; re-runs and "
+             "interrupted sweeps only compute missing cells",
+    )
     figure.add_argument("--csv", type=Path, default=None, help="write the series to a CSV file")
     figure.add_argument("--json", type=Path, default=None, help="write the series to a JSON file")
     figure.add_argument("--markdown", action="store_true", help="print a markdown table")
@@ -147,106 +186,236 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser(
         "query", help="serve a range/hotspot query workload from a private estimate"
     )
-    query.add_argument("--input", type=Path, default=None,
-                       help="CSV file with one 'x,y' pair per line (no header)")
-    query.add_argument("--dataset", choices=DATASET_NAMES, default=None,
-                       help="use a built-in dataset surrogate instead of --input")
-    query.add_argument("--scale", type=float, default=0.02,
-                       help="dataset scale when --dataset is used (default 0.02)")
+    query.add_argument(
+        "--input", type=Path, default=None, help="CSV file with one 'x,y' pair per line (no header)"
+    )
+    query.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="use a built-in dataset surrogate instead of --input",
+    )
+    query.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="dataset scale when --dataset is used (default 0.02)",
+    )
     query.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     query.add_argument("--d", type=int, default=16, help="grid side length")
     query.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
     query.add_argument("--backend", choices=("operator", "dense"), default="operator")
     query.add_argument("--seed", type=int, default=0)
-    query.add_argument("--n-queries", type=int, default=2000,
-                       help="size of the generated range-query workload (default 2000)")
-    query.add_argument("--min-fraction", type=float, default=0.05,
-                       help="smallest query side as a fraction of the domain")
-    query.add_argument("--max-fraction", type=float, default=0.5,
-                       help="largest query side as a fraction of the domain")
-    query.add_argument("--top-k", type=int, default=5,
-                       help="number of hotspot cells to report (0 disables)")
-    query.add_argument("--quantiles", type=str, default="0.5,0.9",
-                       help="comma-separated quantile-contour levels ('' disables)")
-    query.add_argument("--workers", type=int, default=1,
-                       help="fan the range batch out to this many worker processes")
-    query.add_argument("--save-log", type=Path, default=None,
-                       help="persist the served workload as a .npz query log")
-    query.add_argument("--replay", type=Path, default=None,
-                       help="replay a previously saved query log instead of generating one")
+    query.add_argument(
+        "--n-queries",
+        type=int,
+        default=2000,
+        help="size of the generated range-query workload (default 2000)",
+    )
+    query.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.05,
+        help="smallest query side as a fraction of the domain",
+    )
+    query.add_argument(
+        "--max-fraction",
+        type=float,
+        default=0.5,
+        help="largest query side as a fraction of the domain",
+    )
+    query.add_argument(
+        "--top-k", type=int, default=5, help="number of hotspot cells to report (0 disables)"
+    )
+    query.add_argument(
+        "--quantiles",
+        type=str,
+        default="0.5,0.9",
+        help="comma-separated quantile-contour levels ('' disables)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan the range batch out to this many worker processes",
+    )
+    query.add_argument(
+        "--save-log",
+        type=Path,
+        default=None,
+        help="persist the served workload as a .npz query log",
+    )
+    query.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        help="replay a previously saved query log instead of generating one",
+    )
 
     trajectory = subparsers.add_parser(
         "trajectory", help="fit, synthesize or compare private trajectory mechanisms"
     )
-    trajectory.add_argument("--mode", choices=("compare", "fit", "synthesize"),
-                            default="compare",
-                            help="compare mechanisms (default), fit the LDPTrace model, "
-                                 "or fit + batched synthesis")
-    trajectory.add_argument("--input", type=Path, default=None,
-                            help="CSV file with one 'x,y' pair per line that seeds the "
-                                 "trajectory workload")
-    trajectory.add_argument("--dataset", choices=DATASET_NAMES, default=None,
-                            help="use a built-in dataset surrogate instead of --input")
-    trajectory.add_argument("--scale", type=float, default=0.02,
-                            help="dataset scale when --dataset is used (default 0.02)")
-    trajectory.add_argument("--routing-d", type=int, default=60,
-                            help="side of the Appendix-D routing grid (default 60)")
-    trajectory.add_argument("--n-trajectories", type=int, default=200,
-                            help="number of generated input trajectories (default 200)")
-    trajectory.add_argument("--max-length", type=int, default=40,
-                            help="maximum trajectory length (default 40)")
+    trajectory.add_argument(
+        "--mode",
+        choices=("compare", "fit", "synthesize"),
+        default="compare",
+        help="compare mechanisms (default), fit the LDPTrace model, "
+             "or fit + batched synthesis",
+    )
+    trajectory.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="CSV file with one 'x,y' pair per line that seeds the "
+             "trajectory workload",
+    )
+    trajectory.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="use a built-in dataset surrogate instead of --input",
+    )
+    trajectory.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="dataset scale when --dataset is used (default 0.02)",
+    )
+    trajectory.add_argument(
+        "--routing-d", type=int, default=60, help="side of the Appendix-D routing grid (default 60)"
+    )
+    trajectory.add_argument(
+        "--n-trajectories",
+        type=int,
+        default=200,
+        help="number of generated input trajectories (default 200)",
+    )
+    trajectory.add_argument(
+        "--max-length", type=int, default=40, help="maximum trajectory length (default 40)"
+    )
     trajectory.add_argument("--epsilon", type=float, default=1.5, help="privacy budget")
     trajectory.add_argument("--d", type=int, default=12, help="analysis grid side length")
-    trajectory.add_argument("--mechanism",
-                            choices=("ldptrace", "pivottrace", "dam", "all"),
-                            default="all",
-                            help="mechanism(s) for --mode compare (default all)")
-    trajectory.add_argument("--n-output", type=int, default=None,
-                            help="number of synthesized trajectories "
-                                 "(default: same as the input set)")
-    trajectory.add_argument("--workers", type=int, default=1,
-                            help="shard LDP report collection over this many worker "
-                                 "processes (default 1; numbers are worker-invariant)")
-    trajectory.add_argument("--top-k", type=int, default=5,
-                            help="OD/transition hotspots printed after synthesis "
-                                 "(0 disables)")
-    trajectory.add_argument("--save-output", type=Path, default=None,
-                            help="write synthesized trajectories as CSV rows of "
-                                 "'trajectory_id,x,y'")
+    trajectory.add_argument(
+        "--mechanism",
+        choices=("ldptrace", "pivottrace", "dam", "all"),
+        default="all",
+        help="mechanism(s) for --mode compare (default all)",
+    )
+    trajectory.add_argument(
+        "--n-output",
+        type=int,
+        default=None,
+        help="number of synthesized trajectories "
+             "(default: same as the input set)",
+    )
+    trajectory.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard LDP report collection over this many worker "
+             "processes (default 1; numbers are worker-invariant)",
+    )
+    trajectory.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="OD/transition hotspots printed after synthesis "
+             "(0 disables)",
+    )
+    trajectory.add_argument(
+        "--save-output",
+        type=Path,
+        default=None,
+        help="write synthesized trajectories as CSV rows of "
+             "'trajectory_id,x,y'",
+    )
     trajectory.add_argument("--seed", type=int, default=0)
 
     stream = subparsers.add_parser(
         "stream", help="run the sliding-window streaming service on a drifting scenario"
     )
-    stream.add_argument("--scenario", choices=sorted(DRIFT_SCENARIOS),
-                        default="shifting-hotspot",
-                        help="drift shape of the generated report stream "
-                             "(default shifting-hotspot)")
-    stream.add_argument("--epochs", type=int, default=20,
-                        help="number of collection epochs in the stream (default 20)")
-    stream.add_argument("--users-per-epoch", type=int, default=2000,
-                        help="reports arriving per epoch (default 2000)")
-    stream.add_argument("--window", type=int, default=8,
-                        help="sliding-window length in epochs (default 8)")
-    stream.add_argument("--decay", type=float, default=None,
-                        help="optional exponential decay in (0, 1] applied per slide "
-                             "(default: hard window, no decay)")
+    stream.add_argument(
+        "--scenario",
+        choices=sorted(DRIFT_SCENARIOS),
+        default="shifting-hotspot",
+        help="drift shape of the generated report stream "
+             "(default shifting-hotspot)",
+    )
+    stream.add_argument(
+        "--epochs",
+        type=int,
+        default=20,
+        help="number of collection epochs in the stream (default 20)",
+    )
+    stream.add_argument(
+        "--users-per-epoch",
+        type=int,
+        default=2000,
+        help="reports arriving per epoch (default 2000)",
+    )
+    stream.add_argument(
+        "--window", type=int, default=8, help="sliding-window length in epochs (default 8)"
+    )
+    stream.add_argument(
+        "--decay",
+        type=float,
+        default=None,
+        help="optional exponential decay in (0, 1] applied per slide "
+             "(default: hard window, no decay)",
+    )
     stream.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     stream.add_argument("--d", type=int, default=16, help="grid side length")
     stream.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
     stream.add_argument("--backend", choices=("operator", "dense"), default="operator")
-    stream.add_argument("--workers", type=int, default=1,
-                        help="privatize each epoch's shards on this many worker "
-                             "processes (bit-identical to the serial run; default 1)")
-    stream.add_argument("--cold-start", action="store_true",
-                        help="disable the warm-started re-solve (ablation)")
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="privatize each epoch's shards on this many worker "
+             "processes (bit-identical to the serial run; default 1)",
+    )
+    stream.add_argument(
+        "--cold-start", action="store_true", help="disable the warm-started re-solve (ablation)"
+    )
     stream.add_argument("--seed", type=int, default=0)
-    stream.add_argument("--save-log", type=Path, default=None,
-                        help="persist the session (config + per-epoch records) as a "
-                             "replayable JSON log")
-    stream.add_argument("--replay", type=Path, default=None,
-                        help="re-run the exact configuration of a saved session log "
-                             "and diff the two sessions")
+    stream.add_argument(
+        "--save-log",
+        type=Path,
+        default=None,
+        help="persist the session (config + per-epoch records) as a "
+             "replayable JSON log",
+    )
+    stream.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        help="re-run the exact configuration of a saved session log "
+             "and diff the two sessions",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repro.analysis static-analysis rules over source paths"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE_ID",
+        help="run only this rule id (repeatable); default: all rules",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format (default text)"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the registered rule ids and exit"
+    )
     return parser
 
 
@@ -272,8 +441,12 @@ def _run_estimate(args) -> int:
     if args.workers > 1:
         domain = SpatialDomain.from_points(points, relative_pad=1e-9)
         pipeline = ParallelPipeline(
-            domain, args.d, args.epsilon, mechanism=args.mechanism,
-            backend=args.backend, workers=args.workers,
+            domain,
+            args.d,
+            args.epsilon,
+            mechanism=args.mechanism,
+            backend=args.backend,
+            workers=args.workers,
             shard_size=args.chunk_size or DEFAULT_SHARD_SIZE,
         )
         result = pipeline.run(points, seed=args.seed)
@@ -286,8 +459,12 @@ def _run_estimate(args) -> int:
         result = pipeline.run_stream(np.array_split(points, n_chunks), seed=args.seed)
     else:
         result = estimate_spatial_distribution(
-            points, epsilon=args.epsilon, d=args.d, mechanism=args.mechanism,
-            backend=args.backend, seed=args.seed,
+            points,
+            epsilon=args.epsilon,
+            d=args.d,
+            mechanism=args.mechanism,
+            backend=args.backend,
+            seed=args.seed,
         )
     error = wasserstein2_auto(result.true_distribution, result.estimate)
     print(f"users: {result.n_users}   mechanism: {result.mechanism}   "
@@ -313,8 +490,12 @@ def _run_query(args) -> int:
     if args.n_queries < 1:
         raise SystemExit("--n-queries must be a positive integer")
     result = estimate_spatial_distribution(
-        points, epsilon=args.epsilon, d=args.d, mechanism=args.mechanism,
-        backend=args.backend, seed=args.seed,
+        points,
+        epsilon=args.epsilon,
+        d=args.d,
+        mechanism=args.mechanism,
+        backend=args.backend,
+        seed=args.seed,
     )
     engine = QueryEngine(result.estimate)
     domain = result.estimate.grid.domain
@@ -422,8 +603,13 @@ def _run_trajectory(args) -> int:
         for name in names:
             start = time.perf_counter()
             result = compare_trajectory_mechanism(
-                name, dataset.trajectories, domain, args.d, args.epsilon,
-                seed=args.seed, workers=args.workers,
+                name,
+                dataset.trajectories,
+                domain,
+                args.d,
+                args.epsilon,
+                seed=args.seed,
+                workers=args.workers,
             )
             elapsed = time.perf_counter() - start
             print(f"  {result.mechanism:<11} W2 = {result.w2:.4f}   ({elapsed:.2f} s)")
@@ -614,6 +800,30 @@ def _run_figure(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    # Imported lazily: linting is a dev workflow and the analysis package pulls
+    # in nothing heavy, but keeping it out of the hot CLI paths is free.
+    from repro.analysis import get_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.rule_id:<18} {rule.description}")
+        return 0
+    paths = args.paths or [Path("src"), Path("benchmarks")]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        raise SystemExit(f"no such path(s): {', '.join(missing)}")
+    try:
+        findings = lint_paths(paths, rule_ids=args.rule)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    if args.format == "json":
+        sys.stdout.write(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the tests."""
     args = build_parser().parse_args(argv)
@@ -627,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trajectory(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "lint":
+        return _run_lint(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

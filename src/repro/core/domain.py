@@ -260,9 +260,7 @@ class GridDistribution:
 
     grid: GridSpec
     probabilities: np.ndarray = field(repr=False)
-    _cumulative: np.ndarray | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    _cumulative: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.probabilities, dtype=float)

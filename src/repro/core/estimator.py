@@ -109,9 +109,7 @@ class SpatialMechanism(abc.ABC):
         reports = self.privatize_points(pts, seed=rng)
         noisy_counts = self.aggregate(reports)
         estimate = self.estimate(noisy_counts, n_users=pts.shape[0])
-        return MechanismReport(
-            estimate=estimate, noisy_counts=noisy_counts, n_users=pts.shape[0]
-        )
+        return MechanismReport(estimate=estimate, noisy_counts=noisy_counts, n_users=pts.shape[0])
 
     def run_cells(self, cells: np.ndarray, seed=None) -> MechanismReport:
         """Like :meth:`run` but for callers that already bucketised their data."""
@@ -120,9 +118,7 @@ class SpatialMechanism(abc.ABC):
         reports = self.privatize_cells(cells, seed=rng)
         noisy_counts = self.aggregate(reports)
         estimate = self.estimate(noisy_counts, n_users=cells.shape[0])
-        return MechanismReport(
-            estimate=estimate, noisy_counts=noisy_counts, n_users=cells.shape[0]
-        )
+        return MechanismReport(estimate=estimate, noisy_counts=noisy_counts, n_users=cells.shape[0])
 
     def streaming_aggregator(self, seed=None) -> "StreamingAggregator":
         """A chunked-ingestion aggregator bound to this mechanism."""
@@ -273,12 +269,8 @@ class ShardAggregate:
     n_users: int
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "noisy_counts", np.asarray(self.noisy_counts, dtype=float)
-        )
-        object.__setattr__(
-            self, "true_cell_counts", np.asarray(self.true_cell_counts, dtype=float)
-        )
+        object.__setattr__(self, "noisy_counts", np.asarray(self.noisy_counts, dtype=float))
+        object.__setattr__(self, "true_cell_counts", np.asarray(self.true_cell_counts, dtype=float))
         object.__setattr__(self, "n_users", int(self.n_users))
 
 
@@ -326,10 +318,12 @@ class StreamingAggregator:
             return self
         reports = self.mechanism.privatize_cells(cells, seed=self._rng)
         self.noisy_counts += np.bincount(
-            reports, minlength=self.noisy_counts.shape[0]
+            reports,
+            minlength=self.noisy_counts.shape[0],
         ).astype(float)
         self.true_cell_counts += np.bincount(
-            cells, minlength=self.true_cell_counts.shape[0]
+            cells,
+            minlength=self.true_cell_counts.shape[0],
         ).astype(float)
         self.n_users += int(cells.shape[0])
         return self
@@ -417,6 +411,4 @@ class StreamingAggregator:
         """
         noisy_counts = self.noisy_counts.copy()
         estimate = self.mechanism.estimate(noisy_counts, n_users=self.n_users)
-        return MechanismReport(
-            estimate=estimate, noisy_counts=noisy_counts, n_users=self.n_users
-        )
+        return MechanismReport(estimate=estimate, noisy_counts=noisy_counts, n_users=self.n_users)

@@ -323,9 +323,7 @@ def output_domain_cells(d: int, b_hat: int) -> np.ndarray:
     d_col = cols - nearest_col
     d_row = rows - nearest_row
     offset_set = {(int(o[0]), int(o[1])) for o in offsets}
-    keep = np.array(
-        [(int(dc), int(dr)) in offset_set for dc, dr in zip(d_col, d_row)], dtype=bool
-    )
+    keep = np.array([(int(dc), int(dr)) in offset_set for dc, dr in zip(d_col, d_row)], dtype=bool)
     return np.column_stack([cols[keep], rows[keep]]).astype(np.int64)
 
 

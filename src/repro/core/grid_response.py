@@ -149,9 +149,7 @@ class GridAreaResponse:
         """
         rng = ensure_rng(seed)
         cells = np.asarray(input_cells, dtype=np.int64)
-        return sample_grouped_inverse_cdf(
-            rng, cells, self._response_cdf, self.output_domain.size
-        )
+        return sample_grouped_inverse_cdf(rng, cells, self._response_cdf, self.output_domain.size)
 
     def _response_cdf(self, input_cell: int) -> np.ndarray:
         cdf = self._cdf_cache.get(input_cell)
@@ -179,8 +177,6 @@ class GridAreaResponse:
         probabilities = np.zeros(self.output_domain.size, dtype=float)
         probabilities[parts.pure_low_cells] = 1.0 / total
         probabilities[parts.pure_high_cells] = e_eps / total
-        for idx, high, low in zip(
-            parts.mixed_cells, parts.mixed_high_areas, parts.mixed_low_areas
-        ):
+        for idx, high, low in zip(parts.mixed_cells, parts.mixed_high_areas, parts.mixed_low_areas):
             probabilities[idx] = (high * e_eps + low) / total
         return probabilities

@@ -61,9 +61,7 @@ def huem_cell_masses(b_hat: int, epsilon: float, *, subsamples: int = 7) -> np.n
     rows = []
     for cell in cells:
         radii = np.hypot(cell.dx + sub_x, cell.dy + sub_y)
-        relative = np.where(
-            radii <= b_hat, np.exp((1.0 - radii / b_hat) * epsilon), 1.0
-        )
+        relative = np.where(radii <= b_hat, np.exp((1.0 - radii / b_hat) * epsilon), 1.0)
         rows.append([cell.dx, cell.dy, float(relative.mean())])
     return np.array(rows, dtype=float)
 

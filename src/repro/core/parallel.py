@@ -165,7 +165,9 @@ def run_sharded(spec, tasks: Sequence, workers: int, *, inline_context=None) -> 
         context = inline_context if inline_context is not None else spec.build()
         return [context.run_shard(task) for task in tasks]
     with ProcessPoolExecutor(
-        max_workers=n_workers, initializer=_shard_worker_init, initargs=(spec,)
+        max_workers=n_workers,
+        initializer=_shard_worker_init,
+        initargs=(spec,),
     ) as pool:
         return list(pool.map(_shard_worker_run, tasks))
 

@@ -173,7 +173,9 @@ class ContinuousSAM:
 
     def __init__(self, wave: WaveFunction, domain: SpatialDomain | None = None) -> None:
         self.wave = wave
-        self.domain = domain if domain is not None else SpatialDomain(0.0, wave.side, 0.0, wave.side)
+        self.domain = (
+            domain if domain is not None else SpatialDomain(0.0, wave.side, 0.0, wave.side)
+        )
 
     def output_bounds(self) -> tuple[float, float, float, float]:
         b = self.wave.b

@@ -40,9 +40,7 @@ class RegionSpec:
 
     def domain(self) -> SpatialDomain:
         """The part's domain with longitude as x and latitude as y."""
-        return SpatialDomain(
-            self.lon_min, self.lon_max, self.lat_min, self.lat_max, name=self.name
-        )
+        return SpatialDomain(self.lon_min, self.lon_max, self.lat_min, self.lat_max, name=self.name)
 
 
 #: Table III — Chicago Crimes parts A/B/C (latitude x longitude boxes and sizes).
@@ -123,10 +121,14 @@ def _street_grid_clusters(
     n_clustered = n - n_background
     # Cluster centres biased towards the middle of the domain.
     centers_x = rng.normal(
-        (domain.x_min + domain.x_max) / 2.0, domain.width / 4.0, n_clusters
+        (domain.x_min + domain.x_max) / 2.0,
+        domain.width / 4.0,
+        n_clusters,
     ).clip(domain.x_min, domain.x_max)
     centers_y = rng.normal(
-        (domain.y_min + domain.y_max) / 2.0, domain.height / 4.0, n_clusters
+        (domain.y_min + domain.y_max) / 2.0,
+        domain.height / 4.0,
+        n_clusters,
     ).clip(domain.y_min, domain.y_max)
     weights = rng.dirichlet(np.full(n_clusters, 0.6))
     assignments = rng.choice(n_clusters, size=n_clustered, p=weights)
@@ -214,7 +216,9 @@ def _build_geo_dataset(
         background_fraction=background_fraction * 1.5,
         cluster_spread=cluster_spread,
     )
-    points = np.vstack([*(p.points for p in built_parts.values()), filler]) if all_points else filler
+    points = (
+        np.vstack([*(p.points for p in built_parts.values()), filler]) if all_points else filler
+    )
     rng.shuffle(points, axis=0)
     return GeoDataset(name=name, points=points, domain=full_domain, parts=built_parts)
 

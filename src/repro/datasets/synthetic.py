@@ -115,9 +115,7 @@ def szipf_dataset(n: int = 100_000, *, seed=None) -> SyntheticDataset:
     u = rng.random((n, 2))
     points = np.exp2(u) - 1.0
     domain = SpatialDomain(0.0, 1.0, 0.0, 1.0, name="szipf")
-    return SyntheticDataset(
-        name="SZipf", points=points, domain=domain, parameters={"n": n}
-    )
+    return SyntheticDataset(name="SZipf", points=points, domain=domain, parameters={"n": n})
 
 
 def mnormal_dataset(

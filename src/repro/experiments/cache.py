@@ -91,9 +91,7 @@ class ResultCache:
             return
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
+        handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.stem, suffix=".tmp")
         try:
             with os.fdopen(handle, "w") as tmp:
                 json.dump(payload, tmp)

@@ -52,7 +52,9 @@ class DatasetPartStatistics:
     surrogate_points: int
 
 
-def table3_dataset_statistics(config: ExperimentConfig | None = None) -> list[DatasetPartStatistics]:
+def table3_dataset_statistics(
+    config: ExperimentConfig | None = None,
+) -> list[DatasetPartStatistics]:
     """Regenerate Table III from the surrogate datasets."""
     config = config or laptop_config()
     rows: list[DatasetPartStatistics] = []
@@ -100,17 +102,13 @@ def figure8_radius_sweep(config: ExperimentConfig | None = None) -> SweepResult:
 def figure9_small_d(config: ExperimentConfig | None = None) -> SweepResult:
     """Figure 9(a-e): all five mechanisms, d in 1..5, default epsilon."""
     config = config or laptop_config()
-    return sweep_parameter(
-        "figure9-small-d", "d", D_VALUES_SMALL, MAIN_MECHANISMS, config
-    )
+    return sweep_parameter("figure9-small-d", "d", D_VALUES_SMALL, MAIN_MECHANISMS, config)
 
 
 def figure9_large_d(config: ExperimentConfig | None = None) -> SweepResult:
     """Figure 9(f-j): DAM vs SEM-Geo-I, d up to 20, epsilon = 5 (Sinkhorn regime)."""
     config = (config or laptop_config()).with_overrides(default_epsilon=5.0)
-    return sweep_parameter(
-        "figure9-large-d", "d", D_VALUES_LARGE, FINE_MECHANISMS, config
-    )
+    return sweep_parameter("figure9-large-d", "d", D_VALUES_LARGE, FINE_MECHANISMS, config)
 
 
 def figure9_small_epsilon(config: ExperimentConfig | None = None) -> SweepResult:
@@ -145,20 +143,40 @@ def figure13_full_domain(config: ExperimentConfig | None = None) -> dict[str, Sw
     crime_only = ("Crime",)
     return {
         "small_d": sweep_parameter(
-            "figure13-small-d", "d", D_VALUES_SMALL, MAIN_MECHANISMS, config,
-            full_domain=True, datasets=crime_only,
+            "figure13-small-d",
+            "d",
+            D_VALUES_SMALL,
+            MAIN_MECHANISMS,
+            config,
+            full_domain=True,
+            datasets=crime_only,
         ),
         "large_d": sweep_parameter(
-            "figure13-large-d", "d", D_VALUES_LARGE, FINE_MECHANISMS,
-            config.with_overrides(default_epsilon=5.0), full_domain=True, datasets=crime_only,
+            "figure13-large-d",
+            "d",
+            D_VALUES_LARGE,
+            FINE_MECHANISMS,
+            config.with_overrides(default_epsilon=5.0),
+            full_domain=True,
+            datasets=crime_only,
         ),
         "small_epsilon": sweep_parameter(
-            "figure13-small-epsilon", "epsilon", EPSILON_VALUES_SMALL, MAIN_MECHANISMS,
-            config, full_domain=True, datasets=crime_only,
+            "figure13-small-epsilon",
+            "epsilon",
+            EPSILON_VALUES_SMALL,
+            MAIN_MECHANISMS,
+            config,
+            full_domain=True,
+            datasets=crime_only,
         ),
         "large_epsilon": sweep_parameter(
-            "figure13-large-epsilon", "epsilon", EPSILON_VALUES_LARGE, FINE_MECHANISMS,
-            config, full_domain=True, datasets=crime_only,
+            "figure13-large-epsilon",
+            "epsilon",
+            EPSILON_VALUES_LARGE,
+            FINE_MECHANISMS,
+            config,
+            full_domain=True,
+            datasets=crime_only,
         ),
     }
 
@@ -223,7 +241,12 @@ def figure14_trajectory(
                 repeat_rngs = spawn_rngs(config.seed, config.n_repeats)
                 errors = [
                     compare_trajectory_mechanism(
-                        mechanism, trajectories, domain, max(d, 1), epsilon, seed=rng
+                        mechanism,
+                        trajectories,
+                        domain,
+                        max(d, 1),
+                        epsilon,
+                        seed=rng,
                     ).w2
                     for rng in repeat_rngs
                 ]

@@ -30,9 +30,11 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 
 def format_sweep(result: SweepResult, *, precision: int = 4) -> str:
-    """Format a sweep as a wide table: one row per (dataset, parameter), one column per mechanism."""
+    """Format a sweep as a wide table: one (dataset, parameter) row per mechanism column."""
     mechanisms = result.mechanisms()
-    headers = ["dataset", result.points[0].parameter_name if result.points else "param", *mechanisms]
+    headers = [
+        "dataset", result.points[0].parameter_name if result.points else "param", *mechanisms
+    ]
     rows = []
     for dataset in result.datasets():
         values = sorted({p.parameter_value for p in result.points if p.dataset == dataset})

@@ -196,13 +196,15 @@ def evaluate_on_part(
     grid = GridSpec(domain, d)
     true_distribution = grid.distribution(pts)
     mechanism = build_mechanism(
-        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        mechanism_name,
+        grid,
+        epsilon,
+        b_hat=b_hat,
+        calibrate_sem=calibrate_sem,
         backend=backend,
     )
     report = mechanism.run(pts, seed=rng)
-    return wasserstein2_auto(
-        true_distribution, report.estimate, exact_cell_limit=exact_cell_limit
-    )
+    return wasserstein2_auto(true_distribution, report.estimate, exact_cell_limit=exact_cell_limit)
 
 
 #: Range-query workload used by the ``"range-mae"`` sweep metric: queries per part
@@ -267,7 +269,12 @@ def evaluate_trajectories_on_part(
         seed=rng,
     )
     return compare_trajectory_mechanism(
-        mechanism_name, dataset.trajectories, domain, d, epsilon, seed=rng
+        mechanism_name,
+        dataset.trajectories,
+        domain,
+        d,
+        epsilon,
+        seed=rng,
     ).w2
 
 
@@ -316,12 +323,14 @@ def evaluate_stream_on_part(
         domain = SpatialDomain.unit(domain.name or "unit")
     grid = GridSpec(domain, d)
     mechanism = build_mechanism(
-        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        mechanism_name,
+        grid,
+        epsilon,
+        b_hat=b_hat,
+        calibrate_sem=calibrate_sem,
         backend=backend,
     )
-    service = StreamingEstimationService(
-        mechanism, window_epochs=window_epochs, seed=rng
-    )
+    service = StreamingEstimationService(mechanism, window_epochs=window_epochs, seed=rng)
     step = np.array([domain.width, domain.height])
     errors = []
     for epoch in range(n_epochs):
@@ -367,7 +376,11 @@ def evaluate_range_queries_on_part(
         domain = SpatialDomain.unit(domain.name or "unit")
     grid = GridSpec(domain, d)
     mechanism = build_mechanism(
-        mechanism_name, grid, epsilon, b_hat=b_hat, calibrate_sem=calibrate_sem,
+        mechanism_name,
+        grid,
+        epsilon,
+        b_hat=b_hat,
+        calibrate_sem=calibrate_sem,
         backend=backend,
     )
     report = mechanism.run(pts, seed=rng)
@@ -503,9 +516,7 @@ def evaluate_on_dataset(
     an independent spawned child stream, so the returned statistics are identical to
     the serial run for every worker count.
     """
-    repeat_seeds = spawn_seed_sequences(
-        seed if seed is not None else config.seed, config.n_repeats
-    )
+    repeat_seeds = spawn_seed_sequences(seed if seed is not None else config.seed, config.n_repeats)
     evaluate = partial(
         _evaluate_repeat,
         mechanism_name=mechanism_name,

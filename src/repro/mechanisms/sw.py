@@ -135,9 +135,7 @@ class DiscreteSquareWave:
         reports = np.empty(buckets.shape[0], dtype=np.int64)
         for bucket in np.unique(buckets):
             mask = buckets == bucket
-            reports[mask] = rng.choice(
-                self.d_out, size=int(mask.sum()), p=self._transition[bucket]
-            )
+            reports[mask] = rng.choice(self.d_out, size=int(mask.sum()), p=self._transition[bucket])
         return reports
 
     def estimate(self, reports: np.ndarray, n_users: int) -> np.ndarray:

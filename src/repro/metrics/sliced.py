@@ -74,9 +74,7 @@ def projected_wasserstein(
     proj_b = radon_projection(dist_b, theta)
     weights_a = proj_a.weights / proj_a.weights.sum()
     weights_b = proj_b.weights / proj_b.weights.sum()
-    return wasserstein_1d_general(
-        proj_a.positions, weights_a, proj_b.positions, weights_b, p=p
-    )
+    return wasserstein_1d_general(proj_a.positions, weights_a, proj_b.positions, weights_b, p=p)
 
 
 def sliced_wasserstein(

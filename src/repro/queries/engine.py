@@ -60,9 +60,7 @@ def queries_to_array(queries) -> np.ndarray:
         return arr
     if hasattr(queries, "x_lo"):  # a single RangeQuery
         queries = [queries]
-    return np.array(
-        [[q.x_lo, q.x_hi, q.y_lo, q.y_hi] for q in queries], dtype=float
-    ).reshape(-1, 4)
+    return np.array([[q.x_lo, q.x_hi, q.y_lo, q.y_hi] for q in queries], dtype=float).reshape(-1, 4)
 
 
 class SummedAreaTable:
@@ -389,9 +387,7 @@ class TrajectoryQueryEngine(QueryEngine):
         step_mask = np.ones(max(cells.shape[0] - 1, 0), dtype=bool)
         interior_ends = ends[ends < cells.shape[0] - 1]
         step_mask[interior_ends] = False
-        self._transition_pairs = self._pair_counts(
-            cells[:-1][step_mask], cells[1:][step_mask]
-        )
+        self._transition_pairs = self._pair_counts(cells[:-1][step_mask], cells[1:][step_mask])
 
     def _pair_counts(
         self, from_cells: np.ndarray, to_cells: np.ndarray
@@ -467,11 +463,10 @@ class QueryLog:
         self.top_k = np.asarray(self.top_k, dtype=np.int64).reshape(-1)
         self.quantile_levels = np.asarray(self.quantile_levels, dtype=float).reshape(-1)
         self.od_top_k = np.asarray(self.od_top_k, dtype=np.int64).reshape(-1)
-        self.transition_top_k = np.asarray(
-            self.transition_top_k, dtype=np.int64
-        ).reshape(-1)
+        self.transition_top_k = np.asarray(self.transition_top_k, dtype=np.int64).reshape(-1)
         self.length_histogram_bins = np.asarray(
-            self.length_histogram_bins, dtype=np.int64
+            self.length_histogram_bins,
+            dtype=np.int64,
         ).reshape(-1)
 
     @property
@@ -650,9 +645,7 @@ class WorkloadReplay:
         """
         # Fail fast: a log that needs sequence statistics must not burn through the
         # whole point workload before discovering the engine cannot serve it.
-        if log.has_trajectory_operations and not isinstance(
-            self.engine, TrajectoryQueryEngine
-        ):
+        if log.has_trajectory_operations and not isinstance(self.engine, TrajectoryQueryEngine):
             raise TypeError(
                 "this query log contains trajectory operations (OD/transition top-k "
                 "or length histograms); replay it against a TrajectoryQueryEngine"

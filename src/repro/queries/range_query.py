@@ -125,10 +125,14 @@ def _cell_overlap_fractions(grid: GridSpec, query: RangeQuery) -> np.ndarray:
     x_edges = np.linspace(grid.domain.x_min, grid.domain.x_max, d + 1)
     y_edges = np.linspace(grid.domain.y_min, grid.domain.y_max, d + 1)
     x_overlap = np.clip(
-        np.minimum(x_edges[1:], query.x_hi) - np.maximum(x_edges[:-1], query.x_lo), 0.0, None
+        np.minimum(x_edges[1:], query.x_hi) - np.maximum(x_edges[:-1], query.x_lo),
+        0.0,
+        None,
     ) / np.diff(x_edges)
     y_overlap = np.clip(
-        np.minimum(y_edges[1:], query.y_hi) - np.maximum(y_edges[:-1], query.y_lo), 0.0, None
+        np.minimum(y_edges[1:], query.y_hi) - np.maximum(y_edges[:-1], query.y_lo),
+        0.0,
+        None,
     ) / np.diff(y_edges)
     return np.outer(y_overlap, x_overlap)
 

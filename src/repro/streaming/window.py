@@ -197,6 +197,4 @@ class WindowedAggregator:
         """
         if self._true.sum() <= 0:
             raise ValueError("the window holds no users yet")
-        return GridDistribution.from_flat(
-            self.mechanism.grid, self._true / self._true.sum()
-        )
+        return GridDistribution.from_flat(self.mechanism.grid, self._true / self._true.sum())

@@ -76,15 +76,9 @@ class TrajectoryShardAggregate:
     n_users: int
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "length_counts", np.asarray(self.length_counts, dtype=float)
-        )
-        object.__setattr__(
-            self, "start_counts", np.asarray(self.start_counts, dtype=float)
-        )
-        object.__setattr__(
-            self, "direction_counts", np.asarray(self.direction_counts, dtype=float)
-        )
+        object.__setattr__(self, "length_counts", np.asarray(self.length_counts, dtype=float))
+        object.__setattr__(self, "start_counts", np.asarray(self.start_counts, dtype=float))
+        object.__setattr__(self, "direction_counts", np.asarray(self.direction_counts, dtype=float))
         object.__setattr__(self, "n_users", int(self.n_users))
 
     def merged(self, other: "TrajectoryShardAggregate") -> "TrajectoryShardAggregate":
@@ -179,9 +173,7 @@ class TrajectoryEngine:
         max_length: int = 200,
     ) -> "TrajectoryEngine":
         return cls(
-            LDPTrace(
-                grid, epsilon, n_length_buckets=n_length_buckets, max_length=max_length
-            )
+            LDPTrace(grid, epsilon, n_length_buckets=n_length_buckets, max_length=max_length)
         )
 
     # ------------------------------------------------------------- conveniences
@@ -235,9 +227,7 @@ class TrajectoryEngine:
         directions = (drow + 1) * 3 + (dcol + 1)
 
         return TrajectoryReports(
-            length_reports=mech.length_oracle.privatize(
-                mech._length_bucket(lengths), seed=rng
-            ),
+            length_reports=mech.length_oracle.privatize(mech._length_bucket(lengths), seed=rng),
             start_reports=mech.start_oracle.privatize(start_cells, seed=rng),
             direction_reports=mech.direction_oracle.privatize(directions, seed=rng),
             n_users=n,
@@ -368,9 +358,7 @@ class TrajectoryEngine:
         np.clip(buckets, 0, n_buckets - 1, out=buckets)
         lo = np.asarray(model.length_buckets, dtype=float)[buckets]
         hi = np.asarray(model.length_buckets, dtype=float)[buckets + 1]
-        lengths = np.maximum(
-            2, np.round(lo + rng.random(n) * (hi - lo)).astype(np.int64)
-        )
+        lengths = np.maximum(2, np.round(lo + rng.random(n) * (hi - lo)).astype(np.int64))
 
         # Start cells via inverse CDF over the start distribution.
         cells0 = np.searchsorted(np.cumsum(start_probs), rng.random(n), side="right")

@@ -35,7 +35,15 @@ from repro.utils.validation import check_epsilon
 
 #: The 8-connected movement directions plus "stay" used by the Markov model.
 DIRECTIONS: tuple[tuple[int, int], ...] = (
-    (-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 0),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
 )
 
 
@@ -135,9 +143,7 @@ class LDPTrace:
         model = LDPTraceModel(
             length_distribution=self.length_oracle.estimate_frequencies(length_reports, n),
             start_distribution=self.start_oracle.estimate_frequencies(start_reports, n),
-            direction_distribution=self.direction_oracle.estimate_frequencies(
-                direction_reports, n
-            ),
+            direction_distribution=self.direction_oracle.estimate_frequencies(direction_reports, n),
             length_buckets=self.length_buckets,
         )
         return model

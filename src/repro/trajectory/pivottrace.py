@@ -155,7 +155,8 @@ class PivotTrace:
             noisy_pivots = self._perturb_cells_reference(pivots, rng)
             noisy_length_bucket = int(
                 self.length_oracle.privatize(
-                    np.array([self._length_bucket(cells.shape[0])]), seed=rng
+                    np.array([self._length_bucket(cells.shape[0])]),
+                    seed=rng,
                 )[0]
             )
             target_length = self._bucket_length(noisy_length_bucket, rng)

@@ -125,7 +125,9 @@ def check_bounds(
     return low, high
 
 
-def check_points(points: np.ndarray, *, name: str = "points", dims: Optional[int] = 2) -> np.ndarray:
+def check_points(
+    points: np.ndarray, *, name: str = "points", dims: Optional[int] = 2
+) -> np.ndarray:
     """Validate an ``(n, dims)`` array of coordinates and return it as float."""
     arr = np.asarray(points, dtype=float)
     if arr.ndim == 1 and dims == 1:

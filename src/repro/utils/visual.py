@@ -63,7 +63,9 @@ def sparkline(values: Sequence[float] | Iterable[float]) -> str:
     if high == low:
         return _SPARK_BARS[0] * series.size
     normalised = (series - low) / (high - low)
-    indices = np.minimum((normalised * (len(_SPARK_BARS) - 1)).round().astype(int), len(_SPARK_BARS) - 1)
+    indices = np.minimum(
+        (normalised * (len(_SPARK_BARS) - 1)).round().astype(int), len(_SPARK_BARS) - 1
+    )
     return "".join(_SPARK_BARS[i] for i in indices)
 
 

@@ -1,0 +1,20 @@
+"""CLEAN under agg-protocol: a conforming mergeable aggregate and its spec."""
+
+
+class CountAggregate:
+    def __init__(self):
+        self.total = 0
+
+    def merge(self, other):
+        self.total += other.total
+
+    def subtract(self, other):
+        self.total -= other.total
+
+    def state(self):
+        return self.total
+
+
+class CountSpec:
+    def build(self):
+        return CountAggregate()

@@ -1,0 +1,31 @@
+"""FLAGGED by agg-protocol: three distinct protocol drifts.
+
+* ``merge`` takes the wrong parameter name (positional call sites in
+  ``run_sharded`` still work, attribute-based dispatch does not);
+* ``subtract`` exists without ``merge`` on the second class;
+* a ``*Spec`` class whose ``build`` takes an argument.
+"""
+
+
+class DriftedAggregate:
+    def __init__(self):
+        self.total = 0
+
+    def merge(self, shard):
+        self.total += shard.total
+
+    def state(self):
+        return self.total
+
+
+class RetireOnlyAggregate:
+    def __init__(self):
+        self.total = 0
+
+    def subtract(self, other):
+        self.total -= other.total
+
+
+class DriftedSpec:
+    def build(self, seed):
+        return DriftedAggregate()

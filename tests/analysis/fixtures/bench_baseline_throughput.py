@@ -1,0 +1,18 @@
+"""Fixture for bench-baseline: asserts on two ratios, records both as metrics.
+
+Whether this is flagged depends on the ``benchmarks/baselines/smoke.json``
+sitting next to the file the test materializes it as: gate both metrics and it
+is clean; gate only one and the other is flagged.
+"""
+
+
+def test_kernel_throughput(record_result):
+    kernel_speedup = 12.0
+    copy_ratio = 0.4
+    assert kernel_speedup > 5.0
+    assert copy_ratio < 1.0
+    record_result(
+        "kernel_throughput",
+        f"speedup={kernel_speedup:.1f}x",
+        metrics={"kernel_speedup": kernel_speedup, "copy_ratio": copy_ratio},
+    )

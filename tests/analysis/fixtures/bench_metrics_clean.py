@@ -1,0 +1,10 @@
+"""CLEAN under bench-metrics: every record_result carries metrics."""
+
+
+def test_latency_smoke(record_result):
+    elapsed = 0.125
+    record_result(
+        "latency_smoke",
+        f"elapsed={elapsed:.3f}s",
+        metrics={"elapsed_s": elapsed},
+    )

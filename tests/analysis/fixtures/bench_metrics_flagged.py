@@ -1,0 +1,6 @@
+"""FLAGGED by bench-metrics: record_result without a metrics dict."""
+
+
+def test_latency_smoke(record_result):
+    elapsed = 0.125
+    record_result("latency_smoke", f"elapsed={elapsed:.3f}s")

@@ -1,0 +1,24 @@
+"""CLEAN under priv-flow: the GRR shape — every user's report is randomized.
+
+``np.where(keep, values, noise)`` keeps the true value only where the *keep
+coin* said so, which is exactly the sanctioned randomized-response shape (the
+random mask gates between truth and noise per user, it does not select a
+subpopulation whose raw values pass through).
+"""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class TinyGRR:
+    def __init__(self, k, p_keep):
+        self.k = k
+        self.p_keep = p_keep
+
+    def privatize(self, values, seed=None):
+        rng = ensure_rng(seed)
+        values = np.asarray(values, dtype=np.int64)
+        keep = rng.random(values.shape[0]) < self.p_keep
+        noise = rng.integers(0, self.k, size=values.shape[0])
+        return np.where(keep, values, noise)

@@ -1,0 +1,27 @@
+"""FLAGGED by priv-flow: minimized reproduction of the PR 3 HDG.privatize_cells leak.
+
+The random mask selects a subpopulation, but the values written back for the
+"joint" users are their TRUE coarse cells — selection is random, the reported
+values are not.  The e^eps audit caught this dynamically in PR 3; the taint
+rule must catch it statically.
+"""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class LeakyHDG:
+    def __init__(self, coarse):
+        self._coarse = coarse
+
+    def privatize_cells(self, cells, seed=None):
+        rng = ensure_rng(seed)
+        cells = np.asarray(cells, dtype=np.int64)
+        n = cells.shape[0]
+        joint_mask = rng.random(n) < 0.5
+        joint_cells = self._coarse(cells[joint_mask])
+        stream = np.empty(n, dtype=np.int64)
+        stream[joint_mask] = joint_cells
+        stream[~joint_mask] = self._coarse(cells[~joint_mask])
+        return stream

@@ -1,0 +1,8 @@
+"""CLEAN under rng-ambient: all draws go through a threaded Generator."""
+
+from repro.utils.rng import ensure_rng
+
+
+def jitter(points, seed=None):
+    rng = ensure_rng(seed)
+    return points + rng.normal(scale=0.01, size=points.shape)

@@ -1,0 +1,7 @@
+"""FLAGGED by rng-ambient: module-level np.random draws use hidden global state."""
+
+import numpy as np
+
+
+def jitter(points):
+    return points + np.random.normal(scale=0.01, size=points.shape)

@@ -1,0 +1,13 @@
+"""CLEAN under rng-argless: generators are built from an explicit seed."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def make_generator(seed):
+    return ensure_rng(seed)
+
+
+def make_sequence(seed):
+    return np.random.SeedSequence(seed)

@@ -1,0 +1,11 @@
+"""FLAGGED by rng-argless: fresh OS entropy outside utils/rng.py."""
+
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()
+
+
+def make_sequence():
+    return np.random.SeedSequence()

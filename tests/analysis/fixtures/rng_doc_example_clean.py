@@ -1,0 +1,13 @@
+"""CLEAN under rng-doc-example: the example threads a seed through the API."""
+
+
+def estimate(points, seed=None):
+    """Estimate something.
+
+    Example::
+
+        rng = ensure_rng(0)
+        points = rng.normal(size=(100, 2))
+        estimate(points, seed=rng)
+    """
+    return points.mean(axis=0)

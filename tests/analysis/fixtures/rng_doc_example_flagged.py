@@ -1,0 +1,12 @@
+"""FLAGGED by rng-doc-example: the docstring below models ambient generator use."""
+
+
+def estimate(points, seed=None):
+    """Estimate something.
+
+    Example::
+
+        points = np.random.default_rng(0).normal(size=(100, 2))
+        estimate(points)
+    """
+    return points.mean(axis=0)

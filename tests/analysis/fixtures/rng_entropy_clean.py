@@ -1,0 +1,11 @@
+"""CLEAN under rng-entropy: seed material comes from the caller."""
+
+from repro.utils.rng import ensure_rng
+
+
+def make_generator(seed):
+    return ensure_rng(seed)
+
+
+def coin(rng):
+    return rng.random() < 0.5

@@ -1,0 +1,14 @@
+"""FLAGGED by rng-entropy: stdlib random import and wall-clock seed material."""
+
+import random
+import time
+
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng(int(time.time()))
+
+
+def coin():
+    return random.random() < 0.5

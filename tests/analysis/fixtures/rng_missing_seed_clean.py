@@ -1,0 +1,20 @@
+"""CLEAN under rng-missing-seed: the generator is a parameter, and closures
+over an rng threaded by the enclosing scope stay traceable."""
+
+from repro.utils.rng import ensure_rng
+
+
+def jitter(points, rng):
+    return points + rng.normal(scale=0.01, size=points.shape)
+
+
+def walk(steps, seed=None):
+    rng = ensure_rng(seed)
+
+    def one_step(position):
+        return position + rng.integers(-1, 2)
+
+    position = 0
+    for _ in range(steps):
+        position = one_step(position)
+    return position

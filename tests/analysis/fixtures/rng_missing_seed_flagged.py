@@ -1,0 +1,9 @@
+"""FLAGGED by rng-missing-seed: draws from a source the caller cannot seed."""
+
+import numpy as np
+
+_ambient_source = np.random.default_rng(12345)
+
+
+def jitter(points):
+    return points + _ambient_source.normal(scale=0.01, size=points.shape)

@@ -1,0 +1,63 @@
+"""``repro lint`` CLI behaviour: exit codes, formats, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _tree_with(tmp_path, fixture_name, synthetic_rel):
+    target = tmp_path / synthetic_rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text((FIXTURES / fixture_name).read_text())
+    return target
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    _tree_with(tmp_path, "rng_ambient_clean.py", "src/repro/core/clean.py")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert capsys.readouterr().out.strip().endswith("0 findings")
+
+
+def test_lint_flagged_tree_exits_one(tmp_path, capsys):
+    _tree_with(tmp_path, "rng_ambient_flagged.py", "src/repro/core/flagged.py")
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[rng-ambient]" in out
+    assert out.strip().endswith("1 finding")
+
+
+def test_lint_json_format(tmp_path, capsys):
+    _tree_with(tmp_path, "rng_ambient_flagged.py", "src/repro/core/flagged.py")
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule_id"] == "rng-ambient"
+    assert payload[0]["path"].endswith("flagged.py")
+
+
+def test_lint_rule_selection(tmp_path):
+    """--rule restricts the run: an ambient-draw file passes a priv-flow-only run."""
+    _tree_with(tmp_path, "rng_ambient_flagged.py", "src/repro/core/flagged.py")
+    assert main(["lint", str(tmp_path), "--rule", "priv-flow"]) == 0
+    assert main(["lint", str(tmp_path), "--rule", "rng-ambient"]) == 1
+
+
+def test_lint_unknown_rule_is_an_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["lint", str(tmp_path), "--rule", "no-such-rule"])
+
+
+def test_lint_missing_path_is_an_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["lint", str(tmp_path / "does-not-exist")])
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("priv-flow", "rng-ambient", "agg-protocol", "bench-metrics"):
+        assert rule_id in out

@@ -1,0 +1,20 @@
+"""The repo's own tree must lint clean — this is the same gate CI runs."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_benchmarks_lint_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    formatted = "\n".join(finding.format() for finding in findings)
+    assert findings == [], f"repo tree has lint findings:\n{formatted}"
+
+
+def test_real_aggregates_satisfy_protocol():
+    """The streaming aggregates and sharded-run specs are in scope for
+    agg-protocol; a signature drift there must fail this test, not just CI."""
+    findings = lint_paths([REPO_ROOT / "src" / "repro"], rule_ids=["agg-protocol"])
+    assert findings == []

@@ -77,9 +77,7 @@ class TestSpatialDomain:
         assert dom.bounds == (-0.5, 1.5, -0.5, 1.5)
 
     def test_from_points_relative_padding(self):
-        dom = SpatialDomain.from_points(
-            np.array([[0.0, 0.0], [2.0, 1.0]]), relative_pad=0.25
-        )
+        dom = SpatialDomain.from_points(np.array([[0.0, 0.0], [2.0, 1.0]]), relative_pad=0.25)
         # grow = 0.25 * max extent = 0.5 on every side.
         assert dom.bounds == pytest.approx((-0.5, 2.5, -0.5, 1.5))
 

@@ -43,9 +43,7 @@ class TestParts:
         parts = response.parts(0)
         assert np.all(parts.mixed_high_areas >= 0)
         assert np.all(parts.mixed_high_areas <= 1)
-        np.testing.assert_allclose(
-            parts.mixed_high_areas + parts.mixed_low_areas, 1.0
-        )
+        np.testing.assert_allclose(parts.mixed_high_areas + parts.mixed_low_areas, 1.0)
 
     def test_invalid_cell_rejected(self, response):
         with pytest.raises(ValueError):
@@ -142,9 +140,7 @@ class TestSampling:
 
     def test_extreme_b_hat_no_shrinkage_zero_mixed_high(self):
         """With shrinkage disabled the mixed-high part has zero area as well."""
-        response = GridAreaResponse(
-            GridSpec.unit(1), epsilon=3.0, b_hat=6, use_shrinkage=False
-        )
+        response = GridAreaResponse(GridSpec.unit(1), epsilon=3.0, b_hat=6, use_shrinkage=False)
         rng = np.random.default_rng(2)
         reports = [response.respond(0, seed=rng) for _ in range(100)]
         assert all(0 <= r < response.output_domain.size for r in reports)

@@ -160,16 +160,12 @@ class TestExpectationMaximizationBackends:
         rng = np.random.default_rng(seed)
         cells = rng.integers(0, grid.n_cells, 3000)
         counts = np.bincount(operator.sample(cells, rng), minlength=operator.n_outputs)
-        via_operator = expectation_maximization(
-            operator, counts, max_iterations=50, tolerance=0.0
-        )
+        via_operator = expectation_maximization(operator, counts, max_iterations=50, tolerance=0.0)
         via_dense = expectation_maximization(
             operator.to_dense(), counts, max_iterations=50, tolerance=0.0
         )
         np.testing.assert_allclose(via_operator.estimate, via_dense.estimate, atol=1e-10)
-        assert via_operator.log_likelihood == pytest.approx(
-            via_dense.log_likelihood, rel=1e-9
-        )
+        assert via_operator.log_likelihood == pytest.approx(via_dense.log_likelihood, rel=1e-9)
 
     def test_dense_adapter_protocol(self):
         matrix = np.array([[0.7, 0.3], [0.2, 0.8]])
@@ -214,9 +210,7 @@ class TestStreamingAggregator:
             aggregator.add_cells(chunk)
         report = aggregator.finalize()
         np.testing.assert_array_equal(report.noisy_counts, batch.noisy_counts)
-        np.testing.assert_allclose(
-            report.estimate.flat(), batch.estimate.flat(), atol=1e-12
-        )
+        np.testing.assert_allclose(report.estimate.flat(), batch.estimate.flat(), atol=1e-12)
         assert report.n_users == batch.n_users == 8000
 
     def test_true_cell_counts_accumulate(self):

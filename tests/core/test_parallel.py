@@ -43,9 +43,7 @@ def _identical(a, b) -> bool:
     return (
         np.array_equal(a.estimate.probabilities, b.estimate.probabilities)
         and np.array_equal(a.noisy_counts, b.noisy_counts)
-        and np.array_equal(
-            a.true_distribution.probabilities, b.true_distribution.probabilities
-        )
+        and np.array_equal(a.true_distribution.probabilities, b.true_distribution.probabilities)
         and a.n_users == b.n_users
     )
 
@@ -152,9 +150,7 @@ class TestMerge:
 class TestStreamModeBitEquality:
     def test_matches_batch_run(self, domain, points):
         serial = DAMPipeline(domain, 8, 2.0).run(points, seed=7)
-        parallel = ParallelPipeline(domain, 8, 2.0, workers=2, shard_size=2500).run(
-            points, seed=7
-        )
+        parallel = ParallelPipeline(domain, 8, 2.0, workers=2, shard_size=2500).run(points, seed=7)
         assert _identical(serial, parallel)
         assert parallel.info["parallel"] is True
         assert parallel.info["n_shards"] == 4
@@ -166,12 +162,8 @@ class TestStreamModeBitEquality:
         assert _identical(serial, parallel)
 
     def test_invariant_to_shard_size(self, domain, points):
-        fine = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=137).run(
-            points, seed=3
-        )
-        coarse = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=5000).run(
-            points, seed=3
-        )
+        fine = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=137).run(points, seed=3)
+        coarse = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=5000).run(points, seed=3)
         assert _identical(fine, coarse)
 
     @pytest.mark.parametrize("mechanism", ["dam", "dam-ns", "huem"])
@@ -181,8 +173,13 @@ class TestStreamModeBitEquality:
             points[:3000], seed=5
         )
         parallel = ParallelPipeline(
-            domain, 6, 2.0, mechanism=mechanism, backend=backend,
-            workers=1, shard_size=800,
+            domain,
+            6,
+            2.0,
+            mechanism=mechanism,
+            backend=backend,
+            workers=1,
+            shard_size=800,
         ).run(points[:3000], seed=5)
         assert _identical(serial, parallel)
 
@@ -190,18 +187,14 @@ class TestStreamModeBitEquality:
         serial_rng = np.random.default_rng(21)
         parallel_rng = np.random.default_rng(21)
         DAMPipeline(domain, 6, 2.0).run(points, seed=serial_rng)
-        ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1000).run(
-            points, seed=parallel_rng
-        )
+        ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1000).run(points, seed=parallel_rng)
         assert np.array_equal(serial_rng.random(8), parallel_rng.random(8))
 
     def test_drops_points_outside_domain_like_serial(self, domain, points):
         shifted = points.copy()
         shifted[::10] += 5.0  # push every tenth point outside the unit square
         serial = DAMPipeline(domain, 6, 2.0).run(shifted, seed=2)
-        parallel = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=999).run(
-            shifted, seed=2
-        )
+        parallel = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=999).run(shifted, seed=2)
         assert _identical(serial, parallel)
         assert parallel.info["dropped_points"] == serial.info["dropped_points"]
 
@@ -222,7 +215,11 @@ class TestStreamModeBitEquality:
         pts = np.random.default_rng(seed).random((n_points, 2))
         serial = DAMPipeline(domain, 5, 2.0).run(pts, seed=seed)
         parallel = ParallelPipeline(
-            domain, 5, 2.0, workers=1, shard_size=shard_size
+            domain,
+            5,
+            2.0,
+            workers=1,
+            shard_size=shard_size,
         ).run(pts, seed=seed)
         assert _identical(serial, parallel)
 
@@ -230,25 +227,38 @@ class TestStreamModeBitEquality:
 class TestSpawnMode:
     def test_invariant_to_worker_count(self, domain, points):
         one = ParallelPipeline(
-            domain, 8, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
+            domain,
+            8,
+            2.0,
+            workers=1,
+            shard_size=2000,
+            rng_mode="spawn",
         ).run(points, seed=9)
         three = ParallelPipeline(
-            domain, 8, 2.0, workers=3, shard_size=2000, rng_mode="spawn"
+            domain,
+            8,
+            2.0,
+            workers=3,
+            shard_size=2000,
+            rng_mode="spawn",
         ).run(points, seed=9)
         assert _identical(one, three)
 
     def test_deterministic_in_seed(self, domain, points):
         def run_once():
             return ParallelPipeline(
-                domain, 8, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
+                domain,
+                8,
+                2.0,
+                workers=1,
+                shard_size=2000,
+                rng_mode="spawn",
             ).run(points, seed=9)
 
         assert _identical(run_once(), run_once())
 
     def test_works_with_mt19937(self, domain, points):
-        pipeline = ParallelPipeline(
-            domain, 6, 2.0, workers=1, shard_size=2000, rng_mode="spawn"
-        )
+        pipeline = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=2000, rng_mode="spawn")
         mt = np.random.Generator(np.random.MT19937(4))
         result = pipeline.run(points, seed=mt)
         assert result.n_users == points.shape[0]
@@ -273,9 +283,7 @@ class TestValidation:
 
     def test_no_points_inside(self, domain):
         with pytest.raises(ValueError, match="no points inside"):
-            ParallelPipeline(domain, 5, 2.0, workers=1).run(
-                np.full((10, 2), 7.0), seed=0
-            )
+            ParallelPipeline(domain, 5, 2.0, workers=1).run(np.full((10, 2), 7.0), seed=0)
 
     def test_default_workers_positive(self, domain):
         assert ParallelPipeline(domain, 5, 2.0).workers >= 1
@@ -285,20 +293,26 @@ class TestMultiprocessEquality:
     """One real multi-process run per mode (the rest use the inline path for speed)."""
 
     def test_pool_matches_inline_stream(self, domain, points):
-        inline = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1500).run(
-            points, seed=17
-        )
-        pooled = ParallelPipeline(domain, 6, 2.0, workers=4, shard_size=1500).run(
-            points, seed=17
-        )
+        inline = ParallelPipeline(domain, 6, 2.0, workers=1, shard_size=1500).run(points, seed=17)
+        pooled = ParallelPipeline(domain, 6, 2.0, workers=4, shard_size=1500).run(points, seed=17)
         assert _identical(inline, pooled)
 
     def test_pool_matches_inline_spawn(self, domain, points):
         inline = ParallelPipeline(
-            domain, 6, 2.0, workers=1, shard_size=1500, rng_mode="spawn"
+            domain,
+            6,
+            2.0,
+            workers=1,
+            shard_size=1500,
+            rng_mode="spawn",
         ).run(points, seed=17)
         pooled = ParallelPipeline(
-            domain, 6, 2.0, workers=4, shard_size=1500, rng_mode="spawn"
+            domain,
+            6,
+            2.0,
+            workers=4,
+            shard_size=1500,
+            rng_mode="spawn",
         ).run(points, seed=17)
         assert _identical(inline, pooled)
 

@@ -97,7 +97,5 @@ class TestEstimateSpatialDistribution:
 
     def test_mechanism_selection(self, rng):
         points = rng.random((500, 2))
-        result = estimate_spatial_distribution(
-            points, epsilon=2.0, d=4, mechanism="huem", seed=0
-        )
+        result = estimate_spatial_distribution(points, epsilon=2.0, d=4, mechanism="huem", seed=0)
         assert result.mechanism == "HUEM"

@@ -163,9 +163,7 @@ class TestMatrixInversion:
         assert np.all(estimate >= 0)
 
     def test_zero_counts_give_uniform(self, simple_transition):
-        np.testing.assert_allclose(
-            matrix_inversion_estimate(simple_transition, np.zeros(4)), 0.25
-        )
+        np.testing.assert_allclose(matrix_inversion_estimate(simple_transition, np.zeros(4)), 0.25)
 
     def test_wrong_length_rejected(self, simple_transition):
         with pytest.raises(ValueError):

@@ -141,8 +141,12 @@ class TestDriftingStreams:
 
     def test_hotspot_actually_shifts(self):
         stream = shifting_hotspot_stream(
-            n_epochs=10, users_per_epoch=4000, start=(0.2, 0.2), end=(0.8, 0.8),
-            background=0.0, seed=1,
+            n_epochs=10,
+            users_per_epoch=4000,
+            start=(0.2, 0.2),
+            end=(0.8, 0.8),
+            background=0.0,
+            seed=1,
         )
         first_mean = stream.epochs[0].mean(axis=0)
         last_mean = stream.epochs[-1].mean(axis=0)
@@ -151,9 +155,14 @@ class TestDriftingStreams:
 
     def test_cluster_appears_and_vanishes(self):
         stream = appearing_cluster_stream(
-            n_epochs=12, users_per_epoch=4000, base_center=(0.25, 0.5),
-            cluster_center=(0.85, 0.5), appear_at=0.25, vanish_at=0.75,
-            background=0.0, seed=2,
+            n_epochs=12,
+            users_per_epoch=4000,
+            base_center=(0.25, 0.5),
+            cluster_center=(0.85, 0.5),
+            appear_at=0.25,
+            vanish_at=0.75,
+            background=0.0,
+            seed=2,
         )
         def cluster_fraction(points):
             return (points[:, 0] > 0.6).mean()
@@ -164,7 +173,11 @@ class TestDriftingStreams:
 
     def test_diurnal_oscillation(self):
         stream = diurnal_mixture_stream(
-            n_epochs=12, users_per_epoch=4000, period=12, background=0.0, seed=3,
+            n_epochs=12,
+            users_per_epoch=4000,
+            period=12,
+            background=0.0,
+            seed=3,
         )
         def day_fraction(points):
             return (points[:, 0] > 0.5).mean()

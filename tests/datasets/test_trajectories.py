@@ -83,13 +83,9 @@ class TestGeneration:
 
     def test_invalid_length_range_rejected(self, source_points, domain):
         with pytest.raises(ValueError):
-            generate_trajectories(
-                source_points, domain, routing_d=10, min_length=5, max_length=2
-            )
+            generate_trajectories(source_points, domain, routing_d=10, min_length=5, max_length=2)
 
     def test_zero_trajectories(self, source_points, domain):
-        data = generate_trajectories(
-            source_points, domain, routing_d=10, n_trajectories=0, seed=0
-        )
+        data = generate_trajectories(source_points, domain, routing_d=10, n_trajectories=0, seed=0)
         assert data.size == 0
         assert data.all_points().shape == (0, 2)

@@ -68,14 +68,15 @@ class TestSweepExecution:
     def test_plan_matches_serial_order(self, tiny_config):
         cells = plan_sweep("d", (2, 3), ("DAM", "MDSW"), tiny_config, datasets=("SZipf",))
         assert [(c.parameter_value, c.mechanism) for c in cells] == [
-            (2.0, "DAM"), (2.0, "MDSW"), (3.0, "DAM"), (3.0, "MDSW"),
+            (2.0, "DAM"),
+            (2.0, "MDSW"),
+            (3.0, "DAM"),
+            (3.0, "MDSW"),
         ]
         assert all(c.dataset == "SZipf" for c in cells)
 
     def test_parallel_sweep_matches_serial(self, tiny_config):
-        serial = sweep_parameter(
-            "s", "d", (2, 3), ("DAM",), tiny_config, datasets=("SZipf",)
-        )
+        serial = sweep_parameter("s", "d", (2, 3), ("DAM",), tiny_config, datasets=("SZipf",))
         parallel = sweep_parameter(
             "s", "d", (2, 3), ("DAM",), tiny_config, datasets=("SZipf",), workers=2
         )
@@ -85,13 +86,23 @@ class TestSweepExecution:
     def test_warm_rerun_is_identical_and_all_hits(self, tiny_config, tmp_path):
         cache = ResultCache(tmp_path)
         cold = sweep_parameter(
-            "s", "d", (2, 3), ("DAM", "MDSW"), tiny_config,
-            datasets=("SZipf",), cache=cache,
+            "s",
+            "d",
+            (2, 3),
+            ("DAM", "MDSW"),
+            tiny_config,
+            datasets=("SZipf",),
+            cache=cache,
         )
         assert cache.misses == 4 and cache.hits == 0
         warm = sweep_parameter(
-            "s", "d", (2, 3), ("DAM", "MDSW"), tiny_config,
-            datasets=("SZipf",), cache=cache,
+            "s",
+            "d",
+            (2, 3),
+            ("DAM", "MDSW"),
+            tiny_config,
+            datasets=("SZipf",),
+            cache=cache,
         )
         assert cache.hits == 4
         assert warm.points == cold.points
@@ -101,12 +112,24 @@ class TestSweepExecution:
     def test_cache_shared_between_worker_counts(self, tiny_config, tmp_path):
         cache = ResultCache(tmp_path)
         cold = sweep_parameter(
-            "s", "d", (2,), ("DAM",), tiny_config, datasets=("SZipf",),
-            cache=cache, workers=2,
+            "s",
+            "d",
+            (2,),
+            ("DAM",),
+            tiny_config,
+            datasets=("SZipf",),
+            cache=cache,
+            workers=2,
         )
         warm = sweep_parameter(
-            "s", "d", (2,), ("DAM",), tiny_config, datasets=("SZipf",),
-            cache=cache, workers=1,
+            "s",
+            "d",
+            (2,),
+            ("DAM",),
+            tiny_config,
+            datasets=("SZipf",),
+            cache=cache,
+            workers=1,
         )
         assert cache.hits == 1
         assert warm.points == cold.points
@@ -126,13 +149,25 @@ class TestSweepExecution:
         cache = ResultCache(tmp_path / str(workers))
         with pytest.raises(ValueError):
             sweep_parameter(
-                "s", "d", (2,), ("DAM", "NoSuchMechanism"), tiny_config,
-                datasets=("SZipf",), cache=cache, workers=workers,
+                "s",
+                "d",
+                (2,),
+                ("DAM", "NoSuchMechanism"),
+                tiny_config,
+                datasets=("SZipf",),
+                cache=cache,
+                workers=workers,
             )
         resumed = ResultCache(tmp_path / str(workers))
         result = sweep_parameter(
-            "s", "d", (2,), ("DAM",), tiny_config,
-            datasets=("SZipf",), cache=resumed, workers=workers,
+            "s",
+            "d",
+            (2,),
+            ("DAM",),
+            tiny_config,
+            datasets=("SZipf",),
+            cache=resumed,
+            workers=workers,
         )
         assert resumed.hits == 1 and resumed.misses == 0
         assert result.points[0].mechanism == "DAM"

@@ -61,7 +61,11 @@ class TestFigure13:
 class TestFigure14:
     def test_trajectory_sweep_structure(self):
         config = laptop_trajectory_config().with_overrides(
-            n_trajectories=20, max_length=12, routing_d=20, default_d=4, n_repeats=1,
+            n_trajectories=20,
+            max_length=12,
+            routing_d=20,
+            default_d=4,
+            n_repeats=1,
             dataset_scale=0.01,
         )
         results = figure14_trajectory(config, sweep="epsilon")

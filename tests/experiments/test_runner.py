@@ -91,9 +91,7 @@ class TestEvaluate:
 
     def test_max_users_cap(self, rng):
         points = rng.random((5000, 2))
-        error = evaluate_on_part(
-            "DAM", points, SpatialDomain.unit(), 5, 3.5, seed=2, max_users=500
-        )
+        error = evaluate_on_part("DAM", points, SpatialDomain.unit(), 5, 3.5, seed=2, max_users=500)
         assert error >= 0
 
     def test_evaluate_on_dataset_averages_parts(self):
@@ -138,8 +136,13 @@ class TestSweep:
     def test_unknown_metric_rejected(self):
         with pytest.raises(ValueError):
             sweep_parameter(
-                "bad-metric", "d", (2,), ("DAM",), smoke_config(),
-                datasets=("SZipf",), metric="chi",
+                "bad-metric",
+                "d",
+                (2,),
+                ("DAM",),
+                smoke_config(),
+                datasets=("SZipf",),
+                metric="chi",
             )
 
 
@@ -154,7 +157,11 @@ class TestRangeQuerySweep:
     def test_sweep_structure_and_metric_tag(self):
         config = smoke_config()
         result = sweep_range_query_error(
-            "rq-sweep", "epsilon", (1.4, 3.5), ("DAM", "MDSW"), config,
+            "rq-sweep",
+            "epsilon",
+            (1.4, 3.5),
+            ("DAM", "MDSW"),
+            config,
             datasets=("SZipf",),
         )
         assert len(result.points) == 4
@@ -166,12 +173,8 @@ class TestRangeQuerySweep:
     def test_range_sweep_deterministic_and_distinct_from_w2(self):
         config = smoke_config()
         kwargs = dict(datasets=("SZipf",),)
-        first = sweep_range_query_error(
-            "rq", "epsilon", (3.5,), ("DAM",), config, **kwargs
-        )
-        second = sweep_range_query_error(
-            "rq", "epsilon", (3.5,), ("DAM",), config, **kwargs
-        )
+        first = sweep_range_query_error("rq", "epsilon", (3.5,), ("DAM",), config, **kwargs)
+        second = sweep_range_query_error("rq", "epsilon", (3.5,), ("DAM",), config, **kwargs)
         w2 = sweep_parameter("w2", "epsilon", (3.5,), ("DAM",), config, **kwargs)
         assert first.points[0].w2_mean == second.points[0].w2_mean
         assert first.points[0].w2_mean != w2.points[0].w2_mean
@@ -182,8 +185,15 @@ class TestTrajectorySweep:
         pts = np.clip(rng.normal([0.5, 0.5], 0.12, size=(4000, 2)), 0, 1)
         for mechanism in ("LDPTrace", "PivotTrace", "DAM"):
             w2 = evaluate_trajectories_on_part(
-                mechanism, pts, SpatialDomain.unit(), 5, 2.0, seed=0,
-                routing_d=30, n_trajectories=40, max_length=15,
+                mechanism,
+                pts,
+                SpatialDomain.unit(),
+                5,
+                2.0,
+                seed=0,
+                routing_d=30,
+                n_trajectories=40,
+                max_length=15,
             )
             # Normalised-domain W2 is bounded by the unit-square diagonal.
             assert 0.0 <= w2 <= np.sqrt(2)
@@ -191,7 +201,11 @@ class TestTrajectorySweep:
     def test_sweep_structure_and_metric_tag(self):
         config = smoke_config()
         result = sweep_trajectory_error(
-            "traj-sweep", "epsilon", (1.0, 2.0), ("LDPTrace", "DAM"), config,
+            "traj-sweep",
+            "epsilon",
+            (1.0, 2.0),
+            ("LDPTrace", "DAM"),
+            config,
             datasets=("SZipf",),
         )
         assert len(result.points) == 4
@@ -203,12 +217,8 @@ class TestTrajectorySweep:
     def test_trajectory_sweep_deterministic_and_cached(self, tmp_path):
         config = smoke_config().with_overrides(cache_dir=str(tmp_path))
         kwargs = dict(datasets=("SZipf",),)
-        first = sweep_trajectory_error(
-            "traj", "d", (4,), ("PivotTrace",), config, **kwargs
-        )
-        second = sweep_trajectory_error(
-            "traj", "d", (4,), ("PivotTrace",), config, **kwargs
-        )
+        first = sweep_trajectory_error("traj", "d", (4,), ("PivotTrace",), config, **kwargs)
+        second = sweep_trajectory_error("traj", "d", (4,), ("PivotTrace",), config, **kwargs)
         assert first.points[0].w2_mean == second.points[0].w2_mean
 
 
@@ -216,8 +226,15 @@ class TestStreamSweep:
     def test_part_evaluation_returns_bounded_error(self, rng):
         pts = np.clip(rng.normal([0.5, 0.5], 0.12, size=(4000, 2)), 0, 1)
         mae = evaluate_stream_on_part(
-            "DAM", pts, SpatialDomain.unit(), 6, 2.5, seed=0,
-            n_epochs=4, users_per_epoch=400, window_epochs=2,
+            "DAM",
+            pts,
+            SpatialDomain.unit(),
+            6,
+            2.5,
+            seed=0,
+            n_epochs=4,
+            users_per_epoch=400,
+            window_epochs=2,
         )
         # Per-cell MAE of two distributions is bounded by 2 / n_cells.
         assert 0.0 <= mae <= 2.0 / 36
@@ -233,14 +250,24 @@ class TestStreamSweep:
         pts = rng.random((500, 2))
         with pytest.raises(TypeError, match="transition-matrix"):
             evaluate_stream_on_part(
-                "MDSW", pts, SpatialDomain.unit(), 5, 2.0, seed=0,
-                n_epochs=2, users_per_epoch=100,
+                "MDSW",
+                pts,
+                SpatialDomain.unit(),
+                5,
+                2.0,
+                seed=0,
+                n_epochs=2,
+                users_per_epoch=100,
             )
 
     def test_sweep_structure_and_metric_tag(self):
         config = smoke_config()
         result = sweep_stream_error(
-            "stream-sweep", "epsilon", (2.0, 3.5), ("DAM",), config,
+            "stream-sweep",
+            "epsilon",
+            (2.0, 3.5),
+            ("DAM",),
+            config,
             datasets=("SZipf",),
         )
         assert len(result.points) == 2

@@ -107,9 +107,7 @@ class TestOUE:
         rng = np.random.default_rng(5)
         truth = rng.dirichlet(np.ones(k))
         oue_err = _frequency_recovery_error(OptimizedUnaryEncoding(k, 1.0), truth, 20_000, 6)
-        grr_err = _frequency_recovery_error(
-            GeneralizedRandomizedResponse(k, 1.0), truth, 20_000, 6
-        )
+        grr_err = _frequency_recovery_error(GeneralizedRandomizedResponse(k, 1.0), truth, 20_000, 6)
         assert oue_err < grr_err
 
     def test_wrong_report_shape_rejected(self):
@@ -183,10 +181,13 @@ class TestSupportCountProtocol:
     trajectory fit rides: summing per-shard support counts and estimating once must
     be bit-identical to estimating over the concatenated raw reports."""
 
-    @pytest.mark.parametrize("oracle_factory", [
-        lambda: GeneralizedRandomizedResponse(6, 1.2),
-        lambda: OptimizedUnaryEncoding(6, 1.2),
-    ])
+    @pytest.mark.parametrize(
+        "oracle_factory",
+        [
+lambda: GeneralizedRandomizedResponse(6, 1.2),
+lambda: OptimizedUnaryEncoding(6, 1.2),
+],
+    )
     def test_sharded_counts_match_raw_reports_bitwise(self, oracle_factory):
         oracle = oracle_factory()
         rng = np.random.default_rng(0)
@@ -201,9 +202,7 @@ class TestSupportCountProtocol:
 
     def test_zero_users_uniform(self):
         oracle = GeneralizedRandomizedResponse(4, 1.0)
-        np.testing.assert_allclose(
-            oracle.estimate_from_counts(np.zeros(4), 0), np.full(4, 0.25)
-        )
+        np.testing.assert_allclose(oracle.estimate_from_counts(np.zeros(4), 0), np.full(4, 0.25))
 
     def test_olh_does_not_support_counts(self):
         oracle = OptimizedLocalHashing(6, 1.2)

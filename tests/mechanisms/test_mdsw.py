@@ -68,9 +68,7 @@ class TestMDSWBehaviour:
         """
         grid = GridSpec.unit(5)
         t = rng.random(12_000)
-        pts = np.clip(
-            np.column_stack([t, t]) + rng.normal(0, 0.04, size=(12_000, 2)), 0, 1
-        )
+        pts = np.clip(np.column_stack([t, t]) + rng.normal(0, 0.04, size=(12_000, 2)), 0, 1)
         true = grid.distribution(pts)
         dam_error = wasserstein2_grid(true, DiscreteDAM(grid, 3.5).run(pts, seed=4).estimate)
         mdsw_error = wasserstein2_grid(true, MDSW(grid, 3.5).run(pts, seed=4).estimate)

@@ -41,7 +41,9 @@ class TestLocalPrivacy:
 
     def test_monotone_in_budget(self, grid4):
         """More budget -> sharper reports -> less privacy."""
-        values = [local_privacy_of_mechanism(DiscreteDAM(grid4, eps, b_hat=1)) for eps in (0.5, 2.0, 6.0)]
+        values = [
+            local_privacy_of_mechanism(DiscreteDAM(grid4, eps, b_hat=1)) for eps in (0.5, 2.0, 6.0)
+        ]
         assert values[0] > values[1] > values[2]
 
     def test_positive_for_dam(self, grid4):

@@ -42,7 +42,9 @@ class TestRadonProjection:
 class TestProjectedWasserstein:
     def test_identical_distributions(self, clustered_distribution):
         assert projected_wasserstein(
-            clustered_distribution, clustered_distribution, 0.7
+            clustered_distribution,
+            clustered_distribution,
+            0.7,
         ) == pytest.approx(0.0, abs=1e-12)
 
     def test_horizontal_shift_detected_by_x_projection(self, unit_grid5):
@@ -59,7 +61,8 @@ class TestProjectedWasserstein:
 class TestSlicedWasserstein:
     def test_zero_for_identical(self, clustered_distribution):
         assert sliced_wasserstein(
-            clustered_distribution, clustered_distribution
+            clustered_distribution,
+            clustered_distribution,
         ) == pytest.approx(0.0, abs=1e-12)
 
     def test_positive_for_different(self, clustered_distribution, uniform_distribution):
@@ -70,7 +73,9 @@ class TestSlicedWasserstein:
         ba = sliced_wasserstein(uniform_distribution, clustered_distribution)
         assert ab == pytest.approx(ba, rel=1e-9)
 
-    def test_sliced_lower_bounds_full_wasserstein(self, clustered_distribution, uniform_distribution):
+    def test_sliced_lower_bounds_full_wasserstein(
+        self, clustered_distribution, uniform_distribution
+    ):
         """Each 1-D projection is a contraction, so SW_p <= W_p."""
         sw2 = sliced_wasserstein(
             clustered_distribution, uniform_distribution, p=2.0, n_projections=64

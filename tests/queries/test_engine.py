@@ -40,9 +40,7 @@ SLOW_SETTINGS = settings(
 # comparison measures algorithmic agreement rather than ulp-cancellation at
 # planet-scale coordinates (those extremes are covered by the boundary properties in
 # tests/core/test_domain.py, with appropriately scaled tolerances).
-_EQUIV_DOMAINS = strategies.domains(
-    offsets=(0.0, 1.0, 1e3), min_extent=0.1, max_extent=100.0
-)
+_EQUIV_DOMAINS = strategies.domains(offsets=(0.0, 1.0, 1e3), min_extent=0.1, max_extent=100.0)
 _EQUIV_DISTRIBUTIONS = strategies.grid_distributions(
     min_side=1, max_side=12, domain_strategy=_EQUIV_DOMAINS
 )
@@ -104,8 +102,7 @@ class TestSATEquivalence:
         assert sat.answer(full) == pytest.approx(1.0, abs=1e-12)
         assert sat.answer(outside) == pytest.approx(0.0, abs=1e-12)
 
-    @given(strategies.grid_distributions(min_side=1, max_side=10, unit=True),
-           strategies.seeds())
+    @given(strategies.grid_distributions(min_side=1, max_side=10, unit=True), strategies.seeds())
     @SLOW_SETTINGS
     def test_cumulative_monotone_and_bounded(self, estimate, seed):
         rng = np.random.default_rng(seed)
@@ -133,25 +130,23 @@ class TestAnswerManyConsistency:
         estimate = GridSpec.unit(9).distribution(points)
         engine = FlatRangeQueryEngine(estimate)
         stacked = np.array([engine.answer(q) for q in workload.queries])
-        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked,
-                                   atol=1e-12)
-        np.testing.assert_allclose(engine.answer_batch(workload.as_array()), stacked,
-                                   atol=1e-12)
+        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked, atol=1e-12)
+        np.testing.assert_allclose(engine.answer_batch(workload.as_array()), stacked, atol=1e-12)
 
     def test_hierarchical_engine(self, points, workload):
         engine = HierarchicalRangeQueryEngine(
-            SpatialDomain.unit(), 3.0, levels=3
+            SpatialDomain.unit(),
+            3.0,
+            levels=3,
         ).fit(points, seed=7)
         stacked = np.array([engine.answer(q) for q in workload.queries])
-        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked,
-                                   atol=1e-12)
+        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked, atol=1e-12)
 
     def test_query_engine(self, points, workload):
         estimate = GridSpec.unit(9).distribution(points)
         engine = QueryEngine(estimate)
         stacked = np.array([engine.sat.answer(q) for q in workload.queries])
-        np.testing.assert_allclose(engine.range_mass(workload.as_array()), stacked,
-                                   atol=1e-12)
+        np.testing.assert_allclose(engine.range_mass(workload.as_array()), stacked, atol=1e-12)
 
 
 class TestQueriesToArray:
@@ -185,8 +180,7 @@ class TestQueryEngineFacade:
         centers = engine.grid.cell_centers()
         cell_area = engine.grid.cell_width * engine.grid.cell_height
         densities = engine.point_density(centers)
-        np.testing.assert_allclose(densities * cell_area, engine.estimate.flat(),
-                                   atol=1e-12)
+        np.testing.assert_allclose(densities * cell_area, engine.estimate.flat(), atol=1e-12)
 
     def test_point_density_outside_domain_is_zero(self, engine):
         assert engine.point_density(np.array([[2.0, 2.0], [-1.0, 0.5]])).tolist() == [0, 0]
@@ -234,8 +228,13 @@ class TestQueryEngineFacade:
 class TestQueryLogAndReplay:
     def test_random_log_shapes(self):
         log = QueryLog.random(
-            SpatialDomain.unit(), n_range=40, n_density=10, n_top_k=3,
-            n_quantiles=2, n_marginals=1, seed=0,
+            SpatialDomain.unit(),
+            n_range=40,
+            n_density=10,
+            n_top_k=3,
+            n_quantiles=2,
+            n_marginals=1,
+            seed=0,
         )
         assert log.range_queries.shape == (40, 4)
         assert log.density_points.shape == (10, 2)
@@ -248,8 +247,13 @@ class TestQueryLogAndReplay:
 
     def test_save_load_roundtrip(self, tmp_path):
         log = QueryLog.random(
-            SpatialDomain.unit(), n_range=12, n_density=4, n_top_k=2,
-            n_quantiles=1, n_marginals=2, seed=1,
+            SpatialDomain.unit(),
+            n_range=12,
+            n_density=4,
+            n_top_k=2,
+            n_quantiles=1,
+            n_marginals=2,
+            seed=1,
         )
         path = tmp_path / "workload.npz"
         log.save(path)
@@ -266,14 +270,17 @@ class TestQueryLogAndReplay:
             GridSpec.unit(8).distribution(rng.random((3000, 2)))
         )
         log = QueryLog.random(
-            SpatialDomain.unit(), n_range=100, n_density=50, n_top_k=2,
-            n_quantiles=2, n_marginals=1, seed=3,
+            SpatialDomain.unit(),
+            n_range=100,
+            n_density=50,
+            n_top_k=2,
+            n_quantiles=2,
+            n_marginals=1,
+            seed=3,
         )
         report, answers = WorkloadReplay(engine).replay(log)
         assert report.n_operations == log.size
-        assert set(report.per_kind) == {
-            "range_mass", "density", "top_k", "quantiles", "marginals"
-        }
+        assert set(report.per_kind) == {"range_mass", "density", "top_k", "quantiles", "marginals"}
         assert answers["range_mass"].shape == (100,)
         assert report.operations_per_second > 0
         assert "ops/sec" in report.format()
@@ -303,9 +310,7 @@ class TestQueryLogAndReplay:
 class TestCumulativeAccessor:
     def test_cached_and_consistent(self):
         rng = np.random.default_rng(8)
-        dist = GridDistribution(
-            GridSpec.unit(6), rng.dirichlet(np.ones(36)).reshape(6, 6)
-        )
+        dist = GridDistribution(GridSpec.unit(6), rng.dirichlet(np.ones(36)).reshape(6, 6))
         table = dist.cumulative()
         assert table is dist.cumulative()  # cached
         assert table.shape == (7, 7)
@@ -346,9 +351,7 @@ class TestTrajectoryQueryEngine:
 
     def test_point_mass_is_the_cell_distribution(self, serving):
         # 6 points: cells [0,1,3, 0,1, 3] -> masses (2, 2, 0, 2)/6.
-        np.testing.assert_allclose(
-            serving.estimate.flat(), np.array([2, 2, 0, 2]) / 6.0
-        )
+        np.testing.assert_allclose(serving.estimate.flat(), np.array([2, 2, 0, 2]) / 6.0)
 
     def test_od_top_k_counts(self, serving):
         od = serving.od_top_k(4)
@@ -458,9 +461,7 @@ class TestTrajectoryWorkloadReplay:
         loaded = QueryLog.load(path)
         np.testing.assert_array_equal(loaded.od_top_k, log.od_top_k)
         np.testing.assert_array_equal(loaded.transition_top_k, log.transition_top_k)
-        np.testing.assert_array_equal(
-            loaded.length_histogram_bins, log.length_histogram_bins
-        )
+        np.testing.assert_array_equal(loaded.length_histogram_bins, log.length_histogram_bins)
         assert loaded.size == log.size
 
     def test_legacy_log_without_trajectory_fields_loads(self, tmp_path):

@@ -91,8 +91,14 @@ class TestBoundaryConvention:
         # Points deliberately placed on every kind of boundary: interior tile edges,
         # tile corners, and the domain's own upper boundary.
         pts = np.array([
-            [0.5, 0.5], [0.25, 0.5], [0.5, 0.75], [1.0, 1.0], [1.0, 0.25],
-            [0.3, 1.0], [0.0, 0.0], [0.7, 0.2],
+            [0.5, 0.5],
+            [0.25, 0.5],
+            [0.5, 0.75],
+            [1.0, 1.0],
+            [1.0, 0.25],
+            [0.3, 1.0],
+            [0.0, 0.0],
+            [0.7, 0.2],
         ])
         tiles = [
             RangeQuery(x0, x0 + 0.5, y0, y0 + 0.5)
@@ -197,9 +203,7 @@ class TestHierarchicalEngine:
 
     def test_reasonable_accuracy(self, domain, points):
         engine = HierarchicalRangeQueryEngine(domain, 5.0, levels=3).fit(points, seed=5)
-        workload = RangeQueryWorkload.random(
-            domain, 12, min_fraction=0.3, max_fraction=0.7, seed=6
-        )
+        workload = RangeQueryWorkload.random(domain, 12, min_fraction=0.3, max_fraction=0.7, seed=6)
         mae = workload.mean_absolute_error(engine.answer_many(workload.queries), points)
         assert mae < 0.15
 
@@ -210,9 +214,7 @@ class TestHierarchicalEngine:
             HierarchicalRangeQueryEngine(domain, 2.0, branching=1)
 
     def test_empty_points_gives_uniform_levels(self, domain):
-        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=2).fit(
-            np.empty((0, 2)), seed=0
-        )
+        engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=2).fit(np.empty((0, 2)), seed=0)
         assert engine.answer(RangeQuery(0, 0.5, 0, 1.0)) == pytest.approx(0.5, abs=0.1)
 
 
@@ -225,9 +227,7 @@ class TestWorkload:
             assert domain.y_min <= query.y_lo < query.y_hi <= domain.y_max
 
     def test_fraction_bounds_respected(self, domain):
-        workload = RangeQueryWorkload.random(
-            domain, 30, min_fraction=0.2, max_fraction=0.3, seed=1
-        )
+        workload = RangeQueryWorkload.random(domain, 30, min_fraction=0.2, max_fraction=0.3, seed=1)
         for query in workload.queries:
             assert 0.19 <= (query.x_hi - query.x_lo) <= 0.31
 

@@ -22,9 +22,7 @@ def stream():
 
 class TestServiceLoop:
     def test_epoch_updates_track_the_stream(self, stream):
-        service = StreamingEstimationService.build(
-            stream.domain, 8, 3.0, window_epochs=3, seed=1
-        )
+        service = StreamingEstimationService.build(stream.domain, 8, 3.0, window_epochs=3, seed=1)
         updates = [service.ingest_epoch(points) for points in stream.epochs]
         assert [update.epoch for update in updates] == list(range(6))
         assert all(update.n_users_epoch == 600 for update in updates)
@@ -41,9 +39,7 @@ class TestServiceLoop:
 
     def test_windowed_estimate_tracks_drift(self, stream):
         """Late in the stream, a small window beats the all-history estimate."""
-        windowed = StreamingEstimationService.build(
-            stream.domain, 8, 3.0, window_epochs=2, seed=1
-        )
+        windowed = StreamingEstimationService.build(stream.domain, 8, 3.0, window_epochs=2, seed=1)
         unbounded = StreamingEstimationService.build(
             stream.domain, 8, 3.0, window_epochs=len(stream.epochs), seed=1
         )
@@ -77,8 +73,13 @@ class TestServiceLoop:
         results = []
         for workers in (1, 2):
             service = StreamingEstimationService.build(
-                stream.domain, 6, 2.5, window_epochs=2, workers=workers,
-                shard_size=200, seed=5,
+                stream.domain,
+                6,
+                2.5,
+                window_epochs=2,
+                workers=workers,
+                shard_size=200,
+                seed=5,
             )
             results.append(
                 [service.ingest_epoch(points) for points in stream.epochs[:3]]
@@ -90,9 +91,7 @@ class TestServiceLoop:
             )
 
     def test_solve_window_matches_direct_em(self, stream):
-        service = StreamingEstimationService.build(
-            stream.domain, 6, 2.5, window_epochs=2, seed=7
-        )
+        service = StreamingEstimationService.build(stream.domain, 6, 2.5, window_epochs=2, seed=7)
         service.ingest_epoch(stream.epochs[0])
         noisy, _, _ = service.window.window_counts()
         direct = expectation_maximization(
@@ -108,7 +107,12 @@ class TestServiceLoop:
     def test_warm_start_matches_cold_likelihood(self, stream):
         """Warm solves land on (at least) the cold solve's log-likelihood."""
         service = StreamingEstimationService.build(
-            stream.domain, 8, 3.0, window_epochs=3, seed=9, tolerance=1e-4,
+            stream.domain,
+            8,
+            3.0,
+            window_epochs=3,
+            seed=9,
+            tolerance=1e-4,
             max_iterations=2000,
         )
         for points in stream.epochs:
@@ -131,9 +135,7 @@ class TestServiceLoop:
         assert initial.sum() == pytest.approx(1.0)
 
     def test_posterior_is_a_defensive_copy(self, stream):
-        service = StreamingEstimationService.build(
-            stream.domain, 6, 2.5, window_epochs=2, seed=15
-        )
+        service = StreamingEstimationService.build(stream.domain, 6, 2.5, window_epochs=2, seed=15)
         assert service.posterior is None
         update = service.ingest_epoch(stream.epochs[0])
         posterior = service.posterior
@@ -146,7 +148,11 @@ class TestServiceLoop:
 
     def test_smoothed_solves_stay_normalised(self, stream):
         service = StreamingEstimationService.build(
-            stream.domain, 6, 2.5, window_epochs=2, seed=17,
+            stream.domain,
+            6,
+            2.5,
+            window_epochs=2,
+            seed=17,
             smoothing_strength=0.4,
         )
         update = service.ingest_epoch(stream.epochs[0])
@@ -191,9 +197,7 @@ class TestServiceLoop:
 
 class TestParallelAggregate:
     def test_aggregate_matches_run_counts(self, stream):
-        pipeline = ParallelPipeline(
-            stream.domain, 6, 2.5, workers=1, shard_size=150
-        )
+        pipeline = ParallelPipeline(stream.domain, 6, 2.5, workers=1, shard_size=150)
         aggregate = pipeline.aggregate(stream.epochs[0], seed=21)
         result = pipeline.run(stream.epochs[0], seed=21)
         assert np.array_equal(aggregate.noisy_counts, result.noisy_counts)
@@ -230,18 +234,12 @@ class TestStreamingQueryEngine:
         plain = QueryEngine(estimates[0])
         queries = np.array([[0.1, 0.4, 0.2, 0.9], [0.0, 1.0, 0.0, 1.0]])
         points = np.array([[0.5, 0.5], [2.0, 2.0]])
-        np.testing.assert_array_equal(
-            serving.range_mass(queries), plain.range_mass(queries)
-        )
-        np.testing.assert_array_equal(
-            serving.point_density(points), plain.point_density(points)
-        )
+        np.testing.assert_array_equal(serving.range_mass(queries), plain.range_mass(queries))
+        np.testing.assert_array_equal(serving.point_density(points), plain.point_density(points))
         assert np.array_equal(
             serving.top_k_cells(3).flat_indices, plain.top_k_cells(3).flat_indices
         )
-        np.testing.assert_array_equal(
-            serving.axis_marginals()[0], plain.axis_marginals()[0]
-        )
+        np.testing.assert_array_equal(serving.axis_marginals()[0], plain.axis_marginals()[0])
         assert (
             serving.quantile_contours([0.5])[0].n_cells
             == plain.quantile_contours([0.5])[0].n_cells
@@ -266,8 +264,13 @@ class TestStreamingQueryEngine:
         """WorkloadReplay drives the streaming façade unchanged."""
         serving = StreamingQueryEngine(estimates[0])
         log = QueryLog.random(
-            estimates[0].grid.domain, n_range=50, n_density=20, n_top_k=2,
-            n_quantiles=2, n_marginals=1, seed=3,
+            estimates[0].grid.domain,
+            n_range=50,
+            n_density=20,
+            n_top_k=2,
+            n_quantiles=2,
+            n_marginals=1,
+            seed=3,
         )
         report, answers = WorkloadReplay(serving).replay(log)
         assert report.n_operations == log.size
@@ -275,9 +278,7 @@ class TestStreamingQueryEngine:
         report_after, answers_after = WorkloadReplay(serving).replay(log)
         assert report_after.n_operations == log.size
         # Same workload, new window: the answers moved with the estimate.
-        assert not np.array_equal(
-            answers["range_mass"], answers_after["range_mass"]
-        )
+        assert not np.array_equal(answers["range_mass"], answers_after["range_mass"])
 
     def test_trajectory_logs_still_rejected(self, estimates):
         serving = StreamingQueryEngine(estimates[0])

@@ -44,10 +44,14 @@ def mechanism() -> DiscreteDAM:
 def _random_aggregate(rng: np.random.Generator, mechanism) -> ShardAggregate:
     """A synthetic epoch: integer histograms of a random user population."""
     n_users = int(rng.integers(0, 500))
-    noisy = rng.multinomial(n_users, np.full(mechanism.output_domain_size(),
-                                             1.0 / mechanism.output_domain_size()))
-    true = rng.multinomial(n_users, np.full(mechanism.grid.n_cells,
-                                            1.0 / mechanism.grid.n_cells))
+    noisy = rng.multinomial(
+        n_users,
+        np.full(mechanism.output_domain_size(), 1.0 / mechanism.output_domain_size()),
+    )
+    true = rng.multinomial(
+        n_users,
+        np.full(mechanism.grid.n_cells, 1.0 / mechanism.grid.n_cells),
+    )
     return ShardAggregate(
         noisy_counts=noisy.astype(float),
         true_cell_counts=true.astype(float),
@@ -270,8 +274,7 @@ class TestWindowBehaviour:
 
 class TestWindowedPrivacyAudit:
     @given(strategies.grid_sides(2, 4), st.sampled_from([1.4, 3.5]), strategies.seeds())
-    @settings(max_examples=4, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     def test_windowed_deployment_mechanism_within_e_eps(self, d, epsilon, seed):
         """The randomizer a windowed deployment runs per report stays within e^eps.
 
@@ -289,7 +292,10 @@ class TestWindowedPrivacyAudit:
         assert window.finalize().estimate.probabilities.shape == (d, d)
         n_trials = max(5_000, 300 * mechanism.output_domain_size())
         results = audit_mechanism(
-            window.mechanism, n_pairs=2, n_trials=n_trials, confidence_z=4.0,
+            window.mechanism,
+            n_pairs=2,
+            n_trials=n_trials,
+            confidence_z=4.0,
             seed=seed,
         )
         assert not any(result.violated for result in results), (

@@ -77,8 +77,19 @@ class TestEstimateCommand:
         )
         serial_out = capsys.readouterr().out
         parallel_code = main(
-            ["estimate", "--input", str(csv_points), "--d", "5", "--seed", "2",
-             "--workers", "2", "--chunk-size", "200"]
+            [
+                "estimate",
+                "--input",
+                str(csv_points),
+                "--d",
+                "5",
+                "--seed",
+                "2",
+                "--workers",
+                "2",
+                "--chunk-size",
+                "200",
+            ]
         )
         parallel_out = capsys.readouterr().out
         assert serial_code == parallel_code == 0
@@ -92,8 +103,15 @@ class TestEstimateCommand:
     @pytest.mark.parametrize("chunk_size", ["0", "-5"])
     def test_estimate_rejects_bad_chunk_size_with_workers(self, csv_points, chunk_size):
         with pytest.raises(SystemExit):
-            main(["estimate", "--input", str(csv_points),
-                  "--workers", "2", "--chunk-size", chunk_size])
+            main([
+                "estimate",
+                "--input",
+                str(csv_points),
+                "--workers",
+                "2",
+                "--chunk-size",
+                chunk_size,
+            ])
 
 
 class TestFigureCommand:
@@ -102,8 +120,15 @@ class TestFigureCommand:
         json_path = tmp_path / "fig8.json"
         code = main(
             [
-                "figure", "fig8", "--profile", "smoke",
-                "--csv", str(csv_path), "--json", str(json_path), "--markdown",
+                "figure",
+                "fig8",
+                "--profile",
+                "smoke",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+                "--markdown",
             ]
         )
         assert code == 0
@@ -114,8 +139,9 @@ class TestFigureCommand:
 
     def test_fig8_workers_and_cache_dir(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"
-        args = ["figure", "fig8", "--profile", "smoke",
-                "--workers", "2", "--cache-dir", str(cache_dir)]
+        args = [
+            "figure", "fig8", "--profile", "smoke", "--workers", "2", "--cache-dir", str(cache_dir)
+        ]
         assert main(args) == 0
         cold_out = capsys.readouterr().out
         assert any(cache_dir.rglob("*.json"))
@@ -130,8 +156,17 @@ class TestFigureCommand:
 
 class TestQueryCommand:
     def test_query_from_csv(self, csv_points, capsys):
-        code = main(["query", "--input", str(csv_points), "--d", "6",
-                     "--n-queries", "200", "--epsilon", "4.0"])
+        code = main([
+            "query",
+            "--input",
+            str(csv_points),
+            "--d",
+            "6",
+            "--n-queries",
+            "200",
+            "--epsilon",
+            "4.0",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "range_mass" in out
@@ -141,20 +176,47 @@ class TestQueryCommand:
 
     def test_query_save_and_replay_roundtrip(self, csv_points, tmp_path, capsys):
         log_path = tmp_path / "workload.npz"
-        assert main(["query", "--input", str(csv_points), "--d", "5",
-                     "--n-queries", "50", "--save-log", str(log_path)]) == 0
+        assert main([
+            "query",
+            "--input",
+            str(csv_points),
+            "--d",
+            "5",
+            "--n-queries",
+            "50",
+            "--save-log",
+            str(log_path),
+        ]) == 0
         assert log_path.exists()
         first = capsys.readouterr().out
-        assert main(["query", "--input", str(csv_points), "--d", "5",
-                     "--replay", str(log_path)]) == 0
+        assert main([
+            "query",
+            "--input",
+            str(csv_points),
+            "--d",
+            "5",
+            "--replay",
+            str(log_path),
+        ]) == 0
         replayed = capsys.readouterr().out
         # Same estimate (same seed) + same workload => identical accuracy line.
         mae_line = [line for line in first.splitlines() if "MAE" in line]
         assert mae_line and mae_line[0] in replayed
 
     def test_query_disable_extras(self, csv_points, capsys):
-        code = main(["query", "--input", str(csv_points), "--d", "5",
-                     "--n-queries", "20", "--top-k", "0", "--quantiles", ""])
+        code = main([
+            "query",
+            "--input",
+            str(csv_points),
+            "--d",
+            "5",
+            "--n-queries",
+            "20",
+            "--top-k",
+            "0",
+            "--quantiles",
+            "",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "hotspots" not in out
@@ -169,9 +231,21 @@ class TestQueryCommand:
 
 class TestTrajectoryCommand:
     def test_compare_all_mechanisms(self, csv_points, capsys):
-        code = main(["trajectory", "--input", str(csv_points), "--mode", "compare",
-                     "--n-trajectories", "40", "--max-length", "12",
-                     "--routing-d", "25", "--d", "6"])
+        code = main([
+            "trajectory",
+            "--input",
+            str(csv_points),
+            "--mode",
+            "compare",
+            "--n-trajectories",
+            "40",
+            "--max-length",
+            "12",
+            "--routing-d",
+            "25",
+            "--d",
+            "6",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "workload: 40 trajectories" in out
@@ -179,17 +253,43 @@ class TestTrajectoryCommand:
             assert label in out
 
     def test_compare_single_mechanism(self, csv_points, capsys):
-        code = main(["trajectory", "--input", str(csv_points), "--mode", "compare",
-                     "--mechanism", "ldptrace", "--n-trajectories", "30",
-                     "--max-length", "10", "--routing-d", "25", "--d", "5"])
+        code = main([
+            "trajectory",
+            "--input",
+            str(csv_points),
+            "--mode",
+            "compare",
+            "--mechanism",
+            "ldptrace",
+            "--n-trajectories",
+            "30",
+            "--max-length",
+            "10",
+            "--routing-d",
+            "25",
+            "--d",
+            "5",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "LDPTrace" in out and "PivotTrace" not in out
 
     def test_fit_prints_model(self, csv_points, capsys):
-        code = main(["trajectory", "--input", str(csv_points), "--mode", "fit",
-                     "--n-trajectories", "30", "--max-length", "10",
-                     "--routing-d", "25", "--d", "5"])
+        code = main([
+            "trajectory",
+            "--input",
+            str(csv_points),
+            "--mode",
+            "fit",
+            "--n-trajectories",
+            "30",
+            "--max-length",
+            "10",
+            "--routing-d",
+            "25",
+            "--d",
+            "5",
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "length distribution" in out
@@ -198,11 +298,29 @@ class TestTrajectoryCommand:
 
     def test_synthesize_with_workers_and_export(self, csv_points, tmp_path, capsys):
         output = tmp_path / "synthetic.csv"
-        code = main(["trajectory", "--input", str(csv_points), "--mode", "synthesize",
-                     "--n-trajectories", "30", "--max-length", "10",
-                     "--routing-d", "25", "--d", "5", "--workers", "2",
-                     "--n-output", "25", "--top-k", "2",
-                     "--save-output", str(output)])
+        code = main([
+            "trajectory",
+            "--input",
+            str(csv_points),
+            "--mode",
+            "synthesize",
+            "--n-trajectories",
+            "30",
+            "--max-length",
+            "10",
+            "--routing-d",
+            "25",
+            "--d",
+            "5",
+            "--workers",
+            "2",
+            "--n-output",
+            "25",
+            "--top-k",
+            "2",
+            "--save-output",
+            str(output),
+        ])
         assert code == 0
         out = capsys.readouterr().out
         assert "synthesized 25 trajectories" in out
@@ -214,9 +332,21 @@ class TestTrajectoryCommand:
         assert np.unique(rows[:, 0]).shape[0] == 25
 
     def test_workers_match_serial(self, csv_points, capsys):
-        args = ["trajectory", "--input", str(csv_points), "--mode", "fit",
-                "--n-trajectories", "30", "--max-length", "10",
-                "--routing-d", "25", "--d", "5"]
+        args = [
+            "trajectory",
+            "--input",
+            str(csv_points),
+            "--mode",
+            "fit",
+            "--n-trajectories",
+            "30",
+            "--max-length",
+            "10",
+            "--routing-d",
+            "25",
+            "--d",
+            "5",
+        ]
         assert main(args) == 0
         serial = capsys.readouterr().out
         assert main(args + ["--workers", "2"]) == 0
@@ -230,13 +360,21 @@ class TestTrajectoryCommand:
         with pytest.raises(SystemExit):
             main(["trajectory", "--input", str(csv_points), "--n-trajectories", "0"])
         with pytest.raises(SystemExit):
-            main(["trajectory", "--input", str(csv_points), "--mode", "synthesize",
-                  "--n-output", "-1"])
+            main([
+                "trajectory",
+                "--input",
+                str(csv_points),
+                "--mode",
+                "synthesize",
+                "--n-output",
+                "-1",
+            ])
 
 
 class TestStreamCommand:
-    STREAM_ARGS = ["stream", "--epochs", "5", "--users-per-epoch", "300",
-                   "--window", "2", "--d", "6"]
+    STREAM_ARGS = [
+        "stream", "--epochs", "5", "--users-per-epoch", "300", "--window", "2", "--d", "6"
+    ]
 
     def test_stream_defaults(self):
         args = build_parser().parse_args(["stream"])

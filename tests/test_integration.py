@@ -11,7 +11,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import DiscreteDAM, DiscreteHUEM, GridSpec, SpatialDomain, estimate_spatial_distribution
+from repro.core import (
+    DiscreteDAM,
+    DiscreteHUEM,
+    GridSpec,
+    SpatialDomain,
+    estimate_spatial_distribution,
+)
 from repro.datasets.loader import load_dataset
 from repro.experiments.config import smoke_config
 from repro.experiments.reporting import mean_error

@@ -201,17 +201,14 @@ class TestMechanismPrivacyAudit:
                 f"{max(r.epsilon_lower_confidence for r in results):.3f}"
             )
 
-    @given(strategies.grid_sides(2, 5), st.sampled_from([0.7, 1.4, 2.1]),
-           strategies.seeds())
+    @given(strategies.grid_sides(2, 5), st.sampled_from([0.7, 1.4, 2.1]), strategies.seeds())
     @AUDIT_SETTINGS
     def test_geo_i_family_within_distance_scaled_claim(self, d, epsilon, seed):
         grid = GridSpec.unit(d)
         cell_a, cell_b = 0, grid.n_cells - 1  # far corners: the worst claimed pair
         for mechanism in (DiscreteGeoIMechanism(grid, epsilon), SEMGeoI(grid, epsilon)):
             distance = float(mechanism.cell_distances[cell_a, cell_b])
-            result = audit_pairwise_privacy(
-                mechanism, cell_a, cell_b, n_trials=5_000, seed=seed
-            )
+            result = audit_pairwise_privacy(mechanism, cell_a, cell_b, n_trials=5_000, seed=seed)
             assert result.epsilon_lower_confidence <= epsilon * distance * (1 + 1e-9), (
                 f"{mechanism.name} exceeded its Geo-I claim eps*d = "
                 f"{epsilon * distance:.3f}: {result.epsilon_lower_confidence:.3f}"

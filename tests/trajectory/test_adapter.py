@@ -56,9 +56,7 @@ class TestCompare:
 
     def test_normalised_domain_default(self, trajectories, domain):
         """With normalisation the W2 is on the unit-square scale (bounded by sqrt(2))."""
-        result = compare_trajectory_mechanism(
-            "dam", trajectories, domain, d=6, epsilon=1.5, seed=0
-        )
+        result = compare_trajectory_mechanism("dam", trajectories, domain, d=6, epsilon=1.5, seed=0)
         assert result.w2 <= np.sqrt(2)
 
     def test_unnormalised_domain_scales_w2(self, trajectories, domain):
@@ -76,26 +74,20 @@ class TestCompare:
             compare_trajectory_mechanism("foo", trajectories, domain, 5, 1.0)
 
     def test_compare_all_returns_three(self, trajectories, domain):
-        results = compare_all_trajectory_mechanisms(
-            trajectories, domain, d=5, epsilon=1.5, seed=0
-        )
+        results = compare_all_trajectory_mechanisms(trajectories, domain, d=5, epsilon=1.5, seed=0)
         assert set(results) == {"ldptrace", "pivottrace", "dam"}
 
     def test_dam_is_competitive(self, trajectories, domain):
         """Figure 14's qualitative claim: DAM's point-density error does not exceed the
         trajectory mechanisms' (it usually beats them)."""
-        results = compare_all_trajectory_mechanisms(
-            trajectories, domain, d=6, epsilon=1.5, seed=3
-        )
+        results = compare_all_trajectory_mechanisms(trajectories, domain, d=6, epsilon=1.5, seed=3)
         assert results["dam"].w2 <= results["ldptrace"].w2 + 0.05
 
 
 class TestProperties:
     """Shared-strategy properties over the seven-step comparison."""
 
-    SETTINGS = settings(
-        max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-    )
+    SETTINGS = settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
     @given(
         strategies.trajectory_sets(),

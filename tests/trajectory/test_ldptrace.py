@@ -98,9 +98,7 @@ class TestSynthesis:
 class TestProperties:
     """Shared-strategy properties: arbitrary domains, single-point inputs, overhang."""
 
-    SETTINGS = settings(
-        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-    )
+    SETTINGS = settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
     @given(
         strategies.trajectory_sets(),

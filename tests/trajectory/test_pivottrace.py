@@ -100,9 +100,7 @@ class TestPivotTrace:
 class TestProperties:
     """Shared-strategy properties: arbitrary domains, single-point inputs, overhang."""
 
-    SETTINGS = settings(
-        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-    )
+    SETTINGS = settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
     @given(
         strategies.trajectory_sets(),

@@ -42,9 +42,7 @@ PROPERTY_SETTINGS = settings(
 
 
 def _engine(draw_grid_side: int, epsilon: float, domain: SpatialDomain) -> TrajectoryEngine:
-    return TrajectoryEngine.build(
-        GridSpec(domain, draw_grid_side), epsilon, max_length=16
-    )
+    return TrajectoryEngine.build(GridSpec(domain, draw_grid_side), epsilon, max_length=16)
 
 
 class TestDifferentialFit:
@@ -67,21 +65,15 @@ class TestDifferentialFit:
         mech = engine.mechanism
         np.testing.assert_array_equal(
             model.length_distribution,
-            mech.length_oracle.estimate_frequencies(
-                reports.length_reports, reports.n_users
-            ),
+            mech.length_oracle.estimate_frequencies(reports.length_reports, reports.n_users),
         )
         np.testing.assert_array_equal(
             model.start_distribution,
-            mech.start_oracle.estimate_frequencies(
-                reports.start_reports, reports.n_users
-            ),
+            mech.start_oracle.estimate_frequencies(reports.start_reports, reports.n_users),
         )
         np.testing.assert_array_equal(
             model.direction_distribution,
-            mech.direction_oracle.estimate_frequencies(
-                reports.direction_reports, reports.n_users
-            ),
+            mech.direction_oracle.estimate_frequencies(reports.direction_reports, reports.n_users),
         )
 
     @given(
@@ -100,9 +92,7 @@ class TestDifferentialFit:
         pooled = engine.fit(trajectories, seed=seed, shard_size=2, workers=2)
         np.testing.assert_array_equal(serial.length_distribution, pooled.length_distribution)
         np.testing.assert_array_equal(serial.start_distribution, pooled.start_distribution)
-        np.testing.assert_array_equal(
-            serial.direction_distribution, pooled.direction_distribution
-        )
+        np.testing.assert_array_equal(serial.direction_distribution, pooled.direction_distribution)
 
     def test_merge_is_commutative_and_associative(self):
         rng = np.random.default_rng(0)
@@ -175,9 +165,7 @@ class TestDifferentialSynthesis:
         engine = _engine(d, epsilon, domain)
         model = engine.fit(trajectories, seed=seed)
         grid = engine.grid
-        batched = trajectory_point_distribution(
-            engine.synthesize(model, 1200, seed=seed + 1), grid
-        )
+        batched = trajectory_point_distribution(engine.synthesize(model, 1200, seed=seed + 1), grid)
         reference = trajectory_point_distribution(
             engine.synthesize_reference(model, 1200, seed=seed + 2), grid
         )
@@ -287,9 +275,7 @@ class TestSimplexSanitation:
     def test_sanitize_probability_vector_contract(self):
         out = sanitize_probability_vector(np.array([-0.5, 0.25, 0.75]))
         np.testing.assert_allclose(out, [0.0, 0.25, 0.75])
-        np.testing.assert_allclose(
-            sanitize_probability_vector(np.zeros(4)), np.full(4, 0.25)
-        )
+        np.testing.assert_allclose(sanitize_probability_vector(np.zeros(4)), np.full(4, 0.25))
         np.testing.assert_allclose(
             sanitize_probability_vector(np.array([np.nan, np.inf, 1.0])), [0, 0, 1.0]
         )

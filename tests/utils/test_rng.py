@@ -77,9 +77,7 @@ class TestSampleCategorical:
         assert values.shape == (100,)
 
     def test_degenerate_distribution(self):
-        values = sample_categorical(
-            np.random.default_rng(0), np.array([0.0, 1.0, 0.0]), size=50
-        )
+        values = sample_categorical(np.random.default_rng(0), np.array([0.0, 1.0, 0.0]), size=50)
         assert np.all(values == 1)
 
     def test_unnormalised_weights_accepted(self):
