@@ -1,0 +1,190 @@
+"""Trajectory session throughput: O(one epoch) slides vs full-window refits.
+
+Backs the acceptance criteria of the streaming trajectory subsystem:
+
+* a **window slide** (merged/subtracted count algebra + the closed-form Markov
+  model refresh) must be at least **5x** faster than a **full refit**
+  (re-reducing every stored epoch's raw oracle reports to support counts — the
+  pass a batch-and-done LDPTrace deployment re-runs on every window move — then
+  the same estimate) at matched point-density W2 against the surviving input
+  window;
+* the slid window's total must be *bit-identical* to a fresh merge over the
+  surviving epoch aggregates (the exact-inverse property the speedup rests on);
+* the per-epoch serving swap keeps the trajectory workload replay path available
+  mid-stream at serving rates.
+
+The workload is fixed (not profile-scaled) like the other throughput benches: a
+commute-shift stream sized so the ratio has comfortable margin on slow CI
+workers.  Results are recorded to ``benchmarks/results/`` and the slide speedup
+is gated against ``benchmarks/baselines/smoke.json`` in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.datasets.trajectories import commute_shift_stream
+from repro.metrics.wasserstein import wasserstein2_auto
+from repro.queries.engine import QueryLog, WorkloadReplay
+from repro.streaming import StreamingTrajectoryService
+from repro.trajectory.adapter import trajectory_point_distribution
+from repro.trajectory.engine import merge_trajectory_aggregates
+
+GRID_D = 12
+EPSILON = 4.0
+WINDOW_EPOCHS = 16
+N_EPOCHS = 24
+TRAJECTORIES_PER_EPOCH = 2_000
+MAX_LENGTH = 40
+N_SYNTHETIC = 2_000
+SLIDE_SPEEDUP_TARGET = 5.0
+#: matched accuracy: the slide path may not lose more than 25% W2 (+ absolute
+#: noise floor) to the refit path — both estimate the same windowed statistic
+#: from independently privatized reports, so they differ only by oracle noise.
+ACCURACY_HEADROOM = 1.25
+ACCURACY_FLOOR = 0.02
+
+
+@pytest.fixture(scope="module")
+def session():
+    """Run the drifting session once; collect slide/refit measurements."""
+    stream = commute_shift_stream(
+        n_epochs=N_EPOCHS,
+        trajectories_per_epoch=TRAJECTORIES_PER_EPOCH,
+        max_length=MAX_LENGTH,
+        seed=0,
+    )
+    service = StreamingTrajectoryService.build(
+        stream.domain,
+        GRID_D,
+        EPSILON,
+        max_length=MAX_LENGTH,
+        window_epochs=WINDOW_EPOCHS,
+        n_synthetic=N_SYNTHETIC,
+        seed=1,
+    )
+    engine = service.engine
+    refit_rng = np.random.default_rng(2)
+    # The refit twin stores the window's raw per-epoch oracle reports — what a
+    # batch-and-done deployment has to re-reduce on every window move.
+    stored_reports = deque(maxlen=WINDOW_EPOCHS)
+    measurements = {
+        "slide_seconds": 0.0,
+        "refit_seconds": 0.0,
+        "epochs_measured": 0,
+    }
+    refit_model = None
+    for epoch, trajectories in enumerate(stream.epochs):
+        update = service.ingest_epoch(trajectories)
+        stored_reports.append(engine.collect_reports(trajectories, seed=refit_rng))
+
+        start = time.perf_counter()
+        window_aggregate = merge_trajectory_aggregates(
+            [engine.aggregate_reports(reports) for reports in stored_reports]
+        )
+        refit_model = engine.estimate(window_aggregate)
+        refit_seconds = time.perf_counter() - start
+
+        if epoch >= WINDOW_EPOCHS:  # steady state: the window is full and sliding
+            measurements["slide_seconds"] += update.slide_seconds + update.refresh_seconds
+            measurements["refit_seconds"] += refit_seconds
+            measurements["epochs_measured"] += 1
+    measurements["service"] = service
+    measurements["stream"] = stream
+    measurements["refit_model"] = refit_model
+    return measurements
+
+
+def test_trajectory_slide_speedup(session, record_result):
+    """Slide + model refresh >= 5x faster than report re-reduction, same W2."""
+    service = session["service"]
+    stream = session["stream"]
+    engine = service.engine
+    n = session["epochs_measured"]
+    slide_ms = session["slide_seconds"] / n * 1e3
+    refit_ms = session["refit_seconds"] / n * 1e3
+    speedup = session["refit_seconds"] / session["slide_seconds"]
+
+    # Matched accuracy at the final epoch: synthesize from both models with the
+    # same seed and score each release's point density against the (non-private)
+    # surviving input window.
+    truth = trajectory_point_distribution(
+        stream.window_trajectories(N_EPOCHS - 1, WINDOW_EPOCHS), service.grid
+    )
+    slide_release = engine.synthesize(service.model, N_SYNTHETIC, seed=123)
+    refit_release = engine.synthesize(session["refit_model"], N_SYNTHETIC, seed=123)
+    slide_w2 = float(
+        wasserstein2_auto(trajectory_point_distribution(slide_release, service.grid), truth)
+    )
+    refit_w2 = float(
+        wasserstein2_auto(trajectory_point_distribution(refit_release, service.grid), truth)
+    )
+
+    record_result(
+        "streaming_trajectory_throughput",
+        "\n".join(
+            [
+                f"stream: {N_EPOCHS} epochs x {TRAJECTORIES_PER_EPOCH:,} trajectories   "
+                f"window: {WINDOW_EPOCHS} epochs   grid: {GRID_D}x{GRID_D}   "
+                f"epsilon: {EPSILON}",
+                f"window slide (algebra + model refresh): {slide_ms:.3f} ms/epoch",
+                f"full refit (report re-reduction):       {refit_ms:.3f} ms/epoch",
+                f"slide speedup: {speedup:.1f}x (target >= {SLIDE_SPEEDUP_TARGET}x)",
+                f"W2 vs surviving input window: slide {slide_w2:.4f}   "
+                f"refit {refit_w2:.4f}",
+            ]
+        ),
+        metrics={
+            "trajectory_slide_speedup": speedup,
+            "slide_ms_per_epoch": slide_ms,
+            "refit_ms_per_epoch": refit_ms,
+            "slide_w2": slide_w2,
+            "refit_w2": refit_w2,
+        },
+    )
+    # Matched accuracy first: a fast but stale/diverged window would be worthless.
+    assert slide_w2 <= refit_w2 * ACCURACY_HEADROOM + ACCURACY_FLOOR
+    assert speedup >= SLIDE_SPEEDUP_TARGET
+
+
+def test_slid_total_is_bit_identical_to_fresh_merge(session):
+    """The window total the model refresh consumes equals a fresh merge over the
+    surviving epoch aggregates byte for byte — the invariant the speedup rests on."""
+    window = session["service"].window
+    fresh = merge_trajectory_aggregates(list(window.epoch_aggregates()))
+    total = window.total
+    assert np.array_equal(total.length_counts, fresh.length_counts)
+    assert np.array_equal(total.start_counts, fresh.start_counts)
+    assert np.array_equal(total.direction_counts, fresh.direction_counts)
+    assert total.n_users == fresh.n_users
+
+
+def test_mid_stream_trajectory_serving_rates(session, record_result):
+    """The published engine serves the trajectory workload at batch-serving rates."""
+    service = session["service"]
+    log = QueryLog.random(
+        service.grid.domain,
+        n_range=20_000,
+        n_density=20_000,
+        n_od_top_k=200,
+        n_transition_top_k=200,
+        n_length_histograms=100,
+        seed=5,
+    )
+    report, answers = WorkloadReplay(service.serving).replay(log)
+    record_result(
+        "streaming_trajectory_workload_replay",
+        report.format(),
+        metrics={
+            "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+            "od_top_k_ops_per_second": report.per_kind["od_top_k"]["ops_per_second"],
+        },
+    )
+    assert report.n_operations == log.size
+    assert len(answers["od_top_k"]) == 200
+    assert report.per_kind["range_mass"]["ops_per_second"] > 50_000
+    assert report.per_kind["od_top_k"]["ops_per_second"] > 1_000

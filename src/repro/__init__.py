@@ -17,9 +17,11 @@ and baseline its evaluation depends on:
   subsystem (``QueryEngine``, ``TrajectoryQueryEngine``, ``WorkloadReplay``);
 * ``repro.trajectory`` — LDPTrace, PivotTrace, the vectorized batch engine
   (``TrajectoryEngine``) and the trajectory-to-point adapter;
-* ``repro.streaming`` — the sliding-window estimation service (``WindowedAggregator``
-  epoch algebra, warm-started incremental re-solves, atomic serving swaps) that turns
-  the batch stack into a long-lived session tracking population drift;
+* ``repro.streaming`` — the generic sliding window over the mergeable-aggregate
+  protocol (``SlidingAggregateWindow``) and the long-lived sessions built on it:
+  ``StreamingEstimationService`` (point estimates, warm-started EM) and
+  ``StreamingTrajectoryService`` (LDPTrace under movement drift), both publishing
+  through atomic serving swaps;
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
 
@@ -55,14 +57,20 @@ from repro.queries import (
     RangeQuery,
     RangeQueryWorkload,
     StreamingQueryEngine,
+    StreamingTrajectoryQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
     WorkloadReplay,
 )
-from repro.streaming import StreamingEstimationService, WindowedAggregator
+from repro.streaming import (
+    SlidingAggregateWindow,
+    StreamingEstimationService,
+    StreamingTrajectoryService,
+    WindowedAggregator,
+)
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DAMPipeline",
@@ -81,8 +89,11 @@ __all__ = [
     "QueryLog",
     "RangeQuery",
     "RangeQueryWorkload",
+    "SlidingAggregateWindow",
     "StreamingEstimationService",
     "StreamingQueryEngine",
+    "StreamingTrajectoryQueryEngine",
+    "StreamingTrajectoryService",
     "SummedAreaTable",
     "TrajectoryEngine",
     "TrajectoryQueryEngine",

@@ -1,0 +1,205 @@
+"""Relative-link checker for the repository's markdown documentation.
+
+The docs reference files (``docs/ARCHITECTURE.md``, ``benchmarks/baselines/``)
+and section anchors (``ARCHITECTURE.md#the-window-protocol``) that refactors
+silently invalidate: a renamed heading or moved file leaves a dead link that no
+test imports and no linter parses.  This module closes that gap with a small,
+dependency-free checker that CI runs over ``README.md`` and ``docs/``:
+
+* every *relative* link target (``docs/BENCHMARKS.md``, ``../benchmarks``)
+  must exist on disk, resolved against the linking file's directory;
+* every anchor (``#layer-map``, ``ARCHITECTURE.md#laws``) must match a heading
+  in the target document under GitHub's slug rules;
+* absolute URLs (``https://``, ``mailto:``) are out of scope — external
+  availability is not a property of this repository — and so are
+  *site-relative* targets that climb out of the checked tree entirely (the
+  ``../../actions/workflows`` CI badge resolves on github.com, not on disk).
+
+Links inside fenced code blocks are ignored, matching how renderers treat them.
+
+Run it directly::
+
+    python -m repro.analysis.doclinks README.md docs
+
+Directories are walked for ``*.md``; the process exits non-zero when any link
+is broken, printing one ``path:line: message`` finding per defect.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["DocLinkFinding", "check_documents", "collect_markdown", "main"]
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target "title")``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+#: Schemes whose targets live outside the repository.
+_EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+@dataclass(frozen=True)
+class DocLinkFinding:
+    """One broken link: ``path:line`` plus a human-readable reason."""
+
+    path: Path
+    line: int
+    target: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, spaces to hyphens."""
+    # Emphasis markers are markup only outside inline code spans: a literal
+    # underscore in `BENCH_*.json` survives into the slug, a *bold* star does not.
+    parts = re.split(r"`([^`]*)`", heading)  # odd indices are code-span contents
+    for index in range(0, len(parts), 2):
+        text = _LINK_RE.sub(
+            lambda m: m.group(0).split("](")[0].lstrip("!["), parts[index]
+        )
+        parts[index] = re.sub(r"[*_]", "", text)
+    text = "".join(parts).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _document_lines(path: Path) -> list[tuple[int, str]]:
+    """(line number, text) pairs with fenced code blocks blanked out."""
+    lines: list[tuple[int, str]] = []
+    in_fence = False
+    for number, text in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE_RE.match(text):
+            in_fence = not in_fence
+            continue
+        lines.append((number, "" if in_fence else text))
+    return lines
+
+
+def _anchors(path: Path) -> set[str]:
+    """Every heading anchor the document exposes, with GitHub dedup suffixes."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    for _, text in _document_lines(path):
+        match = _HEADING_RE.match(text)
+        if not match:
+            continue
+        slug = _github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _check_document(
+    path: Path, root: Path, anchor_cache: dict[Path, set[str]]
+) -> list[DocLinkFinding]:
+    findings: list[DocLinkFinding] = []
+    for number, text in _document_lines(path):
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if _EXTERNAL_RE.match(target):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.is_relative_to(root):
+                    continue  # site-relative route (e.g. the CI badge), not a file
+                if not resolved.exists():
+                    findings.append(
+                        DocLinkFinding(
+                            path,
+                            number,
+                            target,
+                            f"broken link '{target}': {file_part} does not exist "
+                            f"relative to {path.parent}",
+                        )
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if not anchor:
+                continue
+            if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                continue  # anchors into non-markdown targets are not checkable
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = _anchors(resolved)
+            if anchor.lower() not in anchor_cache[resolved]:
+                findings.append(
+                    DocLinkFinding(
+                        path,
+                        number,
+                        target,
+                        f"broken anchor '{target}': no heading in "
+                        f"{resolved.name} slugs to '#{anchor}'",
+                    )
+                )
+    return findings
+
+
+def collect_markdown(inputs: list[str | Path]) -> list[Path]:
+    """Expand files and directories (walked recursively for ``*.md``)."""
+    documents: list[Path] = []
+    for raw in inputs:
+        path = Path(raw)
+        if path.is_dir():
+            documents.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            documents.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return documents
+
+
+def check_documents(
+    inputs: list[str | Path], *, root: str | Path | None = None
+) -> list[DocLinkFinding]:
+    """Check every markdown document reachable from ``inputs``; return findings.
+
+    ``root`` bounds the checkable tree — relative targets resolving outside it
+    are treated as site-relative web routes and skipped.  It defaults to the
+    deepest common directory of ``inputs`` (the repository root when invoked as
+    ``python -m repro.analysis.doclinks README.md docs`` from a checkout).
+    """
+    documents = collect_markdown(inputs)
+    if root is None:
+        directories = [
+            path if path.is_dir() else path.parent
+            for path in (Path(raw).resolve() for raw in inputs)
+        ]
+        root = Path(os.path.commonpath([str(directory) for directory in directories]))
+    root = Path(root).resolve()
+    anchor_cache: dict[Path, set[str]] = {}
+    findings: list[DocLinkFinding] = []
+    for document in documents:
+        findings.extend(_check_document(document, root, anchor_cache))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if not arguments:
+        print("usage: python -m repro.analysis.doclinks <file-or-directory> ...")
+        return 2
+    try:
+        findings = check_documents(list(arguments))
+    except FileNotFoundError as error:
+        print(str(error))
+        return 2
+    for finding in findings:
+        print(finding.format())
+    n_documents = len(collect_markdown(list(arguments)))
+    status = f"{len(findings)} broken link(s)" if findings else "all links resolve"
+    print(f"doclinks: {n_documents} document(s) checked, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

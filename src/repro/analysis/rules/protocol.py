@@ -8,12 +8,17 @@ protocol:
   ``state(self)`` snapshot — ``subtract`` without ``merge`` (or ``merge``
   without ``state``) means the window algebra silently cannot retire or
   checkpoint the class;
-* functional aggregates: ``merged(self, other)``;
+* functional aggregates (the generic-window protocol of
+  :mod:`repro.streaming.protocol`): ``merged(self, other)`` and its exact inverse
+  ``subtracted(self, other)``, plus the decay pair ``scaled(self, factor)`` /
+  ``clamped(self)`` — ``subtracted`` without ``merged`` means a
+  ``SlidingAggregateWindow`` can never have merged what it is asked to retire;
 * shard runners: ``run_shard(self, task)``; spec classes (``*Spec``) build one
   via ``build(self)``.
 
 Signature drift here does not fail fast — it surfaces later as a bit-identity
-break between serial and sharded runs — so the exact shapes are linted.
+break between serial and sharded runs (or a window whose slide silently stops
+being the exact inverse of its merge) — so the exact shapes are linted.
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ _EXACT_SIGNATURES = {
     "merge": ("self", "other"),
     "subtract": ("self", "other"),
     "merged": ("self", "other"),
+    "subtracted": ("self", "other"),
+    "scaled": ("self", "factor"),
+    "clamped": ("self",),
     "run_shard": ("self", "task"),
 }
 
@@ -45,8 +53,8 @@ def _has_star_args(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
 class AggregateProtocolRule:
     rule_id = "agg-protocol"
     description = (
-        "merge/subtract/state/merged/run_shard signatures must match the "
-        "sharded-execution and windowed-aggregation protocols exactly"
+        "merge/subtract/state and merged/subtracted/scaled/clamped signatures "
+        "must match the sharded-execution and generic-window protocols exactly"
     )
 
     def check(self, context: ModuleContext) -> list[Finding]:
@@ -90,6 +98,15 @@ class AggregateProtocolRule:
                     methods["subtract"],
                     f"{cls.name} defines subtract() without merge(): the windowed "
                     "aggregator cannot retire shards it never merged",
+                )
+            )
+        if "subtracted" in methods and "merged" not in methods:
+            findings.append(
+                context.finding(
+                    self.rule_id,
+                    methods["subtracted"],
+                    f"{cls.name} defines subtracted() without merged(): a sliding "
+                    "window can never have merged the epoch it is asked to retire",
                 )
             )
         if "merge" in methods and "state" not in methods:

@@ -36,14 +36,20 @@ Two subcommands cover the common workflows without writing Python:
     Figure 14).  ``--workers`` shards the fit's report collection.
 
 ``python -m repro stream``
-    The streaming session: generate a drifting scenario (shifting hotspot,
-    appearing/vanishing cluster or diurnal mixture), run the sliding-window
-    :class:`~repro.streaming.StreamingEstimationService` over its epochs — sharded
-    per-epoch privatization (``--workers``), O(one epoch) window slides
-    (``--window``, ``--decay``) and warm-started EM re-solves — and report the
-    per-epoch drift-tracking error, iteration counts and timings.  ``--save-log``
-    persists the session as a replayable JSON log; ``--replay`` re-runs a saved
-    log's exact configuration and diffs the two sessions.
+    The streaming session: generate a drifting scenario and run a sliding-window
+    service over its epochs.  ``--workload point`` (default) streams point reports
+    (shifting hotspot, appearing/vanishing cluster or diurnal mixture) through the
+    :class:`~repro.streaming.StreamingEstimationService` — sharded per-epoch
+    privatization (``--workers``), O(one epoch) window slides (``--window``,
+    ``--decay``) and warm-started EM re-solves — reporting the per-epoch
+    drift-tracking error, iteration counts and timings.  ``--workload trajectory``
+    streams whole trajectories (commute shift, event surge or route closure)
+    through the :class:`~repro.streaming.StreamingTrajectoryService`, refreshing
+    the LDPTrace Markov model from the slid window's counts and publishing a fresh
+    synthetic release each epoch, reporting the per-epoch point-density W2 against
+    the surviving input window.  ``--save-log`` persists either session as a
+    replayable JSON log; ``--replay`` re-runs a saved log's exact configuration
+    and diffs the two sessions.
 
 ``python -m repro lint``
     Run the :mod:`repro.analysis` static-analysis rules (privacy-flow taint, RNG
@@ -70,7 +76,7 @@ from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
 from repro.datasets.loader import DATASET_NAMES, load_dataset
 from repro.datasets.synthetic import DRIFT_SCENARIOS
-from repro.datasets.trajectories import generate_trajectories
+from repro.datasets.trajectories import TRAJECTORY_DRIFT_SCENARIOS, generate_trajectories
 from repro.experiments.config import laptop_config, smoke_config
 from repro.experiments.export import sweep_to_csv, sweep_to_json, sweep_to_markdown
 from repro.experiments.figures import (
@@ -90,7 +96,7 @@ from repro.queries.engine import (
     WorkloadReplay,
 )
 from repro.queries.range_query import RangeQuery, RangeQueryWorkload
-from repro.streaming import StreamingEstimationService
+from repro.streaming import StreamingEstimationService, StreamingTrajectoryService
 from repro.trajectory.adapter import (
     compare_trajectory_mechanism,
     trajectory_point_distribution,
@@ -335,11 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
         "stream", help="run the sliding-window streaming service on a drifting scenario"
     )
     stream.add_argument(
+        "--workload",
+        choices=("point", "trajectory"),
+        default="point",
+        help="stream point reports through the EM service or trajectory "
+             "reports through the LDPTrace service (default point)",
+    )
+    stream.add_argument(
         "--scenario",
-        choices=sorted(DRIFT_SCENARIOS),
-        default="shifting-hotspot",
-        help="drift shape of the generated report stream "
-             "(default shifting-hotspot)",
+        choices=sorted(DRIFT_SCENARIOS) + sorted(TRAJECTORY_DRIFT_SCENARIOS),
+        default=None,
+        help="drift shape of the generated stream (default shifting-hotspot "
+             "for --workload point, commute-shift for --workload trajectory)",
     )
     stream.add_argument(
         "--epochs",
@@ -351,7 +364,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--users-per-epoch",
         type=int,
         default=2000,
-        help="reports arriving per epoch (default 2000)",
+        help="reports arriving per epoch (point workload; default 2000)",
+    )
+    stream.add_argument(
+        "--trajectories-per-epoch",
+        type=int,
+        default=500,
+        help="trajectories arriving per epoch (trajectory workload; default 500)",
+    )
+    stream.add_argument(
+        "--max-length",
+        type=int,
+        default=30,
+        help="maximum trajectory length in the generated stream "
+             "(trajectory workload; default 30)",
+    )
+    stream.add_argument(
+        "--n-synthetic",
+        type=int,
+        default=500,
+        help="synthetic trajectories published per epoch "
+             "(trajectory workload; default 500)",
     )
     stream.add_argument(
         "--window", type=int, default=8, help="sliding-window length in epochs (default 8)"
@@ -703,6 +736,51 @@ def _stream_session(config: dict) -> tuple[dict, list[dict]]:
     return config, records
 
 
+def _stream_trajectory_session(config: dict) -> tuple[dict, list[dict]]:
+    """Run one trajectory streaming session from a plain config dict.
+
+    The trajectory twin of :func:`_stream_session`: drives the
+    :class:`~repro.streaming.StreamingTrajectoryService` over a drifting movement
+    scenario and scores each published release's point density against the
+    (non-private) surviving window of input trajectories.
+    """
+    stream = TRAJECTORY_DRIFT_SCENARIOS[config["scenario"]](
+        n_epochs=config["epochs"],
+        trajectories_per_epoch=config["trajectories_per_epoch"],
+        max_length=config["max_length"],
+        seed=config["seed"],
+    )
+    service = StreamingTrajectoryService.build(
+        stream.domain,
+        config["d"],
+        config["epsilon"],
+        max_length=config["max_length"],
+        window_epochs=config["window"],
+        decay=config["decay"],
+        n_synthetic=config["n_synthetic"],
+        workers=config["workers"],
+        seed=config["seed"] + 1,
+    )
+    records = []
+    for epoch_index, trajectories in enumerate(stream.epochs):
+        update = service.ingest_epoch(trajectories)
+        truth = trajectory_point_distribution(
+            stream.window_trajectories(epoch_index, config["window"]), service.grid
+        )
+        w2 = wasserstein2_auto(service.serving.estimate, truth)
+        records.append(
+            {
+                "epoch": update.epoch,
+                "n_users_epoch": update.n_users_epoch,
+                "n_users_window": update.n_users_window,
+                "w2": float(w2),
+                "slide_ms": (update.slide_seconds + update.refresh_seconds) * 1e3,
+                "publish_ms": update.publish_seconds * 1e3,
+            }
+        )
+    return config, records
+
+
 def _run_stream(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
@@ -710,15 +788,29 @@ def _run_stream(args) -> int:
         raise SystemExit("--epochs must be a positive integer")
     if args.users_per_epoch < 1:
         raise SystemExit("--users-per-epoch must be a positive integer")
+    if args.trajectories_per_epoch < 1:
+        raise SystemExit("--trajectories-per-epoch must be a positive integer")
+    if args.n_synthetic < 1:
+        raise SystemExit("--n-synthetic must be a positive integer")
     if args.window < 1:
         raise SystemExit("--window must be a positive integer")
     if args.decay is not None and not 0.0 < args.decay <= 1.0:
         raise SystemExit("--decay must lie in (0, 1]")
+    scenarios = DRIFT_SCENARIOS if args.workload == "point" else TRAJECTORY_DRIFT_SCENARIOS
+    scenario = args.scenario
+    if scenario is None:
+        scenario = "shifting-hotspot" if args.workload == "point" else "commute-shift"
+    if scenario not in scenarios:
+        raise SystemExit(
+            f"--scenario {scenario} belongs to the other workload; "
+            f"--workload {args.workload} offers: {', '.join(sorted(scenarios))}"
+        )
     if args.replay is not None:
         config = json.loads(Path(args.replay).read_text())["config"]
-    else:
+    elif args.workload == "point":
         config = {
-            "scenario": args.scenario,
+            "workload": "point",
+            "scenario": scenario,
             "epochs": args.epochs,
             "users_per_epoch": args.users_per_epoch,
             "window": args.window,
@@ -731,23 +823,56 @@ def _run_stream(args) -> int:
             "warm_start": not args.cold_start,
             "seed": args.seed,
         }
-    print(f"scenario: {config['scenario']}   epochs: {config['epochs']} x "
-          f"{config['users_per_epoch']} users   window: {config['window']} epochs"
+    else:
+        config = {
+            "workload": "trajectory",
+            "scenario": scenario,
+            "epochs": args.epochs,
+            "trajectories_per_epoch": args.trajectories_per_epoch,
+            "max_length": args.max_length,
+            "n_synthetic": args.n_synthetic,
+            "window": args.window,
+            "decay": args.decay,
+            "epsilon": args.epsilon,
+            "d": args.d,
+            "workers": args.workers,
+            "seed": args.seed,
+        }
+    # Logs written before the trajectory workload existed carry no key: point.
+    workload = config.get("workload", "point")
+    if workload == "point":
+        size = f"{config['epochs']} x {config['users_per_epoch']} users"
+    else:
+        size = f"{config['epochs']} x {config['trajectories_per_epoch']} trajectories"
+    print(f"workload: {workload}   scenario: {config['scenario']}   epochs: {size}"
+          f"   window: {config['window']} epochs"
           + (f"   decay: {config['decay']}" if config["decay"] else "")
           + f"   epsilon: {config['epsilon']}   d: {config['d']}   "
           f"workers: {config['workers']}")
     start = time.perf_counter()
-    config, records = _stream_session(config)
+    if workload == "point":
+        config, records = _stream_session(config)
+    else:
+        config, records = _stream_trajectory_session(config)
     elapsed = time.perf_counter() - start
-    print(f"{'epoch':>5} {'users(win)':>11} {'EM iters':>8} {'MAE':>9} {'slide ms':>9}")
-    for record in records:
-        print(f"{record['epoch']:>5} {record['n_users_window']:>11.0f} "
-              f"{record['iterations']:>8} {record['mae']:>9.5f} "
-              f"{record['slide_ms']:>9.2f}")
-    mean_mae = float(np.mean([r["mae"] for r in records]))
-    total_iterations = sum(r["iterations"] for r in records)
-    print(f"mean MAE: {mean_mae:.5f}   total EM iterations: {total_iterations}   "
-          f"{len(records) / elapsed:.1f} epochs/s")
+    if workload == "point":
+        print(f"{'epoch':>5} {'users(win)':>11} {'EM iters':>8} {'MAE':>9} {'slide ms':>9}")
+        for record in records:
+            print(f"{record['epoch']:>5} {record['n_users_window']:>11.0f} "
+                  f"{record['iterations']:>8} {record['mae']:>9.5f} "
+                  f"{record['slide_ms']:>9.2f}")
+        mean_mae = float(np.mean([r["mae"] for r in records]))
+        total_iterations = sum(r["iterations"] for r in records)
+        print(f"mean MAE: {mean_mae:.5f}   total EM iterations: {total_iterations}   "
+              f"{len(records) / elapsed:.1f} epochs/s")
+    else:
+        print(f"{'epoch':>5} {'users(win)':>11} {'W2':>9} {'slide ms':>9} {'publish ms':>10}")
+        for record in records:
+            print(f"{record['epoch']:>5} {record['n_users_window']:>11.0f} "
+                  f"{record['w2']:>9.4f} {record['slide_ms']:>9.2f} "
+                  f"{record['publish_ms']:>10.2f}")
+        mean_w2 = float(np.mean([r["w2"] for r in records]))
+        print(f"mean W2: {mean_w2:.4f}   {len(records) / elapsed:.1f} epochs/s")
     if args.replay is not None:
         logged = json.loads(Path(args.replay).read_text())["epochs"]
         if len(logged) != len(records):
@@ -755,15 +880,21 @@ def _run_stream(args) -> int:
                 f"replay mismatch: log has {len(logged)} epochs, session produced "
                 f"{len(records)}"
             )
-        max_mae_drift = max(
-            abs(new["mae"] - old["mae"]) for new, old in zip(records, logged)
-        )
-        iterations_match = all(
-            new["iterations"] == old["iterations"]
-            for new, old in zip(records, logged)
-        )
-        print(f"replay of {args.replay}: max |MAE - logged| = {max_mae_drift:.2e}   "
-              f"iterations {'identical' if iterations_match else 'DIFFER'}")
+        if workload == "point":
+            max_drift = max(
+                abs(new["mae"] - old["mae"]) for new, old in zip(records, logged)
+            )
+            iterations_match = all(
+                new["iterations"] == old["iterations"]
+                for new, old in zip(records, logged)
+            )
+            print(f"replay of {args.replay}: max |MAE - logged| = {max_drift:.2e}   "
+                  f"iterations {'identical' if iterations_match else 'DIFFER'}")
+        else:
+            max_drift = max(
+                abs(new["w2"] - old["w2"]) for new, old in zip(records, logged)
+            )
+            print(f"replay of {args.replay}: max |W2 - logged| = {max_drift:.2e}")
     if args.save_log is not None:
         args.save_log.write_text(
             json.dumps({"config": config, "epochs": records}, indent=2) + "\n"

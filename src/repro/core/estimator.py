@@ -262,16 +262,82 @@ class ShardAggregate:
     processes can ship their shard's aggregate back to the coordinator cheaply; the
     coordinator folds any number of these into one aggregator with
     :meth:`StreamingAggregator.merge` before a single estimation solve.
+
+    The class is also the point-mechanism implementation of the *functional*
+    mergeable-aggregate protocol (:mod:`repro.streaming.protocol`):
+    :meth:`merged` / :meth:`subtracted` return new aggregates and are exact
+    inverses of each other (integer-valued float counts below ``2**53`` add and
+    subtract exactly), and :meth:`scaled` / :meth:`clamped` supply the decayed
+    sliding-window variant.  ``n_users`` stays an ``int`` whenever its value is
+    integral and becomes a ``float`` only for decay-weighted aggregates.
     """
 
     noisy_counts: np.ndarray
     true_cell_counts: np.ndarray
-    n_users: int
+    n_users: int | float
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "noisy_counts", np.asarray(self.noisy_counts, dtype=float))
         object.__setattr__(self, "true_cell_counts", np.asarray(self.true_cell_counts, dtype=float))
-        object.__setattr__(self, "n_users", int(self.n_users))
+        users = float(self.n_users)
+        object.__setattr__(self, "n_users", int(users) if users.is_integer() else users)
+
+    def _check_algebra(self, other: "ShardAggregate", verb: str) -> None:
+        if not isinstance(other, ShardAggregate):
+            raise TypeError(f"{verb} expects a ShardAggregate, got {type(other).__name__}")
+        if other.noisy_counts.shape != self.noisy_counts.shape:
+            raise ValueError(
+                f"cannot {verb} aggregates: noisy-count histograms have shapes "
+                f"{other.noisy_counts.shape} vs {self.noisy_counts.shape} "
+                "(different mechanisms or output domains?)"
+            )
+        if other.true_cell_counts.shape != self.true_cell_counts.shape:
+            raise ValueError(
+                f"cannot {verb} aggregates: true-cell histograms have shapes "
+                f"{other.true_cell_counts.shape} vs {self.true_cell_counts.shape} "
+                "(different grids?)"
+            )
+
+    def merged(self, other: "ShardAggregate") -> "ShardAggregate":
+        """A new aggregate folding ``other``'s counts in (commutative/associative)."""
+        self._check_algebra(other, "merge")
+        return ShardAggregate(
+            noisy_counts=self.noisy_counts + other.noisy_counts,
+            true_cell_counts=self.true_cell_counts + other.true_cell_counts,
+            n_users=self.n_users + other.n_users,
+        )
+
+    def subtracted(self, other: "ShardAggregate") -> "ShardAggregate":
+        """The exact inverse of :meth:`merged` — pure count algebra, no guard.
+
+        ``a.merged(b).subtracted(b)`` is bit-identical to ``a``.  Unlike
+        :meth:`StreamingAggregator.subtract` this does not reject counts that were
+        never merged: the decayed sliding window legitimately subtracts scaled
+        epochs from decayed totals, where tiny negative float residues are
+        expected and cleaned up by :meth:`clamped`.
+        """
+        self._check_algebra(other, "subtract")
+        return ShardAggregate(
+            noisy_counts=self.noisy_counts - other.noisy_counts,
+            true_cell_counts=self.true_cell_counts - other.true_cell_counts,
+            n_users=self.n_users - other.n_users,
+        )
+
+    def scaled(self, factor: float) -> "ShardAggregate":
+        """A new aggregate with every count multiplied by ``factor`` (decay weight)."""
+        return ShardAggregate(
+            noisy_counts=self.noisy_counts * factor,
+            true_cell_counts=self.true_cell_counts * factor,
+            n_users=self.n_users * factor,
+        )
+
+    def clamped(self) -> "ShardAggregate":
+        """A new aggregate with negative float-decay residues clamped to zero."""
+        return ShardAggregate(
+            noisy_counts=np.clip(self.noisy_counts, 0.0, None),
+            true_cell_counts=np.clip(self.true_cell_counts, 0.0, None),
+            n_users=max(self.n_users, 0),
+        )
 
 
 class StreamingAggregator:

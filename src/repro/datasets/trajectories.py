@@ -154,3 +154,300 @@ def generate_trajectories(
             "max_length": max_length,
         },
     )
+
+
+# --------------------------------------------------------------------- streams
+@dataclass
+class DriftingTrajectoryStream:
+    """A sequence of per-epoch trajectory sets whose movement patterns drift.
+
+    The trajectory analogue of :class:`~repro.datasets.synthetic.DriftingStream`
+    and the input of :class:`~repro.streaming.trajectory.StreamingTrajectoryService`:
+    ``epochs[e]`` holds the trajectories (each an ``(len, 2)`` point array) collected
+    during epoch ``e``.  Generators are deterministic given a seed, so a stream can
+    be regenerated exactly from its ``parameters`` — which keeps the
+    ``repro stream --workload trajectory`` session logs replayable.
+    """
+
+    name: str
+    domain: SpatialDomain
+    epochs: list[list[np.ndarray]]
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    def window_trajectories(self, end: int, window_epochs: int) -> list[np.ndarray]:
+        """All trajectories of the hard window ending at epoch ``end`` (inclusive)."""
+        if not 0 <= end < self.n_epochs:
+            raise ValueError(f"end must lie in [0, {self.n_epochs}), got {end}")
+        start = max(0, end - window_epochs + 1)
+        return [t for epoch in self.epochs[start : end + 1] for t in epoch]
+
+
+def _biased_walk_epoch(
+    rng: np.random.Generator,
+    n: int,
+    domain: SpatialDomain,
+    origins: np.ndarray,
+    destinations: np.ndarray,
+    origin_choice: np.ndarray,
+    *,
+    min_length: int,
+    max_length: int,
+    origin_std: float,
+    pull: float,
+    noise_std: float,
+    blocked_band: tuple[float, float] | None = None,
+) -> list[np.ndarray]:
+    """One epoch of biased random walks from sampled origins toward destinations.
+
+    Each trajectory starts Gaussian-spread around its origin and every step moves a
+    ``pull`` fraction of the remaining displacement toward the destination plus
+    isotropic noise, clipped to the domain — a cheap but spatially coherent commute
+    model whose OD structure the LDPTrace oracles can recover.  With ``blocked_band``
+    set to an ``(x_lo, x_hi)`` vertical corridor, any step that would land inside the
+    band keeps its previous x (the "road closed" detour: flows squeeze around the
+    band's ends instead of crossing it).
+    """
+    lengths = rng.integers(min_length, max_length + 1, size=n)
+    which = rng.choice(origin_choice.shape[0], size=n, p=origin_choice)
+    starts = origins[which] + origin_std * rng.standard_normal((n, 2))
+    starts = domain.clip(starts)
+    targets = destinations[which]
+    trajectories: list[np.ndarray] = []
+    for i in range(n):
+        length = int(lengths[i])
+        points = np.empty((length, 2))
+        points[0] = starts[i]
+        position = starts[i].copy()
+        for step in range(1, length):
+            proposal = (
+                position
+                + pull * (targets[i] - position)
+                + noise_std * rng.standard_normal(2)
+            )
+            proposal = domain.clip(proposal[None, :])[0]
+            if blocked_band is not None and blocked_band[0] < proposal[0] < blocked_band[1]:
+                proposal[0] = position[0]
+            position = proposal
+            points[step] = position
+        trajectories.append(points)
+    return trajectories
+
+
+def commute_shift_stream(
+    n_epochs: int = 20,
+    trajectories_per_epoch: int = 500,
+    *,
+    home: tuple[float, float] = (0.2, 0.2),
+    work: tuple[float, float] = (0.8, 0.8),
+    min_length: int = 2,
+    max_length: int = 30,
+    seed=None,
+) -> DriftingTrajectoryStream:
+    """Morning commute reversing into an evening commute over the stream.
+
+    Early epochs are dominated by home-to-work trajectories; the mix ramps linearly
+    until late epochs are dominated by the reverse work-to-home flow.  The OD
+    matrix's principal direction flips — the smooth movement-drift analogue of
+    ``shifting_hotspot_stream``, and the regime where a sliding window tracks what a
+    from-scratch batch fit smears.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    if trajectories_per_epoch < 0:
+        raise ValueError(
+            f"trajectories_per_epoch must be non-negative, got {trajectories_per_epoch}"
+        )
+    if not 1 <= min_length <= max_length:
+        raise ValueError(f"invalid length range [{min_length}, {max_length}]")
+    rng = ensure_rng(seed)
+    domain = SpatialDomain.unit("commute-shift")
+    home_arr, work_arr = np.asarray(home, float), np.asarray(work, float)
+    origins = np.vstack([home_arr, work_arr])
+    destinations = np.vstack([work_arr, home_arr])
+    epochs = []
+    for epoch in range(n_epochs):
+        t = epoch / (n_epochs - 1) if n_epochs > 1 else 0.0
+        reverse_frac = 0.1 + 0.8 * t
+        epochs.append(
+            _biased_walk_epoch(
+                rng,
+                trajectories_per_epoch,
+                domain,
+                origins,
+                destinations,
+                np.array([1.0 - reverse_frac, reverse_frac]),
+                min_length=min_length,
+                max_length=max_length,
+                origin_std=0.05,
+                pull=0.15,
+                noise_std=0.03,
+            )
+        )
+    return DriftingTrajectoryStream(
+        name="commute-shift",
+        domain=domain,
+        epochs=epochs,
+        parameters={
+            "n_epochs": n_epochs,
+            "trajectories_per_epoch": trajectories_per_epoch,
+            "home": tuple(home),
+            "work": tuple(work),
+            "min_length": min_length,
+            "max_length": max_length,
+        },
+    )
+
+
+def event_surge_stream(
+    n_epochs: int = 20,
+    trajectories_per_epoch: int = 500,
+    *,
+    venue: tuple[float, float] = (0.5, 0.75),
+    surge_at: float = 0.3,
+    disperse_at: float = 0.8,
+    min_length: int = 2,
+    max_length: int = 30,
+    seed=None,
+) -> DriftingTrajectoryStream:
+    """A stadium event: background flows, then a surge of trajectories into a venue.
+
+    The fraction of trajectories heading to the venue ramps from zero at fraction
+    ``surge_at`` of the stream to a peak and back to zero by ``disperse_at`` — the
+    abrupt movement-structure change (all inflow converging on one destination cell)
+    that stresses a window's forgetting, mirroring ``appearing_cluster_stream``.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    if not 0.0 <= surge_at < disperse_at <= 1.0:
+        raise ValueError(f"need 0 <= surge_at < disperse_at <= 1, got {surge_at}, {disperse_at}")
+    if not 1 <= min_length <= max_length:
+        raise ValueError(f"invalid length range [{min_length}, {max_length}]")
+    rng = ensure_rng(seed)
+    domain = SpatialDomain.unit("event-surge")
+    venue_arr = np.asarray(venue, float)
+    corners = np.array([[0.15, 0.15], [0.85, 0.15], [0.15, 0.85], [0.85, 0.85]])
+    origins = np.vstack([corners, corners])
+    # Background trips cross to the opposite corner; surge trips head to the venue.
+    destinations = np.vstack([corners[::-1], np.tile(venue_arr, (4, 1))])
+    peak = (surge_at + disperse_at) / 2.0
+    epochs = []
+    for epoch in range(n_epochs):
+        t = epoch / (n_epochs - 1) if n_epochs > 1 else 0.0
+        if t <= surge_at or t >= disperse_at:
+            surge_weight = 0.0
+        elif t <= peak:
+            surge_weight = (t - surge_at) / (peak - surge_at)
+        else:
+            surge_weight = (disperse_at - t) / (disperse_at - peak)
+        per_origin = np.full(4, (1.0 - surge_weight) / 4.0)
+        per_surge = np.full(4, surge_weight / 4.0)
+        epochs.append(
+            _biased_walk_epoch(
+                rng,
+                trajectories_per_epoch,
+                domain,
+                origins,
+                destinations,
+                np.concatenate([per_origin, per_surge]),
+                min_length=min_length,
+                max_length=max_length,
+                origin_std=0.05,
+                pull=0.15,
+                noise_std=0.03,
+            )
+        )
+    return DriftingTrajectoryStream(
+        name="event-surge",
+        domain=domain,
+        epochs=epochs,
+        parameters={
+            "n_epochs": n_epochs,
+            "trajectories_per_epoch": trajectories_per_epoch,
+            "venue": tuple(venue),
+            "surge_at": surge_at,
+            "disperse_at": disperse_at,
+            "min_length": min_length,
+            "max_length": max_length,
+        },
+    )
+
+
+def route_closure_stream(
+    n_epochs: int = 20,
+    trajectories_per_epoch: int = 500,
+    *,
+    band: tuple[float, float] = (0.45, 0.55),
+    close_at: float = 0.3,
+    reopen_at: float = 0.7,
+    min_length: int = 2,
+    max_length: int = 30,
+    seed=None,
+) -> DriftingTrajectoryStream:
+    """East-west commutes with a vertical corridor that closes and reopens.
+
+    While the stream fraction lies in ``[close_at, reopen_at)`` the ``band``
+    (an ``(x_lo, x_hi)`` strip) rejects any step landing inside it, so crossing
+    flows detour around its ends — the transition matrix loses its central columns
+    and regains them on reopen.  The recurring-disruption scenario that
+    exponential-decay windows are tuned against.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    if not 0.0 <= close_at < reopen_at <= 1.0:
+        raise ValueError(f"need 0 <= close_at < reopen_at <= 1, got {close_at}, {reopen_at}")
+    if not band[0] < band[1]:
+        raise ValueError(f"band must be an (x_lo, x_hi) pair with x_lo < x_hi, got {band}")
+    if not 1 <= min_length <= max_length:
+        raise ValueError(f"invalid length range [{min_length}, {max_length}]")
+    rng = ensure_rng(seed)
+    domain = SpatialDomain.unit("route-closure")
+    west = np.array([[0.1, 0.3], [0.1, 0.7]])
+    east = np.array([[0.9, 0.3], [0.9, 0.7]])
+    origins = np.vstack([west, east])
+    destinations = np.vstack([east, west])
+    epochs = []
+    for epoch in range(n_epochs):
+        t = epoch / (n_epochs - 1) if n_epochs > 1 else 0.0
+        closed = close_at <= t < reopen_at
+        epochs.append(
+            _biased_walk_epoch(
+                rng,
+                trajectories_per_epoch,
+                domain,
+                origins,
+                destinations,
+                np.full(4, 0.25),
+                min_length=min_length,
+                max_length=max_length,
+                origin_std=0.05,
+                pull=0.12,
+                noise_std=0.03,
+                blocked_band=tuple(band) if closed else None,
+            )
+        )
+    return DriftingTrajectoryStream(
+        name="route-closure",
+        domain=domain,
+        epochs=epochs,
+        parameters={
+            "n_epochs": n_epochs,
+            "trajectories_per_epoch": trajectories_per_epoch,
+            "band": tuple(band),
+            "close_at": close_at,
+            "reopen_at": reopen_at,
+            "min_length": min_length,
+            "max_length": max_length,
+        },
+    )
+
+
+#: Scenario registry used by ``repro stream --workload trajectory``.
+TRAJECTORY_DRIFT_SCENARIOS = {
+    "commute-shift": commute_shift_stream,
+    "event-surge": event_surge_stream,
+    "route-closure": route_closure_stream,
+}

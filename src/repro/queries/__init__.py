@@ -10,9 +10,10 @@ The serving path lives in :mod:`repro.queries.engine`: a
 :class:`SummedAreaTable` gives every engine O(1) rectangle sums, the
 :class:`QueryEngine` façade serves the mixed analyst workload (range mass, point
 density, top-k hotspots, marginals, quantile contours),
-:class:`StreamingQueryEngine` swaps in each epoch's fresh estimate atomically for
-mid-stream serving, and :class:`WorkloadReplay` replays persisted :class:`QueryLog`
-traffic while measuring latency and throughput.
+:class:`StreamingQueryEngine` and :class:`StreamingTrajectoryQueryEngine` swap in
+each epoch's fresh estimate atomically for mid-stream serving, and
+:class:`WorkloadReplay` replays persisted :class:`QueryLog` traffic while
+measuring latency and throughput.
 """
 
 from repro.queries.engine import (
@@ -22,6 +23,7 @@ from repro.queries.engine import (
     QueryLog,
     ReplayReport,
     StreamingQueryEngine,
+    StreamingTrajectoryQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
     TrajectoryTopK,
@@ -47,6 +49,7 @@ __all__ = [
     "RangeQueryWorkload",
     "ReplayReport",
     "StreamingQueryEngine",
+    "StreamingTrajectoryQueryEngine",
     "SummedAreaTable",
     "TrajectoryQueryEngine",
     "TrajectoryTopK",

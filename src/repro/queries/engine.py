@@ -338,6 +338,48 @@ class StreamingQueryEngine:
         return self.snapshot().quantile_contours(levels)
 
 
+class StreamingTrajectoryQueryEngine(StreamingQueryEngine):
+    """Atomic-swap serving for trajectory sessions.
+
+    The trajectory twin of :class:`StreamingQueryEngine`:
+    :meth:`refresh_trajectories` builds a complete
+    :class:`TrajectoryQueryEngine` — point mass, summed-area table, OD and
+    transition pair tables — from a fresh synthetic trajectory set *before*
+    publishing it with a single attribute store, so analyst queries running
+    mid-stream never observe a half-updated window.  On top of the full point
+    surface it delegates the three sequence-aware operations, which is what lets
+    :class:`WorkloadReplay` drive a mixed point+trajectory log against a live
+    :class:`repro.streaming.trajectory.StreamingTrajectoryService` unchanged.
+    """
+
+    def refresh_trajectories(
+        self, trajectories: list, grid, *, epoch: int | None = None
+    ) -> TrajectoryQueryEngine:
+        """Publish a new synthetic trajectory set; returns the engine now serving."""
+        engine = TrajectoryQueryEngine(trajectories, grid)
+        self._engine = engine
+        self.epoch = epoch
+        return engine
+
+    def od_top_k(self, k: int) -> "TrajectoryTopK":
+        return self.snapshot().od_top_k(k)
+
+    def transition_top_k(self, k: int) -> "TrajectoryTopK":
+        return self.snapshot().transition_top_k(k)
+
+    def length_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        return self.snapshot().length_histogram(bins)
+
+    def snapshot(self) -> "TrajectoryQueryEngine":
+        engine = super().snapshot()
+        if not isinstance(engine, TrajectoryQueryEngine):
+            raise RuntimeError(
+                "the published engine is not a TrajectoryQueryEngine; publish "
+                "through refresh_trajectories() rather than refresh()"
+            )
+        return engine
+
+
 # ------------------------------------------------------------------ trajectory
 @dataclass(frozen=True)
 class TrajectoryTopK:
@@ -484,13 +526,24 @@ class QueryLog:
         )
 
     @property
+    def trajectory_operation_counts(self) -> dict[str, int]:
+        """Per-kind counts of the log's trajectory operations (zero kinds omitted).
+
+        Feeds the replay fail-fast message, so a mixed point+trajectory session
+        log rejected by a point-only engine says exactly which op kinds need the
+        trajectory surface.
+        """
+        counts = {
+            "od_top_k": int(self.od_top_k.shape[0]),
+            "transition_top_k": int(self.transition_top_k.shape[0]),
+            "length_histogram": int(self.length_histogram_bins.shape[0]),
+        }
+        return {kind: count for kind, count in counts.items() if count}
+
+    @property
     def has_trajectory_operations(self) -> bool:
         """Whether the log needs a :class:`TrajectoryQueryEngine` to replay fully."""
-        return bool(
-            self.od_top_k.shape[0]
-            or self.transition_top_k.shape[0]
-            or self.length_histogram_bins.shape[0]
-        )
+        return bool(self.trajectory_operation_counts)
 
     def save(self, path) -> None:
         """Persist the log as a compressed ``.npz`` archive."""
@@ -644,12 +697,23 @@ class WorkloadReplay:
         compared across engine versions (regression harnesses diff them).
         """
         # Fail fast: a log that needs sequence statistics must not burn through the
-        # whole point workload before discovering the engine cannot serve it.
-        if log.has_trajectory_operations and not isinstance(self.engine, TrajectoryQueryEngine):
-            raise TypeError(
-                "this query log contains trajectory operations (OD/transition top-k "
-                "or length histograms); replay it against a TrajectoryQueryEngine"
-            )
+        # whole point workload before discovering the engine cannot serve it.  The
+        # check is structural (not an isinstance) so the streaming swap façade —
+        # which delegates rather than subclasses TrajectoryQueryEngine — replays
+        # mixed workloads mid-stream.
+        if log.has_trajectory_operations:
+            required = ("od_top_k", "transition_top_k", "length_histogram")
+            if not all(callable(getattr(self.engine, op, None)) for op in required):
+                kinds = ", ".join(
+                    f"{kind} x{count}"
+                    for kind, count in log.trajectory_operation_counts.items()
+                )
+                raise TypeError(
+                    f"this query log contains trajectory operations ({kinds}) that "
+                    f"{type(self.engine).__name__} cannot serve; replay it against "
+                    "a TrajectoryQueryEngine (or the StreamingTrajectoryQueryEngine "
+                    "serving façade)"
+                )
         per_kind: dict = {}
         answers: dict = {}
 

@@ -4,25 +4,49 @@ Every engine below this package is batch-and-done: collect all reports, solve on
 serve a frozen estimate.  This package turns that into the continual-collection
 setting of a deployed LDP system:
 
-* :class:`WindowedAggregator` — epoch-bucketed sufficient statistics whose window
-  slides in O(one epoch) of count algebra (exact merge/subtract, optional
-  exponential decay), never a re-scan of surviving reports;
-* :class:`StreamingEstimationService` — the deployment loop: sharded per-epoch
-  privatization, warm-started EM re-solves that track population drift at a
-  fraction of the cold-start cost, and atomic publication of each epoch's estimate
-  through :class:`~repro.queries.engine.StreamingQueryEngine`;
-* :class:`EpochUpdate` — the per-epoch telemetry record (window size, iterations,
-  log-likelihood, timings) the CLI and benchmarks report.
+* :class:`MergeableAggregate` / :class:`DecayableAggregate` — the mergeable-
+  aggregate protocol (``merged``/``subtracted`` plus ``scaled``/``clamped``) any
+  epoch statistic must satisfy to be windowed;
+* :class:`SlidingAggregateWindow` — the generic window over any conforming
+  aggregate: slides in O(one epoch) of count algebra (exact merge/subtract,
+  optional exponential decay), never a re-scan of surviving reports;
+* :class:`WindowedAggregator` — the point-mechanism window: epoch-bucketed
+  :class:`~repro.core.estimator.ShardAggregate` statistics over one mechanism's
+  report stream;
+* :class:`StreamingEstimationService` — the point deployment loop: sharded
+  per-epoch privatization, warm-started EM re-solves that track population drift
+  at a fraction of the cold-start cost, and atomic publication of each epoch's
+  estimate through :class:`~repro.queries.engine.StreamingQueryEngine`;
+* :class:`StreamingTrajectoryService` — the trajectory deployment loop: the same
+  window over :class:`~repro.trajectory.engine.TrajectoryShardAggregate` epochs,
+  closed-form Markov-model refreshes on every slide, and atomic publication of
+  each epoch's synthetic release through
+  :class:`~repro.queries.engine.StreamingTrajectoryQueryEngine`;
+* :class:`EpochUpdate` / :class:`TrajectoryEpochUpdate` — the per-epoch telemetry
+  records (window size, iterations/model, timings) the CLI and benchmarks report.
 
 Drifting input scenarios live in :mod:`repro.datasets.synthetic`
-(``shifting_hotspot_stream`` and friends); the CLI front end is ``repro stream``.
+(``shifting_hotspot_stream`` and friends) and :mod:`repro.datasets.trajectories`
+(``commute_shift_stream`` and friends); the CLI front end is ``repro stream``
+with ``--workload point`` or ``--workload trajectory``.
 """
 
+from repro.streaming.protocol import (
+    DecayableAggregate,
+    MergeableAggregate,
+    SlidingAggregateWindow,
+)
 from repro.streaming.service import EpochUpdate, StreamingEstimationService
+from repro.streaming.trajectory import StreamingTrajectoryService, TrajectoryEpochUpdate
 from repro.streaming.window import WindowedAggregator
 
 __all__ = [
+    "DecayableAggregate",
     "EpochUpdate",
+    "MergeableAggregate",
+    "SlidingAggregateWindow",
     "StreamingEstimationService",
+    "StreamingTrajectoryService",
+    "TrajectoryEpochUpdate",
     "WindowedAggregator",
 ]

@@ -1,0 +1,227 @@
+"""Long-lived trajectory sessions: LDPTrace as a sliding-window service.
+
+The trajectory workload (Appendix D) was batch-and-done: collect every user's three
+oracle reports once, estimate one Markov model, synthesize one release.  This module
+runs it as the same kind of long-lived session :mod:`repro.streaming.service` runs
+for point mechanisms, on the same generic window machinery:
+
+1. **Ingest** — each epoch's trajectories are privatized into the three per-user
+   oracle report streams (length GRR / start OUE / direction GRR at ε/3 each,
+   optionally sharded over the process pool via
+   :meth:`~repro.trajectory.engine.TrajectoryEngine.collect_aggregate_sharded`) and
+   reduced to one epoch-bucketed
+   :class:`~repro.trajectory.engine.TrajectoryShardAggregate`.
+2. **Slide** — the aggregate is committed to a
+   :class:`~repro.streaming.protocol.SlidingAggregateWindow`: one exact ``merged``,
+   at most one exact ``subtracted`` — O(one epoch's counts), never a re-scan of
+   surviving reports.  The slid total is *bit-identical* to a fresh window over the
+   surviving epochs at any worker count (property-tested in
+   ``tests/streaming/test_streaming_trajectory.py``).
+3. **Refresh** — the Markov model is re-estimated from the windowed counts.  The
+   trajectory analogue of the point service's warm-started EM is even cheaper: the
+   oracle estimators are closed-form in the sufficient statistic, so the refreshed
+   model costs O(count vectors) — the whole point of keeping the window in count
+   algebra (gated ≥5x vs a full refit in
+   ``benchmarks/test_streaming_trajectory_throughput.py``).
+4. **Publish** — a fresh synthetic release is walked from the refreshed model and
+   swapped into a :class:`~repro.queries.engine.StreamingTrajectoryQueryEngine`
+   atomically, so mid-stream OD/transition/length queries never observe a
+   half-updated window.
+
+Privacy: windowing is pure post-processing of already-privatized reports — each
+user's three reports are produced by the ε/3 oracles exactly as in the batch
+pipeline, so the per-report guarantee is unchanged (audited at ``confidence_z=4``
+in ``tests/streaming/test_streaming_trajectory.py``).
+
+Drifting trajectory scenarios (commute shift, event surge, route closure) live in
+:mod:`repro.datasets.trajectories`; the CLI front end is
+``repro stream --workload trajectory``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.queries.engine import StreamingTrajectoryQueryEngine
+from repro.streaming.protocol import SlidingAggregateWindow
+from repro.trajectory.engine import (
+    DEFAULT_TRAJECTORY_SHARD_SIZE,
+    TrajectoryEngine,
+    TrajectoryShardAggregate,
+)
+from repro.trajectory.ldptrace import LDPTraceModel
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class TrajectoryEpochUpdate:
+    """Everything one epoch's turn of the trajectory service loop produced."""
+
+    #: 0-based index of the epoch in the stream.
+    epoch: int
+    #: trajectories (users) ingested this epoch
+    n_users_epoch: int
+    #: effective user total of the window after the slide (fractional under decay)
+    n_users_window: float
+    #: the Markov model refreshed from the slid window's counts
+    model: LDPTraceModel
+    #: size of the synthetic release published this epoch (0 when unpublished)
+    n_synthetic: int
+    #: wall-clock seconds privatizing + reducing the epoch's reports (0.0 when the
+    #: epoch arrived pre-aggregated through :meth:`ingest_aggregate`)
+    collect_seconds: float
+    #: wall-clock seconds of the pure window slide (the O(one epoch) count algebra)
+    slide_seconds: float
+    #: wall-clock seconds re-estimating the Markov model from the windowed counts
+    refresh_seconds: float
+    #: wall-clock seconds synthesizing + atomically publishing the serving engine
+    publish_seconds: float
+
+
+class StreamingTrajectoryService:
+    """Sliding-window LDPTrace estimation over a continuous trajectory stream.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.trajectory.engine.TrajectoryEngine` (wrapping an
+        :class:`~repro.trajectory.ldptrace.LDPTrace` mechanism) that privatizes,
+        estimates and synthesizes.
+    window_epochs, decay:
+        Window geometry — see
+        :class:`~repro.streaming.protocol.SlidingAggregateWindow`.
+    n_synthetic:
+        Size of the synthetic release walked and published per epoch.  ``0``
+        disables publishing (the service still slides and refreshes the model —
+        useful when only the model is consumed).
+    workers, shard_size:
+        Per-epoch report collection fans out over the process pool exactly like
+        the batch fit; the per-shard seed derivation keeps every epoch
+        bit-identical at any worker count.
+    seed:
+        Seeds the service's single RNG stream (collection and synthesis draw from
+        it in turn), so a fixed seed makes the whole session reproducible.
+    """
+
+    def __init__(
+        self,
+        engine: TrajectoryEngine,
+        *,
+        window_epochs: int = 8,
+        decay: float | None = None,
+        n_synthetic: int = 1000,
+        workers: int = 1,
+        shard_size: int = DEFAULT_TRAJECTORY_SHARD_SIZE,
+        seed=None,
+    ) -> None:
+        if not isinstance(engine, TrajectoryEngine):
+            raise TypeError(
+                f"StreamingTrajectoryService wraps a TrajectoryEngine, "
+                f"got {type(engine).__name__}"
+            )
+        if n_synthetic < 0:
+            raise ValueError(f"n_synthetic must be non-negative, got {n_synthetic}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.window = SlidingAggregateWindow(window_epochs, decay=decay)
+        self.n_synthetic = int(n_synthetic)
+        self.workers = int(workers)
+        self.shard_size = int(shard_size)
+        self._rng = ensure_rng(seed)
+        self.model: LDPTraceModel | None = None
+        self.serving = StreamingTrajectoryQueryEngine()
+
+    @classmethod
+    def build(
+        cls,
+        domain: SpatialDomain,
+        d: int,
+        epsilon: float,
+        *,
+        n_length_buckets: int = 10,
+        max_length: int = 200,
+        **kwargs,
+    ) -> "StreamingTrajectoryService":
+        """Construct the service from grid parameters (mirrors the point service)."""
+        engine = TrajectoryEngine.build(
+            GridSpec(domain, d),
+            epsilon,
+            n_length_buckets=n_length_buckets,
+            max_length=max_length,
+        )
+        return cls(engine, **kwargs)
+
+    # ------------------------------------------------------------- conveniences
+    @property
+    def grid(self) -> GridSpec:
+        return self.engine.grid
+
+    @property
+    def epochs_processed(self) -> int:
+        return self.window.epochs_seen
+
+    # --------------------------------------------------------------- the loop
+    def ingest_epoch(self, trajectories: list) -> TrajectoryEpochUpdate:
+        """One turn of the service loop: collect, slide, refresh, publish."""
+        start = time.perf_counter()
+        aggregate = self.engine.collect_aggregate_sharded(
+            trajectories,
+            seed=self._rng,
+            workers=self.workers,
+            shard_size=self.shard_size,
+        )
+        collect_seconds = time.perf_counter() - start
+        return self._ingest(aggregate, collect_seconds)
+
+    def ingest_aggregate(self, aggregate: TrajectoryShardAggregate) -> TrajectoryEpochUpdate:
+        """Like :meth:`ingest_epoch` for epochs that arrive pre-aggregated.
+
+        Edge collectors may deliver an epoch as its merged
+        :class:`~repro.trajectory.engine.TrajectoryShardAggregate`; the service
+        then only pays the slide, the model refresh and the publish.
+        """
+        return self._ingest(aggregate, 0.0)
+
+    def _ingest(
+        self, aggregate: TrajectoryShardAggregate, collect_seconds: float
+    ) -> TrajectoryEpochUpdate:
+        if not isinstance(aggregate, TrajectoryShardAggregate):
+            raise TypeError(
+                f"ingest_aggregate expects a TrajectoryShardAggregate, "
+                f"got {type(aggregate).__name__}"
+            )
+        start = time.perf_counter()
+        self.window.commit(aggregate)
+        slide_seconds = time.perf_counter() - start
+
+        # The "warm refresh": the previous model is replaced wholesale because the
+        # oracle estimators are closed-form in the windowed counts — there is no
+        # iterative solve to warm-start, which is exactly why the slide path beats
+        # the refit path (the refit re-reduces every surviving epoch's raw report
+        # streams before reaching the same estimators).
+        start = time.perf_counter()
+        model = self.engine.estimate(self.window.total)
+        refresh_seconds = time.perf_counter() - start
+        self.model = model
+
+        epoch = self.window.epochs_seen - 1
+        start = time.perf_counter()
+        if self.n_synthetic > 0:
+            synthetic = self.engine.synthesize(model, self.n_synthetic, seed=self._rng)
+            self.serving.refresh_trajectories(synthetic, self.grid, epoch=epoch)
+        publish_seconds = time.perf_counter() - start
+
+        return TrajectoryEpochUpdate(
+            epoch=epoch,
+            n_users_epoch=int(aggregate.n_users),
+            n_users_window=float(self.window.total.n_users),
+            model=model,
+            n_synthetic=self.n_synthetic,
+            collect_seconds=collect_seconds,
+            slide_seconds=slide_seconds,
+            refresh_seconds=refresh_seconds,
+            publish_seconds=publish_seconds,
+        )

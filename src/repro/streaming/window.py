@@ -8,35 +8,38 @@ re-scanning every surviving report whenever the analysis window moves.
 
 :class:`WindowedAggregator` removes that re-scan.  Reports are bucketed into
 *epochs* (the deployment's collection interval — an hour, a day); each epoch is
-reduced to its additive :class:`~repro.core.estimator.ShardAggregate` and the window
-maintains the running totals of the last ``window_epochs`` epochs by pure count
-algebra:
+reduced to its additive :class:`~repro.core.estimator.ShardAggregate` and a generic
+:class:`~repro.streaming.protocol.SlidingAggregateWindow` maintains the running
+total of the last ``window_epochs`` epochs by pure count algebra:
 
-* committing an epoch **adds** its histograms;
-* the epoch that falls off the back is **subtracted** — an exact inverse, since
-  histogram counts are integer-valued floats far below 2**53 and therefore add and
-  subtract exactly (the same algebra ``StreamingAggregator.merge``/``subtract``
-  expose for standalone aggregators; the window keeps its own running arrays so the
-  hard and exponentially-decayed variants share one slide path);
-* with an optional exponential ``decay`` in ``(0, 1)``, every slide multiplies the
-  running totals by the decay before the new epoch lands, so older epochs fade
+* committing an epoch **merges** its histograms (``ShardAggregate.merged``);
+* the epoch that falls off the back is **subtracted**
+  (``ShardAggregate.subtracted``) — an exact inverse, since histogram counts are
+  integer-valued floats far below 2**53 and therefore add and subtract exactly
+  (the same algebra ``StreamingAggregator.merge``/``subtract`` expose for
+  standalone aggregators);
+* with an optional exponential ``decay`` in ``(0, 1)``, every slide scales the
+  running total by the decay before the new epoch lands, so older epochs fade
   smoothly instead of dropping off a cliff (the expired epoch is removed at its
   decayed weight ``decay**window_epochs``).
 
 Either way a window slide costs O(one epoch's histograms) — never O(window), never a
 pass over raw reports.  The undecayed algebra is *bit-exact*: a window that merged
 and then expired an epoch holds byte-for-byte the counts of a window that never saw
-that epoch (property-tested in ``tests/streaming/test_streaming_window.py``).
+that epoch (property-tested in ``tests/streaming/test_streaming_window.py``).  The
+window machinery itself is aggregate-agnostic — the trajectory sessions in
+:mod:`repro.streaming.trajectory` slide the very same
+:class:`~repro.streaming.protocol.SlidingAggregateWindow` over
+:class:`~repro.trajectory.engine.TrajectoryShardAggregate` epochs.
 """
 
 from __future__ import annotations
-
-from collections import deque
 
 import numpy as np
 
 from repro.core.domain import GridDistribution
 from repro.core.estimator import MechanismReport, ShardAggregate, SpatialMechanism
+from repro.streaming.protocol import SlidingAggregateWindow
 from repro.utils.rng import ensure_rng
 
 
@@ -74,36 +77,48 @@ class WindowedAggregator:
         *,
         decay: float | None = None,
     ) -> None:
-        if window_epochs < 1:
-            raise ValueError(f"window_epochs must be >= 1, got {window_epochs}")
-        if decay is not None and not 0.0 < decay <= 1.0:
-            raise ValueError(f"decay must lie in (0, 1], got {decay}")
         self.mechanism = mechanism
-        self.window_epochs = int(window_epochs)
-        self.decay = decay
-        self._epochs: deque[ShardAggregate] = deque()
-        self._noisy = np.zeros(mechanism.output_domain_size(), dtype=float)
-        self._true = np.zeros(mechanism.grid.n_cells, dtype=float)
-        self._users = 0.0
-        self.epochs_seen = 0
+        self._window = SlidingAggregateWindow(window_epochs, decay=decay)
+        self._noisy_shape = (mechanism.output_domain_size(),)
+        self._true_shape = (mechanism.grid.n_cells,)
 
     # ------------------------------------------------------------- inspection
     @property
+    def window_epochs(self) -> int:
+        return self._window.window_epochs
+
+    @property
+    def decay(self) -> float | None:
+        return self._window.decay
+
+    @property
+    def epochs_seen(self) -> int:
+        return self._window.epochs_seen
+
+    @property
     def n_epochs_in_window(self) -> int:
-        return len(self._epochs)
+        return self._window.n_epochs_in_window
 
     @property
     def n_users_window(self) -> float:
         """Effective user total of the window (fractional under decay)."""
-        return self._users
+        total = self._window.total
+        return 0.0 if total is None else float(total.n_users)
 
     def epoch_aggregates(self) -> tuple[ShardAggregate, ...]:
         """The undecayed per-epoch aggregates currently covered, oldest first."""
-        return tuple(self._epochs)
+        return self._window.epoch_aggregates()
 
     def window_counts(self) -> tuple[np.ndarray, np.ndarray, float]:
         """Copies of the windowed ``(noisy_counts, true_cell_counts, n_users)``."""
-        return self._noisy.copy(), self._true.copy(), self._users
+        total = self._window.total
+        if total is None:
+            return np.zeros(self._noisy_shape), np.zeros(self._true_shape), 0.0
+        return (
+            total.noisy_counts.copy(),
+            total.true_cell_counts.copy(),
+            float(total.n_users),
+        )
 
     # -------------------------------------------------------------- ingestion
     def ingest_epoch(self, points: np.ndarray, seed=None) -> ShardAggregate:
@@ -131,48 +146,24 @@ class WindowedAggregator:
         """Slide the window by one epoch: fold the new counts in, expire the oldest.
 
         Returns the expired epoch's (undecayed) aggregate, or ``None`` while the
-        window is still filling.  This — two histogram additions, at most one
-        subtraction — is the *entire* cost of a slide.
+        window is still filling.  This — one merge, at most one subtraction —
+        is the *entire* cost of a slide.
         """
         if not isinstance(aggregate, ShardAggregate):
             raise TypeError(
                 f"commit_aggregate expects a ShardAggregate, got {type(aggregate).__name__}"
             )
-        if aggregate.noisy_counts.shape != self._noisy.shape:
+        if aggregate.noisy_counts.shape != self._noisy_shape:
             raise ValueError(
                 f"epoch noisy counts have shape {aggregate.noisy_counts.shape}, "
-                f"expected {self._noisy.shape} (different mechanism?)"
+                f"expected {self._noisy_shape} (different mechanism?)"
             )
-        if aggregate.true_cell_counts.shape != self._true.shape:
+        if aggregate.true_cell_counts.shape != self._true_shape:
             raise ValueError(
                 f"epoch true-cell counts have shape {aggregate.true_cell_counts.shape}, "
-                f"expected {self._true.shape} (different grid?)"
+                f"expected {self._true_shape} (different grid?)"
             )
-        if self.decay is not None:
-            self._noisy *= self.decay
-            self._true *= self.decay
-            self._users *= self.decay
-        self._noisy += aggregate.noisy_counts
-        self._true += aggregate.true_cell_counts
-        self._users += aggregate.n_users
-        self._epochs.append(aggregate)
-        self.epochs_seen += 1
-
-        expired: ShardAggregate | None = None
-        if len(self._epochs) > self.window_epochs:
-            expired = self._epochs.popleft()
-            weight = 1.0 if self.decay is None else self.decay**self.window_epochs
-            self._noisy -= weight * expired.noisy_counts
-            self._true -= weight * expired.true_cell_counts
-            self._users -= weight * expired.n_users
-            if self.decay is not None:
-                # Float decay can leave ~1e-17 residues on bins an expired epoch
-                # owned exclusively; clamp them so downstream solvers see a valid
-                # histogram.  The undecayed path is exact and never enters here.
-                np.clip(self._noisy, 0.0, None, out=self._noisy)
-                np.clip(self._true, 0.0, None, out=self._true)
-                self._users = max(self._users, 0.0)
-        return expired
+        return self._window.commit(aggregate)
 
     # ------------------------------------------------------------- estimation
     def finalize(self) -> MechanismReport:
@@ -183,11 +174,9 @@ class WindowedAggregator:
         reports.  The incremental service bypasses this in favour of the
         warm-started solve (:class:`repro.streaming.StreamingEstimationService`).
         """
-        noisy = self._noisy.copy()
-        estimate = self.mechanism.estimate(noisy, n_users=int(round(self._users)))
-        return MechanismReport(
-            estimate=estimate, noisy_counts=noisy, n_users=int(round(self._users))
-        )
+        noisy, _, users = self.window_counts()
+        estimate = self.mechanism.estimate(noisy, n_users=int(round(users)))
+        return MechanismReport(estimate=estimate, noisy_counts=noisy, n_users=int(round(users)))
 
     def true_distribution(self) -> GridDistribution:
         """The (non-private) empirical distribution of the window's population.
@@ -195,6 +184,7 @@ class WindowedAggregator:
         Serves as the drift-tracking ground truth in evaluations; raises while the
         window is empty.
         """
-        if self._true.sum() <= 0:
+        _, true_counts, _ = self.window_counts()
+        if true_counts.sum() <= 0:
             raise ValueError("the window holds no users yet")
-        return GridDistribution.from_flat(self.mechanism.grid, self._true / self._true.sum())
+        return GridDistribution.from_flat(self.mechanism.grid, true_counts / true_counts.sum())

@@ -68,35 +68,89 @@ class TrajectoryShardAggregate:
     per-category support-count histograms plus a user counter.  Summing any number of
     these (in any order) and estimating once is exactly equivalent to estimating over
     the concatenated raw reports — the property the differential tests pin bit-for-bit.
+
+    The class conforms to the functional mergeable-aggregate protocol
+    (:mod:`repro.streaming.protocol`): :meth:`subtracted` is the **exact inverse**
+    of :meth:`merged` (every count is an integer-valued float far below ``2**53``,
+    so the algebra is bit-exact), which is what lets
+    :class:`repro.streaming.trajectory.StreamingTrajectoryService` slide a
+    trajectory window in O(one epoch) instead of re-scanning surviving reports.
+    :meth:`scaled` / :meth:`clamped` supply the exponentially-decayed window
+    variant; ``n_users`` stays an ``int`` whenever integral and becomes a
+    ``float`` only for decay-weighted aggregates.
     """
 
     length_counts: np.ndarray
     start_counts: np.ndarray
     direction_counts: np.ndarray
-    n_users: int
+    n_users: int | float
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "length_counts", np.asarray(self.length_counts, dtype=float))
         object.__setattr__(self, "start_counts", np.asarray(self.start_counts, dtype=float))
         object.__setattr__(self, "direction_counts", np.asarray(self.direction_counts, dtype=float))
-        object.__setattr__(self, "n_users", int(self.n_users))
+        users = float(self.n_users)
+        object.__setattr__(self, "n_users", int(users) if users.is_integer() else users)
 
-    def merged(self, other: "TrajectoryShardAggregate") -> "TrajectoryShardAggregate":
-        """Fold another shard's counts into a new aggregate (commutative/associative)."""
+    def _check_domains(self, other: "TrajectoryShardAggregate", verb: str) -> None:
+        if not isinstance(other, TrajectoryShardAggregate):
+            raise TypeError(
+                f"{verb} expects a TrajectoryShardAggregate, got {type(other).__name__}"
+            )
         if (
             other.length_counts.shape != self.length_counts.shape
             or other.start_counts.shape != self.start_counts.shape
             or other.direction_counts.shape != self.direction_counts.shape
         ):
             raise ValueError(
-                "cannot merge trajectory aggregates with different report domains "
+                f"cannot {verb} trajectory aggregates with different report domains "
                 "(different grids or length bucketisations?)"
             )
+
+    def merged(self, other: "TrajectoryShardAggregate") -> "TrajectoryShardAggregate":
+        """Fold another shard's counts into a new aggregate (commutative/associative)."""
+        self._check_domains(other, "merge")
         return TrajectoryShardAggregate(
             length_counts=self.length_counts + other.length_counts,
             start_counts=self.start_counts + other.start_counts,
             direction_counts=self.direction_counts + other.direction_counts,
             n_users=self.n_users + other.n_users,
+        )
+
+    def subtracted(self, other: "TrajectoryShardAggregate") -> "TrajectoryShardAggregate":
+        """The exact inverse of :meth:`merged`: retire an epoch's counts bit-exactly.
+
+        ``a.merged(b).subtracted(b)`` returns an aggregate bit-identical to ``a``
+        (integer count algebra — see the class docstring).  Like
+        :meth:`repro.core.estimator.ShardAggregate.subtracted` this is pure
+        algebra without a never-merged guard, because the decayed window subtracts
+        scaled epochs from decayed totals where tiny negative float residues are
+        expected and cleaned up by :meth:`clamped`.
+        """
+        self._check_domains(other, "subtract")
+        return TrajectoryShardAggregate(
+            length_counts=self.length_counts - other.length_counts,
+            start_counts=self.start_counts - other.start_counts,
+            direction_counts=self.direction_counts - other.direction_counts,
+            n_users=self.n_users - other.n_users,
+        )
+
+    def scaled(self, factor: float) -> "TrajectoryShardAggregate":
+        """A new aggregate with every count multiplied by ``factor`` (decay weight)."""
+        return TrajectoryShardAggregate(
+            length_counts=self.length_counts * factor,
+            start_counts=self.start_counts * factor,
+            direction_counts=self.direction_counts * factor,
+            n_users=self.n_users * factor,
+        )
+
+    def clamped(self) -> "TrajectoryShardAggregate":
+        """A new aggregate with negative float-decay residues clamped to zero."""
+        return TrajectoryShardAggregate(
+            length_counts=np.clip(self.length_counts, 0.0, None),
+            start_counts=np.clip(self.start_counts, 0.0, None),
+            direction_counts=np.clip(self.direction_counts, 0.0, None),
+            n_users=max(self.n_users, 0),
         )
 
 
@@ -271,21 +325,23 @@ class TrajectoryEngine:
             length_buckets=mech.length_buckets,
         )
 
-    def fit(
+    def collect_aggregate_sharded(
         self,
         trajectories: list[np.ndarray],
         seed=None,
         *,
         workers: int = 1,
         shard_size: int = DEFAULT_TRAJECTORY_SHARD_SIZE,
-    ) -> LDPTraceModel:
-        """Fit the LDPTrace model, optionally sharding collection over a process pool.
+    ) -> TrajectoryShardAggregate:
+        """Collect one epoch's merged aggregate, sharding over the process pool.
 
         The trajectory list is split into shards of ``shard_size``; each shard draws
         an independent child stream of ``seed`` (``SeedSequence.spawn``), privatizes
-        its reports and ships back only its :class:`TrajectoryShardAggregate`.  The
-        result is deterministic in ``(seed, shard_size)`` and invariant to
-        ``workers``.
+        its reports and ships back only its :class:`TrajectoryShardAggregate`; the
+        shards are merged into one sufficient statistic.  The result is
+        deterministic in ``(seed, shard_size)`` and invariant to ``workers`` —
+        the property that makes sharded epochs of a streaming session bit-identical
+        at any worker count.
         """
         if not trajectories:
             raise ValueError("cannot fit LDPTrace on an empty trajectory set")
@@ -305,7 +361,29 @@ class TrajectoryEngine:
         aggregates = run_sharded(
             self._spec(), tasks, workers, inline_context=_EngineShardRunner(self)
         )
-        return self.estimate(merge_trajectory_aggregates(aggregates))
+        # Privatization happens inside each worker's run_shard -> collect_aggregate,
+        # which module-local taint analysis cannot see across the process boundary.
+        return merge_trajectory_aggregates(aggregates)  # repro-lint: disable=priv-flow
+
+    def fit(
+        self,
+        trajectories: list[np.ndarray],
+        seed=None,
+        *,
+        workers: int = 1,
+        shard_size: int = DEFAULT_TRAJECTORY_SHARD_SIZE,
+    ) -> LDPTraceModel:
+        """Fit the LDPTrace model, optionally sharding collection over a process pool.
+
+        :meth:`collect_aggregate_sharded` followed by a single :meth:`estimate`
+        over the merged counts — deterministic in ``(seed, shard_size)`` and
+        invariant to ``workers``.
+        """
+        return self.estimate(
+            self.collect_aggregate_sharded(
+                trajectories, seed=seed, workers=workers, shard_size=shard_size
+            )
+        )
 
     def fit_reference(self, trajectories: list[np.ndarray], seed=None) -> LDPTraceModel:
         """The retained seed loop (see :meth:`LDPTrace.fit_reference`)."""

@@ -1,4 +1,24 @@
-"""CLEAN under agg-protocol: a conforming mergeable aggregate and its spec."""
+"""CLEAN under agg-protocol: conforming mutable and functional aggregates."""
+
+
+class WindowedCountAggregate:
+    """Conforms to the functional generic-window protocol (merged/subtracted
+    exact inverses plus the decay pair scaled/clamped)."""
+
+    def __init__(self, total):
+        self.total = total
+
+    def merged(self, other):
+        return WindowedCountAggregate(self.total + other.total)
+
+    def subtracted(self, other):
+        return WindowedCountAggregate(self.total - other.total)
+
+    def scaled(self, factor):
+        return WindowedCountAggregate(self.total * factor)
+
+    def clamped(self):
+        return WindowedCountAggregate(max(self.total, 0))
 
 
 class CountAggregate:

@@ -1,9 +1,12 @@
-"""FLAGGED by agg-protocol: three distinct protocol drifts.
+"""FLAGGED by agg-protocol: five distinct protocol drifts.
 
 * ``merge`` takes the wrong parameter name (positional call sites in
   ``run_sharded`` still work, attribute-based dispatch does not);
 * ``subtract`` exists without ``merge`` on the second class;
-* a ``*Spec`` class whose ``build`` takes an argument.
+* a ``*Spec`` class whose ``build`` takes an argument;
+* ``subtracted`` exists without ``merged`` (the generic-window drift: a
+  sliding window can never have merged what it is asked to retire);
+* ``scaled`` takes the wrong parameter name for the decayed-window protocol.
 """
 
 
@@ -24,6 +27,31 @@ class RetireOnlyAggregate:
 
     def subtract(self, other):
         self.total -= other.total
+
+
+class FunctionalRetireOnlyAggregate:
+    def __init__(self, total):
+        self.total = total
+
+    def subtracted(self, other):
+        return FunctionalRetireOnlyAggregate(self.total - other.total)
+
+
+class DriftedWeightedAggregate:
+    def __init__(self, total):
+        self.total = total
+
+    def merged(self, other):
+        return DriftedWeightedAggregate(self.total + other.total)
+
+    def subtracted(self, other):
+        return DriftedWeightedAggregate(self.total - other.total)
+
+    def scaled(self, weight):
+        return DriftedWeightedAggregate(self.total * weight)
+
+    def clamped(self):
+        return DriftedWeightedAggregate(max(self.total, 0))
 
 
 class DriftedSpec:

@@ -1,0 +1,163 @@
+"""Tests for repro.analysis.doclinks — the markdown relative-link checker."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.doclinks import (
+    DocLinkFinding,
+    check_documents,
+    collect_markdown,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestFileLinks:
+    def test_valid_relative_link_passes(self, tmp_path):
+        write(tmp_path / "docs" / "GUIDE.md", "# Guide\n")
+        doc = write(tmp_path / "README.md", "See the [guide](docs/GUIDE.md).\n")
+        assert check_documents([doc]) == []
+
+    def test_broken_link_reports_path_line_and_target(self, tmp_path):
+        doc = write(tmp_path / "README.md", "intro\n\nSee [gone](docs/GONE.md).\n")
+        findings = check_documents([doc])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert isinstance(finding, DocLinkFinding)
+        assert finding.line == 3
+        assert finding.target == "docs/GONE.md"
+        assert "does not exist" in finding.message
+        assert finding.format().startswith(f"{doc}:3:")
+
+    def test_parent_directory_links_resolve_within_root(self, tmp_path):
+        write(tmp_path / "README.md", "# Top\n")
+        doc = write(tmp_path / "docs" / "GUIDE.md", "Back to [top](../README.md).\n")
+        assert check_documents([doc], root=tmp_path) == []
+
+    def test_directory_target_is_a_valid_link(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir()
+        doc = write(tmp_path / "README.md", "The [benches](benchmarks) directory.\n")
+        assert check_documents([doc]) == []
+
+    def test_image_targets_are_checked_too(self, tmp_path):
+        doc = write(tmp_path / "README.md", "![plot](figures/plot.png)\n")
+        findings = check_documents([doc])
+        assert len(findings) == 1
+        assert findings[0].target == "figures/plot.png"
+
+    def test_external_urls_are_skipped(self, tmp_path):
+        doc = write(
+            tmp_path / "README.md",
+            "[a](https://example.com/x.md) [b](mailto:x@example.com)\n",
+        )
+        assert check_documents([doc]) == []
+
+    def test_site_relative_targets_escaping_the_root_are_skipped(self, tmp_path):
+        # The GitHub Actions badge idiom: resolves on the website, not on disk.
+        doc = write(
+            tmp_path / "README.md",
+            "[![CI](../../actions/workflows/ci.yml/badge.svg)]"
+            "(../../actions/workflows/ci.yml)\n",
+        )
+        assert check_documents([doc], root=tmp_path) == []
+
+    def test_links_inside_fenced_code_blocks_are_ignored(self, tmp_path):
+        doc = write(
+            tmp_path / "README.md",
+            "```markdown\n[broken](nope/GONE.md)\n```\n\n[real](also/GONE.md)\n",
+        )
+        findings = check_documents([doc])
+        assert [finding.target for finding in findings] == ["also/GONE.md"]
+
+
+class TestAnchors:
+    def test_valid_anchor_in_other_document(self, tmp_path):
+        write(tmp_path / "docs" / "ARCH.md", "# Arch\n\n## The Window Protocol\n")
+        doc = write(
+            tmp_path / "README.md", "See [it](docs/ARCH.md#the-window-protocol).\n"
+        )
+        assert check_documents([doc]) == []
+
+    def test_broken_anchor_is_flagged(self, tmp_path):
+        write(tmp_path / "docs" / "ARCH.md", "# Arch\n\n## Real Heading\n")
+        doc = write(tmp_path / "README.md", "See [it](docs/ARCH.md#fake-heading).\n")
+        findings = check_documents([doc])
+        assert len(findings) == 1
+        assert "broken anchor" in findings[0].message
+        assert "#fake-heading" in findings[0].message
+
+    def test_self_anchor(self, tmp_path):
+        doc = write(
+            tmp_path / "README.md",
+            "# Title\n\nJump to [usage](#usage) or [nope](#missing).\n\n## Usage\n",
+        )
+        findings = check_documents([doc])
+        assert [finding.target for finding in findings] == ["#missing"]
+
+    def test_github_slug_rules(self, tmp_path):
+        write(
+            tmp_path / "D.md",
+            "# The `BENCH_*.json` convention\n\n## Adding a gated metric!\n",
+        )
+        doc = write(
+            tmp_path / "README.md",
+            "[a](D.md#the-bench_json-convention) [b](D.md#adding-a-gated-metric)\n",
+        )
+        assert check_documents([doc]) == []
+
+    def test_duplicate_headings_get_dedup_suffixes(self, tmp_path):
+        write(tmp_path / "D.md", "## Laws\n\ntext\n\n## Laws\n")
+        doc = write(tmp_path / "README.md", "[a](D.md#laws) [b](D.md#laws-1)\n")
+        assert check_documents([doc]) == []
+        doc.write_text("[c](D.md#laws-2)\n")
+        assert len(check_documents([doc])) == 1
+
+    def test_headings_inside_code_fences_are_not_anchors(self, tmp_path):
+        write(tmp_path / "D.md", "# Real\n\n```\n# Not A Heading\n```\n")
+        doc = write(tmp_path / "README.md", "[x](D.md#not-a-heading)\n")
+        assert len(check_documents([doc])) == 1
+
+    def test_anchor_into_non_markdown_target_is_not_checked(self, tmp_path):
+        write(tmp_path / "script.py", "print('hi')\n")
+        doc = write(tmp_path / "README.md", "[code](script.py#L1)\n")
+        assert check_documents([doc]) == []
+
+
+class TestCollectionAndCli:
+    def test_directories_are_walked_recursively(self, tmp_path):
+        a = write(tmp_path / "docs" / "A.md", "# A\n")
+        b = write(tmp_path / "docs" / "deep" / "B.md", "# B\n")
+        write(tmp_path / "docs" / "notes.txt", "not markdown\n")
+        assert collect_markdown([tmp_path / "docs"]) == [a, b]
+
+    def test_missing_input_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such file"):
+            collect_markdown([tmp_path / "GONE.md"])
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = write(tmp_path / "clean.md", "# Fine\n")
+        broken = write(tmp_path / "broken.md", "[x](missing.md)\n")
+        assert main([str(clean)]) == 0
+        assert "all links resolve" in capsys.readouterr().out
+        assert main([str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "broken.md:1:" in out and "1 broken link(s)" in out
+        assert main([]) == 2
+        assert main([str(tmp_path / "GONE.md")]) == 2
+
+    def test_repository_documentation_has_no_broken_links(self):
+        """The gate CI runs: README + docs/ must stay internally consistent."""
+        findings = check_documents(
+            [REPO_ROOT / "README.md", REPO_ROOT / "docs"], root=REPO_ROOT
+        )
+        assert findings == [], "\n".join(finding.format() for finding in findings)

@@ -112,8 +112,11 @@ def test_agg_protocol_reports_each_drift():
     assert "DriftedAggregate.merge" in messages
     assert "subtract() without merge()" in messages
     assert "DriftedSpec.build" in messages
-    assert len(findings) == 3
+    assert "subtracted() without merged()" in messages
+    assert "DriftedWeightedAggregate.scaled" in messages
+    assert len(findings) == 5
     assert "merge(self, shard)" in source  # the drift the fixture encodes
+    assert "scaled(self, weight)" in source
 
 
 class TestSuppressionComments:

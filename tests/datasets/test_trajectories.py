@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.domain import SpatialDomain
-from repro.datasets.trajectories import generate_trajectories
+from repro.datasets.trajectories import (
+    TRAJECTORY_DRIFT_SCENARIOS,
+    commute_shift_stream,
+    event_surge_stream,
+    generate_trajectories,
+    route_closure_stream,
+)
 
 
 @pytest.fixture(scope="module")
@@ -89,3 +95,94 @@ class TestGeneration:
         data = generate_trajectories(source_points, domain, routing_d=10, n_trajectories=0, seed=0)
         assert data.size == 0
         assert data.all_points().shape == (0, 2)
+
+
+class TestDriftingTrajectoryStreams:
+    @pytest.mark.parametrize("generator", sorted(TRAJECTORY_DRIFT_SCENARIOS))
+    def test_epoch_shapes_and_domain(self, generator):
+        stream = TRAJECTORY_DRIFT_SCENARIOS[generator](
+            n_epochs=4, trajectories_per_epoch=30, max_length=12, seed=0
+        )
+        assert stream.n_epochs == 4
+        for epoch in stream.epochs:
+            assert len(epoch) == 30
+            for trajectory in epoch:
+                assert trajectory.ndim == 2 and trajectory.shape[1] == 2
+                assert 2 <= trajectory.shape[0] <= 12
+                assert stream.domain.contains(trajectory).all()
+
+    @pytest.mark.parametrize("generator", sorted(TRAJECTORY_DRIFT_SCENARIOS))
+    def test_deterministic_given_seed(self, generator):
+        first = TRAJECTORY_DRIFT_SCENARIOS[generator](
+            n_epochs=3, trajectories_per_epoch=20, seed=9
+        )
+        second = TRAJECTORY_DRIFT_SCENARIOS[generator](
+            n_epochs=3, trajectories_per_epoch=20, seed=9
+        )
+        for epoch_a, epoch_b in zip(first.epochs, second.epochs):
+            for t_a, t_b in zip(epoch_a, epoch_b):
+                np.testing.assert_array_equal(t_a, t_b)
+        third = TRAJECTORY_DRIFT_SCENARIOS[generator](
+            n_epochs=3, trajectories_per_epoch=20, seed=10
+        )
+        assert not np.array_equal(first.epochs[0][0], third.epochs[0][0])
+
+    def test_window_trajectories_flattens_survivors(self):
+        stream = commute_shift_stream(n_epochs=5, trajectories_per_epoch=10, seed=0)
+        window = stream.window_trajectories(4, 2)
+        assert len(window) == 20
+        np.testing.assert_array_equal(window[0], stream.epochs[3][0])
+        with pytest.raises(ValueError, match="end must lie"):
+            stream.window_trajectories(5, 2)
+
+    def test_commute_direction_reverses(self):
+        stream = commute_shift_stream(
+            n_epochs=10, trajectories_per_epoch=200, max_length=20, seed=1
+        )
+        def northeast_fraction(epoch):
+            # Trajectory heads northeast when its end is above+right of its start.
+            heads = [t[-1] - t[0] for t in epoch]
+            return np.mean([float(h[0] + h[1] > 0) for h in heads])
+        assert northeast_fraction(stream.epochs[0]) > 0.7  # mostly home -> work
+        assert northeast_fraction(stream.epochs[-1]) < 0.3  # mostly work -> home
+
+    def test_event_surge_converges_on_venue(self):
+        venue = (0.5, 0.75)
+        stream = event_surge_stream(
+            n_epochs=11, trajectories_per_epoch=200, venue=venue,
+            surge_at=0.2, disperse_at=0.8, max_length=25, seed=2,
+        )
+        def mean_final_distance(epoch):
+            return np.mean([np.linalg.norm(t[-1] - np.asarray(venue)) for t in epoch])
+        # At the surge peak, endpoints sit far closer to the venue than at the edges.
+        assert mean_final_distance(stream.epochs[5]) < mean_final_distance(stream.epochs[0]) - 0.05
+        assert mean_final_distance(stream.epochs[5]) < mean_final_distance(stream.epochs[-1]) - 0.05
+
+    def test_route_closure_blocks_the_band(self):
+        band = (0.45, 0.55)
+        stream = route_closure_stream(
+            n_epochs=10, trajectories_per_epoch=150, band=band,
+            close_at=0.3, reopen_at=0.7, max_length=25, seed=3,
+        )
+        def band_occupancy(epoch):
+            points = np.vstack(epoch)
+            return ((points[:, 0] > band[0]) & (points[:, 0] < band[1])).mean()
+        # Open epochs cross the band freely; closed epochs barely touch it
+        # (starts may land inside, but no step may enter).
+        assert band_occupancy(stream.epochs[0]) > 0.05
+        assert band_occupancy(stream.epochs[5]) < band_occupancy(stream.epochs[0]) / 2
+        assert band_occupancy(stream.epochs[-1]) > 0.05
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="n_epochs"):
+            commute_shift_stream(n_epochs=0)
+        with pytest.raises(ValueError, match="trajectories_per_epoch"):
+            commute_shift_stream(trajectories_per_epoch=-1)
+        with pytest.raises(ValueError, match="length range"):
+            commute_shift_stream(min_length=5, max_length=2)
+        with pytest.raises(ValueError, match="surge_at"):
+            event_surge_stream(surge_at=0.8, disperse_at=0.2)
+        with pytest.raises(ValueError, match="close_at"):
+            route_closure_stream(close_at=0.9, reopen_at=0.1)
+        with pytest.raises(ValueError, match="band"):
+            route_closure_stream(band=(0.6, 0.4))

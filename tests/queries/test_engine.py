@@ -19,6 +19,7 @@ from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
 from repro.queries.engine import (
     QueryEngine,
     QueryLog,
+    StreamingTrajectoryQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
     WorkloadReplay,
@@ -446,6 +447,27 @@ class TestTrajectoryWorkloadReplay:
         with pytest.raises(TypeError, match="TrajectoryQueryEngine"):
             WorkloadReplay(QueryEngine(estimate)).replay(log)
 
+    def test_rejection_names_engine_class_and_log_op_kinds(self):
+        """The error must say which engine failed AND which operations it cannot
+        serve, so a mis-routed replay is diagnosable from the message alone."""
+        estimate = GridDistribution.uniform(GridSpec.unit(4))
+        log = QueryLog(
+            od_top_k=np.array([3, 5]),
+            length_histogram_bins=np.array([8]),
+        )
+        with pytest.raises(TypeError) as excinfo:
+            WorkloadReplay(QueryEngine(estimate)).replay(log)
+        message = str(excinfo.value)
+        assert "QueryEngine" in message
+        assert "od_top_k x2" in message
+        assert "length_histogram x1" in message
+        assert "transition_top_k" not in message  # zero-count kinds stay out
+
+    def test_trajectory_operation_counts_property(self):
+        log = QueryLog(od_top_k=np.array([3]), transition_top_k=np.array([2, 4]))
+        assert log.trajectory_operation_counts == {"od_top_k": 1, "transition_top_k": 2}
+        assert QueryLog().trajectory_operation_counts == {}
+
     def test_trajectory_log_roundtrip(self, tmp_path):
         log = QueryLog.random(
             SpatialDomain.unit(),
@@ -464,6 +486,63 @@ class TestTrajectoryWorkloadReplay:
         np.testing.assert_array_equal(loaded.length_histogram_bins, log.length_histogram_bins)
         assert loaded.size == log.size
 
+class TestStreamingTrajectoryQueryEngine:
+    def _trajectories(self, seed: int) -> list[np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return [
+            np.clip(rng.normal(0.5, 0.2, size=(int(rng.integers(1, 10)), 2)), 0, 1)
+            for _ in range(30)
+        ]
+
+    def test_refresh_trajectories_publishes_atomically(self):
+        serving = StreamingTrajectoryQueryEngine()
+        with pytest.raises(RuntimeError, match="no estimate has been published"):
+            serving.snapshot()
+        first = serving.refresh_trajectories(self._trajectories(0), GridSpec.unit(4), epoch=0)
+        assert serving.snapshot() is first
+        assert serving.epoch == 0
+        second = serving.refresh_trajectories(self._trajectories(1), GridSpec.unit(4), epoch=1)
+        assert serving.snapshot() is second
+        assert serving.epoch == 1
+        # A pinned snapshot keeps answering on its window after a refresh.
+        assert first.od_top_k(2).counts.sum() <= 30
+
+    def test_delegated_trajectory_queries_match_snapshot(self):
+        serving = StreamingTrajectoryQueryEngine()
+        serving.refresh_trajectories(self._trajectories(2), GridSpec.unit(4), epoch=0)
+        pinned = serving.snapshot()
+        np.testing.assert_array_equal(serving.od_top_k(3).counts, pinned.od_top_k(3).counts)
+        np.testing.assert_array_equal(
+            serving.transition_top_k(3).counts, pinned.transition_top_k(3).counts
+        )
+        counts, edges = serving.length_histogram(bins=5)
+        pinned_counts, pinned_edges = pinned.length_histogram(bins=5)
+        np.testing.assert_array_equal(counts, pinned_counts)
+        np.testing.assert_array_equal(edges, pinned_edges)
+
+    def test_point_published_engine_is_rejected_for_trajectory_queries(self):
+        serving = StreamingTrajectoryQueryEngine()
+        serving.refresh(GridDistribution.uniform(GridSpec.unit(4)), epoch=0)
+        with pytest.raises(RuntimeError, match="refresh_trajectories"):
+            serving.od_top_k(2)
+
+    def test_replay_runs_against_streaming_facade(self):
+        serving = StreamingTrajectoryQueryEngine()
+        serving.refresh_trajectories(self._trajectories(3), GridSpec.unit(4), epoch=0)
+        log = QueryLog.random(
+            SpatialDomain.unit(),
+            n_range=4,
+            n_od_top_k=2,
+            n_transition_top_k=2,
+            n_length_histograms=1,
+            seed=7,
+        )
+        report, answers = WorkloadReplay(serving).replay(log)
+        assert report.n_operations == log.size
+        assert len(answers["od_top_k"]) == 2
+
+
+class TestTrajectoryWorkloadReplayRoundtrips:
     def test_legacy_log_without_trajectory_fields_loads(self, tmp_path):
         """Archives written before the trajectory operations existed must load."""
         path = tmp_path / "legacy-log.npz"

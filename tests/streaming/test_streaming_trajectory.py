@@ -1,0 +1,289 @@
+"""Trajectory window algebra and the streaming trajectory service.
+
+The trajectory twin of ``test_streaming_window.py``: the generic
+:class:`~repro.streaming.SlidingAggregateWindow` slides over
+:class:`~repro.trajectory.engine.TrajectoryShardAggregate` epochs with the same
+bit-exactness guarantees the point window pins down:
+
+* ``merged`` followed by ``subtracted`` restores a trajectory aggregate bit for
+  bit (support counts are integer-valued floats, so float addition is exact);
+* a window that slid past expired epochs holds byte-identical counts — and
+  therefore feeds byte-identical length/start/direction distributions into the
+  synthesized-trajectory Markov model — to one that only ever saw the surviving
+  epochs, at any worker count;
+* exponential decay matches the explicit weighted sum over retained epochs, and
+  ``decay=1.0`` is bit-identical to the hard window;
+* the three per-user oracles a streaming trajectory deployment runs still audit
+  within their ``e^(eps/3)`` claims (windowing is post-processing;
+  ``confidence_z=4`` per the established multiplicity convention).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies
+from repro.core.domain import GridSpec
+from repro.metrics.privacy_audit import audit_mechanism
+from repro.streaming import SlidingAggregateWindow, StreamingTrajectoryService
+from repro.trajectory.engine import TrajectoryEngine, TrajectoryShardAggregate
+from repro.trajectory.ldptrace import DIRECTIONS
+
+SLOW_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.fixture(scope="module")
+def engine() -> TrajectoryEngine:
+    return TrajectoryEngine.build(GridSpec.unit(4), 3.0, n_length_buckets=5, max_length=16)
+
+
+def _random_aggregate(rng: np.random.Generator, engine) -> TrajectoryShardAggregate:
+    """A synthetic epoch: integer support counts of a random user population."""
+    mech = engine.mechanism
+    n_users = int(rng.integers(0, 400))
+    uniform = lambda k: np.full(k, 1.0 / k)  # noqa: E731
+    return TrajectoryShardAggregate(
+        length_counts=rng.multinomial(n_users, uniform(mech.n_length_buckets)).astype(float),
+        start_counts=rng.multinomial(n_users, uniform(mech.grid.n_cells)).astype(float),
+        direction_counts=rng.multinomial(n_users, uniform(len(DIRECTIONS))).astype(float),
+        n_users=n_users,
+    )
+
+
+def _random_trajectories(rng: np.random.Generator, n: int) -> list[np.ndarray]:
+    return [rng.random((int(rng.integers(1, 10)), 2)) for _ in range(n)]
+
+
+def _model_arrays(model) -> tuple[np.ndarray, ...]:
+    """The Markov model inputs synthesis consumes, as comparable arrays."""
+    return (
+        np.asarray(model.length_distribution),
+        np.asarray(model.start_distribution),
+        np.asarray(model.direction_distribution),
+    )
+
+
+class TestTrajectoryMergeSubtractInverse:
+    @given(strategies.rngs())
+    @SLOW_SETTINGS
+    def test_merge_then_subtract_is_bit_identical(self, engine, rng):
+        """a.merged(b).subtracted(b) restores a bit for bit (integer algebra)."""
+        base = _random_aggregate(rng, engine)
+        transient = _random_aggregate(rng, engine)
+        restored = base.merged(transient).subtracted(transient)
+        assert np.array_equal(base.length_counts, restored.length_counts)
+        assert np.array_equal(base.start_counts, restored.start_counts)
+        assert np.array_equal(base.direction_counts, restored.direction_counts)
+        assert base.n_users == restored.n_users
+        assert isinstance(restored.n_users, int)
+
+    def test_subtract_rejects_mismatched_domains(self, engine):
+        rng = np.random.default_rng(0)
+        other = TrajectoryEngine.build(GridSpec.unit(3), 3.0, n_length_buckets=5, max_length=16)
+        with pytest.raises(ValueError, match="cannot subtract"):
+            _random_aggregate(rng, engine).subtracted(_random_aggregate(rng, other))
+
+    def test_subtract_rejects_wrong_type(self, engine):
+        aggregate = _random_aggregate(np.random.default_rng(1), engine)
+        with pytest.raises(TypeError, match="subtract expects"):
+            aggregate.subtracted(np.zeros(3))
+
+
+class TestTrajectoryWindowSlideBitIdentity:
+    @given(
+        strategies.rngs(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=8),
+    )
+    @SLOW_SETTINGS
+    def test_slid_window_equals_fresh_window_over_survivors(
+        self, engine, rng, window_epochs, n_epochs
+    ):
+        """Sliding past expired epochs leaves exactly the survivors' counts —
+        and therefore byte-identical Markov model inputs."""
+        epochs = [_random_aggregate(rng, engine) for _ in range(n_epochs)]
+        slid = SlidingAggregateWindow(window_epochs)
+        for epoch in epochs:
+            slid.commit(epoch)
+        fresh = SlidingAggregateWindow(window_epochs)
+        for epoch in epochs[-window_epochs:]:
+            fresh.commit(epoch)
+        assert np.array_equal(slid.total.length_counts, fresh.total.length_counts)
+        assert np.array_equal(slid.total.start_counts, fresh.total.start_counts)
+        assert np.array_equal(slid.total.direction_counts, fresh.total.direction_counts)
+        assert slid.total.n_users == fresh.total.n_users
+        # Identical counts imply bit-identical model estimates: the oracle
+        # estimators are deterministic closed forms of the count vectors.
+        if slid.total.n_users > 0:
+            for slid_arr, fresh_arr in zip(
+                _model_arrays(engine.estimate(slid.total)),
+                _model_arrays(engine.estimate(fresh.total)),
+            ):
+                assert np.array_equal(slid_arr, fresh_arr)
+
+    @given(strategies.seeds(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sharded_epochs_are_worker_invariant(self, engine, seed, workers):
+        """collect_aggregate_sharded is bit-identical at any worker count, so a
+        slid window of sharded epochs is too."""
+        rng = np.random.default_rng(seed)
+        epochs = [_random_trajectories(rng, 30) for _ in range(3)]
+        totals = []
+        for n_workers in (1, workers):
+            window = SlidingAggregateWindow(2)
+            for index, trajectories in enumerate(epochs):
+                window.commit(
+                    engine.collect_aggregate_sharded(
+                        trajectories, seed=seed + index, workers=n_workers, shard_size=8
+                    )
+                )
+            totals.append(window.total)
+        serial, pooled = totals
+        assert np.array_equal(serial.length_counts, pooled.length_counts)
+        assert np.array_equal(serial.start_counts, pooled.start_counts)
+        assert np.array_equal(serial.direction_counts, pooled.direction_counts)
+        assert serial.n_users == pooled.n_users
+        for serial_arr, pooled_arr in zip(
+            _model_arrays(engine.estimate(serial)), _model_arrays(engine.estimate(pooled))
+        ):
+            assert np.array_equal(serial_arr, pooled_arr)
+
+
+class TestTrajectoryDecay:
+    @given(strategies.rngs(), st.sampled_from([0.5, 0.8, 0.95]))
+    @SLOW_SETTINGS
+    def test_decayed_window_matches_explicit_weighted_sum(self, engine, rng, decay):
+        window = SlidingAggregateWindow(3, decay=decay)
+        for _ in range(6):
+            window.commit(_random_aggregate(rng, engine))
+        survivors = window.epoch_aggregates()
+        weights = [decay**age for age in range(len(survivors) - 1, -1, -1)]
+        expected_lengths = sum(w * e.length_counts for w, e in zip(weights, survivors))
+        expected_users = sum(w * e.n_users for w, e in zip(weights, survivors))
+        np.testing.assert_allclose(window.total.length_counts, expected_lengths, atol=1e-9)
+        assert float(window.total.n_users) == pytest.approx(expected_users, abs=1e-9)
+        assert np.all(window.total.start_counts >= 0)
+
+    @given(strategies.rngs())
+    @SLOW_SETTINGS
+    def test_decay_one_is_bit_identical_to_hard_window(self, engine, rng):
+        epochs = [_random_aggregate(rng, engine) for _ in range(5)]
+        hard = SlidingAggregateWindow(2)
+        unit_decay = SlidingAggregateWindow(2, decay=1.0)
+        for epoch in epochs:
+            hard.commit(epoch)
+            unit_decay.commit(epoch)
+        assert np.array_equal(hard.total.length_counts, unit_decay.total.length_counts)
+        assert np.array_equal(hard.total.start_counts, unit_decay.total.start_counts)
+        assert float(hard.total.n_users) == float(unit_decay.total.n_users)
+
+
+class TestStreamingTrajectoryServiceBehaviour:
+    def test_session_slides_refreshes_and_publishes(self, engine):
+        rng = np.random.default_rng(5)
+        service = StreamingTrajectoryService(
+            engine, window_epochs=2, n_synthetic=60, seed=9
+        )
+        epochs = [_random_trajectories(rng, 25) for _ in range(4)]
+        for index, trajectories in enumerate(epochs):
+            update = service.ingest_epoch(trajectories)
+            assert update.epoch == index
+            assert update.n_users_epoch == 25
+            assert update.n_synthetic == 60
+            assert service.serving.epoch == index
+        assert service.epochs_processed == 4
+        assert service.window.n_epochs_in_window == 2
+        assert update.n_users_window == 50.0
+        # The published engine answers the trajectory workload atomically.
+        od = service.serving.od_top_k(3)
+        assert od.counts.shape[0] <= 3
+        counts, edges = service.serving.length_histogram(bins=4)
+        assert counts.sum() == 60 and edges.shape == (5,)
+
+    def test_refreshed_model_equals_estimate_over_window_total(self, engine):
+        """The warm refresh is exactly one closed-form estimate of the slid counts."""
+        rng = np.random.default_rng(6)
+        service = StreamingTrajectoryService(engine, window_epochs=2, n_synthetic=0, seed=1)
+        aggregates = [_random_aggregate(rng, engine) for _ in range(3)]
+        for aggregate in aggregates:
+            update = service.ingest_aggregate(aggregate)
+        expected = engine.estimate(aggregates[1].merged(aggregates[2]))
+        for got, want in zip(_model_arrays(update.model), _model_arrays(expected)):
+            assert np.array_equal(got, want)
+        assert update.collect_seconds == 0.0
+
+    def test_unpublished_service_keeps_serving_empty(self, engine):
+        service = StreamingTrajectoryService(engine, window_epochs=2, n_synthetic=0, seed=0)
+        service.ingest_aggregate(_random_aggregate(np.random.default_rng(2), engine))
+        assert service.model is not None
+        with pytest.raises(RuntimeError, match="no estimate has been published"):
+            service.serving.snapshot()
+
+    def test_validation_errors(self, engine):
+        with pytest.raises(TypeError, match="wraps a TrajectoryEngine"):
+            StreamingTrajectoryService(object())
+        with pytest.raises(ValueError, match="n_synthetic"):
+            StreamingTrajectoryService(engine, n_synthetic=-1)
+        with pytest.raises(ValueError, match="workers"):
+            StreamingTrajectoryService(engine, workers=0)
+        service = StreamingTrajectoryService(engine, window_epochs=2)
+        with pytest.raises(TypeError, match="TrajectoryShardAggregate"):
+            service.ingest_aggregate(np.zeros(4))
+
+
+class _GRROracleAuditAdapter:
+    """Expose a categorical GRR oracle through the SpatialMechanism audit surface."""
+
+    def __init__(self, oracle) -> None:
+        self.oracle = oracle
+        self.epsilon = oracle.epsilon
+        self.grid = SimpleNamespace(n_cells=oracle.domain_size)
+
+    def output_domain_size(self) -> int:
+        return self.oracle.domain_size
+
+    def privatize_cells(self, cells: np.ndarray, seed=None) -> np.ndarray:
+        return self.oracle.privatize(cells, seed=seed)
+
+
+class TestStreamingTrajectoryPrivacyAudit:
+    @given(strategies.grid_sides(2, 4), st.sampled_from([1.4, 3.5]), strategies.seeds())
+    @settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_streaming_deployment_oracles_within_budget_share(self, d, epsilon, seed):
+        """The per-report randomizers a trajectory session runs stay within e^(eps/3).
+
+        Windowing, model refreshes and synthesis are post-processing of reports
+        the three oracles already privatized, so the deployment's per-report
+        guarantee is exactly the batch pipeline's.  The audit runs against the
+        same oracle instances a StreamingTrajectoryService streams through, with
+        the established ``confidence_z=4`` multiplicity convention.
+        """
+        service = StreamingTrajectoryService.build(
+            GridSpec.unit(d).domain, d, epsilon,
+            n_length_buckets=4, max_length=12, window_epochs=2, n_synthetic=20, seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(3):
+            service.ingest_epoch(_random_trajectories(rng, 40))
+        assert service.serving.estimate.probabilities.shape == (d, d)
+        for oracle in (
+            service.engine.mechanism.length_oracle,
+            service.engine.mechanism.direction_oracle,
+        ):
+            adapter = _GRROracleAuditAdapter(oracle)
+            n_trials = max(5_000, 300 * oracle.domain_size)
+            results = audit_mechanism(
+                adapter, n_pairs=2, n_trials=n_trials, confidence_z=4.0, seed=seed
+            )
+            assert not any(result.violated for result in results), (
+                f"{type(oracle).__name__} exceeded its eps/3 = {oracle.epsilon:.3f} "
+                f"claim in the streaming deployment: "
+                f"{max(r.epsilon_lower_confidence for r in results):.3f}"
+            )

@@ -378,7 +378,9 @@ class TestStreamCommand:
 
     def test_stream_defaults(self):
         args = build_parser().parse_args(["stream"])
-        assert args.scenario == "shifting-hotspot"
+        assert args.workload == "point"
+        # Resolved per workload at run time: shifting-hotspot / commute-shift.
+        assert args.scenario is None
         assert args.window == 8
         assert args.decay is None
 
@@ -442,3 +444,58 @@ class TestStreamCommand:
         log_path.write_text(json.dumps(log))
         with pytest.raises(SystemExit, match="replay mismatch"):
             main(["stream", "--replay", str(log_path)])
+
+
+class TestStreamTrajectoryWorkload:
+    TRAJ_ARGS = [
+        "stream", "--workload", "trajectory", "--epochs", "4",
+        "--trajectories-per-epoch", "40", "--window", "2", "--d", "6",
+        "--max-length", "10", "--n-synthetic", "80",
+    ]
+
+    def test_trajectory_workload_runs_and_reports_w2(self, capsys):
+        assert main(self.TRAJ_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "workload: trajectory" in out
+        assert "scenario: commute-shift" in out
+        assert "mean W2:" in out
+        rows = [line for line in out.splitlines() if line.strip().startswith(tuple("0123456789"))]
+        assert len(rows) == 4
+
+    @pytest.mark.parametrize("scenario", ["event-surge", "route-closure"])
+    def test_trajectory_scenarios(self, scenario, capsys):
+        assert main(self.TRAJ_ARGS + ["--scenario", scenario]) == 0
+        assert f"scenario: {scenario}" in capsys.readouterr().out
+
+    def test_trajectory_save_and_replay_is_bit_identical(self, tmp_path, capsys):
+        log_path = tmp_path / "session.json"
+        assert main(self.TRAJ_ARGS + ["--save-log", str(log_path)]) == 0
+        import json
+        assert json.loads(log_path.read_text())["config"]["workload"] == "trajectory"
+        capsys.readouterr()
+        assert main(["stream", "--replay", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "workload: trajectory" in out
+        assert "max |W2 - logged| = 0.00e+00" in out
+
+    def test_trajectory_workers_match_serial(self, capsys):
+        assert main(self.TRAJ_ARGS + ["--seed", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.TRAJ_ARGS + ["--seed", "3", "--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        def table(text):
+            return [" ".join(line.split()[:3]) for line in text.splitlines()
+                    if line.strip() and line.split()[0].isdigit()]
+        assert table(serial) == table(pooled)
+
+    def test_rejects_scenario_of_other_workload(self):
+        with pytest.raises(SystemExit, match="other workload"):
+            main(self.TRAJ_ARGS + ["--scenario", "shifting-hotspot"])
+        with pytest.raises(SystemExit, match="other workload"):
+            main(["stream", "--scenario", "commute-shift"])
+
+    def test_rejects_bad_trajectory_parameters(self):
+        with pytest.raises(SystemExit):
+            main(self.TRAJ_ARGS[:3] + ["--trajectories-per-epoch", "0"])
+        with pytest.raises(SystemExit):
+            main(self.TRAJ_ARGS[:3] + ["--n-synthetic", "0"])
