@@ -119,12 +119,12 @@ def test_mixed_workload_replay_rates(estimate, record_result):
         "query_workload_replay",
         report.format(),
         metrics={
-"range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
-"density_ops_per_second": report.per_kind["density"]["ops_per_second"],
-},
+            "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+            "density_ops_per_second": report.per_kind["point_density"]["ops_per_second"],
+        },
     )
     assert report.n_operations == log.size
     assert set(answers) == {"range_mass", "point_density", "top_k", "quantiles", "marginals"}
     # The batched kinds must comfortably clear 100k ops/sec even on slow CI workers.
     assert report.per_kind["range_mass"]["ops_per_second"] > 100_000
-    assert report.per_kind["density"]["ops_per_second"] > 100_000
+    assert report.per_kind["point_density"]["ops_per_second"] > 100_000

@@ -1,0 +1,128 @@
+"""Serving-tier throughput: multi-process workers over one shared snapshot.
+
+Backs the acceptance criteria of the concurrent serving tier:
+
+* sustained **ingest+serve**: the publisher pushes each epoch's posterior into
+  the shared-memory segment while the worker pool drains a staged range-query
+  workload between publishes — the deployment loop ``repro serve`` runs;
+* answers are **worker-count invariant**: every pass is compared bit-for-bit
+  against a serial :class:`~repro.queries.engine.QueryEngine` over the same
+  published estimate, and every task in a pass reports the same
+  ``(generation, epoch)`` snapshot;
+* on a multi-core machine 4 workers must serve range queries at least **2x**
+  faster than 1 worker (the assertion is gated on the cores actually being
+  available — a single-core runner still records the measurement honestly);
+* the replay path reports **p50/p99 per-operation latency** alongside
+  throughput, so serving regressions show up in tail latency, not just means.
+
+Results are recorded to ``benchmarks/results/serving_throughput.txt`` and
+``BENCH_serving_throughput.json`` (the CI regression baseline's input).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets.synthetic import shifting_hotspot_stream
+from repro.queries.engine import QueryEngine, QueryLog, WorkloadReplay
+from repro.serving import ServingServer, WorkloadArena
+from repro.streaming import StreamingEstimationService
+
+GRID_D = 16
+EPSILON = 3.5
+WORKER_COUNTS = (1, 4)
+SCALING_TARGET = 2.0
+
+
+def _load(bench_profile) -> tuple[int, int, int]:
+    """(n_epochs, users_per_epoch, queries_per_epoch) per profile."""
+    if bench_profile == "paper":
+        return 8, 100_000, 400_000
+    if bench_profile == "smoke":
+        return 3, 10_000, 60_000
+    return 6, 50_000, 200_000
+
+
+def test_serving_throughput_scaling(bench_profile, record_result):
+    """Staged workload served at 1 vs 4 workers, bit-identical at every count."""
+    n_epochs, users_per_epoch, queries_per_epoch = _load(bench_profile)
+    available = os.cpu_count() or 1
+    stream = shifting_hotspot_stream(
+        n_epochs=n_epochs, users_per_epoch=users_per_epoch, seed=0
+    )
+    service = StreamingEstimationService.build(
+        stream.domain, GRID_D, EPSILON, window_epochs=4, seed=1
+    )
+    # Ingest once; replaying the same published estimates against every worker
+    # count keeps the serve passes comparable (and the answers comparable bits).
+    estimates = [service.ingest_epoch(points).estimate for points in stream.epochs]
+    serial_engines = [QueryEngine(estimate) for estimate in estimates]
+    log = QueryLog.random(stream.domain, n_range=queries_per_epoch, seed=2)
+    serial_answers = [
+        engine.range_mass(log.range_queries) for engine in serial_engines
+    ]
+
+    lines = [
+        f"serving tier, d={GRID_D}, eps={EPSILON}, epochs={n_epochs}, "
+        f"queries/epoch={queries_per_epoch}, cpus={available}",
+    ]
+    throughput: dict[int, float] = {}
+    grid = service.grid
+    with WorkloadArena(log.range_queries) as arena:
+        for workers in WORKER_COUNTS:
+            with ServingServer(grid, workers=workers) as server:
+                server.publish(estimates[0], epoch=0)
+                server.start()
+                total_seconds = 0.0
+                for epoch, estimate in enumerate(estimates):
+                    generation = server.publish(estimate, epoch=epoch)
+                    start = time.perf_counter()
+                    snapshots = server.serve_staged(arena, batch_rows=8192)
+                    total_seconds += time.perf_counter() - start
+                    # Every task answered from the snapshot just published...
+                    assert snapshots == [(generation, epoch)] * len(snapshots)
+                    # ...and bit-identically to the serial engine over it.
+                    assert np.array_equal(arena.answers, serial_answers[epoch]), (
+                        f"{workers}-worker pass diverged from the serial engine "
+                        f"at epoch {epoch}"
+                    )
+                rate = n_epochs * queries_per_epoch / total_seconds
+                throughput[workers] = rate
+                lines.append(
+                    f"workers={workers}    : {total_seconds:8.3f} s "
+                    f"({rate:12,.0f} queries/s)  [bit-identical]"
+                )
+
+    serving_scaling_speedup = throughput[WORKER_COUNTS[-1]] / throughput[1]
+    lines.append(
+        f"4-worker scaling     : {serving_scaling_speedup:.2f}x over 1 worker"
+    )
+
+    # Tail latency through the replay path: per-kind p50/p99 must be reported.
+    report, _ = WorkloadReplay(serial_engines[-1]).replay(log)
+    stats = report.per_kind["range_mass"]
+    assert 0 <= stats["latency_p50"] <= stats["latency_p99"]
+    lines.append(
+        f"serial replay        : {stats['ops_per_second']:12,.0f} queries/s "
+        f"(p50 {stats['latency_p50'] * 1e3:.3f} ms, "
+        f"p99 {stats['latency_p99'] * 1e3:.3f} ms)"
+    )
+
+    record_result(
+        "serving_throughput",
+        "\n".join(lines),
+        metrics={
+            "serving_scaling_speedup": serving_scaling_speedup,
+            "one_worker_queries_per_second": throughput[1],
+            "range_latency_p99_seconds": stats["latency_p99"],
+            "cpus": available,
+        },
+    )
+    if available >= 4:
+        assert serving_scaling_speedup >= SCALING_TARGET, (
+            f"4 workers only {serving_scaling_speedup:.2f}x over 1 "
+            f"(target {SCALING_TARGET}x on {available} cpus)"
+        )

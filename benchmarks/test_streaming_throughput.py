@@ -181,10 +181,10 @@ def test_mid_stream_serving_rates(session, record_result):
         "streaming_workload_replay",
         report.format(),
         metrics={
-"range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
-"density_ops_per_second": report.per_kind["density"]["ops_per_second"],
-},
+            "range_ops_per_second": report.per_kind["range_mass"]["ops_per_second"],
+            "density_ops_per_second": report.per_kind["point_density"]["ops_per_second"],
+        },
     )
     assert report.n_operations == log.size
     assert report.per_kind["range_mass"]["ops_per_second"] > 100_000
-    assert report.per_kind["density"]["ops_per_second"] > 100_000
+    assert report.per_kind["point_density"]["ops_per_second"] > 100_000

@@ -22,6 +22,10 @@ and baseline its evaluation depends on:
   ``StreamingEstimationService`` (point estimates, warm-started EM) and
   ``StreamingTrajectoryService`` (LDPTrace under movement drift), both publishing
   through atomic serving swaps;
+* ``repro.serving`` — the concurrent serving tier: window snapshots published
+  zero-copy through shared memory behind a seqlock generation counter
+  (``SnapshotWriter``/``SnapshotReader``) and a multi-process worker pool with a
+  bounded admission/batching front-end (``ServingServer``);
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
 
@@ -62,6 +66,7 @@ from repro.queries import (
     TrajectoryQueryEngine,
     WorkloadReplay,
 )
+from repro.serving import ServingServer, SnapshotReader, SnapshotWriter
 from repro.streaming import (
     SlidingAggregateWindow,
     StreamingEstimationService,
@@ -70,7 +75,7 @@ from repro.streaming import (
 )
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DAMPipeline",
@@ -89,7 +94,10 @@ __all__ = [
     "QueryLog",
     "RangeQuery",
     "RangeQueryWorkload",
+    "ServingServer",
     "SlidingAggregateWindow",
+    "SnapshotReader",
+    "SnapshotWriter",
     "StreamingEstimationService",
     "StreamingQueryEngine",
     "StreamingTrajectoryQueryEngine",

@@ -51,6 +51,15 @@ Two subcommands cover the common workflows without writing Python:
     replayable JSON log; ``--replay`` re-runs a saved log's exact configuration
     and diffs the two sessions.
 
+``python -m repro serve``
+    Sustained concurrent ingest+serve: the streaming ingest loop publishes each
+    epoch's window snapshot through shared memory
+    (:class:`~repro.serving.shm.SnapshotWriter`) while a pool of
+    ``--serve-workers`` processes answers a range-query workload against it
+    (:class:`~repro.serving.ServingServer`) — reporting per-epoch throughput and
+    p50/p99 batch latency, and verifying at the end that the workers' answers
+    are bit-identical to the in-process serial engine.
+
 ``python -m repro lint``
     Run the :mod:`repro.analysis` static-analysis rules (privacy-flow taint, RNG
     determinism, aggregate-protocol conformance, benchmark conventions) over the
@@ -426,6 +435,73 @@ def build_parser() -> argparse.ArgumentParser:
              "and diff the two sessions",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run sustained concurrent ingest+serve over a shared-memory snapshot",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=sorted(DRIFT_SCENARIOS),
+        default="shifting-hotspot",
+        help="drift shape of the generated stream (default shifting-hotspot)",
+    )
+    serve.add_argument(
+        "--epochs",
+        type=int,
+        default=6,
+        help="number of ingest epochs to serve through (default 6)",
+    )
+    serve.add_argument(
+        "--users-per-epoch",
+        type=int,
+        default=2000,
+        help="reports arriving per epoch (default 2000)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=4, help="sliding-window length in epochs (default 4)"
+    )
+    serve.add_argument(
+        "--decay",
+        type=float,
+        default=None,
+        help="optional exponential decay in (0, 1] applied per slide",
+    )
+    serve.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
+    serve.add_argument("--d", type=int, default=16, help="grid side length")
+    serve.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
+    serve.add_argument("--backend", choices=("operator", "dense"), default="operator")
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="serving worker processes answering queries (default 2)",
+    )
+    serve.add_argument(
+        "--queries-per-epoch",
+        type=int,
+        default=20_000,
+        help="range queries served between consecutive publishes (default 20000)",
+    )
+    serve.add_argument(
+        "--batch-rows",
+        type=int,
+        default=4096,
+        help="rows per admitted query batch / coalesced worker task (default 4096)",
+    )
+    serve.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.05,
+        help="smallest query side as a fraction of the domain",
+    )
+    serve.add_argument(
+        "--max-fraction",
+        type=float,
+        default=0.5,
+        help="largest query side as a fraction of the domain",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
     lint = subparsers.add_parser(
         "lint", help="run the repro.analysis static-analysis rules over source paths"
     )
@@ -554,8 +630,8 @@ def _run_query(args) -> int:
         log.save(args.save_log)
         print(f"wrote {args.save_log}")
 
-    replay = WorkloadReplay(engine, workers=args.workers)
-    report, answers = replay.replay(log)
+    with WorkloadReplay(engine, workers=args.workers) as replay:
+        report, answers = replay.replay(log)
     print(f"users: {result.n_users}   mechanism: {result.mechanism}   "
           f"epsilon: {args.epsilon}   d: {args.d}")
     print(report.format())
@@ -931,6 +1007,100 @@ def _run_figure(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    # Imported here: the serving tier pulls in multiprocessing machinery that
+    # the other (single-process) subcommands never need.
+    from repro.serving import ServingServer
+
+    if args.serve_workers < 1:
+        raise SystemExit("--serve-workers must be a positive integer")
+    if args.epochs < 1:
+        raise SystemExit("--epochs must be a positive integer")
+    if args.users_per_epoch < 1:
+        raise SystemExit("--users-per-epoch must be a positive integer")
+    if args.queries_per_epoch < 1:
+        raise SystemExit("--queries-per-epoch must be a positive integer")
+    if args.batch_rows < 1:
+        raise SystemExit("--batch-rows must be a positive integer")
+    if args.window < 1:
+        raise SystemExit("--window must be a positive integer")
+    if args.decay is not None and not 0.0 < args.decay <= 1.0:
+        raise SystemExit("--decay must lie in (0, 1]")
+
+    stream = DRIFT_SCENARIOS[args.scenario](
+        n_epochs=args.epochs,
+        users_per_epoch=args.users_per_epoch,
+        seed=args.seed,
+    )
+    grid = GridSpec(stream.domain, args.d)
+    print(f"scenario: {args.scenario}   epochs: {args.epochs} x "
+          f"{args.users_per_epoch} users   window: {args.window} epochs   "
+          f"epsilon: {args.epsilon}   d: {args.d}   "
+          f"serve workers: {args.serve_workers}   "
+          f"queries/epoch: {args.queries_per_epoch}")
+    with ServingServer(
+        grid, workers=args.serve_workers, coalesce_rows=args.batch_rows
+    ) as server:
+        service = StreamingEstimationService.build(
+            stream.domain,
+            args.d,
+            args.epsilon,
+            mechanism=args.mechanism,
+            backend=args.backend,
+            window_epochs=args.window,
+            decay=args.decay,
+            seed=args.seed + 1,
+            snapshot_writer=server.writer,
+        )
+        server.start()
+        workload_rng = np.random.default_rng(args.seed + 2)
+        print(f"{'epoch':>5} {'EM iters':>8} {'queries/s':>12} "
+              f"{'p50 ms':>9} {'p99 ms':>9} {'gen':>5}")
+        total_queries = 0
+        total_seconds = 0.0
+        last_log = None
+        for points in stream.epochs:
+            update = service.ingest_epoch(points)
+            log = QueryLog.random(
+                stream.domain,
+                n_range=args.queries_per_epoch,
+                min_fraction=args.min_fraction,
+                max_fraction=args.max_fraction,
+                seed=workload_rng,
+            )
+            last_log = log
+            batches = np.array_split(
+                log.range_queries,
+                max(1, -(-log.range_queries.shape[0] // args.batch_rows)),
+            )
+            latencies = np.empty(len(batches))
+            for index, batch in enumerate(batches):
+                start = time.perf_counter()
+                server.range_mass(batch)
+                latencies[index] = time.perf_counter() - start
+            elapsed = float(latencies.sum())
+            total_queries += log.range_queries.shape[0]
+            total_seconds += elapsed
+            rate = log.range_queries.shape[0] / elapsed if elapsed > 0 else float("inf")
+            print(f"{update.epoch:>5} {update.iterations:>8} {rate:>12,.0f} "
+                  f"{np.quantile(latencies, 0.5) * 1e3:>9.3f} "
+                  f"{np.quantile(latencies, 0.99) * 1e3:>9.3f} "
+                  f"{server.generation:>5}")
+        # Verification: re-serve the final epoch's workload and diff against the
+        # in-process serial engine on the same published window.
+        served = server.range_mass(last_log.range_queries)
+        serial = service.serving.snapshot().range_mass(last_log.range_queries)
+        identical = bool(np.array_equal(served, serial))
+        rate = total_queries / total_seconds if total_seconds > 0 else float("inf")
+        print(f"served {total_queries} queries across {args.epochs} publishes "
+              f"at {rate:,.0f} queries/s aggregate")
+        print(f"worker answers bit-identical to in-process engine: "
+              f"{'yes' if identical else 'NO'}")
+        if not identical:
+            return 1
+    return 0
+
+
 def _run_lint(args) -> int:
     # Imported lazily: linting is a dev workflow and the analysis package pulls
     # in nothing heavy, but keeping it out of the hot CLI paths is free.
@@ -968,6 +1138,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trajectory(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "lint":
         return _run_lint(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

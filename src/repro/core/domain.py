@@ -360,6 +360,48 @@ class GridDistribution:
     def from_flat(grid: GridSpec, flat: np.ndarray) -> "GridDistribution":
         return GridDistribution(grid, unflatten_grid(flat, grid.d))
 
+    @staticmethod
+    def from_normalized(
+        grid: GridSpec,
+        probabilities: np.ndarray,
+        *,
+        cumulative: np.ndarray | None = None,
+    ) -> "GridDistribution":
+        """Wrap an already-normalised ``(d, d)`` array without re-normalising it.
+
+        The regular constructor re-normalises (``clip`` + divide by the sum), which
+        is the right defence at every untrusted boundary but changes the last bits
+        whenever the sum is not exactly ``1.0``.  Consumers that *re-materialise* a
+        distribution that was already normalised — the shared-memory snapshot
+        reader in :mod:`repro.serving.shm` rebuilding the published posterior —
+        need the array back bit-for-bit, or serving answers drift from the serial
+        engine.  This constructor trusts its caller: ``probabilities`` must be a
+        ``(d, d)`` float64 array that already sums to ~1, and ``cumulative`` (when
+        given) must be its ``(d+1, d+1)`` zero-padded prefix-sum table, which is
+        installed as the :meth:`cumulative` cache so the summed-area table is not
+        recomputed either.  Arrays are adopted as-is (no copy) and treated as
+        immutable afterwards, like everywhere else in the library.
+        """
+        arr = np.asarray(probabilities)
+        if arr.shape != (grid.d, grid.d) or arr.dtype != np.float64:
+            raise ValueError(
+                f"from_normalized needs a ({grid.d}, {grid.d}) float64 array, "
+                f"got shape {arr.shape} dtype {arr.dtype}"
+            )
+        self = object.__new__(GridDistribution)
+        self.grid = grid
+        self.probabilities = arr
+        self._cumulative = None
+        if cumulative is not None:
+            table = np.asarray(cumulative)
+            if table.shape != (grid.d + 1, grid.d + 1):
+                raise ValueError(
+                    f"cumulative must have shape ({grid.d + 1}, {grid.d + 1}), "
+                    f"got {table.shape}"
+                )
+            self._cumulative = table
+        return self
+
 
 def stack_trajectory_cells(
     grid: GridSpec, trajectories: list

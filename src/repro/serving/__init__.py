@@ -1,0 +1,30 @@
+"""Concurrent query serving over shared-memory window snapshots.
+
+The serving tier of the streaming stack: a publisher (the ingest loop) writes
+each epoch's posterior + summed-area table into a shared-memory segment behind
+a seqlock generation counter (:mod:`repro.serving.shm`), and N long-lived
+worker processes answer queries zero-copy against it
+(:mod:`repro.serving.server`), bit-identically to a serial
+:class:`~repro.queries.engine.QueryEngine`.  See the "Serving tier" section of
+``docs/ARCHITECTURE.md`` for the layout and protocol.
+"""
+
+from repro.serving.server import (
+    ArenaSpec,
+    BackpressureError,
+    ServedBatch,
+    ServingServer,
+    WorkloadArena,
+)
+from repro.serving.shm import SnapshotReader, SnapshotSpec, SnapshotWriter
+
+__all__ = [
+    "ArenaSpec",
+    "BackpressureError",
+    "ServedBatch",
+    "ServingServer",
+    "SnapshotReader",
+    "SnapshotSpec",
+    "SnapshotWriter",
+    "WorkloadArena",
+]

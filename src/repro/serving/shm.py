@@ -1,0 +1,309 @@
+"""Shared-memory snapshot publication: the seqlock under the serving tier.
+
+A long-lived deployment has one *publisher* (the streaming ingest loop) and N
+*serving workers* in separate processes.  Pickling the posterior into every
+worker per refresh — let alone per query — would dominate the serve path, so the
+current window snapshot lives in one ``multiprocessing.shared_memory`` segment
+that every process maps zero-copy:
+
+=========  =======================  ==========================================
+offset     contents                 dtype / shape
+=========  =======================  ==========================================
+0          header                   ``int64[4]``: generation, epoch, d, layout
+32         posterior grid           ``float64 (d, d)``
+32+8·d²    summed-area table        ``float64 (d+1, d+1)`` (zero-padded prefix
+                                    sums, the substrate of O(1) range queries)
+=========  =======================  ==========================================
+
+Consistency is a **seqlock** on the generation counter (header slot 0):
+
+* :meth:`SnapshotWriter.publish` bumps the generation to an *odd* value, copies
+  both buffers and the epoch label in, then bumps to the next *even* value.
+* :meth:`SnapshotReader.read` loads the generation, answers the query off the
+  mapped buffers, then re-loads the generation: if it was odd, or changed, a
+  publish overlapped the read and the reader retries.  Readers never block the
+  writer and the writer never blocks readers — a torn posterior/SAT pair can be
+  *computed* mid-publish but never *returned*.
+
+Bit-identity: the reader rebuilds its :class:`~repro.queries.engine.QueryEngine`
+through :meth:`~repro.core.domain.GridDistribution.from_normalized`, which
+adopts the mapped probabilities and installs the mapped summed-area table as the
+cumulative cache.  Nothing is re-normalised and nothing is recomputed, so every
+worker answers bit-for-bit like the publisher's serial engine at the same
+generation (asserted in ``tests/serving/`` and the serving benchmark).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries.engine import QueryEngine
+
+_HEADER_SLOTS = 4
+_HEADER_BYTES = _HEADER_SLOTS * 8
+_GENERATION, _EPOCH, _SIDE, _LAYOUT = 0, 1, 2, 3
+_LAYOUT_VERSION = 1
+#: epoch header value meaning "no epoch label" (epochs are 0-based everywhere)
+_NO_EPOCH = -1
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup responsibility.
+
+    On Python < 3.13 every attach re-registers the segment with the
+    ``multiprocessing`` resource tracker.  Under the ``spawn`` start method a
+    worker owns its *own* tracker, whose exit-time cleanup would unlink a
+    segment the creator still serves from — so spawn-side attaches deregister
+    immediately; only the writer/arena that created a segment unlinks it.
+    Under ``fork`` every process shares one tracker and the re-register is a
+    set no-op, so deregistering there would instead cancel the creator's entry
+    (KeyError noise when it later unlinks) — leave it alone.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals vary per platform
+            pass
+    return segment
+
+
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """Everything a worker process needs to map a snapshot segment.
+
+    Plain strings and floats only, so the spec is cheap to pickle into worker
+    processes; the grid geometry rides along because the buffers alone cannot
+    reconstruct the domain bounds.
+    """
+
+    name: str
+    d: int
+    bounds: tuple[float, float, float, float]
+    domain_name: str = ""
+
+    def grid(self) -> GridSpec:
+        return GridSpec(SpatialDomain(*self.bounds, name=self.domain_name), self.d)
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.d * self.d * 8 + (self.d + 1) * (self.d + 1) * 8
+
+
+def _carve(
+    segment: shared_memory.SharedMemory, d: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The (header, probabilities, table) views over one mapped segment."""
+    header = np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=segment.buf)
+    probabilities = np.ndarray(
+        (d, d), dtype=np.float64, buffer=segment.buf, offset=_HEADER_BYTES
+    )
+    table = np.ndarray(
+        (d + 1, d + 1),
+        dtype=np.float64,
+        buffer=segment.buf,
+        offset=_HEADER_BYTES + d * d * 8,
+    )
+    return header, probabilities, table
+
+
+class SnapshotWriter:
+    """The publisher's half of the seqlock: owns the segment, writes snapshots.
+
+    Create one per serving deployment (the grid geometry is fixed for the
+    segment's lifetime), hand :attr:`spec` to the workers, then call
+    :meth:`publish` once per refresh.  The writer owns the segment: closing it
+    unlinks the backing memory.
+    """
+
+    def __init__(self, grid: GridSpec, *, name: str | None = None) -> None:
+        self.grid = grid
+        spec_size = (
+            _HEADER_BYTES + grid.d * grid.d * 8 + (grid.d + 1) * (grid.d + 1) * 8
+        )
+        self._shm = shared_memory.SharedMemory(create=True, size=spec_size, name=name)
+        self._header, self._probabilities, self._table = _carve(self._shm, grid.d)
+        self._header[:] = (0, _NO_EPOCH, grid.d, _LAYOUT_VERSION)
+        self._closed = False
+
+    @property
+    def spec(self) -> SnapshotSpec:
+        domain = self.grid.domain
+        return SnapshotSpec(
+            name=self._shm.name,
+            d=self.grid.d,
+            bounds=domain.bounds,
+            domain_name=domain.name,
+        )
+
+    @property
+    def generation(self) -> int:
+        """The current generation (even = consistent, odd = publish in progress)."""
+        return int(self._header[_GENERATION])
+
+    def publish(self, estimate: GridDistribution, *, epoch: int | None = None) -> int:
+        """Copy a new snapshot into the segment; returns its (even) generation.
+
+        The seqlock write: generation goes odd, the posterior, its summed-area
+        table and the epoch label are copied, generation goes even.  Readers
+        that overlapped the copy observe the odd/changed generation and retry.
+        """
+        if self._closed:
+            raise RuntimeError("snapshot writer is closed")
+        grid = estimate.grid
+        if grid.d != self.grid.d or grid.domain.bounds != self.grid.domain.bounds:
+            raise ValueError(
+                f"estimate grid (d={grid.d}, bounds={grid.domain.bounds}) does not "
+                f"match the snapshot segment (d={self.grid.d}, "
+                f"bounds={self.grid.domain.bounds})"
+            )
+        if epoch is not None and epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        table = estimate.cumulative()
+        self._header[_GENERATION] += 1  # odd: publish in progress
+        self._probabilities[:] = estimate.probabilities
+        self._table[:] = table
+        self._header[_EPOCH] = _NO_EPOCH if epoch is None else int(epoch)
+        self._header[_GENERATION] += 1  # even: snapshot consistent
+        return int(self._header[_GENERATION])
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # numpy views export pointers into the mmap; drop them before closing
+        # or mmap.close() raises BufferError.
+        self._header = self._probabilities = self._table = None  # type: ignore[assignment]
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SnapshotReader:
+    """A worker's half of the seqlock: maps the segment, answers consistently.
+
+    The reader builds one zero-copy :class:`~repro.queries.engine.QueryEngine`
+    over the mapped buffers at attach time; :meth:`read` wraps any engine call
+    in the seqlock retry loop so its result always comes from one consistent
+    (posterior, SAT, epoch) triple.
+    """
+
+    def __init__(self, spec: SnapshotSpec) -> None:
+        self.spec = spec
+        self._shm = attach_shared_memory(spec.name)
+        if self._shm.size < spec.size_bytes:
+            raise ValueError(
+                f"segment {spec.name!r} is {self._shm.size} bytes, expected at "
+                f"least {spec.size_bytes} for d={spec.d}"
+            )
+        self._header, probabilities, table = _carve(self._shm, spec.d)
+        side = int(self._header[_SIDE])
+        layout = int(self._header[_LAYOUT])
+        if side != spec.d or layout != _LAYOUT_VERSION:
+            raise ValueError(
+                f"segment {spec.name!r} holds d={side} layout v{layout}, expected "
+                f"d={spec.d} layout v{_LAYOUT_VERSION}"
+            )
+        self.grid = spec.grid()
+        # Zero-copy rebuild: adopt the mapped probabilities and install the
+        # mapped table as the cumulative cache, so the engine is bit-identical
+        # to the publisher's and nothing is recomputed per attach (or per read).
+        estimate = GridDistribution.from_normalized(
+            self.grid, probabilities, cumulative=table
+        )
+        self._engine: QueryEngine | None = QueryEngine(estimate)
+        #: seqlock retries observed so far (throwaway reads that overlapped a
+        #: publish); exposed for the protocol tests
+        self.retries = 0
+
+    @property
+    def generation(self) -> int:
+        if self._engine is None:
+            raise RuntimeError("snapshot reader is closed")
+        return int(self._header[_GENERATION])
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one complete snapshot has been published."""
+        return self.generation >= 2
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until the first publish completes (workers start before it)."""
+        deadline = time.monotonic() + timeout
+        while not self.ready:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no snapshot published to {self.spec.name!r} within {timeout}s"
+                )
+            time.sleep(1e-4)
+
+    def read(self, fn, *, timeout: float = 30.0):
+        """Run ``fn(engine)`` against one consistent snapshot.
+
+        Returns ``(result, generation, epoch)``.  The seqlock read: load the
+        generation, compute, re-load — odd or changed means a publish overlapped
+        and the result is discarded and recomputed.  ``fn`` must be a pure read
+        of the engine (it may run more than once).
+        """
+        if self._engine is None:
+            raise RuntimeError("snapshot reader is closed")
+        deadline = time.monotonic() + timeout
+        while True:
+            generation = int(self._header[_GENERATION])
+            if generation >= 2 and generation % 2 == 0:
+                epoch = int(self._header[_EPOCH])
+                result = fn(self._engine)
+                if int(self._header[_GENERATION]) == generation:
+                    return result, generation, (None if epoch == _NO_EPOCH else epoch)
+                self.retries += 1
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no consistent snapshot read from {self.spec.name!r} within "
+                    f"{timeout}s (generation {generation})"
+                )
+
+    def pinned(self, *, timeout: float = 30.0) -> tuple[QueryEngine, int, int | None]:
+        """A private copy of the current snapshot: ``(engine, generation, epoch)``.
+
+        The copy is taken inside the seqlock loop, so the returned engine is a
+        consistent window that later publishes cannot touch — the cross-process
+        analogue of :meth:`~repro.queries.engine.StreamingQueryEngine.snapshot`.
+        """
+
+        def copy_out(engine: QueryEngine) -> tuple[np.ndarray, np.ndarray]:
+            return engine.estimate.probabilities.copy(), engine.sat.table.copy()
+
+        (probabilities, table), generation, epoch = self.read(copy_out, timeout=timeout)
+        estimate = GridDistribution.from_normalized(
+            self.grid, probabilities, cumulative=table
+        )
+        return QueryEngine(estimate), generation, epoch
+
+    def close(self) -> None:
+        """Release the mapping (idempotent; never unlinks — the writer owns it)."""
+        if self._engine is None:
+            return
+        self._engine = None
+        self._header = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

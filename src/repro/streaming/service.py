@@ -15,7 +15,10 @@ deployment loop a production LDP collector actually runs:
    ``benchmarks/test_streaming_throughput.py``).
 3. **Publish** — the fresh estimate is swapped into a
    :class:`~repro.queries.engine.StreamingQueryEngine`, so analyst queries running
-   mid-stream never observe a half-updated window.
+   mid-stream never observe a half-updated window.  When the service was built
+   with a ``snapshot_writer``, the same estimate is also published to the
+   shared-memory segment of the :mod:`repro.serving` tier, so out-of-process
+   serving workers pick the new window up on their next seqlock read.
 
 Privacy: windowing and warm-starting are pure post-processing of already-privatized
 reports — each user's single report is produced by the underlying ε-LDP mechanism
@@ -37,6 +40,7 @@ from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import MechanismName
 from repro.core.postprocess import EMResult, expectation_maximization, make_grid_smoother
 from repro.queries.engine import StreamingQueryEngine
+from repro.serving.shm import SnapshotWriter
 from repro.streaming.window import WindowedAggregator
 from repro.utils.rng import ensure_rng
 
@@ -111,6 +115,12 @@ class StreamingEstimationService:
         ``mechanism``; when present, epochs are privatized through
         :meth:`~repro.core.parallel.ParallelPipeline.aggregate` (sharded, domain
         filtered, worker-pool capable).  :meth:`build` wires this up.
+    snapshot_writer:
+        Optional :class:`~repro.serving.shm.SnapshotWriter` on this service's
+        grid; when present, every epoch's estimate is additionally published to
+        its shared-memory segment (after the in-process serving swap), which is
+        how the :class:`~repro.serving.server.ServingServer` worker pool sees
+        new windows.  The caller owns the writer's lifetime.
     """
 
     def __init__(
@@ -126,6 +136,7 @@ class StreamingEstimationService:
         warm_floor: float = 0.1,
         seed=None,
         pipeline: ParallelPipeline | None = None,
+        snapshot_writer: SnapshotWriter | None = None,
     ) -> None:
         if not isinstance(mechanism, TransitionMatrixMechanism):
             raise TypeError(
@@ -139,6 +150,14 @@ class StreamingEstimationService:
             raise ValueError(f"warm_floor must lie in [0, 1), got {warm_floor}")
         if pipeline is not None and pipeline.pipeline.mechanism is not mechanism:
             raise ValueError("pipeline must wrap the same mechanism instance")
+        if snapshot_writer is not None and (
+            snapshot_writer.grid.d != mechanism.grid.d
+            or snapshot_writer.grid.domain.bounds != mechanism.grid.domain.bounds
+        ):
+            raise ValueError(
+                "snapshot_writer grid does not match the mechanism grid "
+                f"(d={snapshot_writer.grid.d} vs d={mechanism.grid.d})"
+            )
         self.mechanism = mechanism
         self.grid: GridSpec = mechanism.grid
         self.window = WindowedAggregator(mechanism, window_epochs, decay=decay)
@@ -155,6 +174,7 @@ class StreamingEstimationService:
         self._pipeline = pipeline
         self._theta: np.ndarray | None = None
         self.serving = StreamingQueryEngine()
+        self.snapshot_writer = snapshot_writer
 
     @classmethod
     def build(
@@ -239,6 +259,11 @@ class StreamingEstimationService:
         self._theta = result.estimate
         epoch = self.window.epochs_seen - 1
         self.serving.refresh(estimate, epoch=epoch)
+        if self.snapshot_writer is not None:
+            # refresh() above already materialised the summed-area table on this
+            # estimate, so the cross-process publish is two buffer copies under
+            # the seqlock — no recomputation.
+            self.snapshot_writer.publish(estimate, epoch=epoch)
         return EpochUpdate(
             epoch=epoch,
             n_users_epoch=aggregate.n_users,

@@ -225,6 +225,45 @@ class TestGridDistribution:
         assert np.all(dist.flat() >= 0)
 
 
+class TestFromNormalized:
+    """The trusted constructor behind zero-copy shared-memory serving."""
+
+    def test_adopts_the_exact_array(self, unit_grid5):
+        rng = np.random.default_rng(3)
+        probs = rng.dirichlet(np.ones(25)).reshape(5, 5)
+        dist = GridDistribution.from_normalized(unit_grid5, probs)
+        # Bit-identity: the array is adopted as-is, not copied or re-normalised
+        # (the regular constructor's clip+divide perturbs the last bits, which
+        # is exactly what this path exists to avoid).
+        assert dist.probabilities is probs
+        expected = np.zeros((6, 6))
+        expected[1:, 1:] = probs.cumsum(axis=0).cumsum(axis=1)
+        np.testing.assert_array_equal(dist.cumulative(), expected)
+
+    def test_installs_the_provided_cumulative(self, unit_grid5):
+        rng = np.random.default_rng(4)
+        reference = GridDistribution(unit_grid5, rng.dirichlet(np.ones(25)).reshape(5, 5))
+        table = reference.cumulative()
+        dist = GridDistribution.from_normalized(
+            unit_grid5, reference.probabilities, cumulative=table
+        )
+        assert dist.cumulative() is table  # cache installed, nothing recomputed
+
+    def test_shape_and_dtype_validated(self, unit_grid5):
+        with pytest.raises(ValueError, match="float64"):
+            GridDistribution.from_normalized(
+                unit_grid5, np.full((5, 5), 1 / 25, dtype=np.float32)
+            )
+        with pytest.raises(ValueError):
+            GridDistribution.from_normalized(unit_grid5, np.full((4, 4), 1 / 16))
+        with pytest.raises(ValueError):
+            GridDistribution.from_normalized(
+                unit_grid5,
+                np.full((5, 5), 1 / 25),
+                cumulative=np.zeros((5, 5)),
+            )
+
+
 class TestMarginals:
     def test_marginals_sum_to_one(self, clustered_distribution):
         x_marg, y_marg = marginals(clustered_distribution)

@@ -281,10 +281,46 @@ class TestQueryLogAndReplay:
         )
         report, answers = WorkloadReplay(engine).replay(log)
         assert report.n_operations == log.size
-        assert set(report.per_kind) == {"range_mass", "density", "top_k", "quantiles", "marginals"}
+        # Density answers are keyed "point_density" since 1.7 (they used to be
+        # reported under the mismatched kind "density").
+        assert set(report.per_kind) == {
+            "range_mass",
+            "point_density",
+            "top_k",
+            "quantiles",
+            "marginals",
+        }
+        assert set(answers) == set(report.per_kind)
         assert answers["range_mass"].shape == (100,)
         assert report.operations_per_second > 0
         assert "ops/sec" in report.format()
+
+    def test_replay_reports_latency_percentiles(self):
+        rng = np.random.default_rng(6)
+        engine = QueryEngine(GridSpec.unit(8).distribution(rng.random((2000, 2))))
+        log = QueryLog.random(
+            SpatialDomain.unit(), n_range=200, n_density=64, n_top_k=3, seed=7
+        )
+        report, _ = WorkloadReplay(engine).replay(log)
+        for kind, stats in report.per_kind.items():
+            assert stats["latency_p50"] >= 0, kind
+            assert stats["latency_p99"] >= stats["latency_p50"], kind
+        # Batched kinds are timed in sliced dispatches, so the percentiles are
+        # per-slice, not one number smeared over the whole batch.
+        assert "p50 ms" in report.format() and "p99 ms" in report.format()
+
+    def test_sliced_batches_match_unsliced_answers(self):
+        """Latency slicing must not change a single bit of the answers."""
+        rng = np.random.default_rng(11)
+        engine = QueryEngine(GridSpec.unit(9).distribution(rng.random((2500, 2))))
+        log = QueryLog.random(SpatialDomain.unit(), n_range=137, n_density=41, seed=12)
+        _, answers = WorkloadReplay(engine).replay(log)
+        np.testing.assert_array_equal(
+            answers["range_mass"], engine.range_mass(log.range_queries)
+        )
+        np.testing.assert_array_equal(
+            answers["point_density"], engine.point_density(log.density_points)
+        )
 
     def test_replay_empty_log(self):
         engine = QueryEngine(GridDistribution.uniform(GridSpec.unit(4)))
@@ -297,8 +333,31 @@ class TestQueryLogAndReplay:
         engine = QueryEngine(GridSpec.unit(10).distribution(rng.random((2000, 2))))
         log = QueryLog.random(SpatialDomain.unit(), n_range=600, seed=5)
         _, serial = WorkloadReplay(engine).replay(log)
-        _, fanned = WorkloadReplay(engine, workers=2, chunk_size=100).replay(log)
+        with WorkloadReplay(engine, workers=2, chunk_size=100) as replay:
+            _, fanned = replay.replay(log)
         np.testing.assert_allclose(fanned["range_mass"], serial["range_mass"])
+
+    def test_parallel_pool_is_warm_before_the_timed_section(self):
+        """The worker pool spins up outside the measurement, not inside it.
+
+        Pre-1.7 ``_range_mass`` created a fresh ``ProcessPoolExecutor`` inside
+        the timed section, so 'parallel replay throughput' mostly measured
+        process startup.  The pool is now persistent: warmed (spawned + engine
+        shipped + readiness round-trip) before any clock starts, and reused
+        across replays.
+        """
+        rng = np.random.default_rng(13)
+        engine = QueryEngine(GridSpec.unit(8).distribution(rng.random((1500, 2))))
+        log = QueryLog.random(SpatialDomain.unit(), n_range=400, seed=14)
+        with WorkloadReplay(engine, workers=2, chunk_size=100) as replay:
+            assert not replay.pool_warm
+            report, _ = replay.replay(log)
+            assert replay.pool_warm  # warmed by replay(), before timing
+            assert report.per_kind["range_mass"]["ops_per_second"] > 0
+            # A second replay reuses the warm pool.
+            replay.replay(log)
+            assert replay.pool_warm
+        assert not replay.pool_warm  # close() tore it down
 
     def test_replay_parameters_validated(self):
         engine = QueryEngine(GridDistribution.uniform(GridSpec.unit(4)))

@@ -1,0 +1,215 @@
+"""Seqlock snapshot protocol: consistency, retries, bit-identity, lifecycle."""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridDistribution, GridSpec
+from repro.queries.engine import QueryEngine
+from repro.serving.shm import SnapshotReader, SnapshotSpec, SnapshotWriter
+
+
+def hotspot(grid: GridSpec, cell: int, mass: float = 0.75) -> GridDistribution:
+    """A distribution whose argmax encodes ``cell`` — torn reads are detectable."""
+    n = grid.n_cells
+    probabilities = np.full(n, (1.0 - mass) / (n - 1))
+    probabilities[cell] = mass
+    return GridDistribution(grid, probabilities.reshape(grid.d, grid.d))
+
+
+@pytest.fixture()
+def grid():
+    return GridSpec.unit(5)
+
+
+class TestSnapshotSpec:
+    def test_grid_roundtrip(self, grid):
+        with SnapshotWriter(grid) as writer:
+            spec = writer.spec
+            assert spec.d == 5
+            rebuilt = spec.grid()
+            assert rebuilt.d == grid.d
+            assert rebuilt.domain.bounds == grid.domain.bounds
+
+    def test_size_bytes_covers_header_and_buffers(self):
+        spec = SnapshotSpec(name="x", d=4, bounds=(0.0, 1.0, 0.0, 1.0))
+        assert spec.size_bytes == 32 + 16 * 8 + 25 * 8
+
+
+class TestSnapshotWriter:
+    def test_publish_advances_even_generations(self, grid):
+        with SnapshotWriter(grid) as writer:
+            assert writer.generation == 0
+            assert writer.publish(hotspot(grid, 0), epoch=0) == 2
+            assert writer.publish(hotspot(grid, 1), epoch=1) == 4
+            assert writer.generation == 4
+
+    def test_grid_mismatch_rejected(self, grid):
+        with SnapshotWriter(grid) as writer:
+            with pytest.raises(ValueError, match="does not match"):
+                writer.publish(hotspot(GridSpec.unit(4), 0))
+
+    def test_negative_epoch_rejected(self, grid):
+        with SnapshotWriter(grid) as writer:
+            with pytest.raises(ValueError, match="non-negative"):
+                writer.publish(hotspot(grid, 0), epoch=-1)
+
+    def test_closed_writer_refuses_publish_and_unlinks(self, grid):
+        writer = SnapshotWriter(grid)
+        name = writer.spec.name
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            writer.publish(hotspot(grid, 0))
+        with pytest.raises(FileNotFoundError):
+            SnapshotReader(SnapshotSpec(name=name, d=5, bounds=grid.domain.bounds))
+
+
+class TestSnapshotReader:
+    def test_answers_bit_identical_to_serial_engine(self, grid):
+        estimate = hotspot(grid, 7)
+        serial = QueryEngine(estimate)
+        queries = np.array([[0.0, 1.0, 0.0, 1.0], [0.1, 0.7, 0.2, 0.9]])
+        with SnapshotWriter(grid) as writer:
+            writer.publish(estimate, epoch=3)
+            with SnapshotReader(writer.spec) as reader:
+                answers, generation, epoch = reader.read(
+                    lambda engine: engine.range_mass(queries)
+                )
+                assert generation == 2 and epoch == 3
+                np.testing.assert_array_equal(answers, serial.range_mass(queries))
+
+    def test_epoch_is_none_until_labelled(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0))
+            with SnapshotReader(writer.spec) as reader:
+                _, _, epoch = reader.read(lambda engine: None)
+                assert epoch is None
+
+    def test_ready_and_wait_ready(self, grid):
+        with SnapshotWriter(grid) as writer:
+            with SnapshotReader(writer.spec) as reader:
+                assert not reader.ready
+                with pytest.raises(TimeoutError, match="no snapshot published"):
+                    reader.wait_ready(timeout=0.05)
+                with pytest.raises(TimeoutError, match="no consistent snapshot"):
+                    reader.read(lambda engine: None, timeout=0.05)
+                writer.publish(hotspot(grid, 2))
+                reader.wait_ready(timeout=5.0)
+                assert reader.ready
+
+    def test_geometry_validated_at_attach(self, grid):
+        with SnapshotWriter(grid) as writer:
+            wrong_d = SnapshotSpec(
+                name=writer.spec.name, d=4, bounds=grid.domain.bounds
+            )
+            with pytest.raises(ValueError, match="holds d=5"):
+                SnapshotReader(wrong_d)
+            too_big = SnapshotSpec(
+                name=writer.spec.name, d=64, bounds=grid.domain.bounds
+            )
+            with pytest.raises(ValueError, match="bytes"):
+                SnapshotReader(too_big)
+
+    def test_closed_reader_refuses_reads(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0))
+            reader = SnapshotReader(writer.spec)
+            reader.close()
+            reader.close()  # idempotent
+            with pytest.raises(RuntimeError, match="closed"):
+                reader.read(lambda engine: None)
+
+    def test_pinned_copy_survives_later_publishes(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0), epoch=0)
+            with SnapshotReader(writer.spec) as reader:
+                pinned, generation, epoch = reader.pinned()
+                assert (generation, epoch) == (2, 0)
+                before = pinned.estimate.probabilities.copy()
+                writer.publish(hotspot(grid, 24), epoch=1)
+                # The pinned engine is a private copy: untouched by the publish...
+                np.testing.assert_array_equal(pinned.estimate.probabilities, before)
+                # ...while live reads see the new window.
+                _, generation, epoch = reader.read(lambda engine: None)
+                assert (generation, epoch) == (4, 1)
+
+
+class TestSeqlock:
+    def test_read_retries_when_a_publish_overlaps(self, grid):
+        """Deterministic retry: the read's fn triggers a publish mid-read."""
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0), epoch=0)
+            with SnapshotReader(writer.spec) as reader:
+                calls = {"n": 0}
+
+                def fn(engine):
+                    calls["n"] += 1
+                    if calls["n"] == 1:  # overlap the first attempt
+                        writer.publish(hotspot(grid, 24), epoch=1)
+                    return engine.range_mass(np.array([[0.0, 0.2, 0.0, 0.2]]))
+
+                answers, generation, epoch = reader.read(fn)
+                assert calls["n"] == 2
+                assert reader.retries == 1
+                # The discarded first attempt never escapes: the result is the
+                # post-publish snapshot, label and bytes agreeing.
+                assert (generation, epoch) == (4, 1)
+                np.testing.assert_array_equal(
+                    answers,
+                    QueryEngine(hotspot(grid, 24)).range_mass(
+                        np.array([[0.0, 0.2, 0.0, 0.2]])
+                    ),
+                )
+
+    def test_no_torn_pair_under_concurrent_writer(self, grid):
+        """A hammering writer thread never lets a reader mix two snapshots.
+
+        Estimate A hotspots cell 0 (even epochs), estimate B cell 24 (odd).
+        Each read returns a SAT-derived answer plus the posterior argmax; a torn
+        posterior/SAT pair, or an epoch label from the wrong publish, would make
+        the triple inconsistent.
+        """
+        a, b = hotspot(grid, 0), hotspot(grid, 24)
+        queries = np.array([[0.0, 0.2, 0.0, 0.2]])
+        expected = {
+            0: (QueryEngine(a).range_mass(queries), 0),
+            1: (QueryEngine(b).range_mass(queries), 24),
+        }
+
+        with SnapshotWriter(grid) as writer:
+            writer.publish(a, epoch=0)
+            done = threading.Event()
+
+            def hammer() -> None:
+                for epoch in range(1, 1200):
+                    writer.publish(a if epoch % 2 == 0 else b, epoch=epoch)
+                done.set()
+
+            def observe(engine):
+                return (
+                    engine.range_mass(queries),
+                    int(np.argmax(engine.estimate.probabilities)),
+                )
+
+            switch = sys.getswitchinterval()
+            sys.setswitchinterval(1e-5)
+            writer_thread = threading.Thread(target=hammer)
+            writer_thread.start()
+            try:
+                with SnapshotReader(writer.spec) as reader:
+                    observations = 0
+                    while not done.is_set() or observations == 0:
+                        (answers, argmax), _, epoch = reader.read(observe)
+                        want_answers, want_argmax = expected[epoch % 2]
+                        np.testing.assert_array_equal(answers, want_answers)
+                        assert argmax == want_argmax
+                        observations += 1
+            finally:
+                writer_thread.join()
+                sys.setswitchinterval(switch)
+            assert observations > 0

@@ -286,6 +286,49 @@ class TestStreamingQueryEngine:
         with pytest.raises(TypeError, match="TrajectoryQueryEngine"):
             WorkloadReplay(serving).replay(log)
 
+    def test_published_pair_never_tears_under_refresh_hammer(self):
+        """Regression: the (engine, epoch) pair is published in one store.
+
+        refresh() used to write the engine and the epoch as two separate
+        attribute stores; a reader thread interleaving between them could pair
+        epoch N+1's engine with epoch N's label.  Each estimate here encodes
+        its epoch in the argmax cell, so any torn pair is caught immediately.
+        """
+        import threading
+
+        grid = GridSpec.unit(4)
+        n_cells = grid.d * grid.d
+        estimates = []
+        for epoch in range(n_cells):
+            probabilities = np.full(n_cells, 0.5 / (n_cells - 1))
+            probabilities[epoch] = 0.5
+            estimates.append(GridDistribution(grid, probabilities.reshape(4, 4)))
+
+        serving = StreamingQueryEngine()
+        serving.refresh(estimates[0], epoch=0)
+        stop = threading.Event()
+        torn: list[tuple[int, int]] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                engine, epoch = serving.published()
+                hotspot = int(np.argmax(engine.estimate.probabilities))
+                if hotspot != epoch:
+                    torn.append((hotspot, epoch))
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(3000):
+                epoch = round_index % n_cells
+                serving.refresh(estimates[epoch], epoch=epoch)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert torn == []
+
 
 class TestCumulativeInvalidation:
     def test_invalidate_cumulative_rebuilds_the_table(self):
@@ -302,3 +345,49 @@ class TestCumulativeInvalidation:
         assert rebuilt is not stale
         assert rebuilt[-1, -1] == pytest.approx(1.0)
         assert not np.array_equal(rebuilt, stale)
+
+
+class TestSnapshotWriterIntegration:
+    """The ingest loop publishes each window to the shared-memory serving tier."""
+
+    def test_mismatched_writer_grid_rejected(self, stream):
+        from repro.serving import SnapshotWriter
+
+        with SnapshotWriter(GridSpec.unit(5)) as writer:
+            with pytest.raises(ValueError, match="snapshot_writer grid"):
+                StreamingEstimationService.build(
+                    stream.domain,
+                    6,
+                    2.5,
+                    window_epochs=2,
+                    seed=1,
+                    snapshot_writer=writer,
+                )
+
+    def test_every_epoch_publishes_to_the_segment(self, stream):
+        from repro.serving import SnapshotReader, SnapshotWriter
+
+        with SnapshotWriter(GridSpec(stream.domain, 6)) as writer:
+            service = StreamingEstimationService.build(
+                stream.domain,
+                6,
+                2.5,
+                window_epochs=2,
+                seed=11,
+                snapshot_writer=writer,
+            )
+            with SnapshotReader(writer.spec) as reader:
+                assert not reader.ready
+                for index, points in enumerate(stream.epochs[:3]):
+                    update = service.ingest_epoch(points)
+                    engine, generation, epoch = reader.pinned()
+                    # One publish per epoch: the generation counter advances by
+                    # two (odd during the copy, even once consistent).
+                    assert generation == 2 * (index + 1)
+                    assert epoch == index == update.epoch
+                    np.testing.assert_array_equal(
+                        engine.estimate.probabilities, update.estimate.probabilities
+                    )
+                    np.testing.assert_array_equal(
+                        engine.sat.table, update.estimate.cumulative()
+                    )

@@ -499,3 +499,41 @@ class TestStreamTrajectoryWorkload:
             main(self.TRAJ_ARGS[:3] + ["--trajectories-per-epoch", "0"])
         with pytest.raises(SystemExit):
             main(self.TRAJ_ARGS[:3] + ["--n-synthetic", "0"])
+
+
+class TestServeCommand:
+    SERVE_ARGS = [
+        "serve", "--epochs", "2", "--users-per-epoch", "300", "--window", "2",
+        "--d", "6", "--serve-workers", "1", "--queries-per-epoch", "400",
+        "--batch-rows", "128",
+    ]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "shifting-hotspot"
+        assert args.serve_workers == 2
+        assert args.batch_rows == 4096
+
+    def test_serve_runs_and_verifies_bit_identity(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "scenario: shifting-hotspot" in out
+        assert "serve workers: 1" in out
+        assert "queries/s" in out
+        assert "worker answers bit-identical to in-process engine: yes" in out
+        # One served-epoch row per ingest epoch.
+        rows = [line for line in out.splitlines()
+                if line.strip() and line.split()[0].isdigit()]
+        assert len(rows) == 2
+
+    def test_serve_rejects_bad_parameters(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--serve-workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--epochs", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--queries-per-epoch", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--batch-rows", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--decay", "2.0"])
