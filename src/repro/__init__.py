@@ -26,6 +26,10 @@ and baseline its evaluation depends on:
   zero-copy through shared memory behind a seqlock generation counter
   (``SnapshotWriter``/``SnapshotReader``) and a multi-process worker pool with a
   bounded admission/batching front-end (``ServingServer``);
+* ``repro.kernels`` — the native kernel tier behind ``backend="native"``: fused
+  stencil-convolution EM matvecs (numba JIT when importable, recorded pure-numpy
+  FFT fallback), the bisection order-statistics sampler and the batched Markov
+  walk, all drop-in replacements validated by a differential parity suite;
 * ``repro.experiments`` — the parameter grids, the sweep runner and one entry point per
   table/figure of the evaluation.
 
@@ -75,7 +79,7 @@ from repro.streaming import (
 )
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "DAMPipeline",

@@ -7,7 +7,8 @@ Two subcommands cover the common workflows without writing Python:
     DAM pipeline at a chosen budget and grid size, and print the estimated density map
     (optionally as an ASCII heat map) together with the Wasserstein error against the
     non-private histogram.  ``--backend`` switches between the structured
-    transition-operator engine and the dense matrix; ``--chunk-size`` streams the
+    transition-operator engine, the dense matrix and the ``native``
+    :mod:`repro.kernels` tier; ``--chunk-size`` streams the
     points through the pipeline in bounded-memory shards; ``--workers`` privatizes
     the shards on a process pool (bit-identical to the serial run).
 
@@ -150,10 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
     estimate.add_argument(
         "--backend",
-        choices=("operator", "dense"),
+        choices=("operator", "dense", "native"),
         default="operator",
-        help="transition backend: structured operator engine (default) "
-             "or the dense matrix",
+        help="transition backend: structured operator engine (default), "
+             "the dense matrix, or the native kernel tier",
     )
     estimate.add_argument(
         "--chunk-size",
@@ -219,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     query.add_argument("--d", type=int, default=16, help="grid side length")
     query.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    query.add_argument("--backend", choices=("operator", "dense"), default="operator")
+    query.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
         "--n-queries",
@@ -276,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="compare",
         help="compare mechanisms (default), fit the LDPTrace model, "
              "or fit + batched synthesis",
+    )
+    trajectory.add_argument(
+        "--backend",
+        choices=("operator", "native"),
+        default="operator",
+        help="walk backend for --mode fit/synthesize: whole-array numpy "
+             "(default) or the native kernel tier (bit-identical draws)",
     )
     trajectory.add_argument(
         "--input",
@@ -408,7 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     stream.add_argument("--d", type=int, default=16, help="grid side length")
     stream.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    stream.add_argument("--backend", choices=("operator", "dense"), default="operator")
+    stream.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
     stream.add_argument(
         "--workers",
         type=int,
@@ -469,7 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     serve.add_argument("--d", type=int, default=16, help="grid side length")
     serve.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    serve.add_argument("--backend", choices=("operator", "dense"), default="operator")
+    serve.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
     serve.add_argument(
         "--serve-workers",
         type=int,
@@ -725,7 +733,9 @@ def _run_trajectory(args) -> int:
         return 0
 
     grid = GridSpec(domain, args.d)
-    engine = TrajectoryEngine.build(grid, args.epsilon, max_length=args.max_length)
+    engine = TrajectoryEngine.build(
+        grid, args.epsilon, max_length=args.max_length, backend=args.backend
+    )
     start = time.perf_counter()
     model = engine.fit(dataset.trajectories, seed=args.seed, workers=args.workers)
     fit_seconds = time.perf_counter() - start

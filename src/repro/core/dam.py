@@ -35,7 +35,22 @@ from repro.core.radius import grid_radius
 from repro.utils.validation import check_epsilon
 
 PostProcess = Literal["ems", "em", "ls"]
-Backend = Literal["operator", "dense"]
+#: Transition backends of the disk mechanisms: ``"operator"`` — the structured
+#: scatter/gather operator; ``"dense"`` — the materialised matrix (ablations);
+#: ``"native"`` — the :mod:`repro.kernels` tier (stencil-convolution EM matvecs
+#: with numba-or-FFT selection, whole-batch background sampling).
+Backend = Literal["operator", "dense", "native"]
+_BACKENDS = ("operator", "dense", "native")
+
+
+def _build_backend_operator(backend: str, grid: GridSpec, b_hat: int, masses: np.ndarray):
+    """Build the transition operator a mechanism's ``backend`` asks for."""
+    if backend == "native":
+        # Imported lazily: repro.kernels sits on top of repro.core.operator.
+        from repro.kernels import build_native_operator
+
+        return build_native_operator(grid, b_hat, masses)
+    return build_disk_operator(grid, b_hat, masses)
 
 
 @dataclass(frozen=True)
@@ -145,7 +160,11 @@ class DiscreteDAM(TransitionMatrixMechanism):
         ``"operator"`` (default) keeps the randomisation as a structured
         :class:`~repro.core.operator.DiskTransitionOperator` — ``O(d^2 * k)``
         sampling and EM, no dense matrix on the hot path; ``"dense"`` materialises
-        the classical ``(d^2, m)`` matrix up front (ablations, diagnostics).
+        the classical ``(d^2, m)`` matrix up front (ablations, diagnostics);
+        ``"native"`` installs the :class:`repro.kernels.NativeDiskOperator`
+        kernel tier (fused stencil-convolution EM, whole-batch background
+        sampling) — same protocol, kernel selection recorded in
+        :attr:`kernel_build`.
     """
 
     name = "DAM"
@@ -165,7 +184,7 @@ class DiscreteDAM(TransitionMatrixMechanism):
         super().__init__(grid, epsilon)
         if postprocess not in ("ems", "em", "ls"):
             raise ValueError(f"unknown postprocess mode {postprocess!r}")
-        if backend not in ("operator", "dense"):
+        if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.use_shrinkage = use_shrinkage
         self.postprocess = postprocess
@@ -185,13 +204,16 @@ class DiscreteDAM(TransitionMatrixMechanism):
         # Relative mass of each disk cell: high fraction at e^eps, remainder at 1.
         masses = offsets.copy()
         masses[:, 2] = offsets[:, 2] * e_eps + (1.0 - offsets[:, 2])
-        operator = build_disk_operator(grid, self.b_hat, masses)
+        operator = _build_backend_operator(backend, grid, self.b_hat, masses)
         domain = DiskOutputDomain(d=grid.d, b_hat=self.b_hat, cells=operator.output_cells)
         normaliser = operator.normaliser
         if backend == "dense":
             self._set_transition(operator.to_dense())
         else:
             self._set_operator(operator)
+        #: native-tier build metadata (:class:`repro.kernels.KernelBuild`), or
+        #: ``None`` for the operator/dense backends
+        self.kernel_build = operator.kernel_build if backend == "native" else None
         self.output_domain = domain
         #: high/low report probabilities of Eq. (13)
         self.p_hat = float(e_eps / normaliser)

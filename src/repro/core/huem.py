@@ -18,7 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dam import Backend, DiskOutputDomain, PostProcess
+from repro.core.dam import (
+    _BACKENDS,
+    Backend,
+    DiskOutputDomain,
+    PostProcess,
+    _build_backend_operator,
+)
 from repro.core.domain import GridDistribution, GridSpec
 from repro.core.estimator import TransitionMatrixMechanism
 from repro.core.geometry import (
@@ -27,7 +33,6 @@ from repro.core.geometry import (
     nearest_corner_distance,
     shrunken_rectangle_area,
 )
-from repro.core.operator import build_disk_operator
 from repro.core.postprocess import (
     adaptive_smoothing_strength,
     expectation_maximization,
@@ -143,7 +148,7 @@ class DiscreteHUEM(TransitionMatrixMechanism):
             raise ValueError(
                 f"discretisation must be 'integral' or 'fan-rings', got {discretisation!r}"
             )
-        if backend not in ("operator", "dense"):
+        if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.postprocess = postprocess
         self.em_iterations = em_iterations
@@ -160,11 +165,12 @@ class DiscreteHUEM(TransitionMatrixMechanism):
             masses = huem_cell_masses_fan_rings(self.b_hat, self.epsilon)
         else:
             masses = huem_cell_masses(self.b_hat, self.epsilon, subsamples=subsamples)
-        operator = build_disk_operator(grid, self.b_hat, masses)
+        operator = _build_backend_operator(backend, grid, self.b_hat, masses)
         if backend == "dense":
             self._set_transition(operator.to_dense())
         else:
             self._set_operator(operator)
+        self.kernel_build = operator.kernel_build if backend == "native" else None
         self.output_domain = DiskOutputDomain(
             d=grid.d, b_hat=self.b_hat, cells=operator.output_cells
         )

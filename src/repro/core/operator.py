@@ -119,9 +119,18 @@ class DiskTransitionOperator:
         self._out_indices = self._build_out_indices()
         self._deltas = self.values - self.background
         # Row-sum sanity: background everywhere + offset corrections must give 1.
+        # The tolerance scales with the output-domain size: `background * m` and
+        # the k-term delta sum each accumulate rounding proportional to the
+        # number of summands, so a fixed 1e-6 that is generous at d=16 would
+        # false-positive at planet-scale domains (d >= 256) — especially once
+        # the float32 native tier rounds the per-offset values to ~1e-7.
         row_sum = self.background * self.n_outputs + float(self._deltas.sum())
-        if not np.isclose(row_sum, 1.0, atol=1e-6):
-            raise ValueError(f"operator rows must sum to 1, got {row_sum}")
+        atol = max(1e-6, 1e-9 * self.n_outputs)
+        if not np.isclose(row_sum, 1.0, atol=atol):
+            raise ValueError(
+                f"operator rows must sum to 1, got {row_sum} "
+                f"(tolerance {atol} at {self.n_outputs} outputs)"
+            )
         # Sampling caches, built lazily on the first sample() call.
         self._cum_values: np.ndarray | None = None
         self._sorted_disk: np.ndarray | None = None
@@ -242,14 +251,23 @@ class DiskTransitionOperator:
             # row's disk via the cached order-statistics shift.
             rank = ((u[outside] - special_mass) / self.background).astype(np.int64)
             np.clip(rank, 0, n_background - 1, out=rank)
-            out_cells = cells[outside]
-            out_reports = np.empty(rank.shape[0], dtype=np.int64)
-            for cell, group in iter_value_groups(out_cells):
-                r = rank[group]
-                shift = np.searchsorted(self._rank_shift[:, cell], r, side="right")
-                out_reports[group] = r + shift
-            reports[outside] = out_reports
+            reports[outside] = self._background_reports(cells[outside], rank)
         return reports
+
+    def _background_reports(self, cells: np.ndarray, rank: np.ndarray) -> np.ndarray:
+        """Map background ranks to output indices: ``r + #(disk cells <= r)``.
+
+        One grouped ``searchsorted`` per distinct true cell.  The hook the
+        native tier overrides with the whole-batch bisection kernel
+        (:func:`repro.kernels.sampler.background_rank_map`) — both are exact
+        integer order statistics, so the two paths are bit-identical.
+        """
+        out_reports = np.empty(rank.shape[0], dtype=np.int64)
+        for cell, group in iter_value_groups(cells):
+            r = rank[group]
+            shift = np.searchsorted(self._rank_shift[:, cell], r, side="right")
+            out_reports[group] = r + shift
+        return out_reports
 
     # -------------------------------------------------------------- auditing
     def ldp_ratio(self) -> float:
@@ -285,6 +303,8 @@ def build_disk_operator(
     offset_masses: np.ndarray,
     *,
     low_mass: float = 1.0,
+    operator_cls: type[DiskTransitionOperator] | None = None,
+    **operator_kwargs,
 ) -> DiskTransitionOperator:
     """Build a :class:`DiskTransitionOperator` from relative per-offset masses.
 
@@ -293,6 +313,10 @@ def build_disk_operator(
     ``low_mass`` the relative mass of a pure-low cell.  Because the offsets and the
     output-domain size are identical for every input cell, all rows share one
     normalisation constant — the argument for why the discretisation preserves ε-LDP.
+
+    ``operator_cls`` lets backend builders substitute a subclass (the native
+    kernel tier's :class:`repro.kernels.NativeDiskOperator`); extra keyword
+    arguments are forwarded to its constructor.
     """
     masses = np.asarray(offset_masses, dtype=float)
     if masses.ndim != 2 or masses.shape[1] != 3:
@@ -300,7 +324,8 @@ def build_disk_operator(
     output_cells = output_domain_cells(grid.d, b_hat)
     total_offsets_mass = float(masses[:, 2].sum())
     normaliser = total_offsets_mass + low_mass * (output_cells.shape[0] - masses.shape[0])
-    return DiskTransitionOperator(
+    cls = DiskTransitionOperator if operator_cls is None else operator_cls
+    return cls(
         grid=grid,
         b_hat=b_hat,
         offsets=masses[:, :2].astype(np.int64),
@@ -308,4 +333,5 @@ def build_disk_operator(
         background=low_mass / normaliser,
         output_cells=output_cells,
         normaliser=normaliser,
+        **operator_kwargs,
     )

@@ -1,0 +1,43 @@
+"""``repro.kernels`` — the raw-speed native tier for the three hot paths.
+
+ROADMAP item 2: the EM operator matvecs, the batched Markov walk and epoch
+privatization are whole-array numpy; this package is the ``backend="native"``
+tier behind the existing backend flags that buys the next order of magnitude
+without touching any caller's semantics:
+
+* :mod:`repro.kernels.em` — stencil-convolution EM matvecs (numba JIT when it
+  imports, pure-numpy FFT otherwise; selection recorded in
+  :class:`KernelBuild`) with a fused, buffer-reusing ``em_step``;
+* :mod:`repro.kernels.sampler` — the background order-statistics mapping as one
+  whole-batch bisection (bit-identical to the grouped ``searchsorted``);
+* :mod:`repro.kernels.walk` — time-major, narrow-dtype batched Markov walk
+  (bit-identical trajectories, same RNG consumption);
+* :mod:`repro.kernels.operator` — :class:`NativeDiskOperator`, the drop-in
+  operator subclass the mechanisms install under ``backend="native"``.
+
+Validated by the differential parity suite in ``tests/kernels/`` (native vs
+operator vs dense) and gated by ``benchmarks/test_native_kernel_throughput.py``
+against ``benchmarks/baselines/smoke.json``.
+"""
+
+from repro.kernels.em import (
+    EMKernel,
+    KernelBuild,
+    native_kernel_signature,
+    numba_available,
+)
+from repro.kernels.operator import NativeDiskOperator, build_native_operator
+from repro.kernels.sampler import background_rank_map
+from repro.kernels.walk import batched_walk, inverse_cdf_draws
+
+__all__ = [
+    "EMKernel",
+    "KernelBuild",
+    "NativeDiskOperator",
+    "background_rank_map",
+    "batched_walk",
+    "build_native_operator",
+    "inverse_cdf_draws",
+    "native_kernel_signature",
+    "numba_available",
+]

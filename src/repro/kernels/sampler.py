@@ -1,0 +1,62 @@
+"""The disk sampler's background order-statistics mapping, fully vectorised.
+
+A background draw of :meth:`~repro.core.operator.DiskTransitionOperator.sample`
+maps a uniform rank ``r`` in ``[0, m - k)`` onto the ``r``-th output cell *not*
+in the user's disk via ``r + searchsorted(rank_shift[:, cell], r, 'right')``.
+The reference implementation loops over the distinct true cells of the batch
+(one ``searchsorted`` per cell) — cheap when users cluster on few cells,
+quadratic-feeling when a planet-scale batch touches most of the ``d^2`` grid.
+
+:func:`background_rank_map` answers every draw at once: all searches share the
+column length ``k``, so one vectorised upper-bound binary search (``ceil(log2
+(k+1))`` rounds of a single gather + compare over the whole batch) replaces the
+per-cell loop.  Integer comparisons make it **bit-identical** to the grouped
+``searchsorted`` path — the differential suite asserts exact report equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def background_rank_map(
+    rank_shift: np.ndarray, cells: np.ndarray, rank: np.ndarray
+) -> np.ndarray:
+    """Map background ranks onto disk-complement output indices, batch-at-once.
+
+    Parameters
+    ----------
+    rank_shift:
+        The operator's ``(k, d^2)`` order-statistics cache: column ``c`` holds
+        ``sorted_disk[:, c] - arange(k)``, non-decreasing down the column.
+    cells:
+        True input cell of each background draw (length ``n``).
+    rank:
+        Background rank of each draw (length ``n``, in ``[0, m - k)``).
+
+    Returns
+    -------
+    The flat output index ``rank + shift`` of each draw, where ``shift`` is the
+    count of disk cells at or below the rank — exactly
+    ``searchsorted(rank_shift[:, cell], rank, side="right")`` per draw.
+    """
+    n = rank.shape[0]
+    result = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return result
+    k = int(rank_shift.shape[0])
+    lo = np.zeros(n, dtype=np.int64)
+    hi = np.full(n, k, dtype=np.int64)
+    # Classic upper-bound bisection, one whole-batch round per bit of k.  While
+    # a draw is active (lo < hi) its midpoint is < k, so clipping only protects
+    # the gather of already-converged lanes.
+    for _ in range(k.bit_length()):
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        go_right = active & (rank_shift[np.minimum(mid, k - 1), cells] <= rank)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    np.add(rank, lo, out=result)
+    return result

@@ -1,0 +1,119 @@
+"""Native kernels for the batched Markov walk of the trajectory engine.
+
+:meth:`~repro.trajectory.engine.TrajectoryEngine.synthesize` already draws
+every length, start cell and per-step direction in whole-array operations; what
+remains hot at planet scale is the walk itself — one clipped vector update per
+time step over arrays laid out *trajectory-major*, so every step touches a
+strided column — plus the int64 direction lookups that burn 8x the bandwidth
+their ``{-1, 0, 1}`` values need.
+
+The native path keeps the exact RNG consumption order (the differential suite
+asserts the synthesized trajectories are **bit-identical** to the numpy path)
+and changes only the arithmetic:
+
+* :func:`inverse_cdf_draws` — the shared inverse-CDF step-draw, emitting the
+  narrow dtype the walk wants instead of int64;
+* :func:`batched_walk` — the walk in **time-major** layout (each step update is
+  one contiguous pass) over int32 positions and int8 steps, with an optional
+  numba inner loop when the JIT imports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.em import numba_available
+
+_nb_walk = None
+
+
+def _numba_walk():
+    """Compile (once) the fused time-major walk loop; ``None`` without numba."""
+    global _nb_walk
+    if _nb_walk is not None:
+        return _nb_walk
+    if not numba_available():
+        return None
+    try:
+        import numba
+
+        @numba.njit(cache=False)
+        def nb_walk(rows, cols, drow, dcol, d):  # pragma: no cover - requires numba
+            steps, n = drow.shape
+            top = d - 1
+            for t in range(steps):
+                for i in range(n):
+                    r = rows[t, i] + drow[t, i]
+                    c = cols[t, i] + dcol[t, i]
+                    rows[t + 1, i] = 0 if r < 0 else (top if r > top else r)
+                    cols[t + 1, i] = 0 if c < 0 else (top if c > top else c)
+
+        _nb_walk = nb_walk
+    except Exception:  # pragma: no cover - depends on numba version
+        return None
+    return _nb_walk
+
+
+def inverse_cdf_draws(
+    rng: np.random.Generator,
+    probabilities: np.ndarray,
+    shape,
+    *,
+    dtype=np.int64,
+) -> np.ndarray:
+    """Inverse-CDF categorical draws, clipped into range.
+
+    Consumes exactly ``rng.random(shape)`` — the same draw the numpy synthesis
+    path makes — so swapping this in changes dtypes, never values.
+    """
+    cumulative = np.cumsum(probabilities)
+    draws = np.searchsorted(cumulative, rng.random(shape), side="right")
+    indices = draws.astype(dtype, copy=False)
+    np.clip(indices, 0, probabilities.shape[0] - 1, out=indices)
+    return indices
+
+
+def batched_walk(
+    start_cells: np.ndarray,
+    step_rows: np.ndarray,
+    step_cols: np.ndarray,
+    d: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the clipped batched Markov walk in time-major layout.
+
+    Parameters
+    ----------
+    start_cells:
+        Flat start cell of each of the ``n`` trajectories.
+    step_rows, step_cols:
+        ``(n, max_steps)`` per-step row/column increments in ``{-1, 0, 1}``
+        (any integer dtype; they are squeezed to int8 internally).
+    d:
+        Grid side length; positions are clipped into ``[0, d - 1]``.
+
+    Returns
+    -------
+    ``(rows, cols)`` — **time-major** ``(max_steps + 1, n)`` int32 position
+    arrays (``rows[t]`` is one contiguous step); transpose for the
+    trajectory-major view.  Values are identical to the int64 numpy walk.
+    """
+    n = int(start_cells.shape[0])
+    max_steps = int(step_rows.shape[1])
+    rows = np.empty((max_steps + 1, n), dtype=np.int32)
+    cols = np.empty((max_steps + 1, n), dtype=np.int32)
+    np.floor_divide(start_cells, d, out=rows[0], casting="unsafe")
+    np.remainder(start_cells, d, out=cols[0], casting="unsafe")
+    if max_steps == 0:
+        return rows, cols
+    drow = np.ascontiguousarray(step_rows.T, dtype=np.int8)
+    dcol = np.ascontiguousarray(step_cols.T, dtype=np.int8)
+    jit = _numba_walk()
+    if jit is not None:
+        jit(rows, cols, drow, dcol, d)
+        return rows, cols
+    for t in range(max_steps):
+        np.add(rows[t], drow[t], out=rows[t + 1], casting="unsafe")
+        np.clip(rows[t + 1], 0, d - 1, out=rows[t + 1])
+        np.add(cols[t], dcol[t], out=cols[t + 1], casting="unsafe")
+        np.clip(cols[t + 1], 0, d - 1, out=cols[t + 1])
+    return rows, cols

@@ -16,7 +16,12 @@ from repro.serving.server import (
     ServingServer,
     WorkloadArena,
 )
-from repro.serving.shm import SnapshotReader, SnapshotSpec, SnapshotWriter
+from repro.serving.shm import (
+    SnapshotReader,
+    SnapshotSpec,
+    SnapshotWriter,
+    TornSnapshotError,
+)
 
 __all__ = [
     "ArenaSpec",
@@ -26,5 +31,6 @@ __all__ = [
     "SnapshotReader",
     "SnapshotSpec",
     "SnapshotWriter",
+    "TornSnapshotError",
     "WorkloadArena",
 ]

@@ -144,7 +144,7 @@ def _arena_views(
 
 
 def _worker_main(
-    spec: SnapshotSpec, tasks, results, ready, read_timeout: float
+    spec: SnapshotSpec, tasks, results, ready, read_timeout: float, torn_timeout: float
 ) -> None:
     """Serving-worker loop: map the snapshot once, answer tasks until sentinel."""
     reader = SnapshotReader(spec)
@@ -162,6 +162,7 @@ def _worker_main(
                     answers, generation, epoch = reader.read(
                         lambda engine: engine.range_mass(payload),
                         timeout=read_timeout,
+                        torn_timeout=torn_timeout,
                     )
                     results.put((task_id, generation, epoch, answers, None))
                 elif kind == "staged":
@@ -170,6 +171,7 @@ def _worker_main(
                     chunk, generation, epoch = reader.read(
                         lambda engine: engine.range_mass(queries[start:stop]),
                         timeout=read_timeout,
+                        torn_timeout=torn_timeout,
                     )
                     answer_strip[start:stop] = chunk
                     results.put((task_id, generation, epoch, None, None))
@@ -210,6 +212,10 @@ class ServingServer:
     read_timeout:
         How long a worker waits for a consistent snapshot before failing the
         task (covers the start-before-first-publish window).
+    torn_timeout:
+        How long a worker tolerates a generation stuck on one odd value before
+        failing the task with :class:`~repro.serving.shm.TornSnapshotError` —
+        the dead-publisher detector, surfaced as a task *result*, not a hang.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class ServingServer:
         max_pending_rows: int = 1_000_000,
         coalesce_rows: int = 16_384,
         read_timeout: float = 30.0,
+        torn_timeout: float = 1.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -232,6 +239,7 @@ class ServingServer:
         self.max_pending_rows = max_pending_rows
         self.coalesce_rows = coalesce_rows
         self.read_timeout = float(read_timeout)
+        self.torn_timeout = float(torn_timeout)
         self.writer = SnapshotWriter(grid)
         context = multiprocessing.get_context()
         self._tasks = context.Queue()
@@ -281,6 +289,7 @@ class ServingServer:
                     self._results,
                     self._ready,
                     self.read_timeout,
+                    self.torn_timeout,
                 ),
                 name=f"repro-serving-{index}",
                 daemon=True,

@@ -53,6 +53,19 @@ _LAYOUT_VERSION = 1
 _NO_EPOCH = -1
 
 
+class TornSnapshotError(RuntimeError):
+    """The generation counter is stuck odd: the writer died mid-publish.
+
+    A live publisher holds the generation odd only for the microseconds of two
+    buffer copies, so a generation that sits *unchanged* on one odd value is not
+    contention — it is a publisher that crashed between the two bumps, leaving
+    the segment permanently torn.  :meth:`SnapshotReader.read` raises this after
+    ``torn_timeout`` seconds of no progress instead of spinning out its full
+    read timeout, so serving workers surface a dead publisher as a fast, typed
+    failure rather than a hang.
+    """
+
+
 def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting cleanup responsibility.
 
@@ -252,32 +265,60 @@ class SnapshotReader:
                 )
             time.sleep(1e-4)
 
-    def read(self, fn, *, timeout: float = 30.0):
+    def read(self, fn, *, timeout: float = 30.0, torn_timeout: float = 1.0):
         """Run ``fn(engine)`` against one consistent snapshot.
 
         Returns ``(result, generation, epoch)``.  The seqlock read: load the
         generation, compute, re-load — odd or changed means a publish overlapped
         and the result is discarded and recomputed.  ``fn`` must be a pure read
         of the engine (it may run more than once).
+
+        A generation that sits *unchanged* on one odd value is a writer that
+        died between its two bumps, not contention, and no amount of retrying
+        recovers it; after ``torn_timeout`` seconds without progress the read
+        raises :class:`TornSnapshotError` instead of burning the full
+        ``timeout``.
         """
         if self._engine is None:
             raise RuntimeError("snapshot reader is closed")
+        if torn_timeout <= 0:
+            raise ValueError(f"torn_timeout must be positive, got {torn_timeout}")
         deadline = time.monotonic() + timeout
+        torn_generation = -1
+        torn_deadline = 0.0
         while True:
             generation = int(self._header[_GENERATION])
             if generation >= 2 and generation % 2 == 0:
+                torn_generation = -1
                 epoch = int(self._header[_EPOCH])
                 result = fn(self._engine)
                 if int(self._header[_GENERATION]) == generation:
                     return result, generation, (None if epoch == _NO_EPOCH else epoch)
                 self.retries += 1
+            elif generation % 2 == 1:
+                now = time.monotonic()
+                if generation != torn_generation:
+                    # First sight of this odd value: (re)arm the torn clock.
+                    torn_generation = generation
+                    torn_deadline = now + torn_timeout
+                elif now > torn_deadline:
+                    raise TornSnapshotError(
+                        f"segment {self.spec.name!r} stuck at odd generation "
+                        f"{generation} for {torn_timeout}s — the writer died "
+                        f"mid-publish and the snapshot is torn"
+                    )
+                # A publish-in-flight resolves in microseconds; back off a touch
+                # so a torn wait does not hot-spin a core.
+                time.sleep(1e-5)
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"no consistent snapshot read from {self.spec.name!r} within "
                     f"{timeout}s (generation {generation})"
                 )
 
-    def pinned(self, *, timeout: float = 30.0) -> tuple[QueryEngine, int, int | None]:
+    def pinned(
+        self, *, timeout: float = 30.0, torn_timeout: float = 1.0
+    ) -> tuple[QueryEngine, int, int | None]:
         """A private copy of the current snapshot: ``(engine, generation, epoch)``.
 
         The copy is taken inside the seqlock loop, so the returned engine is a
@@ -288,7 +329,9 @@ class SnapshotReader:
         def copy_out(engine: QueryEngine) -> tuple[np.ndarray, np.ndarray]:
             return engine.estimate.probabilities.copy(), engine.sat.table.copy()
 
-        (probabilities, table), generation, epoch = self.read(copy_out, timeout=timeout)
+        (probabilities, table), generation, epoch = self.read(
+            copy_out, timeout=timeout, torn_timeout=torn_timeout
+        )
         estimate = GridDistribution.from_normalized(
             self.grid, probabilities, cumulative=table
         )

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
+from typing import Literal
 
 import numpy as np
 
@@ -48,6 +49,15 @@ DEFAULT_TRAJECTORY_SHARD_SIZE = 2048
 #: Row/column steps of each direction index, vectorised lookup tables for the walk.
 _DIR_ROW_STEPS = np.array([step[0] for step in DIRECTIONS], dtype=np.int64)
 _DIR_COL_STEPS = np.array([step[1] for step in DIRECTIONS], dtype=np.int64)
+# int8 copies for the native walk kernel (steps are always in {-1, 0, 1}).
+_DIR_ROW_STEPS_NARROW = _DIR_ROW_STEPS.astype(np.int8)
+_DIR_COL_STEPS_NARROW = _DIR_COL_STEPS.astype(np.int8)
+
+#: Synthesis backends: ``"operator"`` is the whole-array numpy walk this module
+#: introduced; ``"native"`` routes the walk through :mod:`repro.kernels.walk`
+#: (time-major layout, narrow dtypes, optional numba loop) — bit-identical
+#: trajectories, same RNG consumption, less memory traffic per step.
+WalkBackend = Literal["operator", "native"]
 
 
 @dataclass(frozen=True)
@@ -214,8 +224,11 @@ class TrajectoryEngine:
     or with :meth:`TrajectoryEngine.build` from grid parameters.
     """
 
-    def __init__(self, mechanism: LDPTrace) -> None:
+    def __init__(self, mechanism: LDPTrace, *, backend: WalkBackend = "operator") -> None:
+        if backend not in ("operator", "native"):
+            raise ValueError(f"unknown trajectory backend {backend!r}")
         self.mechanism = mechanism
+        self.backend = backend
 
     @classmethod
     def build(
@@ -225,9 +238,11 @@ class TrajectoryEngine:
         *,
         n_length_buckets: int = 10,
         max_length: int = 200,
+        backend: WalkBackend = "operator",
     ) -> "TrajectoryEngine":
         return cls(
-            LDPTrace(grid, epsilon, n_length_buckets=n_length_buckets, max_length=max_length)
+            LDPTrace(grid, epsilon, n_length_buckets=n_length_buckets, max_length=max_length),
+            backend=backend,
         )
 
     # ------------------------------------------------------------- conveniences
@@ -444,21 +459,37 @@ class TrajectoryEngine:
 
         # Direction matrix: every step of every trajectory, padded to max length.
         max_steps = int(lengths.max()) - 1
-        step_idx = np.searchsorted(
-            np.cumsum(direction_probs), rng.random((n, max_steps)), side="right"
-        )
-        np.clip(step_idx, 0, len(DIRECTIONS) - 1, out=step_idx)
-        drow = _DIR_ROW_STEPS[step_idx]
-        dcol = _DIR_COL_STEPS[step_idx]
+        if self.backend == "native":
+            # Same inverse-CDF draw (identical RNG consumption), int8 steps and
+            # a time-major int32 walk — bit-identical positions, less bandwidth.
+            from repro.kernels.walk import batched_walk, inverse_cdf_draws
 
-        # The batched walk: one clipped vector update of all n trajectories per step.
-        rows = np.empty((n, max_steps + 1), dtype=np.int64)
-        cols = np.empty((n, max_steps + 1), dtype=np.int64)
-        rows[:, 0] = cells0 // d
-        cols[:, 0] = cells0 % d
-        for t in range(max_steps):
-            np.clip(rows[:, t] + drow[:, t], 0, d - 1, out=rows[:, t + 1])
-            np.clip(cols[:, t] + dcol[:, t], 0, d - 1, out=cols[:, t + 1])
+            step_idx = inverse_cdf_draws(
+                rng, direction_probs, (n, max_steps), dtype=np.int16
+            )
+            rows_t, cols_t = batched_walk(
+                cells0,
+                _DIR_ROW_STEPS_NARROW[step_idx],
+                _DIR_COL_STEPS_NARROW[step_idx],
+                d,
+            )
+            rows, cols = rows_t.T, cols_t.T
+        else:
+            step_idx = np.searchsorted(
+                np.cumsum(direction_probs), rng.random((n, max_steps)), side="right"
+            )
+            np.clip(step_idx, 0, len(DIRECTIONS) - 1, out=step_idx)
+            drow = _DIR_ROW_STEPS[step_idx]
+            dcol = _DIR_COL_STEPS[step_idx]
+
+            # The batched walk: one clipped vector update of all trajectories per step.
+            rows = np.empty((n, max_steps + 1), dtype=np.int64)
+            cols = np.empty((n, max_steps + 1), dtype=np.int64)
+            rows[:, 0] = cells0 // d
+            cols[:, 0] = cells0 % d
+            for t in range(max_steps):
+                np.clip(rows[:, t] + drow[:, t], 0, d - 1, out=rows[:, t + 1])
+                np.clip(cols[:, t] + dcol[:, t], 0, d - 1, out=cols[:, t + 1])
 
         # Mask the padding, jitter every valid cell uniformly, split per trajectory.
         mask = np.arange(max_steps + 1)[None, :] < lengths[:, None]

@@ -113,6 +113,42 @@ class TestOperatorMatchesDense:
         with pytest.raises(ValueError):
             build_disk_operator(GridSpec.unit(4), 2, np.zeros((3, 2)))
 
+    def test_large_grid_construction_survives_rounding(self):
+        # Regression target: the row-sum sanity check used a fixed atol=1e-6,
+        # which a large output domain's accumulated rounding can trip even when
+        # the operator is exactly row-stochastic in intent.  The tolerance now
+        # scales with the output-domain size, so a d=256 build must succeed.
+        grid = GridSpec.unit(256)
+        operator = build_disk_operator(grid, 3, _dam_masses(3, 3.5))
+        assert operator.shape == (256 * 256, operator.n_outputs)
+        theta = np.full(grid.n_cells, 1.0 / grid.n_cells)
+        assert operator.forward(theta).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_row_sum_tolerance_scales_with_output_domain(self):
+        # Sub-1e-6 per-output drift must pass on a big domain (scaled atol) and
+        # a grossly wrong row sum must still be rejected with the tolerance in
+        # the message.
+        grid = GridSpec.unit(32)
+        masses = _dam_masses(2, 2.0)
+        operator = build_disk_operator(grid, 2, masses)
+        atol = max(1e-6, 1e-9 * operator.n_outputs)
+        assert atol >= 1e-6
+        bad = masses.copy()
+        bad[:, 2] *= 1.5
+        with pytest.raises(ValueError, match="tolerance"):
+            # Re-normalise against the *unscaled* normaliser so row sums are off.
+            from repro.core.operator import DiskTransitionOperator
+
+            DiskTransitionOperator(
+                grid,
+                2,
+                offsets=masses[:, :2].astype(np.int64),
+                values=bad[:, 2] / (operator.normaliser),
+                background=1.0 / operator.normaliser,
+                output_cells=operator.output_cells,
+                normaliser=operator.normaliser,
+            )
+
 
 class TestOperatorSampling:
     def test_empirical_frequencies_match_declared_row(self):

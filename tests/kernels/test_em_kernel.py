@@ -1,0 +1,256 @@
+"""Unit tests for repro.kernels.em — the stencil-convolution EM kernel.
+
+The kernel must be a numerical drop-in for the structured operator's matvecs
+(parity at the float64 rounding floor), allocation-free across calls (the same
+preallocated buffers come back), safe to alternate in the fused EM loop (the
+double buffer never aliases its input) and honest about what it built
+(:class:`KernelBuild` records the numba-vs-FFT selection and why).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec
+from repro.core.geometry import disk_offset_array
+from repro.core.operator import build_disk_operator
+from repro.core.postprocess import expectation_maximization
+from repro.kernels import (
+    EMKernel,
+    build_native_operator,
+    native_kernel_signature,
+    numba_available,
+)
+from repro.kernels.em import _next_fast_len
+
+
+def _dam_masses(b_hat: int, epsilon: float) -> np.ndarray:
+    offsets = disk_offset_array(b_hat)
+    masses = offsets.copy()
+    masses[:, 2] = offsets[:, 2] * math.exp(epsilon) + (1.0 - offsets[:, 2])
+    return masses
+
+
+def _operator(d: int = 12, b_hat: int = 3, epsilon: float = 3.5):
+    return build_disk_operator(GridSpec.unit(d), b_hat, _dam_masses(b_hat, epsilon))
+
+
+class TestNextFastLen:
+    def test_small_values_are_minimal_5_smooth(self):
+        def is_5_smooth(n: int) -> bool:
+            for p in (2, 3, 5):
+                while n % p == 0:
+                    n //= p
+            return n == 1
+
+        for n in range(1, 400):
+            fast = _next_fast_len(n)
+            assert fast >= n
+            assert is_5_smooth(fast)
+            # Minimal: nothing 5-smooth lives in [n, fast).
+            assert not any(is_5_smooth(m) for m in range(n, fast))
+
+    def test_degenerate_inputs(self):
+        assert _next_fast_len(0) == 1
+        assert _next_fast_len(1) == 1
+
+
+class TestKernelBuild:
+    def test_numpy_jit_forces_fft_without_fallback(self):
+        kernel = EMKernel(_operator(), jit="numpy")
+        assert kernel.build.kind == "fft"
+        assert kernel.build.jit == "numpy"
+        assert kernel.build.fallback_reason is None
+        assert kernel.build.describe() == "fft/float64"
+
+    def test_auto_selection_matches_environment(self):
+        kernel = EMKernel(_operator(), jit="auto")
+        if numba_available():
+            assert kernel.build.kind == "numba"
+            assert kernel.build.fallback_reason is None
+        else:
+            # The fallback is clean *and* recorded — the satellite requirement.
+            assert kernel.build.kind == "fft"
+            assert "numba" in kernel.build.fallback_reason
+
+    def test_explicit_numba_request_falls_back_cleanly_when_absent(self):
+        kernel = EMKernel(_operator(), jit="numba")
+        if not numba_available():
+            assert kernel.build.kind == "fft"
+            assert "numba" in kernel.build.fallback_reason
+        # Either way the kernel must answer.
+        theta = np.full(kernel.n_inputs, 1.0 / kernel.n_inputs)
+        assert np.isfinite(kernel.forward(theta)).all()
+
+    def test_signature_matches_a_fresh_build(self):
+        assert native_kernel_signature() == EMKernel(_operator()).build.describe()
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError, match="accumulate"):
+            EMKernel(_operator(), accumulate="float16")
+        with pytest.raises(ValueError, match="jit"):
+            EMKernel(_operator(), jit="cuda")
+        with pytest.raises(ValueError, match="accumulate"):
+            native_kernel_signature(accumulate="float16")
+        with pytest.raises(ValueError, match="jit"):
+            native_kernel_signature(jit="cuda")
+
+
+class TestMatvecParity:
+    @pytest.mark.parametrize("d,b_hat", [(1, 2), (2, 1), (5, 2), (12, 3), (20, 5)])
+    def test_forward_backward_match_operator(self, d, b_hat):
+        operator = _operator(d=d, b_hat=b_hat)
+        kernel = EMKernel(operator)
+        rng = np.random.default_rng(d * 31 + b_hat)
+        theta = rng.dirichlet(np.ones(operator.n_inputs))
+        weights = rng.random(operator.n_outputs)
+        np.testing.assert_allclose(
+            kernel.forward(theta), operator.forward(theta), rtol=0, atol=1e-13
+        )
+        np.testing.assert_allclose(
+            kernel.backward(weights),
+            operator.backward(weights),
+            rtol=0,
+            atol=1e-12 * weights.sum(),
+        )
+
+    def test_buffers_are_reused_across_calls(self):
+        kernel = EMKernel(_operator(d=8, b_hat=2))
+        theta = np.full(kernel.n_inputs, 1.0 / kernel.n_inputs)
+        first = kernel.forward(theta)
+        second = kernel.forward(theta)
+        assert first is second  # allocation-free: same preallocated buffer
+
+    def test_explicit_out_buffer_respected(self):
+        kernel = EMKernel(_operator(d=8, b_hat=2))
+        theta = np.full(kernel.n_inputs, 1.0 / kernel.n_inputs)
+        out = np.empty(kernel.n_outputs)
+        assert kernel.forward(theta, out=out) is out
+
+    def test_wrong_lengths_rejected(self):
+        kernel = EMKernel(_operator(d=6, b_hat=2))
+        with pytest.raises(ValueError, match="theta must have length"):
+            kernel.forward(np.ones(3))
+        with pytest.raises(ValueError, match="weights must have length"):
+            kernel.backward(np.ones(3))
+
+
+class TestFusedEMStep:
+    def test_single_step_matches_plain_loop(self):
+        operator = _operator(d=10, b_hat=2)
+        kernel = EMKernel(operator)
+        rng = np.random.default_rng(5)
+        counts = rng.integers(0, 40, operator.n_outputs).astype(float)
+        theta = np.full(operator.n_inputs, 1.0 / operator.n_inputs)
+
+        predicted = np.clip(operator.forward(theta), 1e-300, None)
+        plain = theta * operator.backward(counts / predicted)
+        plain = np.clip(plain, 0.0, None)
+        plain /= plain.sum()
+
+        fused = kernel.em_step(theta, counts)
+        np.testing.assert_allclose(fused, plain, rtol=0, atol=1e-12)
+
+    def test_double_buffer_never_aliases_input(self):
+        kernel = EMKernel(_operator(d=8, b_hat=2))
+        counts = np.ones(kernel.n_outputs)
+        theta = np.full(kernel.n_inputs, 1.0 / kernel.n_inputs)
+        for _ in range(4):
+            new_theta = kernel.em_step(theta, counts)
+            assert new_theta is not theta
+            assert not np.shares_memory(new_theta, theta)
+            theta = new_theta
+
+    def test_overflow_rescue_keeps_step_finite(self):
+        kernel = EMKernel(_operator(d=6, b_hat=2))
+        counts = np.zeros(kernel.n_outputs)
+        counts[-1] = 1e305
+        theta = np.zeros(kernel.n_inputs)
+        theta[0] = 1.0
+        stepped = kernel.em_step(theta, counts)
+        assert np.isfinite(stepped).all()
+        assert stepped.sum() == pytest.approx(1.0)
+
+
+class TestExpectationMaximizationIntegration:
+    def test_native_solve_matches_operator_solve(self):
+        grid = GridSpec.unit(12)
+        masses = _dam_masses(3, 3.5)
+        operator = build_disk_operator(grid, 3, masses)
+        native = build_native_operator(grid, 3, masses)
+        rng = np.random.default_rng(9)
+        cells = rng.integers(0, grid.n_cells, 20_000)
+        counts = np.bincount(
+            operator.sample(cells, np.random.default_rng(1)),
+            minlength=operator.n_outputs,
+        ).astype(float)
+        plain = expectation_maximization(operator, counts, max_iterations=60, tolerance=0.0)
+        fused = expectation_maximization(native, counts, max_iterations=60, tolerance=0.0)
+        np.testing.assert_allclose(fused.estimate, plain.estimate, rtol=0, atol=1e-10)
+        assert fused.log_likelihood == pytest.approx(plain.log_likelihood, rel=1e-9)
+        assert plain.kernel is None
+        assert fused.kernel == native.kernel_build.describe()
+
+    def test_estimate_detached_from_kernel_buffers(self):
+        # A second solve on the same kernel must not overwrite the first result.
+        grid = GridSpec.unit(8)
+        native = build_native_operator(grid, 2, _dam_masses(2, 2.5))
+        counts_a = np.zeros(native.n_outputs)
+        counts_a[0] = 100.0
+        counts_b = np.zeros(native.n_outputs)
+        counts_b[-1] = 100.0
+        first = expectation_maximization(native, counts_a, max_iterations=20)
+        frozen = first.estimate.copy()
+        expectation_maximization(native, counts_b, max_iterations=20)
+        np.testing.assert_array_equal(first.estimate, frozen)
+
+    def test_mismatched_kernel_rejected(self):
+        small = build_native_operator(GridSpec.unit(4), 1, _dam_masses(1, 2.0))
+        big = _operator(d=8, b_hat=2)
+        with pytest.raises(ValueError, match="kernel answers"):
+            expectation_maximization(
+                big, np.ones(big.n_outputs), kernel=small.em_kernel
+            )
+
+    def test_kernel_none_forces_plain_loop_on_native_operator(self):
+        native = build_native_operator(GridSpec.unit(6), 2, _dam_masses(2, 2.5))
+        counts = np.ones(native.n_outputs)
+        result = expectation_maximization(native, counts, max_iterations=5, kernel=None)
+        assert result.kernel is None
+
+
+class TestFloat32Mode:
+    def test_float32_build_runs_and_stays_close(self):
+        operator = _operator(d=12, b_hat=3)
+        f64 = EMKernel(operator, accumulate="float64")
+        f32 = EMKernel(operator, accumulate="float32")
+        assert f32.build.describe().endswith("float32")
+        counts = np.random.default_rng(3).integers(0, 50, operator.n_outputs).astype(float)
+        theta = np.full(operator.n_inputs, 1.0 / operator.n_inputs)
+        a = np.array(f64.em_step(theta, counts), dtype=float)
+        b = np.array(f32.em_step(theta, counts), dtype=float)
+        assert np.abs(a - b).sum() < 1e-5  # float32 rounding floor, not drift
+
+
+class TestPickling:
+    def test_kernel_round_trips(self):
+        kernel = EMKernel(_operator(d=8, b_hat=2))
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.build.kind in ("numba", "fft")
+        theta = np.random.default_rng(2).dirichlet(np.ones(kernel.n_inputs))
+        np.testing.assert_allclose(
+            np.array(clone.forward(theta)), np.array(kernel.forward(theta)), atol=1e-13
+        )
+
+    def test_native_operator_round_trips_and_rebuilds_lazily(self):
+        native = build_native_operator(GridSpec.unit(8), 2, _dam_masses(2, 3.0))
+        native.forward(np.full(native.n_inputs, 1.0 / native.n_inputs))  # build kernel
+        clone = pickle.loads(pickle.dumps(native))
+        assert clone._em_kernel is None  # dropped, rebuilt on demand
+        theta = np.random.default_rng(4).dirichlet(np.ones(native.n_inputs))
+        np.testing.assert_allclose(clone.forward(theta), native.forward(theta), atol=1e-13)
+        assert clone.kernel_build.describe() == native.kernel_build.describe()

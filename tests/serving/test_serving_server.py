@@ -135,6 +135,21 @@ class TestFailureSurfacing:
             with pytest.raises(RuntimeError, match="TimeoutError"):
                 server.collect(ticket, timeout=10.0)
 
+    def test_dead_publisher_mid_publish_is_reported_not_a_hang(
+        self, grid, estimate, queries
+    ):
+        # Regression: leave the seqlock generation odd (writer died between its
+        # two bumps).  Pre-fix every worker read spun for the full read_timeout;
+        # now the worker fails the task with TornSnapshotError and the server
+        # surfaces it as an error result.
+        with ServingServer(grid, workers=1, torn_timeout=0.15) as server:
+            server.publish(estimate, epoch=0)
+            server.start()
+            server.writer._header[0] += 1  # generation stuck odd
+            ticket = server.submit_range_mass(queries[:10])
+            with pytest.raises(RuntimeError, match="TornSnapshotError"):
+                server.collect(ticket, timeout=20.0)
+
     def test_closed_server_refuses_traffic(self, grid, estimate, queries):
         server = ServingServer(grid, workers=1)
         server.publish(estimate)

@@ -4,13 +4,20 @@ from __future__ import annotations
 
 import sys
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.domain import GridDistribution, GridSpec
 from repro.queries.engine import QueryEngine
-from repro.serving.shm import SnapshotReader, SnapshotSpec, SnapshotWriter
+from repro.serving.shm import (
+    _GENERATION,
+    SnapshotReader,
+    SnapshotSpec,
+    SnapshotWriter,
+    TornSnapshotError,
+)
 
 
 def hotspot(grid: GridSpec, cell: int, mass: float = 0.75) -> GridDistribution:
@@ -137,6 +144,74 @@ class TestSnapshotReader:
                 # ...while live reads see the new window.
                 _, generation, epoch = reader.read(lambda engine: None)
                 assert (generation, epoch) == (4, 1)
+
+
+class TestTornSnapshot:
+    """Regression: a writer that dies mid-publish must not hang every reader.
+
+    Pre-fix, a generation stuck odd sent :meth:`SnapshotReader.read` into its
+    retry loop for the *full* read timeout (30 s by default, per query, forever
+    after).  The fix detects "odd and unchanged for ``torn_timeout``" and raises
+    the dedicated :class:`TornSnapshotError` instead.
+    """
+
+    def test_header_left_odd_raises_torn_error_fast(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0), epoch=0)
+            # Simulate the writer dying between its two generation bumps.
+            writer._header[_GENERATION] += 1
+            assert writer.generation % 2 == 1
+            with SnapshotReader(writer.spec) as reader:
+                start = time.monotonic()
+                with pytest.raises(TornSnapshotError, match="stuck at odd generation"):
+                    reader.read(lambda engine: None, timeout=30.0, torn_timeout=0.15)
+                # Fails fast — nowhere near the 30 s read timeout.
+                assert time.monotonic() - start < 5.0
+
+    def test_torn_error_is_a_runtime_error(self):
+        assert issubclass(TornSnapshotError, RuntimeError)
+
+    def test_slow_but_alive_publish_is_not_torn(self, grid):
+        # The generation goes odd but *completes* before torn_timeout: the read
+        # must ride out the publish and return the fresh snapshot.
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0), epoch=0)
+            writer._header[_GENERATION] += 1  # publish "in progress"
+
+            def finish_publish() -> None:
+                time.sleep(0.05)
+                writer._probabilities[:] = hotspot(grid, 24).probabilities
+                writer._table[:] = hotspot(grid, 24).cumulative()
+                writer._header[1] = 1  # epoch slot
+                writer._header[_GENERATION] += 1
+
+            with SnapshotReader(writer.spec) as reader:
+                finisher = threading.Thread(target=finish_publish)
+                finisher.start()
+                try:
+                    (_, argmax), _, epoch = reader.read(
+                        lambda engine: (None, int(np.argmax(engine.estimate.probabilities))),
+                        timeout=10.0,
+                        torn_timeout=1.0,
+                    )
+                finally:
+                    finisher.join()
+                assert (argmax, epoch) == (24, 1)
+
+    def test_torn_timeout_validated(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0))
+            with SnapshotReader(writer.spec) as reader:
+                with pytest.raises(ValueError, match="torn_timeout"):
+                    reader.read(lambda engine: None, torn_timeout=0.0)
+
+    def test_pinned_surfaces_torn_snapshot(self, grid):
+        with SnapshotWriter(grid) as writer:
+            writer.publish(hotspot(grid, 0), epoch=0)
+            writer._header[_GENERATION] += 1
+            with SnapshotReader(writer.spec) as reader:
+                with pytest.raises(TornSnapshotError):
+                    reader.pinned(timeout=30.0, torn_timeout=0.15)
 
 
 class TestSeqlock:
