@@ -52,10 +52,10 @@ def test_range_query_engines(benchmark, bench_config, record_result):
                 domain, 40, min_fraction=lo, max_fraction=hi, seed=2
             )
             flat_mae = workload.mean_absolute_error(
-                flat_engine.answer_many(workload.queries), points
+                flat_engine.answer_batch(workload.queries), points
             )
             hier_mae = workload.mean_absolute_error(
-                hierarchical.answer_many(workload.queries), points
+                hierarchical.answer_batch(workload.queries), points
             )
             rows.append((label, round(flat_mae, 4), round(hier_mae, 4)))
         return rows

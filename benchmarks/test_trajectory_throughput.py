@@ -172,4 +172,4 @@ def test_trajectory_workload_replay_rates(engine, model, record_result):
     # The sequence-statistic lookups are pre-aggregated; even slow CI workers
     # should clear a thousand of each per second.
     assert report.per_kind["od_top_k"]["ops_per_second"] > 1_000
-    assert report.per_kind["transitions"]["ops_per_second"] > 1_000
+    assert report.per_kind["transition_top_k"]["ops_per_second"] > 1_000

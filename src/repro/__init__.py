@@ -70,7 +70,13 @@ from repro.queries import (
     TrajectoryQueryEngine,
     WorkloadReplay,
 )
-from repro.serving import ServingServer, SnapshotReader, SnapshotWriter
+from repro.serving import (
+    HttpQueryClient,
+    HttpServingFront,
+    ServingServer,
+    SnapshotReader,
+    SnapshotWriter,
+)
 from repro.streaming import (
     SlidingAggregateWindow,
     StreamingEstimationService,
@@ -79,7 +85,7 @@ from repro.streaming import (
 )
 from repro.trajectory import TrajectoryEngine
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "DAMPipeline",
@@ -95,6 +101,8 @@ __all__ = [
     "grid_radius",
     "optimal_radius",
     "QueryEngine",
+    "HttpQueryClient",
+    "HttpServingFront",
     "QueryLog",
     "RangeQuery",
     "RangeQueryWorkload",

@@ -1,0 +1,50 @@
+"""``query-surface``: new code speaks the unified query surface.
+
+PR 10 collapsed the three divergent per-engine spellings (``answer`` /
+``answer_many`` / ``answer_batch``) into one :class:`repro.queries.QuerySurface`
+protocol.  ``answer_many`` survives only as a deprecated alias so external
+callers get a ``DeprecationWarning`` instead of an ``AttributeError`` — but new
+code inside the repo must not reintroduce it, or the serving/replay layers end
+up written against two spellings again.  This rule flags every
+``*.answer_many(...)`` call site in ``src`` and ``benchmarks``; the alias's own
+definition (an attribute *def*, not a call) is not flagged, and tests that pin
+the deprecation behaviour carry a line-level suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+
+@register
+class QuerySurfaceRule:
+    rule_id = "query-surface"
+    description = (
+        "answer_many() is the deprecated pre-protocol spelling; call "
+        "answer_batch() (repro.queries.QuerySurface) instead"
+    )
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        in_scope = context.in_directory("repro") or context.in_directory("benchmarks")
+        if not in_scope or context.in_directory("tests") or context.in_directory("fixtures"):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "answer_many"
+            ):
+                findings.append(
+                    context.finding(
+                        self.rule_id,
+                        node,
+                        "call answer_batch() instead of the deprecated answer_many() "
+                        "alias — every engine conforms to repro.queries.QuerySurface",
+                    )
+                )
+        return findings

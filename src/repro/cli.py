@@ -81,6 +81,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backend import VALID_BACKENDS, WALK_BACKENDS
 from repro.core.domain import GridSpec, SpatialDomain
 from repro.core.parallel import DEFAULT_SHARD_SIZE, ParallelPipeline
 from repro.core.pipeline import DAMPipeline, estimate_spatial_distribution
@@ -151,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
     estimate.add_argument(
         "--backend",
-        choices=("operator", "dense", "native"),
+        choices=VALID_BACKENDS,
         default="operator",
         help="transition backend: structured operator engine (default), "
              "the dense matrix, or the native kernel tier",
@@ -220,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     query.add_argument("--d", type=int, default=16, help="grid side length")
     query.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    query.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
+    query.add_argument("--backend", choices=VALID_BACKENDS, default="operator")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
         "--n-queries",
@@ -280,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trajectory.add_argument(
         "--backend",
-        choices=("operator", "native"),
+        choices=WALK_BACKENDS,
         default="operator",
         help="walk backend for --mode fit/synthesize: whole-array numpy "
              "(default) or the native kernel tier (bit-identical draws)",
@@ -416,7 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     stream.add_argument("--d", type=int, default=16, help="grid side length")
     stream.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    stream.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
+    stream.add_argument("--backend", choices=VALID_BACKENDS, default="operator")
     stream.add_argument(
         "--workers",
         type=int,
@@ -477,7 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=3.5, help="privacy budget")
     serve.add_argument("--d", type=int, default=16, help="grid side length")
     serve.add_argument("--mechanism", choices=("dam", "dam-ns", "huem"), default="dam")
-    serve.add_argument("--backend", choices=("operator", "dense", "native"), default="operator")
+    serve.add_argument("--backend", choices=VALID_BACKENDS, default="operator")
     serve.add_argument(
         "--serve-workers",
         type=int,
@@ -509,6 +510,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest query side as a fraction of the domain",
     )
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="expose the serving tier over HTTP/1.1 at this address and route "
+             "the query workload through it (port 0 picks a free port)",
+    )
 
     lint = subparsers.add_parser(
         "lint", help="run the repro.analysis static-analysis rules over source paths"
@@ -1036,6 +1044,12 @@ def _run_serve(args) -> int:
         raise SystemExit("--window must be a positive integer")
     if args.decay is not None and not 0.0 < args.decay <= 1.0:
         raise SystemExit("--decay must lie in (0, 1]")
+    http_host = http_port = None
+    if args.http is not None:
+        http_host, _, port_text = args.http.rpartition(":")
+        if not http_host or not port_text.isdigit():
+            raise SystemExit("--http must be HOST:PORT (e.g. 127.0.0.1:8080)")
+        http_port = int(port_text)
 
     stream = DRIFT_SCENARIOS[args.scenario](
         n_epochs=args.epochs,
@@ -1063,51 +1077,78 @@ def _run_serve(args) -> int:
             snapshot_writer=server.writer,
         )
         server.start()
-        workload_rng = np.random.default_rng(args.seed + 2)
-        print(f"{'epoch':>5} {'EM iters':>8} {'queries/s':>12} "
-              f"{'p50 ms':>9} {'p99 ms':>9} {'gen':>5}")
-        total_queries = 0
-        total_seconds = 0.0
-        last_log = None
-        for points in stream.epochs:
-            update = service.ingest_epoch(points)
-            log = QueryLog.random(
-                stream.domain,
-                n_range=args.queries_per_epoch,
-                min_fraction=args.min_fraction,
-                max_fraction=args.max_fraction,
-                seed=workload_rng,
+        front = client = None
+        if args.http is not None:
+            from repro.serving import HttpQueryClient, HttpServingFront
+            from repro.serving.wire import QueryKind, QueryRequest
+
+            front = HttpServingFront(server, host=http_host, port=http_port).start()
+            client = HttpQueryClient(front.host, front.port)
+            print(f"HTTP front listening on {front.address}")
+
+        def serve_rows(rows: np.ndarray) -> np.ndarray:
+            """One served batch — over HTTP when a front is up, else in-process."""
+            if client is None:
+                return server.range_mass(rows)
+            response = client.query(
+                QueryRequest(QueryKind.RANGE_MASS, {"queries": rows.tolist()})
             )
-            last_log = log
-            batches = np.array_split(
-                log.range_queries,
-                max(1, -(-log.range_queries.shape[0] // args.batch_rows)),
-            )
-            latencies = np.empty(len(batches))
-            for index, batch in enumerate(batches):
-                start = time.perf_counter()
-                server.range_mass(batch)
-                latencies[index] = time.perf_counter() - start
-            elapsed = float(latencies.sum())
-            total_queries += log.range_queries.shape[0]
-            total_seconds += elapsed
-            rate = log.range_queries.shape[0] / elapsed if elapsed > 0 else float("inf")
-            print(f"{update.epoch:>5} {update.iterations:>8} {rate:>12,.0f} "
-                  f"{np.quantile(latencies, 0.5) * 1e3:>9.3f} "
-                  f"{np.quantile(latencies, 0.99) * 1e3:>9.3f} "
-                  f"{server.generation:>5}")
-        # Verification: re-serve the final epoch's workload and diff against the
-        # in-process serial engine on the same published window.
-        served = server.range_mass(last_log.range_queries)
-        serial = service.serving.snapshot().range_mass(last_log.range_queries)
-        identical = bool(np.array_equal(served, serial))
-        rate = total_queries / total_seconds if total_seconds > 0 else float("inf")
-        print(f"served {total_queries} queries across {args.epochs} publishes "
-              f"at {rate:,.0f} queries/s aggregate")
-        print(f"worker answers bit-identical to in-process engine: "
-              f"{'yes' if identical else 'NO'}")
-        if not identical:
-            return 1
+            return np.asarray(response.result)
+
+        try:
+            workload_rng = np.random.default_rng(args.seed + 2)
+            print(f"{'epoch':>5} {'EM iters':>8} {'queries/s':>12} "
+                  f"{'p50 ms':>9} {'p99 ms':>9} {'gen':>5}")
+            total_queries = 0
+            total_seconds = 0.0
+            last_log = None
+            for points in stream.epochs:
+                update = service.ingest_epoch(points)
+                log = QueryLog.random(
+                    stream.domain,
+                    n_range=args.queries_per_epoch,
+                    min_fraction=args.min_fraction,
+                    max_fraction=args.max_fraction,
+                    seed=workload_rng,
+                )
+                last_log = log
+                batches = np.array_split(
+                    log.range_queries,
+                    max(1, -(-log.range_queries.shape[0] // args.batch_rows)),
+                )
+                latencies = np.empty(len(batches))
+                for index, batch in enumerate(batches):
+                    start = time.perf_counter()
+                    serve_rows(batch)
+                    latencies[index] = time.perf_counter() - start
+                elapsed = float(latencies.sum())
+                total_queries += log.range_queries.shape[0]
+                total_seconds += elapsed
+                rate = (
+                    log.range_queries.shape[0] / elapsed if elapsed > 0 else float("inf")
+                )
+                print(f"{update.epoch:>5} {update.iterations:>8} {rate:>12,.0f} "
+                      f"{np.quantile(latencies, 0.5) * 1e3:>9.3f} "
+                      f"{np.quantile(latencies, 0.99) * 1e3:>9.3f} "
+                      f"{server.generation:>5}")
+            # Verification: re-serve the final epoch's workload and diff against
+            # the in-process serial engine on the same published window.
+            served = serve_rows(last_log.range_queries)
+            serial = service.serving.snapshot().range_mass(last_log.range_queries)
+            identical = bool(np.array_equal(served, serial))
+            rate = total_queries / total_seconds if total_seconds > 0 else float("inf")
+            surface = "HTTP front" if client is not None else "worker"
+            print(f"served {total_queries} queries across {args.epochs} publishes "
+                  f"at {rate:,.0f} queries/s aggregate")
+            print(f"{surface} answers bit-identical to in-process engine: "
+                  f"{'yes' if identical else 'NO'}")
+            if not identical:
+                return 1
+        finally:
+            if client is not None:
+                client.close()
+            if front is not None:
+                front.stop()
     return 0
 
 

@@ -15,6 +15,7 @@ Public surface:
   and the shard-parallel :class:`ParallelPipeline`.
 """
 
+from repro.core.backend import VALID_BACKENDS, WALK_BACKENDS, resolve_backend
 from repro.core.dam import DiscreteDAM, DiscreteDAMNoShrink, DiskOutputDomain
 from repro.core.domain import (
     GridDistribution,
@@ -69,6 +70,9 @@ from repro.core.sam import (
 )
 
 __all__ = [
+    "VALID_BACKENDS",
+    "WALK_BACKENDS",
+    "resolve_backend",
     "DiscreteDAM",
     "DiscreteDAMNoShrink",
     "DiskOutputDomain",

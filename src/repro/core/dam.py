@@ -21,6 +21,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.core.backend import resolve_backend
 from repro.core.domain import GridDistribution, GridSpec
 from repro.core.estimator import TransitionMatrixMechanism
 from repro.core.geometry import disk_offset_array, output_domain_cells
@@ -35,12 +36,9 @@ from repro.core.radius import grid_radius
 from repro.utils.validation import check_epsilon
 
 PostProcess = Literal["ems", "em", "ls"]
-#: Transition backends of the disk mechanisms: ``"operator"`` — the structured
-#: scatter/gather operator; ``"dense"`` — the materialised matrix (ablations);
-#: ``"native"`` — the :mod:`repro.kernels` tier (stencil-convolution EM matvecs
-#: with numba-or-FFT selection, whole-batch background sampling).
+#: Type of the ``backend=`` kwarg; the runtime gate is
+#: :func:`repro.core.backend.resolve_backend` (one validator, one error message).
 Backend = Literal["operator", "dense", "native"]
-_BACKENDS = ("operator", "dense", "native")
 
 
 def _build_backend_operator(backend: str, grid: GridSpec, b_hat: int, masses: np.ndarray):
@@ -184,13 +182,11 @@ class DiscreteDAM(TransitionMatrixMechanism):
         super().__init__(grid, epsilon)
         if postprocess not in ("ems", "em", "ls"):
             raise ValueError(f"unknown postprocess mode {postprocess!r}")
-        if backend not in _BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}")
         self.use_shrinkage = use_shrinkage
         self.postprocess = postprocess
         self.em_iterations = em_iterations
         self.smoothing_strength = smoothing_strength
-        self.backend = backend
+        self.backend = resolve_backend(backend)
         if not use_shrinkage:
             self.name = "DAM-NS"
         if b_hat is None:

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import resolve_backend
 from repro.core.dam import (
-    _BACKENDS,
     Backend,
     DiskOutputDomain,
     PostProcess,
@@ -148,13 +148,11 @@ class DiscreteHUEM(TransitionMatrixMechanism):
             raise ValueError(
                 f"discretisation must be 'integral' or 'fan-rings', got {discretisation!r}"
             )
-        if backend not in _BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}")
         self.postprocess = postprocess
         self.em_iterations = em_iterations
         self.smoothing_strength = smoothing_strength
         self.discretisation = discretisation
-        self.backend = backend
+        self.backend = resolve_backend(backend)
         if b_hat is None:
             b_hat = grid_radius(epsilon, grid.d, grid.domain.side_length)
         if b_hat < 1:

@@ -14,7 +14,15 @@ density, top-k hotspots, marginals, quantile contours),
 each epoch's fresh estimate atomically for mid-stream serving, and
 :class:`WorkloadReplay` replays persisted :class:`QueryLog` traffic while
 measuring latency and throughput.
+
+Every engine speaks one query surface — :class:`QuerySurface` — so serving
+code (the worker pool, the HTTP front, the replay harness) is written once
+against ``answer`` / ``answer_batch`` instead of per-engine spellings.
 """
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from repro.queries.engine import (
     HotspotCells,
@@ -38,6 +46,24 @@ from repro.queries.range_query import (
     dense_range_answer,
 )
 
+
+@runtime_checkable
+class QuerySurface(Protocol):
+    """The unified query surface every engine in the library exposes.
+
+    ``answer`` takes one query (a :class:`RangeQuery` or an ``[x_lo, x_hi,
+    y_lo, y_hi]`` row) and returns its scalar answer; ``answer_batch`` takes a
+    workload — anything :func:`queries_to_array` accepts — and returns the
+    ``(n,)`` answer vector.  ``answer_many`` is the deprecated pre-protocol
+    spelling; new code (and the ``query-surface`` lint rule) uses
+    ``answer_batch``.
+    """
+
+    def answer(self, query) -> float: ...
+
+    def answer_batch(self, queries: Sequence | np.ndarray) -> np.ndarray: ...
+
+
 __all__ = [
     "FlatRangeQueryEngine",
     "HierarchicalRangeQueryEngine",
@@ -45,6 +71,7 @@ __all__ = [
     "QuantileContour",
     "QueryEngine",
     "QueryLog",
+    "QuerySurface",
     "RangeQuery",
     "RangeQueryWorkload",
     "ReplayReport",

@@ -190,6 +190,17 @@ class QueryEngine:
         """Estimated population fraction inside each rectangle (batched, O(1)/query)."""
         return self.sat.answer_batch(queries)
 
+    # The unified query surface (:class:`repro.queries.QuerySurface`): every
+    # engine in the library answers one query via ``answer`` and a workload via
+    # ``answer_batch``, so serving code is written once against the protocol.
+    def answer(self, query) -> float:
+        """Answer one range query (:class:`~repro.queries.QuerySurface`)."""
+        return self.sat.answer(query)
+
+    def answer_batch(self, queries) -> np.ndarray:
+        """Answer a range-query workload (:class:`~repro.queries.QuerySurface`)."""
+        return self.sat.answer_batch(queries)
+
     # ---------------------------------------------------------- point density
     def point_density(self, points: np.ndarray) -> np.ndarray:
         """Estimated probability density at each ``(x, y)`` location.
@@ -350,6 +361,12 @@ class StreamingQueryEngine:
     def range_mass(self, queries) -> np.ndarray:
         return self.snapshot().range_mass(queries)
 
+    def answer(self, query) -> float:
+        return self.snapshot().answer(query)
+
+    def answer_batch(self, queries) -> np.ndarray:
+        return self.snapshot().answer_batch(queries)
+
     def point_density(self, points: np.ndarray) -> np.ndarray:
         return self.snapshot().point_density(points)
 
@@ -458,6 +475,39 @@ class TrajectoryQueryEngine(QueryEngine):
         interior_ends = ends[ends < cells.shape[0] - 1]
         step_mask[interior_ends] = False
         self._transition_pairs = self._pair_counts(cells[:-1][step_mask], cells[1:][step_mask])
+
+    @classmethod
+    def from_tables(
+        cls,
+        grid,
+        probabilities: np.ndarray,
+        lengths: np.ndarray,
+        od_pairs: tuple[np.ndarray, np.ndarray, np.ndarray],
+        transition_pairs: tuple[np.ndarray, np.ndarray, np.ndarray],
+        *,
+        cumulative: np.ndarray | None = None,
+    ) -> "TrajectoryQueryEngine":
+        """Rebuild an engine from its published flat tables (the shm serving path).
+
+        The inverse of construction: ``__init__`` reduces a trajectory set to the
+        per-cell mass, the length array and the two presorted ``(from, to, count)``
+        pair tables — this adopts those tables verbatim (no re-stacking, no
+        ``np.unique``), so a :class:`~repro.serving.shm.TrajectorySnapshotReader`
+        serves bit-identically to the publisher's engine without ever shipping
+        the trajectories themselves.  ``cumulative`` installs a precomputed
+        summed-area table exactly like
+        :meth:`~repro.core.domain.GridDistribution.from_normalized`.
+        """
+        engine = cls.__new__(cls)
+        QueryEngine.__init__(
+            engine,
+            GridDistribution.from_normalized(grid, probabilities, cumulative=cumulative),
+        )
+        engine.lengths = np.asarray(lengths, dtype=np.int64)
+        engine.n_trajectories = int(engine.lengths.shape[0])
+        engine._od_pairs = tuple(od_pairs)
+        engine._transition_pairs = tuple(transition_pairs)
+        return engine
 
     def _pair_counts(
         self, from_cells: np.ndarray, to_cells: np.ndarray
@@ -643,6 +693,25 @@ class QueryLog:
         )
 
 
+def latency_stats(count: int, latencies) -> dict:
+    """The per-kind stats record of a :class:`ReplayReport`.
+
+    ``count`` operations took the given per-dispatch ``latencies`` (seconds);
+    the record carries totals plus the 50th/99th percentile dispatch latency.
+    Shared by :class:`WorkloadReplay` and the HTTP front-end's ``/metrics``
+    endpoint so both report latency through one formula.
+    """
+    latencies = np.asarray(latencies, dtype=float)
+    elapsed = float(latencies.sum())
+    return {
+        "count": count,
+        "seconds": elapsed,
+        "ops_per_second": count / elapsed if elapsed > 0 else float("inf"),
+        "latency_p50": float(np.quantile(latencies, 0.50)),
+        "latency_p99": float(np.quantile(latencies, 0.99)),
+    }
+
+
 @dataclass(frozen=True)
 class ReplayReport:
     """Latency/throughput summary of one :class:`WorkloadReplay` run.
@@ -826,14 +895,7 @@ class WorkloadReplay:
                 outputs.append(fn())
                 latencies[i] = time.perf_counter() - start
                 count += n_ops
-            elapsed = float(latencies.sum())
-            per_kind[kind] = {
-                "count": count,
-                "seconds": elapsed,
-                "ops_per_second": count / elapsed if elapsed > 0 else float("inf"),
-                "latency_p50": float(np.quantile(latencies, 0.50)),
-                "latency_p99": float(np.quantile(latencies, 0.99)),
-            }
+            per_kind[kind] = latency_stats(count, latencies)
             return outputs
 
         def sliced(array: np.ndarray, fn) -> list:
@@ -886,7 +948,7 @@ class WorkloadReplay:
             )
         if log.transition_top_k.shape[0]:
             answers["transition_top_k"] = timed(
-                "transitions",
+                "transition_top_k",
                 [
                     (1, lambda k=int(k): self.engine.transition_top_k(k))
                     for k in log.transition_top_k
@@ -894,7 +956,7 @@ class WorkloadReplay:
             )
         if log.length_histogram_bins.shape[0]:
             answers["length_histogram"] = timed(
-                "lengths",
+                "length_histogram",
                 [
                     (1, lambda b=int(bins): self.engine.length_histogram(b))
                     for bins in log.length_histogram_bins

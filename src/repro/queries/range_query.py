@@ -38,6 +38,7 @@ every point is counted exactly once.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -161,12 +162,19 @@ class FlatRangeQueryEngine:
     def answer(self, query: RangeQuery) -> float:
         return self._sat.answer(query)
 
-    def answer_many(self, queries: Sequence[RangeQuery]) -> np.ndarray:
-        return self._sat.answer_batch(queries)
-
     def answer_batch(self, queries) -> np.ndarray:
         """Batched answers for an ``(n, 4)`` array of ``[x_lo, x_hi, y_lo, y_hi]``."""
         return self._sat.answer_batch(queries)
+
+    def answer_many(self, queries: Sequence[RangeQuery]) -> np.ndarray:
+        """Deprecated alias of :meth:`answer_batch` (the unified query surface)."""
+        warnings.warn(
+            "answer_many() is deprecated; use answer_batch() — the "
+            "repro.queries.QuerySurface spelling every engine shares",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.answer_batch(queries)
 
 
 @dataclass
@@ -325,8 +333,25 @@ class HierarchicalRangeQueryEngine:
             covered -= float(level.sat.rectangle_mass(ox_lo, ox_hi, oy_lo, oy_hi))
         return covered, remainder
 
+    def answer_batch(self, queries) -> np.ndarray:
+        """Batched answers; accepts ``(n, 4)`` rows or a sequence of queries.
+
+        The hierarchy's greedy decomposition is inherently per-query, so the
+        batch is a Python loop — the method exists for surface uniformity
+        (:class:`repro.queries.QuerySurface`), not vectorisation.
+        """
+        arr = queries_to_array(queries)
+        return np.array([self.answer(RangeQuery(*row)) for row in arr])
+
     def answer_many(self, queries: Sequence[RangeQuery]) -> np.ndarray:
-        return np.array([self.answer(query) for query in queries])
+        """Deprecated alias of :meth:`answer_batch` (the unified query surface)."""
+        warnings.warn(
+            "answer_many() is deprecated; use answer_batch() — the "
+            "repro.queries.QuerySurface spelling every engine shares",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.answer_batch(queries)
 
 
 @dataclass

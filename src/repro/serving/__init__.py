@@ -5,10 +5,14 @@ each epoch's posterior + summed-area table into a shared-memory segment behind
 a seqlock generation counter (:mod:`repro.serving.shm`), and N long-lived
 worker processes answer queries zero-copy against it
 (:mod:`repro.serving.server`), bit-identically to a serial
-:class:`~repro.queries.engine.QueryEngine`.  See the "Serving tier" section of
-``docs/ARCHITECTURE.md`` for the layout and protocol.
+:class:`~repro.queries.engine.QueryEngine`.  Queries cross process and network
+boundaries as the versioned wire schema (:mod:`repro.serving.wire`), and
+:mod:`repro.serving.http` puts an asyncio HTTP/1.1 face on the whole surface —
+point and trajectory kinds alike.  See the "Serving tier" and "Network front"
+sections of ``docs/ARCHITECTURE.md`` for the layout and protocol.
 """
 
+from repro.serving.http import HttpQueryClient, HttpServingFront, HttpStatusError
 from repro.serving.server import (
     ArenaSpec,
     BackpressureError,
@@ -21,16 +25,43 @@ from repro.serving.shm import (
     SnapshotSpec,
     SnapshotWriter,
     TornSnapshotError,
+    TrajectorySnapshotReader,
+    TrajectorySnapshotSpec,
+    TrajectorySnapshotWriter,
+)
+from repro.serving.wire import (
+    POINT_KINDS,
+    SCHEMA_VERSION,
+    TRAJECTORY_KINDS,
+    QueryKind,
+    QueryRequest,
+    QueryResponse,
+    WireFormatError,
+    requests_from_log,
 )
 
 __all__ = [
     "ArenaSpec",
     "BackpressureError",
+    "HttpQueryClient",
+    "HttpServingFront",
+    "HttpStatusError",
+    "POINT_KINDS",
+    "QueryKind",
+    "QueryRequest",
+    "QueryResponse",
+    "SCHEMA_VERSION",
     "ServedBatch",
     "ServingServer",
     "SnapshotReader",
     "SnapshotSpec",
     "SnapshotWriter",
+    "TRAJECTORY_KINDS",
     "TornSnapshotError",
+    "TrajectorySnapshotReader",
+    "TrajectorySnapshotSpec",
+    "TrajectorySnapshotWriter",
+    "WireFormatError",
     "WorkloadArena",
+    "requests_from_log",
 ]

@@ -45,6 +45,13 @@ from repro.serving.shm import (
     SnapshotWriter,
     attach_shared_memory,
 )
+from repro.serving.wire import QueryKind
+
+# Worker task tags.  Range tasks reuse the wire vocabulary (one kind string
+# across HTTP, replay and the task queue); staged tasks are an execution plane
+# of their own, not a query kind, so they keep a private tag.
+_RANGE_TASK = QueryKind.RANGE_MASS.value
+_STAGED_TASK = "staged"
 
 
 class BackpressureError(RuntimeError):
@@ -157,7 +164,7 @@ def _worker_main(
                 break
             kind, task_id = task[0], task[1]
             try:
-                if kind == "range":
+                if kind == _RANGE_TASK:
                     payload = task[2]
                     answers, generation, epoch = reader.read(
                         lambda engine: engine.range_mass(payload),
@@ -165,7 +172,7 @@ def _worker_main(
                         torn_timeout=torn_timeout,
                     )
                     results.put((task_id, generation, epoch, answers, None))
-                elif kind == "staged":
+                elif kind == _STAGED_TASK:
                     arena_spec, start, stop = task[2], task[3], task[4]
                     queries, answer_strip = _arena_views(arenas, arena_spec)
                     chunk, generation, epoch = reader.read(
@@ -399,7 +406,7 @@ class ServingServer:
             task_id = self._next_task
             self._next_task += 1
             self._task_demux[task_id] = demux
-            self._tasks.put(("range", task_id, payload))
+            self._tasks.put((_RANGE_TASK, task_id, payload))
             pieces = []
             piece_rows = 0
 
@@ -491,7 +498,7 @@ class ServingServer:
         for lo in range(start, stop, batch):
             task_id = self._next_task
             self._next_task += 1
-            self._tasks.put(("staged", task_id, arena.spec, lo, min(lo + batch, stop)))
+            self._tasks.put((_STAGED_TASK, task_id, arena.spec, lo, min(lo + batch, stop)))
             task_ids.append(task_id)
         outstanding = set(task_ids)
         answered: dict[int, tuple[int, int | None]] = {}

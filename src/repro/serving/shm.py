@@ -43,7 +43,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
-from repro.queries.engine import QueryEngine
+from repro.queries.engine import QueryEngine, TrajectoryQueryEngine
 
 _HEADER_SLOTS = 4
 _HEADER_BYTES = _HEADER_SLOTS * 8
@@ -51,6 +51,14 @@ _GENERATION, _EPOCH, _SIDE, _LAYOUT = 0, 1, 2, 3
 _LAYOUT_VERSION = 1
 #: epoch header value meaning "no epoch label" (epochs are 0-based everywhere)
 _NO_EPOCH = -1
+
+# Trajectory layout (v2): the v1 header plus per-publish table counts.  The
+# capacity-bounded tables (lengths, OD pairs, transition pairs) live after the
+# posterior + SAT; each publish records how many rows of each are live.
+_TRAJ_HEADER_SLOTS = 8
+_TRAJ_HEADER_BYTES = _TRAJ_HEADER_SLOTS * 8
+_N_LENGTHS, _N_OD, _N_TRANSITIONS = 4, 5, 6
+_TRAJ_LAYOUT_VERSION = 2
 
 
 class TornSnapshotError(RuntimeError):
@@ -159,6 +167,12 @@ class SnapshotWriter:
     def generation(self) -> int:
         """The current generation (even = consistent, odd = publish in progress)."""
         return int(self._header[_GENERATION])
+
+    @property
+    def epoch(self) -> int | None:
+        """Epoch label of the current snapshot (``None`` before a labelled publish)."""
+        epoch = int(self._header[_EPOCH])
+        return None if epoch == _NO_EPOCH else epoch
 
     def publish(self, estimate: GridDistribution, *, epoch: int | None = None) -> int:
         """Copy a new snapshot into the segment; returns its (even) generation.
@@ -310,6 +324,8 @@ class SnapshotReader:
                 # A publish-in-flight resolves in microseconds; back off a touch
                 # so a torn wait does not hot-spin a core.
                 time.sleep(1e-5)
+            else:  # generation 0: nothing published yet
+                time.sleep(1e-4)
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"no consistent snapshot read from {self.spec.name!r} within "
@@ -346,6 +362,312 @@ class SnapshotReader:
         self._shm.close()
 
     def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------------------- trajectory snapshots
+@dataclass(frozen=True)
+class TrajectorySnapshotSpec:
+    """Worker-side description of a trajectory snapshot segment (layout v2).
+
+    ``max_trajectories`` / ``max_pairs`` are the segment's fixed table
+    capacities: a publish carrying more rows than the segment was created for
+    is rejected at the writer, never silently truncated.
+    """
+
+    name: str
+    d: int
+    bounds: tuple[float, float, float, float]
+    max_trajectories: int
+    max_pairs: int
+    domain_name: str = ""
+
+    def grid(self) -> GridSpec:
+        return GridSpec(SpatialDomain(*self.bounds, name=self.domain_name), self.d)
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            _TRAJ_HEADER_BYTES
+            + self.d * self.d * 8
+            + (self.d + 1) * (self.d + 1) * 8
+            + self.max_trajectories * 8
+            + 2 * self.max_pairs * 3 * 8
+        )
+
+
+def _carve_trajectory(segment: shared_memory.SharedMemory, spec: "TrajectorySnapshotSpec"):
+    """(header, probabilities, table, lengths, od, transitions) views over a segment."""
+    d = spec.d
+    header = np.ndarray((_TRAJ_HEADER_SLOTS,), dtype=np.int64, buffer=segment.buf)
+    offset = _TRAJ_HEADER_BYTES
+    probabilities = np.ndarray((d, d), dtype=np.float64, buffer=segment.buf, offset=offset)
+    offset += d * d * 8
+    table = np.ndarray((d + 1, d + 1), dtype=np.float64, buffer=segment.buf, offset=offset)
+    offset += (d + 1) * (d + 1) * 8
+    lengths = np.ndarray(
+        (spec.max_trajectories,), dtype=np.int64, buffer=segment.buf, offset=offset
+    )
+    offset += spec.max_trajectories * 8
+    od = np.ndarray((spec.max_pairs, 3), dtype=np.float64, buffer=segment.buf, offset=offset)
+    offset += spec.max_pairs * 3 * 8
+    transitions = np.ndarray(
+        (spec.max_pairs, 3), dtype=np.float64, buffer=segment.buf, offset=offset
+    )
+    return header, probabilities, table, lengths, od, transitions
+
+
+class TrajectorySnapshotWriter:
+    """Publish a :class:`~repro.queries.engine.TrajectoryQueryEngine` over shm.
+
+    The trajectory surface reduces to flat tables at engine construction
+    (lengths, presorted OD / transition ``(from, to, count)`` triples), so the
+    segment carries those tables — never the trajectories themselves — under
+    the same seqlock protocol as :class:`SnapshotWriter`.  Cell ids and counts
+    are stored as float64 (exact for any id below 2^53) so the pair tables are
+    two plain ``(max_pairs, 3)`` strips.
+    """
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        *,
+        max_trajectories: int,
+        max_pairs: int,
+        name: str | None = None,
+    ) -> None:
+        if max_trajectories < 1:
+            raise ValueError(f"max_trajectories must be >= 1, got {max_trajectories}")
+        if max_pairs < 1:
+            raise ValueError(f"max_pairs must be >= 1, got {max_pairs}")
+        self.grid = grid
+        self.max_trajectories = max_trajectories
+        self.max_pairs = max_pairs
+        domain = grid.domain
+        size = TrajectorySnapshotSpec(
+            name="", d=grid.d, bounds=domain.bounds,
+            max_trajectories=max_trajectories, max_pairs=max_pairs,
+        ).size_bytes
+        self._shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        self._views = _carve_trajectory(self._shm, self.spec)
+        self._views[0][:4] = (0, _NO_EPOCH, grid.d, _TRAJ_LAYOUT_VERSION)
+        self._closed = False
+
+    @property
+    def spec(self) -> TrajectorySnapshotSpec:
+        domain = self.grid.domain
+        return TrajectorySnapshotSpec(
+            name=self._shm.name,
+            d=self.grid.d,
+            bounds=domain.bounds,
+            max_trajectories=self.max_trajectories,
+            max_pairs=self.max_pairs,
+            domain_name=domain.name,
+        )
+
+    @property
+    def generation(self) -> int:
+        return int(self._views[0][_GENERATION])
+
+    @property
+    def epoch(self) -> int | None:
+        """Epoch label of the current snapshot (``None`` before a labelled publish)."""
+        epoch = int(self._views[0][_EPOCH])
+        return None if epoch == _NO_EPOCH else epoch
+
+    def publish(self, engine: TrajectoryQueryEngine, *, epoch: int | None = None) -> int:
+        """Copy the engine's posterior, SAT and trajectory tables in; returns the generation."""
+        if self._closed:
+            raise RuntimeError("trajectory snapshot writer is closed")
+        grid = engine.grid
+        if grid.d != self.grid.d or grid.domain.bounds != self.grid.domain.bounds:
+            raise ValueError(
+                f"engine grid (d={grid.d}, bounds={grid.domain.bounds}) does not "
+                f"match the snapshot segment (d={self.grid.d}, "
+                f"bounds={self.grid.domain.bounds})"
+            )
+        if epoch is not None and epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        od = engine._od_pairs
+        transitions = engine._transition_pairs
+        n_lengths = engine.lengths.shape[0]
+        n_od, n_transitions = od[2].shape[0], transitions[2].shape[0]
+        if n_lengths > self.max_trajectories:
+            raise ValueError(
+                f"engine holds {n_lengths} trajectories, segment capacity is "
+                f"{self.max_trajectories}"
+            )
+        if max(n_od, n_transitions) > self.max_pairs:
+            raise ValueError(
+                f"engine holds {n_od} OD / {n_transitions} transition pairs, "
+                f"segment capacity is {self.max_pairs}"
+            )
+        header, probabilities, table, lengths, od_strip, transition_strip = self._views
+        header[_GENERATION] += 1  # odd: publish in progress
+        probabilities[:] = engine.estimate.probabilities
+        table[:] = engine.sat.table
+        lengths[:n_lengths] = engine.lengths
+        for column, part in enumerate(od):
+            od_strip[:n_od, column] = part
+        for column, part in enumerate(transitions):
+            transition_strip[:n_transitions, column] = part
+        header[_N_LENGTHS] = n_lengths
+        header[_N_OD] = n_od
+        header[_N_TRANSITIONS] = n_transitions
+        header[_EPOCH] = _NO_EPOCH if epoch is None else int(epoch)
+        header[_GENERATION] += 1  # even: snapshot consistent
+        return int(header[_GENERATION])
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = None  # type: ignore[assignment]
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "TrajectorySnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TrajectorySnapshotReader:
+    """Serve the full trajectory surface from a mapped v2 segment.
+
+    Unlike :class:`SnapshotReader`, the engine cannot be built once at attach
+    time — the live row counts change per publish — so :meth:`read` rebuilds a
+    :meth:`~repro.queries.engine.TrajectoryQueryEngine.from_tables` view inside
+    the seqlock loop (a handful of array wraps; nothing is copied or
+    recomputed).  ``fn`` must materialise its result (plain lists / copies):
+    slices of the mapped tables are views a later publish may overwrite.
+    """
+
+    def __init__(self, spec: TrajectorySnapshotSpec) -> None:
+        self.spec = spec
+        self._shm = attach_shared_memory(spec.name)
+        if self._shm.size < spec.size_bytes:
+            raise ValueError(
+                f"segment {spec.name!r} is {self._shm.size} bytes, expected at "
+                f"least {spec.size_bytes} for d={spec.d}"
+            )
+        views = _carve_trajectory(self._shm, spec)
+        header = views[0]
+        side, layout = int(header[_SIDE]), int(header[_LAYOUT])
+        if side != spec.d or layout != _TRAJ_LAYOUT_VERSION:
+            raise ValueError(
+                f"segment {spec.name!r} holds d={side} layout v{layout}, expected "
+                f"d={spec.d} layout v{_TRAJ_LAYOUT_VERSION}"
+            )
+        self.grid = spec.grid()
+        self._views: tuple | None = views
+        #: seqlock retries observed so far; exposed for the protocol tests
+        self.retries = 0
+
+    @property
+    def generation(self) -> int:
+        if self._views is None:
+            raise RuntimeError("trajectory snapshot reader is closed")
+        return int(self._views[0][_GENERATION])
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one complete snapshot has been published."""
+        return self.generation >= 2
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until the first publish completes (readers may attach before it)."""
+        deadline = time.monotonic() + timeout
+        while not self.ready:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no snapshot published to {self.spec.name!r} within {timeout}s"
+                )
+            time.sleep(1e-4)
+
+    def _engine_view(self) -> TrajectoryQueryEngine:
+        """The engine over the currently-live table rows (views, not copies)."""
+        header, probabilities, table, lengths, od, transitions = self._views
+        n_lengths = int(header[_N_LENGTHS])
+        n_od = int(header[_N_OD])
+        n_transitions = int(header[_N_TRANSITIONS])
+        return TrajectoryQueryEngine.from_tables(
+            self.grid,
+            probabilities,
+            lengths[:n_lengths],
+            (
+                od[:n_od, 0].astype(np.int64),
+                od[:n_od, 1].astype(np.int64),
+                od[:n_od, 2].copy(),
+            ),
+            (
+                transitions[:n_transitions, 0].astype(np.int64),
+                transitions[:n_transitions, 1].astype(np.int64),
+                transitions[:n_transitions, 2].copy(),
+            ),
+            cumulative=table,
+        )
+
+    def read(self, fn, *, timeout: float = 30.0, torn_timeout: float = 1.0):
+        """Run ``fn(engine)`` against one consistent snapshot.
+
+        Returns ``(result, generation, epoch)`` under the same seqlock/torn
+        protocol as :meth:`SnapshotReader.read`.  ``fn`` may run more than once
+        and must not return live views into the engine's tables.
+        """
+        if self._views is None:
+            raise RuntimeError("trajectory snapshot reader is closed")
+        if torn_timeout <= 0:
+            raise ValueError(f"torn_timeout must be positive, got {torn_timeout}")
+        header = self._views[0]
+        deadline = time.monotonic() + timeout
+        torn_generation = -1
+        torn_deadline = 0.0
+        while True:
+            generation = int(header[_GENERATION])
+            if generation >= 2 and generation % 2 == 0:
+                torn_generation = -1
+                epoch = int(header[_EPOCH])
+                result = fn(self._engine_view())
+                if int(header[_GENERATION]) == generation:
+                    return result, generation, (None if epoch == _NO_EPOCH else epoch)
+                self.retries += 1
+            elif generation % 2 == 1:
+                now = time.monotonic()
+                if generation != torn_generation:
+                    torn_generation = generation
+                    torn_deadline = now + torn_timeout
+                elif now > torn_deadline:
+                    raise TornSnapshotError(
+                        f"segment {self.spec.name!r} stuck at odd generation "
+                        f"{generation} for {torn_timeout}s — the writer died "
+                        f"mid-publish and the snapshot is torn"
+                    )
+                time.sleep(1e-5)
+            else:  # generation 0: nothing published yet
+                time.sleep(1e-4)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no consistent snapshot read from {self.spec.name!r} within "
+                    f"{timeout}s (generation {generation})"
+                )
+
+    def close(self) -> None:
+        """Release the mapping (idempotent; never unlinks — the writer owns it)."""
+        if self._views is None:
+            return
+        self._views = None
+        self._shm.close()
+
+    def __enter__(self) -> "TrajectorySnapshotReader":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -1,0 +1,219 @@
+"""Versioned wire schema for the serving tier.
+
+Every query that crosses a process or network boundary travels as a
+:class:`QueryRequest` and comes back as a :class:`QueryResponse`.  The operation
+kinds are a *closed* enum (:class:`QueryKind`) validated at parse time, and the
+same kind strings key :class:`~repro.queries.engine.ReplayReport` stats and
+replay answer dicts — so a producer and a consumer disagreeing on a kind name
+(the ``"density"``/``"point_density"`` mismatch PR 8 fixed ad hoc) is now a
+:class:`WireFormatError` at the boundary, not a silent key miss downstream.
+
+The schema is versioned: ``schema_version`` rides in every message, and a
+parser rejects versions it does not speak instead of misinterpreting payloads.
+JSON is the interchange format; Python's ``json`` emits shortest-round-trip
+``repr`` floats, so float answers survive the wire bit-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Version of the request/response schema this build speaks.
+SCHEMA_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A message failed wire-schema validation (unknown kind, bad shape, ...)."""
+
+
+class QueryKind(str, enum.Enum):
+    """The closed set of operation kinds the serving tier speaks.
+
+    Values double as the kind strings of replay reports and answer dicts, the
+    HTTP request ``kind`` field, and worker task tags — one vocabulary, defined
+    once.
+    """
+
+    RANGE_MASS = "range_mass"
+    POINT_DENSITY = "point_density"
+    TOP_K = "top_k"
+    QUANTILES = "quantiles"
+    MARGINALS = "marginals"
+    OD_TOP_K = "od_top_k"
+    TRANSITION_TOP_K = "transition_top_k"
+    LENGTH_HISTOGRAM = "length_histogram"
+
+    @classmethod
+    def parse(cls, value: object) -> "QueryKind":
+        """Validate ``value`` as a kind; :class:`WireFormatError` on anything else."""
+        try:
+            return cls(value)
+        except ValueError:
+            valid = ", ".join(kind.value for kind in cls)
+            raise WireFormatError(
+                f"unknown query kind {value!r}; valid kinds: {valid}"
+            ) from None
+
+
+#: Kinds every point engine serves (the :class:`~repro.queries.QueryEngine` surface).
+POINT_KINDS = frozenset(
+    {
+        QueryKind.RANGE_MASS,
+        QueryKind.POINT_DENSITY,
+        QueryKind.TOP_K,
+        QueryKind.QUANTILES,
+        QueryKind.MARGINALS,
+    }
+)
+
+#: Kinds that need the trajectory surface (:class:`~repro.queries.TrajectoryQueryEngine`).
+TRAJECTORY_KINDS = frozenset(
+    {QueryKind.OD_TOP_K, QueryKind.TRANSITION_TOP_K, QueryKind.LENGTH_HISTOGRAM}
+)
+
+#: payload field each kind requires (empty tuple: no required fields).
+_REQUIRED_FIELDS: dict[QueryKind, tuple[str, ...]] = {
+    QueryKind.RANGE_MASS: ("queries",),
+    QueryKind.POINT_DENSITY: ("points",),
+    QueryKind.TOP_K: ("k",),
+    QueryKind.QUANTILES: ("levels",),
+    QueryKind.MARGINALS: (),
+    QueryKind.OD_TOP_K: ("k",),
+    QueryKind.TRANSITION_TOP_K: ("k",),
+    QueryKind.LENGTH_HISTOGRAM: ("bins",),
+}
+
+
+def _check_version(message: dict, what: str) -> int:
+    version = message.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise WireFormatError(
+            f"{what} schema_version {version!r} is not supported; "
+            f"this build speaks version {SCHEMA_VERSION}"
+        )
+    return version
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query crossing the wire: a kind, its payload, and the schema version."""
+
+    kind: QueryKind
+    payload: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", QueryKind.parse(self.kind))
+        if not isinstance(self.payload, dict):
+            raise WireFormatError(
+                f"request payload must be a JSON object, got {type(self.payload).__name__}"
+            )
+        for name in _REQUIRED_FIELDS[self.kind]:
+            if name not in self.payload:
+                raise WireFormatError(
+                    f"{self.kind.value} request payload requires field {name!r}"
+                )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind.value,
+                "payload": self.payload,
+                "schema_version": self.schema_version,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, message: object) -> "QueryRequest":
+        if not isinstance(message, dict):
+            raise WireFormatError(
+                f"request must be a JSON object, got {type(message).__name__}"
+            )
+        _check_version(message, "request")
+        return cls(
+            kind=QueryKind.parse(message.get("kind")),
+            payload=message.get("payload", {}),
+            schema_version=SCHEMA_VERSION,
+        )
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "QueryRequest":
+        try:
+            message = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WireFormatError(f"request is not valid JSON: {error}") from None
+        return cls.from_dict(message)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answer crossing the wire, stamped with the snapshot that produced it."""
+
+    kind: QueryKind
+    result: Any
+    generation: int | None = None
+    epoch: int | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", QueryKind.parse(self.kind))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind.value,
+                "result": self.result,
+                "generation": self.generation,
+                "epoch": self.epoch,
+                "schema_version": self.schema_version,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "QueryResponse":
+        try:
+            message = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WireFormatError(f"response is not valid JSON: {error}") from None
+        if not isinstance(message, dict):
+            raise WireFormatError(
+                f"response must be a JSON object, got {type(message).__name__}"
+            )
+        _check_version(message, "response")
+        return cls(
+            kind=QueryKind.parse(message.get("kind")),
+            result=message.get("result"),
+            generation=message.get("generation"),
+            epoch=message.get("epoch"),
+            schema_version=SCHEMA_VERSION,
+        )
+
+
+def requests_from_log(log) -> Iterator[QueryRequest]:
+    """Expand a :class:`~repro.queries.engine.QueryLog` into wire requests.
+
+    One request per logged operation (range/density rows each become their own
+    request — the granularity live HTTP traffic arrives at, and what the batch
+    coalescer is for).  Row order matches the replay order of
+    :class:`~repro.queries.engine.WorkloadReplay`, so the concatenated responses
+    compare directly against a serial replay's answer arrays.
+    """
+    for row in log.range_queries:
+        yield QueryRequest(QueryKind.RANGE_MASS, {"queries": [list(map(float, row))]})
+    for point in log.density_points:
+        yield QueryRequest(QueryKind.POINT_DENSITY, {"points": [list(map(float, point))]})
+    for k in log.top_k:
+        yield QueryRequest(QueryKind.TOP_K, {"k": int(k)})
+    for level in log.quantile_levels:
+        yield QueryRequest(QueryKind.QUANTILES, {"levels": [float(level)]})
+    for _ in range(log.n_marginal_requests):
+        yield QueryRequest(QueryKind.MARGINALS)
+    for k in log.od_top_k:
+        yield QueryRequest(QueryKind.OD_TOP_K, {"k": int(k)})
+    for k in log.transition_top_k:
+        yield QueryRequest(QueryKind.TRANSITION_TOP_K, {"k": int(k)})
+    for bins in log.length_histogram_bins:
+        yield QueryRequest(QueryKind.LENGTH_HISTOGRAM, {"bins": int(bins)})

@@ -35,6 +35,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.core.backend import WALK_BACKENDS, resolve_backend
 from repro.core.domain import GridSpec, SpatialDomain, stack_trajectory_cells
 from repro.core.parallel import run_sharded
 from repro.core.postprocess import sanitize_probability_vector
@@ -225,10 +226,10 @@ class TrajectoryEngine:
     """
 
     def __init__(self, mechanism: LDPTrace, *, backend: WalkBackend = "operator") -> None:
-        if backend not in ("operator", "native"):
-            raise ValueError(f"unknown trajectory backend {backend!r}")
         self.mechanism = mechanism
-        self.backend = backend
+        self.backend = resolve_backend(
+            backend, allowed=WALK_BACKENDS, what="trajectory backend"
+        )
 
     @classmethod
     def build(

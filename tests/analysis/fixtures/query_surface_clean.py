@@ -1,0 +1,10 @@
+"""Clean: speaks the unified query surface (``answer`` / ``answer_batch``)."""
+
+
+def score_workload(engine, workload, points):
+    answers = engine.answer_batch(workload.queries)
+    return workload.mean_absolute_error(answers, points)
+
+
+def answer_one(engine, query):
+    return engine.answer(query)

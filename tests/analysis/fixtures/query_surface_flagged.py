@@ -1,0 +1,7 @@
+"""Flagged: calls the deprecated ``answer_many`` spelling instead of the
+unified ``QuerySurface.answer_batch``."""
+
+
+def score_workload(engine, workload, points):
+    answers = engine.answer_many(workload.queries)
+    return workload.mean_absolute_error(answers, points)

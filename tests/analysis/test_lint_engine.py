@@ -29,6 +29,7 @@ class TestRegistry:
             "agg-protocol",
             "bench-metrics",
             "bench-baseline",
+            "query-surface",
         }
 
     def test_get_rules_default_returns_all(self):

@@ -16,9 +16,11 @@ from hypothesis import HealthCheck, given, settings
 import strategies
 from repro.core.dam import DiscreteDAM
 from repro.core.domain import GridDistribution, GridSpec, SpatialDomain
+from repro.queries import QuerySurface
 from repro.queries.engine import (
     QueryEngine,
     QueryLog,
+    StreamingQueryEngine,
     StreamingTrajectoryQueryEngine,
     SummedAreaTable,
     TrajectoryQueryEngine,
@@ -115,8 +117,8 @@ class TestSATEquivalence:
         assert np.all((values >= -1e-12) & (values <= 1.0 + 1e-12))
 
 
-class TestAnswerManyConsistency:
-    """``answer_many`` must equal stacked ``answer`` for every engine."""
+class TestQuerySurface:
+    """``answer_batch`` must equal stacked ``answer`` for every engine."""
 
     @pytest.fixture(scope="class")
     def points(self):
@@ -131,7 +133,7 @@ class TestAnswerManyConsistency:
         estimate = GridSpec.unit(9).distribution(points)
         engine = FlatRangeQueryEngine(estimate)
         stacked = np.array([engine.answer(q) for q in workload.queries])
-        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked, atol=1e-12)
+        np.testing.assert_allclose(engine.answer_batch(workload.queries), stacked, atol=1e-12)
         np.testing.assert_allclose(engine.answer_batch(workload.as_array()), stacked, atol=1e-12)
 
     def test_hierarchical_engine(self, points, workload):
@@ -141,13 +143,38 @@ class TestAnswerManyConsistency:
             levels=3,
         ).fit(points, seed=7)
         stacked = np.array([engine.answer(q) for q in workload.queries])
-        np.testing.assert_allclose(engine.answer_many(workload.queries), stacked, atol=1e-12)
+        np.testing.assert_allclose(engine.answer_batch(workload.queries), stacked, atol=1e-12)
 
     def test_query_engine(self, points, workload):
         estimate = GridSpec.unit(9).distribution(points)
         engine = QueryEngine(estimate)
         stacked = np.array([engine.sat.answer(q) for q in workload.queries])
         np.testing.assert_allclose(engine.range_mass(workload.as_array()), stacked, atol=1e-12)
+        np.testing.assert_allclose(engine.answer_batch(workload.as_array()), stacked, atol=1e-12)
+
+    def test_every_engine_conforms(self, points, workload):
+        estimate = GridSpec.unit(9).distribution(points)
+        streaming = StreamingQueryEngine(estimate)
+        engines = [
+            FlatRangeQueryEngine(estimate),
+            HierarchicalRangeQueryEngine(SpatialDomain.unit(), 3.0).fit(points, seed=8),
+            QueryEngine(estimate),
+            streaming,
+        ]
+        for engine in engines:
+            assert isinstance(engine, QuerySurface)
+            assert engine.answer_batch(workload.as_array()).shape == (25,)
+
+    def test_answer_many_deprecated_alias(self, points, workload):
+        estimate = GridSpec.unit(9).distribution(points)
+        for engine in (
+            FlatRangeQueryEngine(estimate),
+            HierarchicalRangeQueryEngine(SpatialDomain.unit(), 3.0).fit(points, seed=9),
+        ):
+            expected = engine.answer_batch(workload.queries)
+            with pytest.warns(DeprecationWarning, match="answer_batch"):
+                aliased = engine.answer_many(workload.queries)  # repro-lint: disable=query-surface
+            np.testing.assert_array_equal(aliased, expected)
 
 
 class TestQueriesToArray:

@@ -159,18 +159,18 @@ class TestFlatEngine:
         engine = FlatRangeQueryEngine(uniform)
         assert engine.answer(RangeQuery(0.0, 0.25, 0.0, 1.0)) == pytest.approx(0.25)
 
-    def test_answer_many_shape(self, domain, points):
+    def test_answer_batch_shape(self, domain, points):
         grid = GridSpec(domain, 4)
         engine = FlatRangeQueryEngine(grid.distribution(points))
         workload = RangeQueryWorkload.random(domain, 7, seed=0)
-        assert engine.answer_many(workload.queries).shape == (7,)
+        assert engine.answer_batch(workload.queries).shape == (7,)
 
     def test_private_estimate_answers_track_truth(self, domain, points):
         grid = GridSpec(domain, 8)
         estimate = DiscreteDAM(grid, 5.0).run(points, seed=1).estimate
         engine = FlatRangeQueryEngine(estimate)
         workload = RangeQueryWorkload.random(domain, 15, seed=2)
-        mae = workload.mean_absolute_error(engine.answer_many(workload.queries), points)
+        mae = workload.mean_absolute_error(engine.answer_batch(workload.queries), points)
         assert mae < 0.08
 
 
@@ -198,13 +198,13 @@ class TestHierarchicalEngine:
     def test_answers_bounded(self, domain, points):
         engine = HierarchicalRangeQueryEngine(domain, 2.0, levels=3).fit(points, seed=3)
         workload = RangeQueryWorkload.random(domain, 10, seed=4)
-        answers = engine.answer_many(workload.queries)
+        answers = engine.answer_batch(workload.queries)
         assert np.all(answers >= 0.0) and np.all(answers <= 1.0)
 
     def test_reasonable_accuracy(self, domain, points):
         engine = HierarchicalRangeQueryEngine(domain, 5.0, levels=3).fit(points, seed=5)
         workload = RangeQueryWorkload.random(domain, 12, min_fraction=0.3, max_fraction=0.7, seed=6)
-        mae = workload.mean_absolute_error(engine.answer_many(workload.queries), points)
+        mae = workload.mean_absolute_error(engine.answer_batch(workload.queries), points)
         assert mae < 0.15
 
     def test_invalid_parameters_rejected(self, domain):

@@ -1,0 +1,185 @@
+"""Wire-schema tests: the closed kind enum, versioning, and log expansion.
+
+The load-bearing property is that the kind vocabulary is defined ONCE: the
+enum's values are exactly the kind strings ``WorkloadReplay`` reports and
+answers under, so a producer/consumer kind mismatch (the PR 8
+``"density"``/``"point_density"`` bug shape) cannot type-check against the
+schema, and floats round-trip the JSON boundary bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import GridSpec, SpatialDomain
+from repro.queries import QueryEngine, QueryLog, TrajectoryQueryEngine, WorkloadReplay
+from repro.serving.wire import (
+    POINT_KINDS,
+    SCHEMA_VERSION,
+    TRAJECTORY_KINDS,
+    QueryKind,
+    QueryRequest,
+    QueryResponse,
+    WireFormatError,
+    requests_from_log,
+)
+
+
+class TestQueryKind:
+    def test_closed_set(self):
+        assert {kind.value for kind in QueryKind} == {
+            "range_mass",
+            "point_density",
+            "top_k",
+            "quantiles",
+            "marginals",
+            "od_top_k",
+            "transition_top_k",
+            "length_histogram",
+        }
+
+    def test_parse_accepts_every_value(self):
+        for kind in QueryKind:
+            assert QueryKind.parse(kind.value) is kind
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(WireFormatError, match="unknown query kind 'density'"):
+            QueryKind.parse("density")
+
+    def test_point_and_trajectory_kinds_partition_the_enum(self):
+        assert POINT_KINDS | TRAJECTORY_KINDS == frozenset(QueryKind)
+        assert POINT_KINDS & TRAJECTORY_KINDS == frozenset()
+
+    def test_replay_report_keys_are_wire_kinds(self):
+        """Report stats and answers key on enum values — the mismatch-proofing."""
+        rng = np.random.default_rng(0)
+        points = rng.random((500, 2))
+        grid = GridSpec.unit(6)
+        trajectories = [rng.random((5, 2)) for _ in range(20)]
+        engine = TrajectoryQueryEngine(trajectories, grid)
+        log = QueryLog.random(
+            SpatialDomain.unit(),
+            n_range=8,
+            n_density=4,
+            n_top_k=2,
+            n_quantiles=2,
+            n_marginals=1,
+            n_od_top_k=2,
+            n_transition_top_k=2,
+            n_length_histograms=2,
+            seed=1,
+        )
+        report, answers = WorkloadReplay(engine).replay(log)
+        valid = {kind.value for kind in QueryKind}
+        assert set(report.per_kind) <= valid
+        assert set(answers) <= valid
+        assert set(report.per_kind) == set(answers)
+        del points
+
+
+class TestQueryRequest:
+    def test_json_round_trip(self):
+        request = QueryRequest(QueryKind.RANGE_MASS, {"queries": [[0.1, 0.4, 0.2, 0.9]]})
+        parsed = QueryRequest.from_json(request.to_json())
+        assert parsed == request
+        assert parsed.schema_version == SCHEMA_VERSION
+
+    def test_kind_validated_at_construction(self):
+        with pytest.raises(WireFormatError, match="unknown query kind"):
+            QueryRequest("density", {"points": [[0.5, 0.5]]})
+
+    def test_string_kind_coerced_to_enum(self):
+        request = QueryRequest("top_k", {"k": 3})
+        assert request.kind is QueryKind.TOP_K
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(WireFormatError, match="requires field 'k'"):
+            QueryRequest(QueryKind.TOP_K, {})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(WireFormatError, match="payload must be a JSON object"):
+            QueryRequest(QueryKind.MARGINALS, [1, 2])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WireFormatError, match="not valid JSON"):
+            QueryRequest.from_json("{nope")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(WireFormatError, match="must be a JSON object"):
+            QueryRequest.from_json("[1, 2, 3]")
+
+    def test_wrong_schema_version_rejected(self):
+        text = QueryRequest(QueryKind.MARGINALS).to_json().replace(
+            f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 999'
+        )
+        with pytest.raises(WireFormatError, match="schema_version 999"):
+            QueryRequest.from_json(text)
+
+    def test_missing_schema_version_rejected(self):
+        with pytest.raises(WireFormatError, match="schema_version None"):
+            QueryRequest.from_json('{"kind": "marginals", "payload": {}}')
+
+
+class TestQueryResponse:
+    def test_json_round_trip_is_bit_identical(self):
+        """Shortest-round-trip float repr: answers survive the wire exactly."""
+        rng = np.random.default_rng(2)
+        values = [float(v) for v in rng.random(64)]
+        response = QueryResponse(
+            QueryKind.RANGE_MASS, values, generation=4, epoch=7
+        )
+        parsed = QueryResponse.from_json(response.to_json())
+        assert parsed.result == values
+        assert np.array(parsed.result).tobytes() == np.array(values).tobytes()
+        assert parsed.generation == 4 and parsed.epoch == 7
+
+    def test_wrong_schema_version_rejected(self):
+        text = QueryResponse(QueryKind.TOP_K, {"cells": []}).to_json().replace(
+            f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 0'
+        )
+        with pytest.raises(WireFormatError, match="schema_version 0"):
+            QueryResponse.from_json(text)
+
+
+class TestRequestsFromLog:
+    def test_one_request_per_logged_operation(self):
+        log = QueryLog.random(
+            SpatialDomain.unit(),
+            n_range=5,
+            n_density=3,
+            n_top_k=2,
+            n_quantiles=2,
+            n_marginals=1,
+            n_od_top_k=2,
+            n_transition_top_k=1,
+            n_length_histograms=1,
+            seed=3,
+        )
+        requests = list(requests_from_log(log))
+        assert len(requests) == log.size
+        by_kind: dict = {}
+        for request in requests:
+            by_kind[request.kind] = by_kind.get(request.kind, 0) + 1
+        assert by_kind[QueryKind.RANGE_MASS] == 5
+        assert by_kind[QueryKind.POINT_DENSITY] == 3
+        assert by_kind[QueryKind.MARGINALS] == 1
+        assert by_kind[QueryKind.LENGTH_HISTOGRAM] == 1
+
+    def test_range_rows_round_trip_bit_identically(self):
+        log = QueryLog.random(SpatialDomain.unit(), n_range=7, seed=4)
+        requests = list(requests_from_log(log))
+        rows = np.array(
+            [QueryRequest.from_json(r.to_json()).payload["queries"][0] for r in requests]
+        )
+        assert rows.tobytes() == log.range_queries.tobytes()
+
+    def test_expanded_answers_match_serial_replay(self):
+        rng = np.random.default_rng(5)
+        engine = QueryEngine(GridSpec.unit(8).distribution(rng.random((2000, 2))))
+        log = QueryLog.random(SpatialDomain.unit(), n_range=9, n_density=4, seed=6)
+        _, answers = WorkloadReplay(engine).replay(log)
+        per_request = [
+            engine.answer_batch(np.array(request.payload["queries"]))[0]
+            for request in requests_from_log(log)
+            if request.kind is QueryKind.RANGE_MASS
+        ]
+        assert np.array(per_request).tobytes() == answers["range_mass"].tobytes()

@@ -526,6 +526,12 @@ class TestServeCommand:
                 if line.strip() and line.split()[0].isdigit()]
         assert len(rows) == 2
 
+    def test_serve_http_routes_workload_through_the_front(self, capsys):
+        assert main(self.SERVE_ARGS + ["--http", "127.0.0.1:0"]) == 0
+        out = capsys.readouterr().out
+        assert "HTTP front listening on http://127.0.0.1:" in out
+        assert "HTTP front answers bit-identical to in-process engine: yes" in out
+
     def test_serve_rejects_bad_parameters(self):
         with pytest.raises(SystemExit):
             main(["serve", "--serve-workers", "0"])
@@ -537,3 +543,7 @@ class TestServeCommand:
             main(["serve", "--batch-rows", "0"])
         with pytest.raises(SystemExit):
             main(["serve", "--decay", "2.0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--http", "no-port-here"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--http", ":8080"])
